@@ -1,0 +1,107 @@
+// Fig. 10: shortest path queries.
+//   (a) per-query latency (distance + full path recovery) of all six
+//       algorithms across the venues;
+//   (b) effect of the distance between source and target: queries on Men-2
+//       bucketed into quintiles Q1..Q5 of the maximum venue distance (§4.3.2).
+
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+
+#include "bench_common.h"
+#include "core/distance_query.h"
+#include "core/vip_tree.h"
+
+namespace viptree {
+namespace bench {
+namespace {
+
+void BM_ShortestPath(benchmark::State& state, synth::Dataset dataset,
+                     EngineKind kind) {
+  QueryEngine& engine = GetEngine(dataset, kind);
+  const auto pairs = QueryPairs(dataset, NumQueries());
+  std::vector<DoorId> doors;
+  size_t i = 0;
+  for (auto _ : state) {
+    const auto& [s, t] = pairs[i++ % pairs.size()];
+    benchmark::DoNotOptimize(engine.Path(s, t, &doors));
+  }
+}
+
+// Pairs of Men-2 bucketed by distance quintile.
+std::vector<std::vector<std::pair<IndoorPoint, IndoorPoint>>>
+DistanceBuckets() {
+  const synth::Dataset dataset = synth::Dataset::kMen2;
+  DatasetBundle& bundle = GetDataset(dataset);
+  VIPTree vip = VIPTree::Build(bundle.venue, bundle.graph);
+  VIPDistanceQuery query(vip);
+  const auto pairs = QueryPairs(dataset, 3000);
+  std::vector<double> dist(pairs.size());
+  double dmax = 0.0;
+  for (size_t i = 0; i < pairs.size(); ++i) {
+    dist[i] = query.Distance(pairs[i].first, pairs[i].second);
+    dmax = std::max(dmax, dist[i]);
+  }
+  std::vector<std::vector<std::pair<IndoorPoint, IndoorPoint>>> buckets(5);
+  for (size_t i = 0; i < pairs.size(); ++i) {
+    const int q =
+        std::min(4, static_cast<int>(dist[i] / (dmax / 5.0 + 1e-9)));
+    buckets[q].push_back(pairs[i]);
+  }
+  return buckets;
+}
+
+void BM_PathByDistanceBand(
+    benchmark::State& state, EngineKind kind,
+    const std::vector<std::pair<IndoorPoint, IndoorPoint>>& pairs) {
+  if (pairs.empty()) {
+    state.SkipWithError("empty distance band");
+    return;
+  }
+  QueryEngine& engine = GetEngine(synth::Dataset::kMen2, kind);
+  std::vector<DoorId> doors;
+  size_t i = 0;
+  for (auto _ : state) {
+    const auto& [s, t] = pairs[i++ % pairs.size()];
+    benchmark::DoNotOptimize(engine.Path(s, t, &doors));
+  }
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace viptree
+
+int main(int argc, char** argv) {
+  using namespace viptree;
+  using namespace viptree::bench;
+  std::printf("=== Fig. 10(a): shortest path query time per venue ===\n");
+  for (synth::Dataset d : AllBenchDatasets()) {
+    for (EngineKind kind : DistanceCompetitors()) {
+      if (kind == EngineKind::kDistMx && !DistMxFeasible(d)) continue;
+      benchmark::RegisterBenchmark(
+          ("Fig10a/SP/" + synth::InfoFor(d).name + "/" + EngineName(kind))
+              .c_str(),
+          [d, kind](benchmark::State& state) {
+            BM_ShortestPath(state, d, kind);
+          })
+          ->Unit(benchmark::kMicrosecond);
+    }
+  }
+
+  std::printf("=== Fig. 10(b): SP time vs s-t distance band (Men-2) ===\n");
+  static const auto buckets = DistanceBuckets();
+  for (int q = 0; q < 5; ++q) {
+    for (EngineKind kind : DistanceCompetitors()) {
+      benchmark::RegisterBenchmark(
+          ("Fig10b/SP/Q" + std::to_string(q + 1) + "/" + EngineName(kind))
+              .c_str(),
+          [kind, q](benchmark::State& state) {
+            BM_PathByDistanceBand(state, kind, buckets[q]);
+          })
+          ->Unit(benchmark::kMicrosecond);
+    }
+  }
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,108 @@
+// Fig. 11: kNN and range queries.
+//   (a) kNN latency vs k in {1, 5, 10}            (Men-2, 50 objects)
+//   (b) kNN latency vs #objects in {10,50,100,500} (Men-2, k = 5)
+//   (c) kNN latency across venues                  (k = 5, 50 objects)
+//   (d) range query latency across venues          (r = 100 m, 50 objects)
+
+#include <benchmark/benchmark.h>
+
+#include "bench_common.h"
+
+namespace viptree {
+namespace bench {
+namespace {
+
+constexpr size_t kDefaultObjects = 50;
+constexpr size_t kDefaultK = 5;
+constexpr double kDefaultRange = 100.0;
+
+// Engines keep the most recent object set; serialize object configuration
+// through this helper.
+QueryEngine& EngineWithObjects(synth::Dataset dataset, EngineKind kind,
+                               size_t num_objects) {
+  QueryEngine& engine = GetEngine(dataset, kind);
+  engine.SetObjects(Objects(dataset, num_objects));
+  return engine;
+}
+
+void BM_Knn(benchmark::State& state, synth::Dataset dataset, EngineKind kind,
+            size_t num_objects, size_t k) {
+  QueryEngine& engine = EngineWithObjects(dataset, kind, num_objects);
+  const auto points = QueryPoints(dataset, NumQueries());
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine.Knn(points[i++ % points.size()], k));
+  }
+}
+
+void BM_Range(benchmark::State& state, synth::Dataset dataset,
+              EngineKind kind, double radius) {
+  QueryEngine& engine = EngineWithObjects(dataset, kind, kDefaultObjects);
+  const auto points = QueryPoints(dataset, NumQueries());
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        engine.Range(points[i++ % points.size()], radius));
+  }
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace viptree
+
+int main(int argc, char** argv) {
+  using namespace viptree;
+  using namespace viptree::bench;
+  const synth::Dataset men2 = synth::Dataset::kMen2;
+
+  std::printf("=== Fig. 11(a): kNN vs k (Men-2, 50 objects) ===\n");
+  for (size_t k : {1u, 5u, 10u}) {
+    for (EngineKind kind : ObjectCompetitors()) {
+      benchmark::RegisterBenchmark(
+          ("Fig11a/kNN/k=" + std::to_string(k) + "/" + EngineName(kind))
+              .c_str(),
+          [men2, kind, k](benchmark::State& state) {
+            BM_Knn(state, men2, kind, kDefaultObjects, k);
+          })
+          ->Unit(benchmark::kMicrosecond);
+    }
+  }
+
+  std::printf("=== Fig. 11(b): kNN vs #objects (Men-2, k=5) ===\n");
+  for (size_t objects : {10u, 50u, 100u, 500u}) {
+    for (EngineKind kind : ObjectCompetitors()) {
+      benchmark::RegisterBenchmark(
+          ("Fig11b/kNN/objects=" + std::to_string(objects) + "/" +
+           EngineName(kind))
+              .c_str(),
+          [men2, kind, objects](benchmark::State& state) {
+            BM_Knn(state, men2, kind, objects, kDefaultK);
+          })
+          ->Unit(benchmark::kMicrosecond);
+    }
+  }
+
+  std::printf("=== Fig. 11(c)/(d): kNN and range across venues ===\n");
+  for (synth::Dataset d : viptree::bench::AllBenchDatasets()) {
+    for (EngineKind kind : ObjectCompetitors()) {
+      if (kind == EngineKind::kDistAwPlusPlus && !DistMxFeasible(d)) continue;
+      benchmark::RegisterBenchmark(
+          ("Fig11c/kNN/" + synth::InfoFor(d).name + "/" + EngineName(kind))
+              .c_str(),
+          [d, kind](benchmark::State& state) {
+            BM_Knn(state, d, kind, kDefaultObjects, kDefaultK);
+          })
+          ->Unit(benchmark::kMicrosecond);
+      benchmark::RegisterBenchmark(
+          ("Fig11d/Range/" + synth::InfoFor(d).name + "/" + EngineName(kind))
+              .c_str(),
+          [d, kind](benchmark::State& state) {
+            BM_Range(state, d, kind, kDefaultRange);
+          })
+          ->Unit(benchmark::kMicrosecond);
+    }
+  }
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

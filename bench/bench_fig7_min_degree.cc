@@ -1,0 +1,96 @@
+// Fig. 7: effect of the minimum degree t on the VIP-Tree (Clayton campus
+// analogue): (a) construction memory and indexing time, (b) shortest
+// distance and kNN query time. The paper's finding: construction cost
+// grows with t, SD time is flat (O(rho^2), height-independent), kNN grows.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_common.h"
+#include "core/distance_query.h"
+#include "core/knn_query.h"
+#include "core/object_index.h"
+#include "core/vip_tree.h"
+
+namespace viptree {
+namespace bench {
+namespace {
+
+constexpr synth::Dataset kDataset = synth::Dataset::kCL;
+
+VIPTree& TreeForDegree(int t) {
+  static std::map<int, std::unique_ptr<VIPTree>>* cache =
+      new std::map<int, std::unique_ptr<VIPTree>>();
+  auto it = cache->find(t);
+  if (it == cache->end()) {
+    DatasetBundle& bundle = GetDataset(kDataset);
+    it = cache
+             ->emplace(t, std::make_unique<VIPTree>(VIPTree::Build(
+                              bundle.venue, bundle.graph, {.min_degree = t})))
+             .first;
+  }
+  return *it->second;
+}
+
+void BM_Construct(benchmark::State& state, int t) {
+  DatasetBundle& bundle = GetDataset(kDataset);
+  for (auto _ : state) {
+    VIPTree tree = VIPTree::Build(bundle.venue, bundle.graph,
+                                  {.min_degree = t});
+    state.counters["memory_MB"] = benchmark::Counter(
+        static_cast<double>(tree.MemoryBytes()) / (1024.0 * 1024.0));
+    state.counters["height"] =
+        benchmark::Counter(static_cast<double>(tree.base().height()));
+  }
+}
+
+void BM_ShortestDistance(benchmark::State& state, int t) {
+  VIPTree& tree = TreeForDegree(t);
+  VIPDistanceQuery query(tree);
+  const auto pairs = QueryPairs(kDataset, NumQueries());
+  size_t i = 0;
+  for (auto _ : state) {
+    const auto& [s, tt] = pairs[i++ % pairs.size()];
+    benchmark::DoNotOptimize(query.Distance(s, tt));
+  }
+}
+
+void BM_Knn(benchmark::State& state, int t) {
+  VIPTree& tree = TreeForDegree(t);
+  const ObjectIndex index(tree.base(), Objects(kDataset, 50));
+  KnnQuery knn(tree.base(), index);
+  const auto points = QueryPoints(kDataset, NumQueries());
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(knn.Knn(points[i++ % points.size()], 5));
+  }
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace viptree
+
+int main(int argc, char** argv) {
+  using namespace viptree;
+  using namespace viptree::bench;
+  std::printf(
+      "=== Fig. 7: effect of minimum degree t on VIP-Tree (CL analogue) "
+      "===\n");
+  for (int t : {2, 10, 20, 60, 100}) {
+    benchmark::RegisterBenchmark(
+        ("Fig7a/Construct/t=" + std::to_string(t)).c_str(),
+        [t](benchmark::State& state) { BM_Construct(state, t); })
+        ->Unit(benchmark::kMillisecond)
+        ->Iterations(1);
+    benchmark::RegisterBenchmark(
+        ("Fig7b/SD/t=" + std::to_string(t)).c_str(),
+        [t](benchmark::State& state) { BM_ShortestDistance(state, t); })
+        ->Unit(benchmark::kMicrosecond);
+    benchmark::RegisterBenchmark(
+        ("Fig7b/kNN/t=" + std::to_string(t)).c_str(),
+        [t](benchmark::State& state) { BM_Knn(state, t); })
+        ->Unit(benchmark::kMicrosecond);
+  }
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,52 @@
+// Fig. 8: indexing cost — (a) construction time and (b) index size for
+// every index across the six venues. The distance matrix is skipped beyond
+// Men-2, exactly as in the paper ("The distance matrix ... cannot be built
+// on the venues larger than Men-2").
+
+#include <benchmark/benchmark.h>
+
+#include "bench_common.h"
+#include "common/stats.h"
+
+namespace viptree {
+namespace bench {
+namespace {
+
+void BM_Construct(benchmark::State& state, synth::Dataset dataset,
+                  EngineKind kind) {
+  DatasetBundle& bundle = GetDataset(dataset);
+  for (auto _ : state) {
+    std::unique_ptr<QueryEngine> engine =
+        MakeEngine(kind, bundle.venue, bundle.graph);
+    state.counters["index_MB"] = benchmark::Counter(
+        static_cast<double>(engine->IndexMemoryBytes()) / (1024.0 * 1024.0));
+  }
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace viptree
+
+int main(int argc, char** argv) {
+  using namespace viptree;
+  using namespace viptree::bench;
+  std::printf("=== Fig. 8: index construction time (a) and size (b) ===\n");
+  const std::vector<EngineKind> kinds = {
+      EngineKind::kVipTree, EngineKind::kIpTree, EngineKind::kDistAw,
+      EngineKind::kGTree,   EngineKind::kRoad,   EngineKind::kDistMx};
+  for (synth::Dataset d : AllBenchDatasets()) {
+    for (EngineKind kind : kinds) {
+      if (kind == EngineKind::kDistMx && !DistMxFeasible(d)) continue;
+      benchmark::RegisterBenchmark(
+          ("Fig8/Construct/" + synth::InfoFor(d).name + "/" +
+           EngineName(kind))
+              .c_str(),
+          [d, kind](benchmark::State& state) { BM_Construct(state, d, kind); })
+          ->Unit(benchmark::kMillisecond)
+          ->Iterations(1);
+    }
+  }
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,82 @@
+// Fig. 9: shortest distance queries.
+//   (a) the DistMx no-through-door optimization: average number of door
+//       pairs examined by DistMx-- (unoptimized), DistMx (optimized) and
+//       VIP-Tree (superior-door pairs), printed as a table;
+//   (b) per-query latency of all six algorithms across the venues,
+//       as google-benchmark series.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "bench_common.h"
+#include "core/ip_tree.h"
+
+namespace viptree {
+namespace bench {
+namespace {
+
+void PrintFig9a() {
+  std::printf("\n=== Fig. 9(a): avg #pairs of doors per SD query ===\n");
+  std::printf("%-6s | %10s %10s %10s\n", "venue", "DistMx--", "DistMx",
+              "VIP-Tree");
+  for (synth::Dataset d : AllBenchDatasets()) {
+    if (!DistMxFeasible(d)) continue;
+    DatasetBundle& bundle = GetDataset(d);
+    const DistanceMatrix matrix(bundle.venue, bundle.graph);
+    const IPTree tree = IPTree::Build(bundle.venue, bundle.graph);
+    const auto pairs = QueryPairs(d, 200);
+    double unopt = 0.0;
+    double opt = 0.0;
+    double vip = 0.0;
+    for (const auto& [s, t] : pairs) {
+      matrix.Distance(s, t, false);
+      unopt += static_cast<double>(matrix.last_pair_count());
+      matrix.Distance(s, t, true);
+      opt += static_cast<double>(matrix.last_pair_count());
+      vip += static_cast<double>(tree.SuperiorDoors(s.partition).size() *
+                                 tree.SuperiorDoors(t.partition).size());
+    }
+    const double n = static_cast<double>(pairs.size());
+    std::printf("%-6s | %10.2f %10.2f %10.2f\n",
+                synth::InfoFor(d).name.c_str(), unopt / n, opt / n, vip / n);
+  }
+  std::printf("(paper: ~47-67 for DistMx--, ~9-12 for DistMx and VIP)\n\n");
+}
+
+void BM_ShortestDistance(benchmark::State& state, synth::Dataset dataset,
+                         EngineKind kind) {
+  QueryEngine& engine = GetEngine(dataset, kind);
+  const auto pairs = QueryPairs(dataset, NumQueries());
+  size_t i = 0;
+  for (auto _ : state) {
+    const auto& [s, t] = pairs[i++ % pairs.size()];
+    benchmark::DoNotOptimize(engine.Distance(s, t));
+  }
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace viptree
+
+int main(int argc, char** argv) {
+  using namespace viptree;
+  using namespace viptree::bench;
+  PrintFig9a();
+  std::printf("=== Fig. 9(b): shortest distance query time ===\n");
+  for (synth::Dataset d : AllBenchDatasets()) {
+    for (EngineKind kind : DistanceCompetitors()) {
+      if (kind == EngineKind::kDistMx && !DistMxFeasible(d)) continue;
+      benchmark::RegisterBenchmark(
+          ("Fig9b/SD/" + synth::InfoFor(d).name + "/" + EngineName(kind))
+              .c_str(),
+          [d, kind](benchmark::State& state) {
+            BM_ShortestDistance(state, d, kind);
+          })
+          ->Unit(benchmark::kMicrosecond);
+    }
+  }
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

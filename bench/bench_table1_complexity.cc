@@ -1,0 +1,86 @@
+// Table 1: storage and computational complexity comparison. This bench
+// measures the quantities the formulas are written in (rho = avg access
+// doors, f = avg fanout, M = #leaves, alpha = avg superior doors) for every
+// venue, and demonstrates the key complexity separation: IP-Tree shortest
+// distance cost grows with the tree height O(rho^2 log_f M) while VIP-Tree
+// stays flat at O(rho^2) (and DistMx at O(rho^2) with quadratic storage).
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "bench_common.h"
+#include "core/distance_query.h"
+#include "core/vip_tree.h"
+
+namespace viptree {
+namespace bench {
+namespace {
+
+void PrintMeasuredParameters() {
+  std::printf("\n=== Table 1 parameters measured per venue ===\n");
+  std::printf("%-6s | %8s %8s %8s %8s %8s %8s | %12s %12s\n", "venue", "rho",
+              "max_rho", "f", "M", "alpha", "height", "IP_MB", "VIP_MB");
+  for (synth::Dataset d : AllBenchDatasets()) {
+    DatasetBundle& bundle = GetDataset(d);
+    IPTree tree = IPTree::Build(bundle.venue, bundle.graph);
+    const IPTree::Stats stats = tree.ComputeStats();
+    VIPTree vip = VIPTree::Extend(std::move(tree));
+    std::printf(
+        "%-6s | %8.2f %8zu %8.2f %8zu %8.2f %8d | %12.2f %12.2f\n",
+        bundle.info.name.c_str(), stats.avg_access_doors,
+        stats.max_access_doors, stats.avg_children, stats.num_leaves,
+        stats.avg_superior_doors, stats.height,
+        static_cast<double>(stats.memory_bytes) / (1024.0 * 1024.0),
+        static_cast<double>(vip.MemoryBytes()) / (1024.0 * 1024.0));
+  }
+  std::printf(
+      "(paper: rho and alpha below 4 on all real venues, max around 8;\n"
+      " VIP storage = IP storage + O(rho D log_f M) materialization)\n\n");
+}
+
+void BM_IpDistance(benchmark::State& state, synth::Dataset dataset) {
+  QueryEngine& engine = GetEngine(dataset, EngineKind::kIpTree);
+  const auto pairs = QueryPairs(dataset, NumQueries());
+  size_t i = 0;
+  for (auto _ : state) {
+    const auto& [s, t] = pairs[i++ % pairs.size()];
+    benchmark::DoNotOptimize(engine.Distance(s, t));
+  }
+}
+
+void BM_VipDistance(benchmark::State& state, synth::Dataset dataset) {
+  QueryEngine& engine = GetEngine(dataset, EngineKind::kVipTree);
+  const auto pairs = QueryPairs(dataset, NumQueries());
+  size_t i = 0;
+  for (auto _ : state) {
+    const auto& [s, t] = pairs[i++ % pairs.size()];
+    benchmark::DoNotOptimize(engine.Distance(s, t));
+  }
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace viptree
+
+int main(int argc, char** argv) {
+  using namespace viptree;
+  using namespace viptree::bench;
+  PrintMeasuredParameters();
+  std::printf(
+      "=== Table 1 behaviour: SD cost vs venue size (IP grows with height, "
+      "VIP flat) ===\n");
+  for (synth::Dataset d : AllBenchDatasets()) {
+    benchmark::RegisterBenchmark(
+        ("Table1/SD-IP/" + synth::InfoFor(d).name).c_str(),
+        [d](benchmark::State& state) { BM_IpDistance(state, d); })
+        ->Unit(benchmark::kMicrosecond);
+    benchmark::RegisterBenchmark(
+        ("Table1/SD-VIP/" + synth::InfoFor(d).name).c_str(),
+        [d](benchmark::State& state) { BM_VipDistance(state, d); })
+        ->Unit(benchmark::kMicrosecond);
+  }
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,57 @@
+// Table 2: "Indoor venues used in experiments" — prints the analogue
+// venues' #doors / #rooms / #edges next to the paper's values, and times
+// venue generation per dataset.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "bench_common.h"
+
+namespace viptree {
+namespace bench {
+namespace {
+
+void PrintTable2() {
+  std::printf("\n=== Table 2: Indoor venues used in experiments ===\n");
+  std::printf("%-6s | %10s %10s %12s | %10s %10s %12s | %s\n", "venue",
+              "doors", "rooms", "edges", "p.doors", "p.rooms", "p.edges",
+              "scale");
+  for (synth::Dataset d : AllBenchDatasets()) {
+    const DatasetBundle& bundle = GetDataset(d);
+    std::printf("%-6s | %10zu %10zu %12zu | %10zu %10zu %12zu | %.2f\n",
+                bundle.info.name.c_str(), bundle.venue.NumDoors(),
+                bundle.venue.NumPartitions(), bundle.graph.NumEdges(),
+                bundle.info.paper_doors, bundle.info.paper_rooms,
+                bundle.info.paper_edges, ScaleFor(d));
+  }
+  std::printf("(p.* columns are the paper's Table 2; scale <1 means the\n"
+              " analogue is built below paper magnitude, see bench_common.h)\n\n");
+}
+
+void BM_GenerateVenue(benchmark::State& state, synth::Dataset dataset) {
+  for (auto _ : state) {
+    const Venue venue = synth::MakeDataset(dataset, ScaleFor(dataset));
+    benchmark::DoNotOptimize(venue.NumDoors());
+  }
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace viptree
+
+int main(int argc, char** argv) {
+  using namespace viptree;
+  using namespace viptree::bench;
+  PrintTable2();
+  for (synth::Dataset d : AllBenchDatasets()) {
+    benchmark::RegisterBenchmark(
+        ("Table2/Generate/" + synth::InfoFor(d).name).c_str(),
+        [d](benchmark::State& state) { BM_GenerateVenue(state, d); })
+        ->Unit(benchmark::kMillisecond)
+        ->Iterations(1);
+  }
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

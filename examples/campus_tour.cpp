@@ -1,0 +1,82 @@
+// Campus-scale queries (§1.2.1: the Clayton campus motivates the paper's
+// scalability claims): builds a multi-building campus connected by outdoor
+// walkways, then answers cross-building queries — "a student may issue a
+// query to find the nearest photocopier in a university campus" — and
+// compares IP-Tree vs VIP-Tree latency on long-range shortest paths.
+
+#include <cstdio>
+
+#include "common/stats.h"
+#include "core/distance_query.h"
+#include "core/knn_query.h"
+#include "core/object_index.h"
+#include "core/vip_tree.h"
+#include "graph/d2d_graph.h"
+#include "synth/campus_generator.h"
+#include "synth/objects.h"
+
+using namespace viptree;
+
+int main() {
+  // A 12-building campus (scaled-down Clayton analogue).
+  const Venue venue =
+      synth::GenerateCampus(synth::MixedCampusConfig(12, 0.4, /*seed=*/3));
+  const D2DGraph graph(venue);
+  std::printf("campus: %zu partitions, %zu doors, %zu D2D edges\n",
+              venue.NumPartitions(), venue.NumDoors(), graph.NumEdges());
+
+  Timer build_timer;
+  const IPTree ip = IPTree::Build(venue, graph);
+  const double ip_ms = build_timer.ElapsedMillis();
+  build_timer.Reset();
+  const VIPTree vip = VIPTree::Build(venue, graph);
+  const double vip_ms = build_timer.ElapsedMillis();
+  std::printf("IP-Tree built in %.1f ms (%.1f MB), VIP in %.1f ms (%.1f MB)\n",
+              ip_ms, ip.MemoryBytes() / 1048576.0, vip_ms,
+              vip.MemoryBytes() / 1048576.0);
+
+  // Cross-building shortest distances: a student in building 0 heading to
+  // rooms all over the campus.
+  Rng rng(17);
+  IndoorPoint student;
+  for (PartitionId p = 0; p < (PartitionId)venue.NumPartitions(); ++p) {
+    if (venue.partition(p).zone == 0 &&
+        venue.partition(p).use == PartitionUse::kRoom) {
+      student = IndoorPoint{p, venue.partition(p).centroid};
+      break;
+    }
+  }
+  const std::vector<IndoorPoint> targets =
+      synth::RandomQueryPoints(venue, 2000, rng);
+
+  IPDistanceQuery ip_query(ip);
+  VIPDistanceQuery vip_query(vip);
+  Timer timer;
+  double sum_ip = 0.0;
+  for (const IndoorPoint& t : targets) sum_ip += ip_query.Distance(student, t);
+  const double ip_query_us = timer.ElapsedMicros() / targets.size();
+  timer.Reset();
+  double sum_vip = 0.0;
+  for (const IndoorPoint& t : targets) {
+    sum_vip += vip_query.Distance(student, t);
+  }
+  const double vip_query_us = timer.ElapsedMicros() / targets.size();
+  std::printf(
+      "avg SD query: IP-Tree %.2f us, VIP-Tree %.2f us (checksums %.0f / "
+      "%.0f)\n",
+      ip_query_us, vip_query_us, sum_ip, sum_vip);
+
+  // Nearest photocopier across the campus.
+  const std::vector<IndoorPoint> copiers = synth::PlaceObjects(venue, 20, rng);
+  const ObjectIndex copier_index(vip.base(), copiers);
+  KnnQuery knn(vip.base(), copier_index);
+  const auto nearest = knn.Knn(student, 3);
+  std::printf("3 nearest photocopiers from %s:\n",
+              venue.partition(student.partition).name.c_str());
+  for (const ObjectResult& r : nearest) {
+    const Partition& p = venue.partition(copiers[r.object].partition);
+    std::printf("  %s (building %d, level %d) at %.1f m\n", p.name.c_str(),
+                p.zone, p.level, r.distance);
+  }
+  return 0;
+}

@@ -1,0 +1,92 @@
+// Emergency evacuation: "in an emergency, an indoor LBS can guide people to
+// the nearby exit doors" (§1.1). Builds a tower, picks occupants on random
+// floors, and routes each of them to their nearest building exit using
+// VIP-Tree shortest path queries — then compares how long the same routing
+// takes with a plain Dijkstra expansion (the DistAw approach).
+
+#include <cstdio>
+
+#include "baselines/dist_aware.h"
+#include "common/stats.h"
+#include "core/distance_query.h"
+#include "core/path_query.h"
+#include "core/vip_tree.h"
+#include "graph/d2d_graph.h"
+#include "synth/building_generator.h"
+#include "synth/objects.h"
+
+using namespace viptree;
+
+int main() {
+  synth::BuildingConfig config;
+  config.name = "tower";
+  config.floors = 12;
+  config.rooms_per_floor = 60;
+  config.staircases = 3;
+  config.lifts = 1;
+  config.exits = 4;
+  const Venue venue = synth::GenerateStandaloneBuilding(config, /*seed=*/99);
+  const D2DGraph graph(venue);
+  const VIPTree vip = VIPTree::Build(venue, graph);
+
+  // Exits are the exterior doors of the venue = the access doors of the
+  // tree root (exactly the paper's d1/d7/d20 situation in Fig. 1).
+  const std::vector<DoorId>& exits =
+      vip.base().node(vip.base().root()).access_doors;
+  std::printf("tower has %zu exits\n", exits.size());
+
+  Rng rng(5);
+  const std::vector<IndoorPoint> occupants =
+      synth::RandomQueryPoints(venue, 200, rng);
+
+  VIPPathQuery router(vip);
+  VIPDistanceQuery dq(vip);
+  DistAwareModel dijkstra_router(venue, graph);
+
+  Timer timer;
+  double total = 0.0;
+  size_t total_doors = 0;
+  for (const IndoorPoint& person : occupants) {
+    // Nearest exit by network distance (an exit door is a point in the
+    // partition it belongs to).
+    double best = kInfDistance;
+    IndoorPoint best_exit;
+    for (DoorId exit : exits) {
+      const IndoorPoint exit_point{venue.door(exit).partition_a,
+                                   venue.door(exit).position};
+      const double d = dq.Distance(person, exit_point);
+      if (d < best) {
+        best = d;
+        best_exit = exit_point;
+      }
+    }
+    const IndoorPath path = router.Path(person, best_exit);
+    total += best;
+    total_doors += path.doors.size();
+  }
+  const double vip_ms = timer.ElapsedMillis();
+  std::printf(
+      "VIP-Tree: routed %zu occupants in %.2f ms (avg escape %.1f m, avg %zu "
+      "doors)\n",
+      occupants.size(), vip_ms, total / occupants.size(),
+      total_doors / occupants.size());
+
+  // The same routing with Dijkstra expansion per occupant.
+  timer.Reset();
+  IndoorPoint exit_point;  // treat the exit door's partition as the target
+  double check = 0.0;
+  for (const IndoorPoint& person : occupants) {
+    double best = kInfDistance;
+    for (DoorId exit : exits) {
+      exit_point.partition = venue.door(exit).partition_a;
+      exit_point.position = venue.door(exit).position;
+      best = std::min(best, dijkstra_router.Distance(person, exit_point));
+    }
+    check += best;
+  }
+  const double dij_ms = timer.ElapsedMillis();
+  std::printf("Dijkstra (DistAw): same routing in %.2f ms (%.1fx slower)\n",
+              dij_ms, dij_ms / vip_ms);
+  std::printf("sanity: total escape distance %.1f vs %.1f\n", total, check);
+  return 0;
+}

@@ -1,0 +1,71 @@
+// In-store navigation in a shopping centre (§1.1): "a disabled person may
+// issue a query to find accessible toilets within 100 meters" and "a
+// passenger may want to find the shortest path to the boarding gate".
+// Demonstrates kNN and range queries over facility objects in a Melbourne
+// Central-like mall, including the paper's washroom scenario.
+
+#include <cstdio>
+
+#include "core/knn_query.h"
+#include "core/object_index.h"
+#include "core/path_query.h"
+#include "core/range_query.h"
+#include "core/vip_tree.h"
+#include "graph/d2d_graph.h"
+#include "synth/objects.h"
+#include "synth/presets.h"
+
+using namespace viptree;
+
+int main() {
+  // The Melbourne Central analogue of Table 2.
+  const Venue venue = synth::MakeDataset(synth::Dataset::kMC);
+  const D2DGraph graph(venue);
+  const VIPTree vip = VIPTree::Build(venue, graph);
+  std::printf("mall: %zu partitions over 7 levels, %zu doors\n",
+              venue.NumPartitions(), venue.NumDoors());
+
+  // Facilities: washrooms, ATMs and charging kiosks (the small object sets
+  // the paper argues are the realistic kNN workload).
+  Rng rng(12);
+  const std::vector<IndoorPoint> washrooms = synth::PlaceObjects(venue, 8, rng);
+  const ObjectIndex washroom_index(vip.base(), washrooms);
+  KnnQuery nearest_washroom(vip.base(), washroom_index);
+  RangeQuery washrooms_within(vip.base(), washroom_index);
+
+  // A shopper somewhere on an upper level.
+  IndoorPoint shopper = synth::RandomIndoorPoint(venue, rng);
+  std::printf("shopper is in %s (level %d)\n",
+              venue.partition(shopper.partition).name.c_str(),
+              venue.partition(shopper.partition).level);
+
+  const auto knn = nearest_washroom.Knn(shopper, 1);
+  if (!knn.empty()) {
+    const IndoorPoint& w = washrooms[knn[0].object];
+    std::printf("nearest washroom: %s (level %d) at %.1f m\n",
+                venue.partition(w.partition).name.c_str(),
+                venue.partition(w.partition).level, knn[0].distance);
+    // Walkable directions: the full door sequence.
+    VIPPathQuery path_query(vip);
+    const IndoorPath path = path_query.Path(shopper, w);
+    std::printf("route crosses %zu doors", path.doors.size());
+    int level_changes = 0;
+    for (size_t i = 0; i + 1 < path.doors.size(); ++i) {
+      const int la = static_cast<int>(venue.door(path.doors[i]).position.z);
+      const int lb =
+          static_cast<int>(venue.door(path.doors[i + 1]).position.z);
+      if (la != lb) ++level_changes;
+    }
+    std::printf(" with %d level change(s)\n", level_changes);
+  }
+
+  // "accessible toilets within 100 meters".
+  const auto accessible = washrooms_within.Range(shopper, 100.0);
+  std::printf("%zu washroom(s) within 100 m:\n", accessible.size());
+  for (const ObjectResult& r : accessible) {
+    std::printf("  %s at %.1f m\n",
+                venue.partition(washrooms[r.object].partition).name.c_str(),
+                r.distance);
+  }
+  return 0;
+}

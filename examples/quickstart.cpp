@@ -1,0 +1,73 @@
+// Quickstart: build a small office building, index it with a VIP-Tree and
+// answer the four query types of the paper (shortest distance, shortest
+// path, kNN, range).
+//
+//   ./build/examples/quickstart
+
+#include <cstdio>
+
+#include "core/distance_query.h"
+#include "core/knn_query.h"
+#include "core/object_index.h"
+#include "core/path_query.h"
+#include "core/range_query.h"
+#include "core/vip_tree.h"
+#include "graph/d2d_graph.h"
+#include "synth/building_generator.h"
+#include "synth/objects.h"
+
+using namespace viptree;
+
+int main() {
+  // 1. Model the venue: a 4-storey building with 30 rooms per floor.
+  synth::BuildingConfig config;
+  config.name = "demo-office";
+  config.floors = 4;
+  config.rooms_per_floor = 30;
+  config.staircases = 2;
+  config.lifts = 1;
+  const Venue venue = synth::GenerateStandaloneBuilding(config, /*seed=*/7);
+  std::printf("venue: %zu partitions, %zu doors\n", venue.NumPartitions(),
+              venue.NumDoors());
+
+  // 2. Derive the door-to-door graph and build the index.
+  const D2DGraph graph(venue);
+  const VIPTree vip = VIPTree::Build(venue, graph);
+  const IPTree::Stats stats = vip.base().ComputeStats();
+  std::printf(
+      "VIP-Tree: %zu nodes, %zu leaves, height %d, avg access doors %.2f\n",
+      stats.num_nodes, stats.num_leaves, stats.height,
+      stats.avg_access_doors);
+
+  // 3. Shortest distance and path between two points on different floors.
+  Rng rng(42);
+  const IndoorPoint a = synth::RandomIndoorPoint(venue, rng);
+  const IndoorPoint b = synth::RandomIndoorPoint(venue, rng);
+  VIPDistanceQuery distance(vip);
+  std::printf("dist(%s, %s) = %.2f m\n",
+              venue.partition(a.partition).name.c_str(),
+              venue.partition(b.partition).name.c_str(),
+              distance.Distance(a, b));
+
+  VIPPathQuery path_query(vip);
+  const IndoorPath path = path_query.Path(a, b);
+  std::printf("shortest path crosses %zu doors:", path.doors.size());
+  for (DoorId d : path.doors) std::printf(" d%d", d);
+  std::printf("\n");
+
+  // 4. Index some objects (printers, say) and ask for the 3 nearest plus
+  // everything within 50 metres.
+  const std::vector<IndoorPoint> printers = synth::PlaceObjects(venue, 8, rng);
+  const ObjectIndex objects(vip.base(), printers);
+  KnnQuery knn(vip.base(), objects);
+  std::printf("3 nearest printers:\n");
+  for (const ObjectResult& r : knn.Knn(a, 3)) {
+    std::printf("  printer %d in %s at %.2f m\n", r.object,
+                venue.partition(printers[r.object].partition).name.c_str(),
+                r.distance);
+  }
+  RangeQuery range(vip.base(), objects);
+  const auto in_range = range.Range(a, 50.0);
+  std::printf("%zu printers within 50 m\n", in_range.size());
+  return 0;
+}

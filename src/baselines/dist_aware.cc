@@ -1,0 +1,185 @@
+#include "baselines/dist_aware.h"
+
+#include <algorithm>
+#include <queue>
+
+#include "common/check.h"
+
+namespace viptree {
+
+DistAwareModel::DistAwareModel(const Venue& venue, const D2DGraph& graph,
+                               const DistanceMatrix* matrix)
+    : venue_(venue),
+      graph_(graph),
+      matrix_(matrix),
+      ab_graph_(venue),
+      engine_(graph) {}
+
+double DistAwareModel::Distance(const IndoorPoint& s, const IndoorPoint& t) {
+  double best = kInfDistance;
+  if (s.partition == t.partition) {
+    best = venue_.IntraPartitionDistance(s.partition, s.position, t.position);
+  }
+  std::vector<DijkstraSource> sources;
+  for (DoorId u : venue_.DoorsOf(s.partition)) {
+    sources.push_back({u, venue_.DistanceToDoor(s, u)});
+  }
+  engine_.Start(sources);
+  const std::span<const DoorId> targets = venue_.DoorsOf(t.partition);
+  engine_.RunToTargets(targets);
+  for (DoorId dt : targets) {
+    if (!engine_.Settled(dt)) continue;
+    best = std::min(best,
+                    engine_.DistanceTo(dt) + venue_.DistanceToDoor(t, dt));
+  }
+  return best;
+}
+
+std::vector<DoorId> DistAwareModel::Path(const IndoorPoint& s,
+                                         const IndoorPoint& t,
+                                         double* distance) {
+  double best = kInfDistance;
+  if (s.partition == t.partition) {
+    best = venue_.IntraPartitionDistance(s.partition, s.position, t.position);
+  }
+  std::vector<DijkstraSource> sources;
+  for (DoorId u : venue_.DoorsOf(s.partition)) {
+    sources.push_back({u, venue_.DistanceToDoor(s, u)});
+  }
+  engine_.Start(sources);
+  const std::span<const DoorId> targets = venue_.DoorsOf(t.partition);
+  engine_.RunToTargets(targets);
+  DoorId best_door = kInvalidId;
+  for (DoorId dt : targets) {
+    if (!engine_.Settled(dt)) continue;
+    const double cand =
+        engine_.DistanceTo(dt) + venue_.DistanceToDoor(t, dt);
+    if (cand < best) {
+      best = cand;
+      best_door = dt;
+    }
+  }
+  if (distance != nullptr) *distance = best;
+  if (best_door == kInvalidId) return {};
+  return engine_.PathTo(best_door);
+}
+
+void DistAwareModel::SetObjects(std::vector<IndoorPoint> objects) {
+  objects_ = std::move(objects);
+  objects_by_partition_.assign(venue_.NumPartitions(), {});
+  for (ObjectId o = 0; o < static_cast<ObjectId>(objects_.size()); ++o) {
+    objects_by_partition_[objects_[o].partition].push_back(o);
+  }
+}
+
+std::vector<DistAwObjectResult> DistAwareModel::Knn(const IndoorPoint& q,
+                                                    size_t k) {
+  return Search(q, k, kInfDistance);
+}
+
+std::vector<DistAwObjectResult> DistAwareModel::Range(const IndoorPoint& q,
+                                                      double radius) {
+  return Search(q, std::numeric_limits<size_t>::max(), radius);
+}
+
+std::vector<DistAwObjectResult> DistAwareModel::Search(const IndoorPoint& q,
+                                                       size_t k,
+                                                       double radius) {
+  // Incremental network expansion: settle doors in distance order; when a
+  // door of a partition with objects is settled, score those objects.
+  std::vector<double> best_obj(objects_.size(), kInfDistance);
+  auto worse = [](const DistAwObjectResult& a, const DistAwObjectResult& b) {
+    return a.distance < b.distance;
+  };
+  std::priority_queue<DistAwObjectResult, std::vector<DistAwObjectResult>,
+                      decltype(worse)>
+      best(worse);
+
+  auto score = [&](ObjectId o, double dist) {
+    if (dist >= best_obj[o]) return;
+    best_obj[o] = dist;
+  };
+
+  // Objects in the query partition are reachable directly.
+  for (ObjectId o : objects_by_partition_[q.partition]) {
+    score(o, venue_.IntraPartitionDistance(q.partition, q.position,
+                                           objects_[o].position));
+  }
+
+  if (matrix_ != nullptr) {
+    // DistAw++: use the distance matrix to score every object without
+    // expansion (still 'below par' because it scans all objects).
+    for (ObjectId o = 0; o < static_cast<ObjectId>(objects_.size()); ++o) {
+      const IndoorPoint& obj = objects_[o];
+      for (DoorId ds : venue_.DoorsOf(q.partition)) {
+        const double s_leg = venue_.DistanceToDoor(q, ds);
+        for (DoorId dt : venue_.DoorsOf(obj.partition)) {
+          score(o, s_leg + matrix_->DoorDistance(ds, dt) +
+                       venue_.DistanceToDoor(obj, dt));
+        }
+      }
+    }
+  } else {
+    std::vector<DijkstraSource> sources;
+    for (DoorId u : venue_.DoorsOf(q.partition)) {
+      sources.push_back({u, venue_.DistanceToDoor(q, u)});
+    }
+    engine_.Start(sources);
+    // Termination bound: the kth-smallest of the current object distances
+    // (exact, recomputed lazily when an object improves).
+    bool bound_dirty = true;
+    double cached_bound = kInfDistance;
+    std::vector<double> scratch;
+    auto bound = [&]() {
+      if (radius != kInfDistance) return radius;
+      if (bound_dirty) {
+        scratch = best_obj;
+        if (scratch.size() >= k) {
+          std::nth_element(scratch.begin(), scratch.begin() + (k - 1),
+                           scratch.end());
+          cached_bound = scratch[k - 1];
+        } else {
+          cached_bound = kInfDistance;
+        }
+        bound_dirty = false;
+      }
+      return cached_bound;
+    };
+    while (true) {
+      const SettledDoor settled = engine_.SettleNext();
+      if (settled.door == kInvalidId || settled.distance > bound()) break;
+      const Door& door = venue_.door(settled.door);
+      for (PartitionId p : {door.partition_a, door.partition_b}) {
+        if (p == kInvalidId) continue;
+        for (ObjectId o : objects_by_partition_[p]) {
+          const double d =
+              settled.distance + venue_.DistanceToDoor(objects_[o], settled.door);
+          if (d < best_obj[o]) {
+            best_obj[o] = d;
+            bound_dirty = true;
+          }
+        }
+      }
+    }
+  }
+
+  for (ObjectId o = 0; o < static_cast<ObjectId>(objects_.size()); ++o) {
+    if (best_obj[o] > radius) continue;
+    if (best.size() < k) {
+      best.push({o, best_obj[o]});
+    } else if (best_obj[o] < best.top().distance) {
+      best.pop();
+      best.push({o, best_obj[o]});
+    }
+  }
+  std::vector<DistAwObjectResult> results;
+  results.reserve(best.size());
+  while (!best.empty()) {
+    results.push_back(best.top());
+    best.pop();
+  }
+  std::reverse(results.begin(), results.end());
+  return results;
+}
+
+}  // namespace viptree

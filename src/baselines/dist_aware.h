@@ -1,0 +1,70 @@
+// The distance-aware model (DistAw) of Lu, Cao and Jensen [19] — the
+// state-of-the-art indoor competitor of §4. Queries run a Dijkstra-like
+// expansion over the distance-decorated graph derived from the
+// accessibility-base graph (operationally, the D2D graph with the query
+// point's doors as a multi-source seed), so the cost grows with the
+// explored area (Fig. 10b).
+//
+// kNN and range queries use incremental network expansion: doors are
+// settled in distance order and objects of touched partitions are scored;
+// DistAw++ additionally consults a DistanceMatrix to score candidate
+// objects directly (§4: "DistAw++ ... exploits DistMx").
+
+#ifndef VIPTREE_BASELINES_DIST_AWARE_H_
+#define VIPTREE_BASELINES_DIST_AWARE_H_
+
+#include <vector>
+
+#include "baselines/dist_matrix.h"
+#include "graph/ab_graph.h"
+#include "graph/d2d_graph.h"
+#include "graph/dijkstra.h"
+#include "model/venue.h"
+
+namespace viptree {
+
+struct DistAwObjectResult {
+  ObjectId object = kInvalidId;
+  double distance = kInfDistance;
+};
+
+class DistAwareModel {
+ public:
+  // `matrix` is optional; when provided the object queries run in the
+  // DistAw++ configuration. Venue/graph/matrix must outlive the model.
+  DistAwareModel(const Venue& venue, const D2DGraph& graph,
+                 const DistanceMatrix* matrix = nullptr);
+
+  DistAwareModel(const DistAwareModel&) = delete;
+  DistAwareModel& operator=(const DistAwareModel&) = delete;
+  DistAwareModel(DistAwareModel&&) = default;
+
+  double Distance(const IndoorPoint& s, const IndoorPoint& t);
+
+  // Full door sequence (graph-level Dijkstra keeps it directly).
+  std::vector<DoorId> Path(const IndoorPoint& s, const IndoorPoint& t,
+                           double* distance);
+
+  // Object queries over a fixed object set (ids = indices).
+  void SetObjects(std::vector<IndoorPoint> objects);
+  std::vector<DistAwObjectResult> Knn(const IndoorPoint& q, size_t k);
+  std::vector<DistAwObjectResult> Range(const IndoorPoint& q, double radius);
+
+  uint64_t MemoryBytes() const { return ab_graph_.MemoryBytes(); }
+
+ private:
+  std::vector<DistAwObjectResult> Search(const IndoorPoint& q, size_t k,
+                                         double radius);
+
+  const Venue& venue_;
+  const D2DGraph& graph_;
+  const DistanceMatrix* matrix_;
+  ABGraph ab_graph_;
+  DijkstraEngine engine_;
+  std::vector<IndoorPoint> objects_;
+  std::vector<std::vector<ObjectId>> objects_by_partition_;
+};
+
+}  // namespace viptree
+
+#endif  // VIPTREE_BASELINES_DIST_AWARE_H_

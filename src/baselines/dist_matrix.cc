@@ -1,0 +1,93 @@
+#include "baselines/dist_matrix.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace viptree {
+
+DistanceMatrix::DistanceMatrix(const Venue& venue, const D2DGraph& graph)
+    : venue_(venue),
+      dist_(graph.NumVertices(), graph.NumVertices(),
+            std::numeric_limits<float>::infinity()),
+      next_hop_(graph.NumVertices(), graph.NumVertices(), kInvalidId) {
+  DijkstraEngine engine(graph);
+  const size_t n = graph.NumVertices();
+  for (DoorId src = 0; src < static_cast<DoorId>(n); ++src) {
+    engine.Start(src);
+    engine.RunAll();
+    for (DoorId dst = 0; dst < static_cast<DoorId>(n); ++dst) {
+      if (!engine.Settled(dst)) continue;
+      dist_.at(src, dst) = static_cast<float>(engine.DistanceTo(dst));
+      if (dst == src) continue;
+      // First door on src -> dst: walk the parent chain from dst back and
+      // keep the last non-src door seen.
+      DoorId first = dst;
+      for (DoorId cur = engine.ParentOf(dst); cur != src && cur != kInvalidId;
+           cur = engine.ParentOf(cur)) {
+        first = cur;
+      }
+      next_hop_.at(src, dst) = first == dst ? kInvalidId : first;
+    }
+  }
+}
+
+std::vector<DoorId> DistanceMatrix::DoorPath(DoorId a, DoorId b) const {
+  std::vector<DoorId> path = {a};
+  DoorId cur = a;
+  while (cur != b) {
+    const DoorId hop = next_hop_.at(cur, b);
+    cur = hop == kInvalidId ? b : hop;
+    path.push_back(cur);
+    VIPTREE_DCHECK(path.size() <= dist_.rows());
+  }
+  return path;
+}
+
+void DistanceMatrix::CandidateDoors(PartitionId p, PartitionId goal,
+                                    bool optimized,
+                                    std::vector<DoorId>& out) const {
+  out.clear();
+  for (DoorId d : venue_.DoorsOf(p)) {
+    if (optimized) {
+      const PartitionId other = venue_.OtherSide(d, p);
+      // Doors into no-through partitions cannot be on a shortest path to a
+      // different partition (and exterior doors lead nowhere) — except when
+      // the no-through partition is the other endpoint's.
+      if (other != goal &&
+          (other == kInvalidId ||
+           venue_.Classify(other) == PartitionClass::kNoThrough)) {
+        continue;
+      }
+    }
+    out.push_back(d);
+  }
+  if (out.empty()) {
+    // Degenerate no-through source/target: fall back to all doors.
+    for (DoorId d : venue_.DoorsOf(p)) out.push_back(d);
+  }
+}
+
+double DistanceMatrix::Distance(const IndoorPoint& s, const IndoorPoint& t,
+                                bool optimized) const {
+  last_pair_count_ = 0;
+  double best = kInfDistance;
+  if (s.partition == t.partition) {
+    best = venue_.IntraPartitionDistance(s.partition, s.position, t.position);
+  }
+  std::vector<DoorId> s_doors, t_doors;
+  CandidateDoors(s.partition, t.partition, optimized, s_doors);
+  CandidateDoors(t.partition, s.partition, optimized, t_doors);
+  for (DoorId ds : s_doors) {
+    const double s_leg = venue_.DistanceToDoor(s, ds);
+    for (DoorId dt : t_doors) {
+      ++last_pair_count_;
+      const double cand =
+          s_leg + dist_.at(ds, dt) + venue_.DistanceToDoor(t, dt);
+      best = std::min(best, cand);
+    }
+  }
+  return best;
+}
+
+}  // namespace viptree

@@ -1,0 +1,71 @@
+// The distance matrix (DistMx) competitor of §1.2.2 / §4: materialized
+// door-to-door distances (plus next-hop doors for path recovery) between
+// ALL pairs of doors. O(1) distance lookups at O(D^2) storage and a very
+// expensive construction (one full Dijkstra per door) — the paper could not
+// build it beyond Men-2 and neither should you for large venues.
+//
+// Query processing implements both variants of Fig. 9(a):
+//   * DistMx--: consider every (door of Partition(s)) x (door of
+//     Partition(t)) pair;
+//   * DistMx:   skip doors that lead only into no-through partitions
+//     (the optimization of §4.3.1).
+//
+// The pair counter consumed by Fig. 9(a) is exposed via last_pair_count().
+
+#ifndef VIPTREE_BASELINES_DIST_MATRIX_H_
+#define VIPTREE_BASELINES_DIST_MATRIX_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/matrix.h"
+#include "graph/d2d_graph.h"
+#include "graph/dijkstra.h"
+#include "model/venue.h"
+
+namespace viptree {
+
+class DistanceMatrix {
+ public:
+  // Builds the full matrix: one Dijkstra per door. The venue and graph
+  // must outlive the object.
+  DistanceMatrix(const Venue& venue, const D2DGraph& graph);
+
+  DistanceMatrix(const DistanceMatrix&) = delete;
+  DistanceMatrix& operator=(const DistanceMatrix&) = delete;
+  DistanceMatrix(DistanceMatrix&&) = default;
+
+  double DoorDistance(DoorId a, DoorId b) const { return dist_.at(a, b); }
+
+  // Full door sequence of the shortest path a -> b (inclusive of both).
+  std::vector<DoorId> DoorPath(DoorId a, DoorId b) const;
+
+  // Point-to-point shortest distance; `optimized` enables the no-through
+  // pruning of §4.3.1. Updates last_pair_count().
+  double Distance(const IndoorPoint& s, const IndoorPoint& t,
+                  bool optimized) const;
+
+  // Number of door pairs examined by the most recent Distance() call
+  // (Fig. 9a's metric).
+  size_t last_pair_count() const { return last_pair_count_; }
+
+  uint64_t MemoryBytes() const {
+    return dist_.MemoryBytes() + next_hop_.MemoryBytes();
+  }
+
+ private:
+  // Doors of `p` worth considering as entry/exit: under the optimization, a
+  // door is skipped if its other side is a no-through partition — unless
+  // that side is `goal`, the other endpoint's partition.
+  void CandidateDoors(PartitionId p, PartitionId goal, bool optimized,
+                      std::vector<DoorId>& out) const;
+
+  const Venue& venue_;
+  FlatMatrix<float> dist_;
+  FlatMatrix<DoorId> next_hop_;  // first door on the path row -> col
+  mutable size_t last_pair_count_ = 0;
+};
+
+}  // namespace viptree
+
+#endif  // VIPTREE_BASELINES_DIST_MATRIX_H_

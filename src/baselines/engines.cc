@@ -1,0 +1,357 @@
+#include "baselines/engines.h"
+
+#include <optional>
+#include <utility>
+
+#include "baselines/dist_aware.h"
+#include "baselines/dist_matrix.h"
+#include "baselines/gtree.h"
+#include "baselines/road.h"
+#include "common/check.h"
+#include "core/distance_query.h"
+#include "core/knn_query.h"
+#include "core/object_index.h"
+#include "core/path_query.h"
+#include "core/vip_tree.h"
+
+namespace viptree {
+
+const char* EngineName(EngineKind kind) {
+  switch (kind) {
+    case EngineKind::kVipTree:
+      return "VIP-Tree";
+    case EngineKind::kIpTree:
+      return "IP-Tree";
+    case EngineKind::kDistAw:
+      return "DistAw";
+    case EngineKind::kDistAwPlusPlus:
+      return "DistAw++";
+    case EngineKind::kDistMx:
+      return "DistMx";
+    case EngineKind::kGTree:
+      return "G-tree";
+    case EngineKind::kRoad:
+      return "ROAD";
+  }
+  return "?";
+}
+
+namespace {
+
+std::vector<EngineObjectResult> Convert(
+    const std::vector<ObjectResult>& in) {
+  std::vector<EngineObjectResult> out;
+  out.reserve(in.size());
+  for (const ObjectResult& r : in) out.push_back({r.object, r.distance});
+  return out;
+}
+
+std::vector<EngineObjectResult> Convert(
+    const std::vector<GTreeObjectResult>& in) {
+  std::vector<EngineObjectResult> out;
+  out.reserve(in.size());
+  for (const auto& r : in) out.push_back({r.object, r.distance});
+  return out;
+}
+
+std::vector<EngineObjectResult> Convert(
+    const std::vector<DistAwObjectResult>& in) {
+  std::vector<EngineObjectResult> out;
+  out.reserve(in.size());
+  for (const auto& r : in) out.push_back({r.object, r.distance});
+  return out;
+}
+
+class VipEngine : public QueryEngine {
+ public:
+  VipEngine(const Venue& venue, const D2DGraph& graph)
+      : tree_(VIPTree::Build(venue, graph)),
+        distance_(tree_),
+        path_(tree_) {}
+
+  EngineKind kind() const override { return EngineKind::kVipTree; }
+
+  double Distance(const IndoorPoint& s, const IndoorPoint& t) override {
+    return distance_.Distance(s, t);
+  }
+  double Path(const IndoorPoint& s, const IndoorPoint& t,
+              std::vector<DoorId>* doors) override {
+    IndoorPath p = path_.Path(s, t);
+    if (doors != nullptr) *doors = std::move(p.doors);
+    return p.distance;
+  }
+  void SetObjects(const std::vector<IndoorPoint>& objects) override {
+    objects_.emplace(tree_.base(), objects);
+    knn_.emplace(tree_.base(), *objects_);
+  }
+  std::vector<EngineObjectResult> Knn(const IndoorPoint& q,
+                                      size_t k) override {
+    return Convert(knn_->Knn(q, k));
+  }
+  std::vector<EngineObjectResult> Range(const IndoorPoint& q,
+                                        double radius) override {
+    return Convert(knn_->WithinRange(q, radius));
+  }
+  uint64_t IndexMemoryBytes() const override { return tree_.MemoryBytes(); }
+
+ private:
+  VIPTree tree_;
+  VIPDistanceQuery distance_;
+  VIPPathQuery path_;
+  std::optional<ObjectIndex> objects_;
+  std::optional<KnnQuery> knn_;
+};
+
+class IpEngine : public QueryEngine {
+ public:
+  IpEngine(const Venue& venue, const D2DGraph& graph)
+      : tree_(IPTree::Build(venue, graph)),
+        distance_(tree_),
+        path_(tree_) {}
+
+  EngineKind kind() const override { return EngineKind::kIpTree; }
+
+  double Distance(const IndoorPoint& s, const IndoorPoint& t) override {
+    return distance_.Distance(s, t);
+  }
+  double Path(const IndoorPoint& s, const IndoorPoint& t,
+              std::vector<DoorId>* doors) override {
+    IndoorPath p = path_.Path(s, t);
+    if (doors != nullptr) *doors = std::move(p.doors);
+    return p.distance;
+  }
+  void SetObjects(const std::vector<IndoorPoint>& objects) override {
+    objects_.emplace(tree_, objects);
+    knn_.emplace(tree_, *objects_);
+  }
+  std::vector<EngineObjectResult> Knn(const IndoorPoint& q,
+                                      size_t k) override {
+    return Convert(knn_->Knn(q, k));
+  }
+  std::vector<EngineObjectResult> Range(const IndoorPoint& q,
+                                        double radius) override {
+    return Convert(knn_->WithinRange(q, radius));
+  }
+  uint64_t IndexMemoryBytes() const override { return tree_.MemoryBytes(); }
+
+ private:
+  IPTree tree_;
+  IPDistanceQuery distance_;
+  IPPathQuery path_;
+  std::optional<ObjectIndex> objects_;
+  std::optional<KnnQuery> knn_;
+};
+
+class DistAwEngine : public QueryEngine {
+ public:
+  DistAwEngine(const Venue& venue, const D2DGraph& graph,
+               const DistanceMatrix* shared, bool plus_plus)
+      : plus_plus_(plus_plus) {
+    if (plus_plus && shared == nullptr) {
+      owned_matrix_.emplace(venue, graph);
+      shared = &*owned_matrix_;
+    }
+    model_.emplace(venue, graph, plus_plus ? shared : nullptr);
+  }
+
+  EngineKind kind() const override {
+    return plus_plus_ ? EngineKind::kDistAwPlusPlus : EngineKind::kDistAw;
+  }
+
+  double Distance(const IndoorPoint& s, const IndoorPoint& t) override {
+    return model_->Distance(s, t);
+  }
+  double Path(const IndoorPoint& s, const IndoorPoint& t,
+              std::vector<DoorId>* doors) override {
+    double distance = kInfDistance;
+    std::vector<DoorId> path = model_->Path(s, t, &distance);
+    if (doors != nullptr) *doors = std::move(path);
+    return distance;
+  }
+  void SetObjects(const std::vector<IndoorPoint>& objects) override {
+    model_->SetObjects(objects);
+  }
+  std::vector<EngineObjectResult> Knn(const IndoorPoint& q,
+                                      size_t k) override {
+    return Convert(model_->Knn(q, k));
+  }
+  std::vector<EngineObjectResult> Range(const IndoorPoint& q,
+                                        double radius) override {
+    return Convert(model_->Range(q, radius));
+  }
+  uint64_t IndexMemoryBytes() const override {
+    uint64_t bytes = model_->MemoryBytes();
+    if (owned_matrix_.has_value()) bytes += owned_matrix_->MemoryBytes();
+    return bytes;
+  }
+
+ private:
+  bool plus_plus_;
+  std::optional<DistanceMatrix> owned_matrix_;
+  std::optional<DistAwareModel> model_;
+};
+
+class DistMxEngine : public QueryEngine {
+ public:
+  DistMxEngine(const Venue& venue, const D2DGraph& graph,
+               const DistanceMatrix* shared)
+      : venue_(venue) {
+    if (shared == nullptr) {
+      owned_.emplace(venue, graph);
+      matrix_ = &*owned_;
+    } else {
+      matrix_ = shared;
+    }
+    // Object queries piggyback on DistAw++ semantics with this matrix.
+    model_.emplace(venue, graph, matrix_);
+  }
+
+  EngineKind kind() const override { return EngineKind::kDistMx; }
+
+  double Distance(const IndoorPoint& s, const IndoorPoint& t) override {
+    return matrix_->Distance(s, t, /*optimized=*/true);
+  }
+  double Path(const IndoorPoint& s, const IndoorPoint& t,
+              std::vector<DoorId>* doors) override {
+    // Best door pair, then the materialized next-hop chain.
+    double best = kInfDistance;
+    DoorId bs = kInvalidId;
+    DoorId bt = kInvalidId;
+    if (s.partition == t.partition) {
+      best = venue_.IntraPartitionDistance(s.partition, s.position,
+                                           t.position);
+    }
+    for (DoorId ds : venue_.DoorsOf(s.partition)) {
+      const double s_leg = venue_.DistanceToDoor(s, ds);
+      for (DoorId dt : venue_.DoorsOf(t.partition)) {
+        const double cand =
+            s_leg + matrix_->DoorDistance(ds, dt) + venue_.DistanceToDoor(t, dt);
+        if (cand < best) {
+          best = cand;
+          bs = ds;
+          bt = dt;
+        }
+      }
+    }
+    if (doors != nullptr) {
+      doors->clear();
+      if (bs != kInvalidId) *doors = matrix_->DoorPath(bs, bt);
+    }
+    return best;
+  }
+  void SetObjects(const std::vector<IndoorPoint>& objects) override {
+    model_->SetObjects(objects);
+  }
+  std::vector<EngineObjectResult> Knn(const IndoorPoint& q,
+                                      size_t k) override {
+    return Convert(model_->Knn(q, k));
+  }
+  std::vector<EngineObjectResult> Range(const IndoorPoint& q,
+                                        double radius) override {
+    return Convert(model_->Range(q, radius));
+  }
+  uint64_t IndexMemoryBytes() const override { return matrix_->MemoryBytes(); }
+
+ private:
+  const Venue& venue_;
+  std::optional<DistanceMatrix> owned_;
+  const DistanceMatrix* matrix_ = nullptr;
+  std::optional<DistAwareModel> model_;
+};
+
+class GTreeEngine : public QueryEngine {
+ public:
+  GTreeEngine(const Venue& venue, const D2DGraph& graph)
+      : tree_(venue, graph) {}
+
+  EngineKind kind() const override { return EngineKind::kGTree; }
+
+  double Distance(const IndoorPoint& s, const IndoorPoint& t) override {
+    return tree_.Distance(s, t);
+  }
+  double Path(const IndoorPoint& s, const IndoorPoint& t,
+              std::vector<DoorId>* doors) override {
+    std::vector<DoorId> local;
+    const double d = tree_.Path(s, t, doors != nullptr ? doors : &local);
+    return d;
+  }
+  void SetObjects(const std::vector<IndoorPoint>& objects) override {
+    tree_.SetObjects(objects);
+  }
+  std::vector<EngineObjectResult> Knn(const IndoorPoint& q,
+                                      size_t k) override {
+    return Convert(tree_.Knn(q, k));
+  }
+  std::vector<EngineObjectResult> Range(const IndoorPoint& q,
+                                        double radius) override {
+    return Convert(tree_.Range(q, radius));
+  }
+  uint64_t IndexMemoryBytes() const override { return tree_.MemoryBytes(); }
+
+ private:
+  GTree tree_;
+};
+
+class RoadEngine : public QueryEngine {
+ public:
+  RoadEngine(const Venue& venue, const D2DGraph& graph)
+      : index_(venue, graph) {}
+
+  EngineKind kind() const override { return EngineKind::kRoad; }
+
+  double Distance(const IndoorPoint& s, const IndoorPoint& t) override {
+    return index_.Distance(s, t);
+  }
+  double Path(const IndoorPoint& s, const IndoorPoint& t,
+              std::vector<DoorId>* doors) override {
+    return index_.Path(s, t, doors);
+  }
+  void SetObjects(const std::vector<IndoorPoint>& objects) override {
+    index_.SetObjects(objects);
+  }
+  std::vector<EngineObjectResult> Knn(const IndoorPoint& q,
+                                      size_t k) override {
+    return Convert(index_.Knn(q, k));
+  }
+  std::vector<EngineObjectResult> Range(const IndoorPoint& q,
+                                        double radius) override {
+    return Convert(index_.Range(q, radius));
+  }
+  uint64_t IndexMemoryBytes() const override { return index_.MemoryBytes(); }
+
+ private:
+  RoadIndex index_;
+};
+
+}  // namespace
+
+std::unique_ptr<QueryEngine> MakeEngine(EngineKind kind, const Venue& venue,
+                                        const D2DGraph& graph) {
+  return MakeEngineWithMatrix(kind, venue, graph, nullptr);
+}
+
+std::unique_ptr<QueryEngine> MakeEngineWithMatrix(
+    EngineKind kind, const Venue& venue, const D2DGraph& graph,
+    const DistanceMatrix* shared_matrix) {
+  switch (kind) {
+    case EngineKind::kVipTree:
+      return std::make_unique<VipEngine>(venue, graph);
+    case EngineKind::kIpTree:
+      return std::make_unique<IpEngine>(venue, graph);
+    case EngineKind::kDistAw:
+      return std::make_unique<DistAwEngine>(venue, graph, nullptr, false);
+    case EngineKind::kDistAwPlusPlus:
+      return std::make_unique<DistAwEngine>(venue, graph, shared_matrix,
+                                            true);
+    case EngineKind::kDistMx:
+      return std::make_unique<DistMxEngine>(venue, graph, shared_matrix);
+    case EngineKind::kGTree:
+      return std::make_unique<GTreeEngine>(venue, graph);
+    case EngineKind::kRoad:
+      return std::make_unique<RoadEngine>(venue, graph);
+  }
+  VIPTREE_CHECK(false);
+  __builtin_unreachable();
+}
+
+}  // namespace viptree

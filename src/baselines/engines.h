@@ -1,0 +1,66 @@
+// A uniform query-engine interface wrapping every system of §4 — VIP-Tree,
+// IP-Tree, DistAw, DistAw++, DistMx, G-tree, ROAD — so the benchmark
+// harness can sweep algorithms exactly like the paper's figures do.
+
+#ifndef VIPTREE_BASELINES_ENGINES_H_
+#define VIPTREE_BASELINES_ENGINES_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "graph/d2d_graph.h"
+#include "model/venue.h"
+
+namespace viptree {
+
+enum class EngineKind {
+  kVipTree,
+  kIpTree,
+  kDistAw,
+  kDistAwPlusPlus,
+  kDistMx,
+  kGTree,
+  kRoad,
+};
+
+const char* EngineName(EngineKind kind);
+
+struct EngineObjectResult {
+  ObjectId object = kInvalidId;
+  double distance = kInfDistance;
+};
+
+class QueryEngine {
+ public:
+  virtual ~QueryEngine() = default;
+  virtual EngineKind kind() const = 0;
+  const char* name() const { return EngineName(kind()); }
+
+  virtual double Distance(const IndoorPoint& s, const IndoorPoint& t) = 0;
+  // Distance with full path recovery; `doors` may be nullptr.
+  virtual double Path(const IndoorPoint& s, const IndoorPoint& t,
+                      std::vector<DoorId>* doors) = 0;
+  virtual void SetObjects(const std::vector<IndoorPoint>& objects) = 0;
+  virtual std::vector<EngineObjectResult> Knn(const IndoorPoint& q,
+                                              size_t k) = 0;
+  virtual std::vector<EngineObjectResult> Range(const IndoorPoint& q,
+                                                double radius) = 0;
+  virtual uint64_t IndexMemoryBytes() const = 0;
+};
+
+// Builds the index for `kind` over the venue/graph (both must outlive the
+// engine). DistAw++ internally builds a distance matrix; callers sharing
+// one matrix across kDistMx and kDistAwPlusPlus can pass it via
+// MakeEngineWithMatrix.
+std::unique_ptr<QueryEngine> MakeEngine(EngineKind kind, const Venue& venue,
+                                        const D2DGraph& graph);
+
+class DistanceMatrix;
+std::unique_ptr<QueryEngine> MakeEngineWithMatrix(
+    EngineKind kind, const Venue& venue, const D2DGraph& graph,
+    const DistanceMatrix* shared_matrix);
+
+}  // namespace viptree
+
+#endif  // VIPTREE_BASELINES_ENGINES_H_

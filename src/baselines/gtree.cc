@@ -1,0 +1,844 @@
+#include "baselines/gtree.h"
+
+#include <algorithm>
+#include <functional>
+#include <queue>
+
+#include "common/check.h"
+#include "partition/multilevel_partitioner.h"
+
+namespace viptree {
+
+namespace {
+
+void SortUnique(std::vector<DoorId>& v) {
+  std::sort(v.begin(), v.end());
+  v.erase(std::unique(v.begin(), v.end()), v.end());
+}
+
+int IndexOf(std::span<const DoorId> doors, DoorId d) {
+  const auto it = std::lower_bound(doors.begin(), doors.end(), d);
+  if (it == doors.end() || *it != d) return -1;
+  return static_cast<int>(it - doors.begin());
+}
+
+}  // namespace
+
+GTree::GTree(const Venue& venue, const D2DGraph& graph,
+             const GTreeOptions& options)
+    : venue_(venue), graph_(graph), options_(options), engine_(graph) {
+  VIPTREE_CHECK(options_.fanout >= 2);
+
+  // ---- 1. Recursive multilevel partitioning into a tree of door sets.
+  MultilevelPartitioner partitioner(graph, options_.seed);
+  std::vector<DoorId> all(graph.NumVertices());
+  for (size_t i = 0; i < all.size(); ++i) all[i] = static_cast<DoorId>(i);
+
+  struct BuildItem {
+    std::vector<DoorId> vertices;
+    NodeId parent;
+  };
+  std::vector<BuildItem> queue_items;
+  queue_items.push_back({std::move(all), kInvalidId});
+  leaf_of_door_.assign(graph.NumVertices(), kInvalidId);
+
+  // Build nodes top-down; levels fixed afterwards bottom-up.
+  for (size_t qi = 0; qi < queue_items.size(); ++qi) {
+    BuildItem item = std::move(queue_items[qi]);
+    GNode node;
+    node.id = static_cast<NodeId>(nodes_.size());
+    node.parent = item.parent;
+    if (item.parent != kInvalidId) {
+      nodes_[item.parent].children.push_back(node.id);
+    } else {
+      root_ = node.id;
+    }
+    if (item.vertices.size() <= options_.leaf_tau) {
+      node.vertices = std::move(item.vertices);
+      SortUnique(node.vertices);
+      for (DoorId d : node.vertices) leaf_of_door_[d] = node.id;
+      ++num_leaves_;
+      nodes_.push_back(std::move(node));
+      continue;
+    }
+    const int parts = std::min<int>(options_.fanout,
+                                    static_cast<int>(item.vertices.size()));
+    const std::vector<int> assign =
+        partitioner.Partition(item.vertices, parts);
+    std::vector<std::vector<DoorId>> groups(parts);
+    for (size_t i = 0; i < item.vertices.size(); ++i) {
+      groups[assign[i]].push_back(item.vertices[i]);
+    }
+    const NodeId id = node.id;
+    nodes_.push_back(std::move(node));
+    for (auto& g : groups) {
+      if (!g.empty()) queue_items.push_back({std::move(g), id});
+    }
+  }
+
+  // ---- 2. Levels (leaves = 1) and leaf DFS intervals.
+  for (size_t i = nodes_.size(); i-- > 0;) {
+    GNode& n = nodes_[i];
+    if (n.is_leaf()) {
+      n.level = 1;
+    }
+  }
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (size_t i = nodes_.size(); i-- > 0;) {
+      GNode& n = nodes_[i];
+      if (n.is_leaf()) continue;
+      int max_child = 0;
+      for (NodeId c : n.children) max_child = std::max(max_child,
+                                                       nodes_[c].level);
+      if (n.level != max_child + 1) {
+        n.level = max_child + 1;
+        changed = true;
+      }
+    }
+  }
+  {
+    uint32_t counter = 0;
+    struct Frame {
+      NodeId node;
+      size_t next;
+      uint32_t begin;
+    };
+    std::vector<Frame> stack = {{root_, 0, 0}};
+    while (!stack.empty()) {
+      Frame& f = stack.back();
+      GNode& n = nodes_[f.node];
+      if (n.is_leaf()) {
+        n.leaf_begin = counter;
+        n.leaf_end = ++counter;
+        stack.pop_back();
+        continue;
+      }
+      if (f.next == 0) f.begin = counter;
+      if (f.next < n.children.size()) {
+        stack.push_back({n.children[f.next++], 0, counter});
+      } else {
+        n.leaf_begin = f.begin;
+        n.leaf_end = counter;
+        stack.pop_back();
+      }
+    }
+  }
+
+  // ---- 3. Borders per node: a door is a border of node N if it has an
+  // edge to a door outside N's subtree. Computed bottom-up (children have
+  // larger ids than parents in our top-down build, so reverse id order
+  // visits children first).
+  is_border_.assign(graph.NumVertices(), 0);
+  for (size_t i = nodes_.size(); i-- > 0;) {
+    GNode& n = nodes_[i];
+    std::vector<DoorId> candidates;
+    if (n.is_leaf()) {
+      candidates = n.vertices;
+    } else {
+      for (NodeId c : n.children) {
+        candidates.insert(candidates.end(), nodes_[c].borders.begin(),
+                          nodes_[c].borders.end());
+      }
+      SortUnique(candidates);
+    }
+    for (DoorId d : candidates) {
+      bool border = false;
+      for (const D2DEdge& e : graph.EdgesOf(d)) {
+        const NodeId other_leaf = leaf_of_door_[e.to];
+        const uint32_t idx = nodes_[other_leaf].leaf_begin;
+        if (idx < n.leaf_begin || idx >= n.leaf_end) {
+          border = true;
+          break;
+        }
+      }
+      if (border) n.borders.push_back(d);
+    }
+    if (n.is_leaf()) {
+      for (DoorId d : n.borders) is_border_[d] = 1;
+    }
+  }
+
+  // ---- 4. Leaf matrices: vertices x borders, global Dijkstra per border.
+  for (GNode& n : nodes_) {
+    if (!n.is_leaf()) continue;
+    n.dist = FlatMatrix<float>(n.vertices.size(), n.borders.size(), 0.0f);
+    n.next_hop =
+        FlatMatrix<DoorId>(n.vertices.size(), n.borders.size(), kInvalidId);
+    for (size_t col = 0; col < n.borders.size(); ++col) {
+      const DoorId b = n.borders[col];
+      engine_.Start(b);
+      engine_.RunToTargets(n.vertices);
+      for (size_t row = 0; row < n.vertices.size(); ++row) {
+        const DoorId d = n.vertices[row];
+        VIPTREE_CHECK(engine_.Settled(d));
+        n.dist.at(row, col) = static_cast<float>(engine_.DistanceTo(d));
+        if (d == b) continue;
+        // First border door on the path d -> b, for path expansion.
+        DoorId first_border = kInvalidId;
+        for (DoorId cur = engine_.ParentOf(d); cur != b && cur != kInvalidId;
+             cur = engine_.ParentOf(cur)) {
+          if (is_border_[cur]) {
+            first_border = cur;
+            break;
+          }
+        }
+        const DoorId first = engine_.ParentOf(d);
+        n.next_hop.at(row, col) =
+            first_border != kInvalidId ? first_border
+                                       : (first == b ? kInvalidId : first);
+      }
+    }
+  }
+
+  // ---- 5. Non-leaf matrices on the *global* leaf-border graph: vertices
+  // are the borders of all leaves, edges connect borders of the same leaf
+  // with their (already global) leaf-matrix distances plus the original
+  // crossing edges. Each node's matrix is filled by Dijkstra on this graph,
+  // so every entry is an exact global distance. (The G-tree hierarchy is
+  // not level-uniform, so per-level border graphs would be disconnected.)
+  std::vector<DoorId> vertices;
+  for (const GNode& n : nodes_) {
+    if (n.is_leaf()) {
+      vertices.insert(vertices.end(), n.borders.begin(), n.borders.end());
+    }
+  }
+  SortUnique(vertices);
+  std::vector<int> vertex_of(graph.NumVertices(), -1);
+  for (size_t i = 0; i < vertices.size(); ++i) {
+    vertex_of[vertices[i]] = static_cast<int>(i);
+  }
+  struct Arc {
+    int to;
+    float w;
+  };
+  std::vector<std::vector<Arc>> adj(vertices.size());
+  for (const GNode& c : nodes_) {
+    if (!c.is_leaf()) continue;
+    for (size_t i = 0; i < c.borders.size(); ++i) {
+      for (size_t j = i + 1; j < c.borders.size(); ++j) {
+        const float w = c.dist.at(IndexOf(c.vertices, c.borders[i]),
+                                  IndexOf(c.borders, c.borders[j]));
+        const int u = vertex_of[c.borders[i]];
+        const int v = vertex_of[c.borders[j]];
+        adj[u].push_back({v, w});
+        adj[v].push_back({u, w});
+      }
+    }
+  }
+  // Crossing edges between leaves (their endpoints are borders).
+  for (DoorId d = 0; d < static_cast<DoorId>(graph.NumVertices()); ++d) {
+    if (!is_border_[d]) continue;
+    for (const D2DEdge& e : graph.EdgesOf(d)) {
+      if (leaf_of_door_[e.to] == leaf_of_door_[d] || e.to < d) continue;
+      adj[vertex_of[d]].push_back({vertex_of[e.to], e.weight});
+      adj[vertex_of[e.to]].push_back({vertex_of[d], e.weight});
+    }
+  }
+  {
+    // Reusable Dijkstra state over the global border graph.
+    std::vector<double> dist(vertices.size());
+    std::vector<int> parent(vertices.size());
+    std::vector<uint32_t> mark(vertices.size(), 0);
+    std::vector<uint8_t> done(vertices.size(), 0);
+    uint32_t epoch = 0;
+    using HE = std::pair<double, int>;
+    for (size_t ni = 0; ni < nodes_.size(); ++ni) {
+      GNode& n = nodes_[ni];
+      if (n.is_leaf()) continue;
+      n.matrix_doors.clear();
+      for (NodeId c : n.children) {
+        n.matrix_doors.insert(n.matrix_doors.end(),
+                              nodes_[c].borders.begin(),
+                              nodes_[c].borders.end());
+      }
+      SortUnique(n.matrix_doors);
+      const size_t m = n.matrix_doors.size();
+      n.dist = FlatMatrix<float>(m, m, 0.0f);
+      n.next_hop = FlatMatrix<DoorId>(m, m, kInvalidId);
+      std::vector<int> targets;
+      for (DoorId d : n.matrix_doors) targets.push_back(vertex_of[d]);
+      std::sort(targets.begin(), targets.end());
+      for (size_t row = 0; row < m; ++row) {
+        const int src = vertex_of[n.matrix_doors[row]];
+        ++epoch;
+        std::priority_queue<HE, std::vector<HE>, std::greater<HE>> heap;
+        auto reach = [&](int v, double d, int p) {
+          if (mark[v] != epoch) {
+            mark[v] = epoch;
+            done[v] = 0;
+            dist[v] = kInfDistance;
+          }
+          if (d < dist[v]) {
+            dist[v] = d;
+            parent[v] = p;
+            heap.emplace(d, v);
+          }
+        };
+        reach(src, 0.0, -1);
+        size_t wanted = targets.size();
+        while (wanted > 0 && !heap.empty()) {
+          const auto [d, u] = heap.top();
+          heap.pop();
+          if (mark[u] == epoch && done[u]) continue;
+          if (d > dist[u]) continue;
+          done[u] = 1;
+          if (std::binary_search(targets.begin(), targets.end(), u)) {
+            --wanted;
+          }
+          for (const Arc& arc : adj[u]) {
+            if (mark[arc.to] == epoch && done[arc.to]) continue;
+            reach(arc.to, d + arc.w, u);
+          }
+        }
+        for (size_t col = 0; col < m; ++col) {
+          if (col == row) continue;
+          const int dst = vertex_of[n.matrix_doors[col]];
+          VIPTREE_CHECK(mark[dst] == epoch && done[dst]);
+          n.dist.at(row, col) = static_cast<float>(dist[dst]);
+          DoorId hop = kInvalidId;
+          for (int cur = parent[dst]; cur != src && cur != -1;
+               cur = parent[cur]) {
+            const DoorId cd = vertices[cur];
+            if (IndexOf(n.matrix_doors, cd) >= 0) hop = cd;
+          }
+          n.next_hop.at(row, col) = hop;
+        }
+      }
+    }
+  }
+}
+
+NodeId GTree::Lca(NodeId a, NodeId b) const {
+  while (a != b) {
+    if (nodes_[a].level < nodes_[b].level) {
+      a = nodes_[a].parent;
+    } else if (nodes_[b].level < nodes_[a].level) {
+      b = nodes_[b].parent;
+    } else {
+      a = nodes_[a].parent;
+      b = nodes_[b].parent;
+    }
+  }
+  return a;
+}
+
+bool GTree::NodeContainsLeaf(NodeId n, NodeId leaf) const {
+  const uint32_t idx = nodes_[leaf].leaf_begin;
+  return idx >= nodes_[n].leaf_begin && idx < nodes_[n].leaf_end;
+}
+
+NodeId GTree::ChildToward(NodeId ancestor, NodeId leaf) const {
+  NodeId cur = leaf;
+  while (nodes_[cur].parent != ancestor) cur = nodes_[cur].parent;
+  return cur;
+}
+
+GTree::Ascent GTree::Ascend(NodeId leaf,
+                            const std::vector<DijkstraSource>& seeds,
+                            NodeId target) const {
+  Ascent out;
+  const GNode& lnode = nodes_[leaf];
+  out.chain.push_back(leaf);
+  out.border_dist.emplace_back(lnode.borders.size(), kInfDistance);
+  out.back.emplace_back(lnode.borders.size(),
+                        std::make_pair(kInvalidId, -1));
+  for (size_t c = 0; c < lnode.borders.size(); ++c) {
+    for (const DijkstraSource& s : seeds) {
+      const int row = IndexOf(lnode.vertices, s.door);
+      VIPTREE_DCHECK(row >= 0);
+      const double cand = s.offset + lnode.dist.at(row, c);
+      if (cand < out.border_dist[0][c]) {
+        out.border_dist[0][c] = cand;
+        // A seed door that is itself this border contributes no extra hop.
+        out.back[0][c] = {s.door == lnode.borders[c] ? kInvalidId : s.door,
+                          -1};
+      }
+    }
+  }
+  NodeId cur = leaf;
+  while (cur != target) {
+    const NodeId parent = nodes_[cur].parent;
+    const GNode& pn = nodes_[parent];
+    const GNode& cn = nodes_[cur];
+    const std::vector<double>& cdist = out.border_dist.back();
+    const int child_idx = static_cast<int>(out.chain.size()) - 1;
+    std::vector<double> pdist(pn.borders.size(), kInfDistance);
+    std::vector<std::pair<DoorId, int>> pback(
+        pn.borders.size(), std::make_pair(kInvalidId, -1));
+    for (size_t c = 0; c < pn.borders.size(); ++c) {
+      const DoorId a = pn.borders[c];
+      const int inherited = IndexOf(cn.borders, a);
+      if (inherited >= 0) {
+        pdist[c] = cdist[inherited];
+        pback[c] = out.back.back()[inherited];
+        continue;
+      }
+      const int col = IndexOf(pn.matrix_doors, a);
+      VIPTREE_DCHECK(col >= 0);
+      for (size_t b = 0; b < cn.borders.size(); ++b) {
+        const int row = IndexOf(pn.matrix_doors, cn.borders[b]);
+        const double cand = cdist[b] + pn.dist.at(row, col);
+        if (cand < pdist[c]) {
+          pdist[c] = cand;
+          pback[c] = {cn.borders[b], child_idx};
+        }
+      }
+    }
+    out.chain.push_back(parent);
+    out.border_dist.push_back(std::move(pdist));
+    out.back.push_back(std::move(pback));
+    cur = parent;
+  }
+  return out;
+}
+
+std::unordered_map<NodeId, std::vector<DijkstraSource>> GTree::SourceGroups(
+    const IndoorPoint& p) const {
+  std::unordered_map<NodeId, std::vector<DijkstraSource>> groups;
+  for (DoorId d : venue_.DoorsOf(p.partition)) {
+    groups[leaf_of_door_[d]].push_back({d, venue_.DistanceToDoor(p, d)});
+  }
+  return groups;
+}
+
+double GTree::LocalDistance(const IndoorPoint& s, const IndoorPoint& t,
+                            std::vector<DoorId>* path_doors) {
+  double best = kInfDistance;
+  if (s.partition == t.partition) {
+    best = venue_.IntraPartitionDistance(s.partition, s.position, t.position);
+  }
+  std::vector<DijkstraSource> sources;
+  for (DoorId u : venue_.DoorsOf(s.partition)) {
+    sources.push_back({u, venue_.DistanceToDoor(s, u)});
+  }
+  engine_.Start(sources);
+  const std::span<const DoorId> targets = venue_.DoorsOf(t.partition);
+  engine_.RunToTargets(targets);
+  DoorId best_door = kInvalidId;
+  for (DoorId dt : targets) {
+    if (!engine_.Settled(dt)) continue;
+    const double cand =
+        engine_.DistanceTo(dt) + venue_.DistanceToDoor(t, dt);
+    if (cand < best) {
+      best = cand;
+      best_door = dt;
+    }
+  }
+  if (path_doors != nullptr && best_door != kInvalidId) {
+    *path_doors = engine_.PathTo(best_door);
+  }
+  return best;
+}
+
+bool GTree::Represents(DoorId x, DoorId y, NodeId n) const {
+  const GNode& node = nodes_[n];
+  if (node.is_leaf()) {
+    return IndexOf(node.vertices, x) >= 0 && IndexOf(node.vertices, y) >= 0 &&
+           (IndexOf(node.borders, x) >= 0 || IndexOf(node.borders, y) >= 0);
+  }
+  return IndexOf(node.matrix_doors, x) >= 0 &&
+         IndexOf(node.matrix_doors, y) >= 0;
+}
+
+void GTree::Expand(DoorId x, DoorId y, NodeId ctx,
+                   std::vector<DoorId>& out) const {
+  if (x == y) return;
+  // Local recovery for the cases the matrices do not cover: a bounded
+  // Dijkstra between two nearby doors.
+  auto local = [this, &out](DoorId from, DoorId to) {
+    engine_.Start(from);
+    engine_.RunToTargets(std::span<const DoorId>(&to, 1));
+    const std::vector<DoorId> path = engine_.PathTo(to);
+    for (size_t i = 1; i + 1 < path.size(); ++i) out.push_back(path[i]);
+  };
+  if (!is_border_[x] && !is_border_[y]) {
+    local(x, y);
+    return;
+  }
+  // Doors of one leaf expand within that leaf directly.
+  if (leaf_of_door_[x] == leaf_of_door_[y]) {
+    ctx = leaf_of_door_[x];
+  } else {
+    // Descend into the deepest node representing the pair.
+    bool descended = true;
+    while (descended && !nodes_[ctx].is_leaf()) {
+      descended = false;
+      for (NodeId c : nodes_[ctx].children) {
+        if (Represents(x, y, c)) {
+          ctx = c;
+          descended = true;
+          break;
+        }
+      }
+    }
+    if (!Represents(x, y, ctx)) {
+      local(x, y);
+      return;
+    }
+  }
+  const GNode& node = nodes_[ctx];
+  DoorId hop = kInvalidId;
+  if (node.is_leaf()) {
+    if (IndexOf(node.vertices, x) >= 0 && IndexOf(node.borders, y) >= 0) {
+      hop = node.next_hop.at(IndexOf(node.vertices, x),
+                             IndexOf(node.borders, y));
+    } else if (IndexOf(node.vertices, y) >= 0 &&
+               IndexOf(node.borders, x) >= 0) {
+      hop = node.next_hop.at(IndexOf(node.vertices, y),
+                             IndexOf(node.borders, x));
+    } else {
+      local(x, y);
+      return;
+    }
+  } else {
+    const int row = IndexOf(node.matrix_doors, x);
+    const int col = IndexOf(node.matrix_doors, y);
+    hop = node.next_hop.at(row, col);
+  }
+  if (hop == kInvalidId) {
+    // Direct edge or interior-only path: recover locally.
+    local(x, y);
+    return;
+  }
+  Expand(x, hop, ctx, out);
+  out.push_back(hop);
+  Expand(hop, y, ctx, out);
+}
+
+double GTree::AssembleDistance(
+    const std::unordered_map<NodeId, std::vector<DijkstraSource>>& s_groups,
+    const std::unordered_map<NodeId, std::vector<DijkstraSource>>& t_groups,
+    bool want_path, std::vector<DoorId>* path_doors) {
+  double best = kInfDistance;
+  for (const auto& [sleaf, sseeds] : s_groups) {
+    for (const auto& [tleaf, tseeds] : t_groups) {
+      VIPTREE_DCHECK(sleaf != tleaf);
+      const NodeId lca = Lca(sleaf, tleaf);
+      const NodeId ns = ChildToward(lca, sleaf);
+      const NodeId nt = ChildToward(lca, tleaf);
+      const Ascent as = Ascend(sleaf, sseeds, ns);
+      const Ascent at = Ascend(tleaf, tseeds, nt);
+      const GNode& lnode = nodes_[lca];
+      const GNode& nsn = nodes_[ns];
+      const GNode& ntn = nodes_[nt];
+      size_t bi = 0, bj = 0;
+      double local_best = kInfDistance;
+      for (size_t i = 0; i < nsn.borders.size(); ++i) {
+        const int row = IndexOf(lnode.matrix_doors, nsn.borders[i]);
+        for (size_t j = 0; j < ntn.borders.size(); ++j) {
+          const int col = IndexOf(lnode.matrix_doors, ntn.borders[j]);
+          const double cand = as.border_dist.back()[i] +
+                              lnode.dist.at(row, col) +
+                              at.border_dist.back()[j];
+          if (cand < local_best) {
+            local_best = cand;
+            bi = i;
+            bj = j;
+          }
+        }
+      }
+      if (local_best < best) {
+        best = local_best;
+        if (want_path && path_doors != nullptr &&
+            local_best != kInfDistance) {
+          path_doors->clear();
+          // Backtrack both sides and expand.
+          auto backtrack = [this](const Ascent& a, size_t top) {
+            std::vector<DoorId> doors;
+            int idx = static_cast<int>(a.chain.size()) - 1;
+            size_t c = top;
+            doors.push_back(nodes_[a.chain[idx]].borders[c]);
+            std::pair<DoorId, int> b = a.back[idx][c];
+            while (b.first != kInvalidId) {
+              doors.push_back(b.first);
+              if (b.second < 0) break;
+              idx = b.second;
+              c = static_cast<size_t>(
+                  IndexOf(nodes_[a.chain[idx]].borders, b.first));
+              b = a.back[idx][c];
+            }
+            std::reverse(doors.begin(), doors.end());
+            return doors;
+          };
+          const std::vector<DoorId> ps = backtrack(as, bi);
+          const std::vector<DoorId> pt = backtrack(at, bj);
+          std::vector<DoorId>& out = *path_doors;
+          out.push_back(ps[0]);
+          for (size_t kk = 0; kk + 1 < ps.size(); ++kk) {
+            Expand(ps[kk], ps[kk + 1], lca, out);
+            out.push_back(ps[kk + 1]);
+          }
+          if (ps.back() != pt.back()) {
+            Expand(ps.back(), pt.back(), lca, out);
+            out.push_back(pt.back());
+          }
+          for (size_t kk = pt.size() - 1; kk-- > 0;) {
+            Expand(pt[kk + 1], pt[kk], lca, out);
+            out.push_back(pt[kk]);
+          }
+          out.erase(std::unique(out.begin(), out.end()), out.end());
+        }
+      }
+    }
+  }
+  return best;
+}
+
+double GTree::Distance(const IndoorPoint& s, const IndoorPoint& t) {
+  return Path(s, t, nullptr);
+}
+
+double GTree::Path(const IndoorPoint& s, const IndoorPoint& t,
+                   std::vector<DoorId>* doors) {
+  auto s_groups = SourceGroups(s);
+  auto t_groups = SourceGroups(t);
+  // If any source and target doors share a leaf, resolve locally (exact and
+  // cheap: nearby in the graph).
+  for (const auto& [sleaf, _] : s_groups) {
+    if (t_groups.count(sleaf) > 0) return LocalDistance(s, t, doors);
+  }
+  return AssembleDistance(s_groups, t_groups, doors != nullptr, doors);
+}
+
+double GTree::DoorDistance(DoorId u, DoorId v) {
+  if (u == v) return 0.0;
+  if (leaf_of_door_[u] == leaf_of_door_[v]) {
+    engine_.Start(u);
+    engine_.RunToTargets(std::span<const DoorId>(&v, 1));
+    return engine_.DistanceTo(v);
+  }
+  std::unordered_map<NodeId, std::vector<DijkstraSource>> s_groups;
+  std::unordered_map<NodeId, std::vector<DijkstraSource>> t_groups;
+  s_groups[leaf_of_door_[u]].push_back({u, 0.0});
+  t_groups[leaf_of_door_[v]].push_back({v, 0.0});
+  return AssembleDistance(s_groups, t_groups, false, nullptr);
+}
+
+void GTree::SetObjects(std::vector<IndoorPoint> objects) {
+  objects_ = std::move(objects);
+  leaf_objects_.assign(nodes_.size(), {});
+  leaf_border_obj_.assign(nodes_.size(), {});
+  for (ObjectId o = 0; o < static_cast<ObjectId>(objects_.size()); ++o) {
+    // An object lives in every leaf holding a door of its partition.
+    std::vector<NodeId> leaves;
+    for (DoorId d : venue_.DoorsOf(objects_[o].partition)) {
+      leaves.push_back(leaf_of_door_[d]);
+    }
+    std::sort(leaves.begin(), leaves.end());
+    leaves.erase(std::unique(leaves.begin(), leaves.end()), leaves.end());
+    for (NodeId l : leaves) leaf_objects_[l].push_back(o);
+  }
+  for (GNode& n : nodes_) {
+    if (!n.is_leaf() || leaf_objects_[n.id].empty()) continue;
+    const std::vector<ObjectId>& objs = leaf_objects_[n.id];
+    auto& per_border = leaf_border_obj_[n.id];
+    per_border.assign(n.borders.size(),
+                      std::vector<double>(objs.size(), kInfDistance));
+    for (size_t col = 0; col < n.borders.size(); ++col) {
+      for (size_t i = 0; i < objs.size(); ++i) {
+        const IndoorPoint& obj = objects_[objs[i]];
+        double best = kInfDistance;
+        for (DoorId d : venue_.DoorsOf(obj.partition)) {
+          if (leaf_of_door_[d] != n.id) continue;
+          const int row = IndexOf(n.vertices, d);
+          best = std::min(best, static_cast<double>(n.dist.at(row, col)) +
+                                    venue_.DistanceToDoor(obj, d));
+        }
+        per_border[col][i] = best;
+      }
+    }
+  }
+  obj_prefix_.assign(num_leaves_ + 1, 0);
+  std::vector<uint32_t> at_dfs(num_leaves_, 0);
+  for (const GNode& n : nodes_) {
+    if (n.is_leaf()) {
+      at_dfs[n.leaf_begin] = static_cast<uint32_t>(leaf_objects_[n.id].size());
+    }
+  }
+  for (size_t i = 0; i < num_leaves_; ++i) {
+    obj_prefix_[i + 1] = obj_prefix_[i] + at_dfs[i];
+  }
+}
+
+std::vector<GTreeObjectResult> GTree::Knn(const IndoorPoint& q, size_t k) {
+  return SearchObjects(q, k, kInfDistance);
+}
+
+std::vector<GTreeObjectResult> GTree::Range(const IndoorPoint& q,
+                                            double radius) {
+  return SearchObjects(q, std::numeric_limits<size_t>::max(), radius);
+}
+
+std::vector<GTreeObjectResult> GTree::SearchObjects(const IndoorPoint& q,
+                                                    size_t k, double radius) {
+  std::vector<GTreeObjectResult> results;
+  if (objects_.empty() || k == 0) return results;
+
+  // Ascend from every leaf containing a door of q's partition and merge.
+  std::unordered_map<NodeId, std::vector<double>> border_dist;
+  std::unordered_map<NodeId, bool> on_chain;
+  const auto groups = SourceGroups(q);
+  for (const auto& [leaf, seeds] : groups) {
+    const Ascent a = Ascend(leaf, seeds, root_);
+    for (size_t i = 0; i < a.chain.size(); ++i) {
+      on_chain[a.chain[i]] = true;
+      auto it = border_dist.find(a.chain[i]);
+      if (it == border_dist.end()) {
+        border_dist[a.chain[i]] = a.border_dist[i];
+      } else {
+        for (size_t c = 0; c < it->second.size(); ++c) {
+          it->second[c] = std::min(it->second[c], a.border_dist[i][c]);
+        }
+      }
+    }
+  }
+
+  std::vector<double> best_obj(objects_.size(), kInfDistance);
+
+  std::function<const std::vector<double>&(NodeId)> ensure =
+      [&](NodeId n) -> const std::vector<double>& {
+    const auto it = border_dist.find(n);
+    if (it != border_dist.end()) return it->second;
+    const GNode& node = nodes_[n];
+    const NodeId parent = node.parent;
+    const GNode& pn = nodes_[parent];
+    std::vector<double> dist(node.borders.size(), kInfDistance);
+    // Candidate feeder door sets: the parent's borders (q outside) or the
+    // chain children of the parent (q inside).
+    std::vector<const GNode*> feeders;
+    std::vector<const std::vector<double>*> feeder_dists;
+    if (on_chain.count(parent) > 0) {
+      for (NodeId c : pn.children) {
+        if (on_chain.count(c) > 0) {
+          feeders.push_back(&nodes_[c]);
+          feeder_dists.push_back(&ensure(c));
+        }
+      }
+    } else {
+      feeders.push_back(&pn);
+      feeder_dists.push_back(&ensure(parent));
+    }
+    for (size_t c = 0; c < node.borders.size(); ++c) {
+      const int col = IndexOf(pn.matrix_doors, node.borders[c]);
+      for (size_t f = 0; f < feeders.size(); ++f) {
+        const std::vector<DoorId>& fb = feeders[f]->borders;
+        for (size_t b = 0; b < fb.size(); ++b) {
+          const int row = IndexOf(pn.matrix_doors, fb[b]);
+          if (row < 0 || col < 0) continue;
+          dist[c] = std::min(dist[c],
+                             (*feeder_dists[f])[b] + pn.dist.at(row, col));
+        }
+      }
+    }
+    return border_dist.emplace(n, std::move(dist)).first->second;
+  };
+
+  auto mindist = [&](NodeId n) {
+    if (on_chain.count(n) > 0) return 0.0;
+    double m = kInfDistance;
+    for (double d : ensure(n)) m = std::min(m, d);
+    return m;
+  };
+
+  // Exact bound maintenance (kth smallest of current best distances).
+  auto bound = [&]() {
+    if (radius != kInfDistance) return radius;
+    std::vector<double> copy = best_obj;
+    if (copy.size() < k) return kInfDistance;
+    std::nth_element(copy.begin(), copy.begin() + (k - 1), copy.end());
+    return copy[k - 1];
+  };
+
+  using HE = std::pair<double, NodeId>;
+  std::priority_queue<HE, std::vector<HE>, std::greater<HE>> heap;
+  heap.emplace(0.0, root_);
+  while (!heap.empty()) {
+    const auto [bd, n] = heap.top();
+    heap.pop();
+    if (bd > bound()) break;
+    const GNode& node = nodes_[n];
+    if (!node.is_leaf()) {
+      for (NodeId c : node.children) {
+        if (obj_prefix_[nodes_[c].leaf_end] ==
+            obj_prefix_[nodes_[c].leaf_begin]) {
+          continue;
+        }
+        heap.emplace(mindist(c), c);
+      }
+      continue;
+    }
+    const std::vector<ObjectId>& objs = leaf_objects_[n];
+    if (objs.empty()) continue;
+    if (groups.count(n) > 0) {
+      // q's own leaf: exact local distances by Dijkstra.
+      std::vector<DijkstraSource> sources;
+      for (DoorId u : venue_.DoorsOf(q.partition)) {
+        sources.push_back({u, venue_.DistanceToDoor(q, u)});
+      }
+      engine_.Start(sources);
+      std::vector<DoorId> targets;
+      for (ObjectId o : objs) {
+        for (DoorId d : venue_.DoorsOf(objects_[o].partition)) {
+          targets.push_back(d);
+        }
+      }
+      SortUnique(targets);
+      engine_.RunToTargets(targets);
+      for (ObjectId o : objs) {
+        const IndoorPoint& obj = objects_[o];
+        double d = obj.partition == q.partition
+                       ? venue_.IntraPartitionDistance(q.partition,
+                                                       q.position,
+                                                       obj.position)
+                       : kInfDistance;
+        for (DoorId dd : venue_.DoorsOf(obj.partition)) {
+          if (!engine_.Settled(dd)) continue;
+          d = std::min(d, engine_.DistanceTo(dd) +
+                              venue_.DistanceToDoor(obj, dd));
+        }
+        best_obj[o] = std::min(best_obj[o], d);
+      }
+      continue;
+    }
+    const std::vector<double>& q_to_b = ensure(n);
+    for (size_t i = 0; i < objs.size(); ++i) {
+      double d = kInfDistance;
+      for (size_t col = 0; col < node.borders.size(); ++col) {
+        d = std::min(d, q_to_b[col] + leaf_border_obj_[n][col][i]);
+      }
+      best_obj[objs[i]] = std::min(best_obj[objs[i]], d);
+    }
+  }
+
+  // Collect final results.
+  std::vector<GTreeObjectResult> all;
+  for (ObjectId o = 0; o < static_cast<ObjectId>(objects_.size()); ++o) {
+    if (best_obj[o] <= radius) all.push_back({o, best_obj[o]});
+  }
+  std::sort(all.begin(), all.end(),
+            [](const GTreeObjectResult& a, const GTreeObjectResult& b) {
+              return a.distance < b.distance;
+            });
+  if (all.size() > k) all.resize(k);
+  return all;
+}
+
+uint64_t GTree::MemoryBytes() const {
+  uint64_t bytes = 0;
+  for (const GNode& n : nodes_) {
+    bytes += sizeof(GNode);
+    bytes += n.children.capacity() * sizeof(NodeId);
+    bytes += n.vertices.capacity() * sizeof(DoorId);
+    bytes += n.borders.capacity() * sizeof(DoorId);
+    bytes += n.matrix_doors.capacity() * sizeof(DoorId);
+    bytes += n.dist.MemoryBytes();
+    bytes += n.next_hop.MemoryBytes();
+  }
+  bytes += leaf_of_door_.capacity() * sizeof(NodeId);
+  bytes += is_border_.capacity();
+  return bytes;
+}
+
+}  // namespace viptree

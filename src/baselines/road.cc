@@ -1,0 +1,332 @@
+#include "baselines/road.h"
+
+#include <algorithm>
+#include <queue>
+
+#include "common/check.h"
+
+namespace viptree {
+
+namespace {
+
+int IndexOf(std::span<const DoorId> doors, DoorId d) {
+  const auto it = std::lower_bound(doors.begin(), doors.end(), d);
+  if (it == doors.end() || *it != d) return -1;
+  return static_cast<int>(it - doors.begin());
+}
+
+}  // namespace
+
+RoadIndex::RoadIndex(const Venue& venue, const D2DGraph& graph,
+                     const RoadOptions& options)
+    : venue_(venue),
+      graph_(graph),
+      hierarchy_(venue, graph,
+                 GTreeOptions{/*fanout=*/2, options.leaf_tau, options.seed}),
+      dist_(graph.NumVertices(), kInfDistance),
+      parent_(graph.NumVertices(), kInvalidId),
+      parent_shortcut_(graph.NumVertices(), 0),
+      settled_(graph.NumVertices(), 0),
+      mark_(graph.NumVertices(), 0) {}
+
+void RoadIndex::MarkOpen(PartitionId partition,
+                         std::vector<uint8_t>& open) const {
+  for (DoorId d : venue_.DoorsOf(partition)) {
+    for (NodeId n = hierarchy_.leaf_of_door_[d]; n != kInvalidId;
+         n = hierarchy_.nodes_[n].parent) {
+      if (open[n]) break;
+      open[n] = 1;
+    }
+  }
+}
+
+std::vector<uint8_t> RoadIndex::OpenForTarget(PartitionId target) const {
+  std::vector<uint8_t> open(hierarchy_.nodes_.size(), 0);
+  MarkOpen(target, open);
+  return open;
+}
+
+RoadIndex::SearchResult RoadIndex::OverlaySearch(
+    const IndoorPoint& s, const IndoorPoint& t,
+    const std::vector<uint8_t>& open, std::vector<DoorId>* path_doors) {
+  ++epoch_;
+  using HE = std::pair<double, DoorId>;
+  std::priority_queue<HE, std::vector<HE>, std::greater<HE>> heap;
+  auto reach = [&](DoorId d, double dd, DoorId p, bool shortcut) {
+    if (mark_[d] != epoch_) {
+      mark_[d] = epoch_;
+      settled_[d] = 0;
+      dist_[d] = kInfDistance;
+    }
+    if (dd < dist_[d]) {
+      dist_[d] = dd;
+      parent_[d] = p;
+      parent_shortcut_[d] = shortcut ? 1 : 0;
+      heap.emplace(dd, d);
+    }
+  };
+
+  std::vector<uint8_t> is_source(graph_.NumVertices(), 0);
+  for (DoorId u : venue_.DoorsOf(s.partition)) {
+    is_source[u] = 1;
+    reach(u, venue_.DistanceToDoor(s, u), kInvalidId, false);
+  }
+
+  const std::span<const DoorId> targets = venue_.DoorsOf(t.partition);
+  size_t wanted = targets.size();
+
+  while (wanted > 0 && !heap.empty()) {
+    const auto [d, u] = heap.top();
+    heap.pop();
+    if (settled_[u] && mark_[u] == epoch_) continue;
+    if (d > dist_[u]) continue;
+    settled_[u] = 1;
+    if (std::find(targets.begin(), targets.end(), u) != targets.end()) {
+      --wanted;
+    }
+
+    // Shortcuts of the largest closed Rnet that has u as a border.
+    NodeId rnet = kInvalidId;
+    for (NodeId n = hierarchy_.leaf_of_door_[u]; n != kInvalidId;
+         n = hierarchy_.nodes_[n].parent) {
+      if (open[n]) break;
+      if (IndexOf(hierarchy_.nodes_[n].borders, u) < 0 &&
+          !(hierarchy_.nodes_[n].is_leaf())) {
+        break;  // borders only shrink going up
+      }
+      if (IndexOf(hierarchy_.nodes_[n].borders, u) >= 0) rnet = n;
+    }
+    if (rnet != kInvalidId) {
+      const auto& node = hierarchy_.nodes_[rnet];
+      for (DoorId b : node.borders) {
+        if (b == u) continue;
+        float w;
+        if (node.is_leaf()) {
+          w = node.dist.at(IndexOf(node.vertices, u),
+                           IndexOf(node.borders, b));
+        } else {
+          w = node.dist.at(IndexOf(node.matrix_doors, u),
+                           IndexOf(node.matrix_doors, b));
+        }
+        reach(b, d + w, u, true);
+      }
+    }
+
+    // Original edges; interiors of closed leaves are bypassed (their
+    // borders carry shortcuts) except around source doors.
+    const NodeId u_leaf = hierarchy_.leaf_of_door_[u];
+    for (const D2DEdge& e : graph_.EdgesOf(u)) {
+      if (!is_source[u] && hierarchy_.leaf_of_door_[e.to] == u_leaf &&
+          !open[u_leaf]) {
+        continue;
+      }
+      reach(e.to, d + e.weight, u, false);
+    }
+  }
+
+  SearchResult result;
+  for (DoorId dt : targets) {
+    if (mark_[dt] != epoch_ || !settled_[dt]) continue;
+    const double cand = dist_[dt] + venue_.DistanceToDoor(t, dt);
+    if (cand < result.distance) {
+      result.distance = cand;
+      result.best_target = dt;
+    }
+  }
+  if (s.partition == t.partition) {
+    const double direct =
+        venue_.IntraPartitionDistance(s.partition, s.position, t.position);
+    if (direct < result.distance) {
+      result.distance = direct;
+      result.best_target = kInvalidId;
+    }
+  }
+
+  if (path_doors != nullptr && result.best_target != kInvalidId) {
+    // Reconstruct, expanding shortcut edges with bounded local searches.
+    std::vector<std::pair<DoorId, bool>> rev;  // (door, reached by shortcut)
+    for (DoorId cur = result.best_target; cur != kInvalidId;) {
+      rev.emplace_back(cur, parent_shortcut_[cur]);
+      cur = parent_[cur];
+    }
+    std::reverse(rev.begin(), rev.end());
+    path_doors->clear();
+    path_doors->push_back(rev[0].first);
+    DijkstraEngine expander(graph_);
+    for (size_t i = 1; i < rev.size(); ++i) {
+      if (rev[i].second) {
+        expander.Start(rev[i - 1].first);
+        const DoorId goal = rev[i].first;
+        expander.RunToTargets(std::span<const DoorId>(&goal, 1));
+        const std::vector<DoorId> seg = expander.PathTo(goal);
+        for (size_t j = 1; j < seg.size(); ++j) path_doors->push_back(seg[j]);
+      } else {
+        path_doors->push_back(rev[i].first);
+      }
+    }
+  }
+  return result;
+}
+
+double RoadIndex::Distance(const IndoorPoint& s, const IndoorPoint& t) {
+  std::vector<uint8_t> open = OpenForTarget(t.partition);
+  MarkOpen(s.partition, open);  // Rnets containing s are expanded too
+  return OverlaySearch(s, t, open, nullptr).distance;
+}
+
+double RoadIndex::Path(const IndoorPoint& s, const IndoorPoint& t,
+                       std::vector<DoorId>* doors) {
+  std::vector<uint8_t> open = OpenForTarget(t.partition);
+  MarkOpen(s.partition, open);
+  return OverlaySearch(s, t, open, doors).distance;
+}
+
+void RoadIndex::SetObjects(std::vector<IndoorPoint> objects) {
+  objects_ = std::move(objects);
+  objects_by_partition_.assign(venue_.NumPartitions(), {});
+  node_has_object_.assign(hierarchy_.nodes_.size(), 0);
+  for (ObjectId o = 0; o < static_cast<ObjectId>(objects_.size()); ++o) {
+    objects_by_partition_[objects_[o].partition].push_back(o);
+    for (DoorId d : venue_.DoorsOf(objects_[o].partition)) {
+      for (NodeId n = hierarchy_.leaf_of_door_[d]; n != kInvalidId;
+           n = hierarchy_.nodes_[n].parent) {
+        if (node_has_object_[n]) break;
+        node_has_object_[n] = 1;
+      }
+    }
+  }
+}
+
+std::vector<GTreeObjectResult> RoadIndex::Knn(const IndoorPoint& q,
+                                              size_t k) {
+  std::vector<GTreeObjectResult> all = SearchINE(q, k, kInfDistance);
+  if (all.size() > k) all.resize(k);
+  return all;
+}
+
+std::vector<GTreeObjectResult> RoadIndex::Range(const IndoorPoint& q,
+                                                double radius) {
+  return SearchINE(q, std::numeric_limits<size_t>::max(), radius);
+}
+
+std::vector<GTreeObjectResult> RoadIndex::SearchINE(const IndoorPoint& q,
+                                                    size_t k, double radius) {
+  // Incremental overlay expansion: Rnets with objects are open; doors are
+  // settled in distance order and objects of touched partitions scored.
+  ++epoch_;
+  using HE = std::pair<double, DoorId>;
+  std::priority_queue<HE, std::vector<HE>, std::greater<HE>> heap;
+  auto reach = [&](DoorId d, double dd, DoorId p, bool shortcut) {
+    if (mark_[d] != epoch_) {
+      mark_[d] = epoch_;
+      settled_[d] = 0;
+      dist_[d] = kInfDistance;
+    }
+    if (dd < dist_[d]) {
+      dist_[d] = dd;
+      parent_[d] = p;
+      parent_shortcut_[d] = shortcut ? 1 : 0;
+      heap.emplace(dd, d);
+    }
+  };
+  std::vector<uint8_t> is_source(graph_.NumVertices(), 0);
+  for (DoorId u : venue_.DoorsOf(q.partition)) {
+    is_source[u] = 1;
+    reach(u, venue_.DistanceToDoor(q, u), kInvalidId, false);
+  }
+  // Rnets with objects are open, and so are the Rnets containing q.
+  std::vector<uint8_t> open(node_has_object_.begin(),
+                            node_has_object_.end());
+  MarkOpen(q.partition, open);
+  std::vector<double> best_obj(objects_.size(), kInfDistance);
+  for (ObjectId o : objects_by_partition_[q.partition]) {
+    best_obj[o] = venue_.IntraPartitionDistance(q.partition, q.position,
+                                                objects_[o].position);
+  }
+
+  // Termination bound: the radius, or the exact kth-smallest current
+  // object distance for kNN mode.
+  bool bound_dirty = true;
+  double cached_bound = kInfDistance;
+  auto bound = [&]() {
+    if (radius != kInfDistance) return radius;
+    if (bound_dirty) {
+      std::vector<double> copy = best_obj;
+      if (copy.size() >= k) {
+        std::nth_element(copy.begin(), copy.begin() + (k - 1), copy.end());
+        cached_bound = copy[k - 1];
+      } else {
+        cached_bound = kInfDistance;
+      }
+      bound_dirty = false;
+    }
+    return cached_bound;
+  };
+
+  while (!heap.empty()) {
+    const auto [d, u] = heap.top();
+    heap.pop();
+    if (d > bound()) break;
+    if (settled_[u] && mark_[u] == epoch_) continue;
+    if (d > dist_[u]) continue;
+    settled_[u] = 1;
+
+    const Door& door = venue_.door(u);
+    for (PartitionId p : {door.partition_a, door.partition_b}) {
+      if (p == kInvalidId) continue;
+      for (ObjectId o : objects_by_partition_[p]) {
+        const double cand = d + venue_.DistanceToDoor(objects_[o], u);
+        if (cand < best_obj[o]) {
+          best_obj[o] = cand;
+          bound_dirty = true;
+        }
+      }
+    }
+
+    NodeId rnet = kInvalidId;
+    for (NodeId n = hierarchy_.leaf_of_door_[u]; n != kInvalidId;
+         n = hierarchy_.nodes_[n].parent) {
+      if (open[n]) break;
+      if (IndexOf(hierarchy_.nodes_[n].borders, u) >= 0) {
+        rnet = n;
+      } else if (!hierarchy_.nodes_[n].is_leaf()) {
+        break;
+      }
+    }
+    if (rnet != kInvalidId) {
+      const auto& node = hierarchy_.nodes_[rnet];
+      for (DoorId b : node.borders) {
+        if (b == u) continue;
+        float w;
+        if (node.is_leaf()) {
+          w = node.dist.at(IndexOf(node.vertices, u),
+                           IndexOf(node.borders, b));
+        } else {
+          w = node.dist.at(IndexOf(node.matrix_doors, u),
+                           IndexOf(node.matrix_doors, b));
+        }
+        reach(b, d + w, u, true);
+      }
+    }
+    const NodeId u_leaf = hierarchy_.leaf_of_door_[u];
+    for (const D2DEdge& e : graph_.EdgesOf(u)) {
+      if (!is_source[u] && hierarchy_.leaf_of_door_[e.to] == u_leaf &&
+          !open[u_leaf]) {
+        continue;
+      }
+      reach(e.to, d + e.weight, u, false);
+    }
+  }
+
+  std::vector<GTreeObjectResult> results;
+  for (ObjectId o = 0; o < static_cast<ObjectId>(objects_.size()); ++o) {
+    if (best_obj[o] <= radius) results.push_back({o, best_obj[o]});
+  }
+  std::sort(results.begin(), results.end(),
+            [](const GTreeObjectResult& a, const GTreeObjectResult& b) {
+              return a.distance < b.distance;
+            });
+  return results;
+}
+
+}  // namespace viptree

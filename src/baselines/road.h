@@ -1,0 +1,84 @@
+// ROAD [17] (Lee et al., TKDE 2012) adapted to the indoor D2D graph — the
+// second road-network competitor of §4. ROAD organizes the graph as a
+// hierarchy of Rnets with border-to-border *shortcuts*; queries run a
+// Dijkstra-style search over the route overlay in which Rnets that cannot
+// contain the target (for kNN: contain no object) are bypassed through
+// their shortcuts instead of being expanded.
+//
+// The Rnet hierarchy and shortcut matrices reuse the same multilevel
+// partitioning substrate as G-tree (fanout 2, deeper hierarchy); the
+// essential published difference between the two systems is preserved:
+// ROAD is search-based where G-tree is assembly-based.
+
+#ifndef VIPTREE_BASELINES_ROAD_H_
+#define VIPTREE_BASELINES_ROAD_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "baselines/gtree.h"
+
+namespace viptree {
+
+struct RoadOptions {
+  size_t leaf_tau = 64;
+  uint64_t seed = 1;
+};
+
+class RoadIndex {
+ public:
+  RoadIndex(const Venue& venue, const D2DGraph& graph,
+            const RoadOptions& options = {});
+
+  double Distance(const IndoorPoint& s, const IndoorPoint& t);
+
+  // Distance plus full door path (shortcut edges are re-expanded locally).
+  double Path(const IndoorPoint& s, const IndoorPoint& t,
+              std::vector<DoorId>* doors);
+
+  void SetObjects(std::vector<IndoorPoint> objects);
+  std::vector<GTreeObjectResult> Knn(const IndoorPoint& q, size_t k);
+  std::vector<GTreeObjectResult> Range(const IndoorPoint& q, double radius);
+
+  uint64_t MemoryBytes() const { return hierarchy_.MemoryBytes(); }
+
+ private:
+  struct SearchResult {
+    double distance = kInfDistance;
+    DoorId best_target = kInvalidId;
+  };
+  // Overlay Dijkstra from the doors of `s` until all doors of the target
+  // partition settle (or the bound is exceeded). `open` marks node ids
+  // whose interiors must be expanded.
+  SearchResult OverlaySearch(const IndoorPoint& s, const IndoorPoint& t,
+                             const std::vector<uint8_t>& open,
+                             std::vector<DoorId>* path_doors);
+
+  std::vector<uint8_t> OpenForTarget(PartitionId target) const;
+  void MarkOpen(PartitionId partition, std::vector<uint8_t>& open) const;
+
+  // Incremental network expansion over the overlay for kNN/range.
+  std::vector<GTreeObjectResult> SearchINE(const IndoorPoint& q, size_t k,
+                                           double radius);
+
+  const Venue& venue_;
+  const D2DGraph& graph_;
+  // The Rnet hierarchy with shortcut matrices (fanout-2 G-tree structure).
+  GTree hierarchy_;
+
+  // Search state (epoch-stamped).
+  std::vector<double> dist_;
+  std::vector<DoorId> parent_;
+  std::vector<uint8_t> parent_shortcut_;
+  std::vector<uint8_t> settled_;
+  std::vector<uint32_t> mark_;
+  uint32_t epoch_ = 0;
+
+  std::vector<IndoorPoint> objects_;
+  std::vector<std::vector<ObjectId>> objects_by_partition_;
+  std::vector<uint8_t> node_has_object_;
+};
+
+}  // namespace viptree
+
+#endif  // VIPTREE_BASELINES_ROAD_H_

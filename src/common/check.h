@@ -1,0 +1,39 @@
+// Lightweight invariant-checking macros (no exceptions, Google-style CHECK).
+//
+// VIPTREE_CHECK is always on and aborts with a message on failure; it guards
+// conditions that indicate caller misuse or corrupted state. VIPTREE_DCHECK
+// compiles away in NDEBUG builds and guards internal invariants on hot paths.
+
+#ifndef VIPTREE_COMMON_CHECK_H_
+#define VIPTREE_COMMON_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+#define VIPTREE_CHECK(cond)                                                  \
+  do {                                                                       \
+    if (!(cond)) {                                                           \
+      std::fprintf(stderr, "VIPTREE_CHECK failed: %s at %s:%d\n", #cond,     \
+                   __FILE__, __LINE__);                                      \
+      std::abort();                                                          \
+    }                                                                        \
+  } while (0)
+
+#define VIPTREE_CHECK_MSG(cond, msg)                                         \
+  do {                                                                       \
+    if (!(cond)) {                                                           \
+      std::fprintf(stderr, "VIPTREE_CHECK failed: %s (%s) at %s:%d\n", #cond, \
+                   msg, __FILE__, __LINE__);                                 \
+      std::abort();                                                          \
+    }                                                                        \
+  } while (0)
+
+#ifdef NDEBUG
+#define VIPTREE_DCHECK(cond) \
+  do {                       \
+  } while (0)
+#else
+#define VIPTREE_DCHECK(cond) VIPTREE_CHECK(cond)
+#endif
+
+#endif  // VIPTREE_COMMON_CHECK_H_

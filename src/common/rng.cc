@@ -1,0 +1,31 @@
+#include "common/rng.h"
+
+#include "common/check.h"
+
+namespace viptree {
+
+int64_t Rng::UniformInt(int64_t lo, int64_t hi) {
+  VIPTREE_DCHECK(lo <= hi);
+  std::uniform_int_distribution<int64_t> dist(lo, hi);
+  return dist(engine_);
+}
+
+double Rng::UniformReal(double lo, double hi) {
+  std::uniform_real_distribution<double> dist(lo, hi);
+  return dist(engine_);
+}
+
+bool Rng::Chance(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  std::bernoulli_distribution dist(p);
+  return dist(engine_);
+}
+
+size_t Rng::UniformIndex(size_t n) {
+  VIPTREE_DCHECK(n > 0);
+  std::uniform_int_distribution<size_t> dist(0, n - 1);
+  return dist(engine_);
+}
+
+}  // namespace viptree

@@ -1,0 +1,39 @@
+// Deterministic random number generation for generators, workloads and tests.
+//
+// A thin wrapper over std::mt19937_64 so every workload in the repository is
+// reproducible from an explicit seed (benchmarks and tests never consume
+// global entropy).
+
+#ifndef VIPTREE_COMMON_RNG_H_
+#define VIPTREE_COMMON_RNG_H_
+
+#include <cstdint>
+#include <random>
+
+namespace viptree {
+
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : engine_(seed) {}
+
+  // Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  int64_t UniformInt(int64_t lo, int64_t hi);
+
+  // Uniform real in [lo, hi).
+  double UniformReal(double lo, double hi);
+
+  // Bernoulli trial with probability p of returning true.
+  bool Chance(double p);
+
+  // Uniform index in [0, n). Requires n > 0.
+  size_t UniformIndex(size_t n);
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace viptree
+
+#endif  // VIPTREE_COMMON_RNG_H_

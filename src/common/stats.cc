@@ -1,0 +1,51 @@
+#include "common/stats.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+
+namespace viptree {
+
+double Timer::ElapsedMicros() const {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                              start_)
+             .count() /
+         1000.0;
+}
+
+Summary Summarize(const std::vector<double>& samples) {
+  Summary s;
+  if (samples.empty()) return s;
+  std::vector<double> sorted = samples;
+  std::sort(sorted.begin(), sorted.end());
+  s.count = sorted.size();
+  double total = 0.0;
+  for (double v : sorted) total += v;
+  s.mean = total / static_cast<double>(sorted.size());
+  s.min = sorted.front();
+  s.max = sorted.back();
+  auto pct = [&sorted](double p) {
+    size_t idx = static_cast<size_t>(p * static_cast<double>(sorted.size() - 1));
+    return sorted[idx];
+  };
+  s.p50 = pct(0.50);
+  s.p95 = pct(0.95);
+  s.p99 = pct(0.99);
+  return s;
+}
+
+std::string HumanBytes(uint64_t bytes) {
+  char buf[64];
+  const double b = static_cast<double>(bytes);
+  if (bytes >= (1ull << 20)) {
+    std::snprintf(buf, sizeof(buf), "%.2f MB", b / (1024.0 * 1024.0));
+  } else if (bytes >= (1ull << 10)) {
+    std::snprintf(buf, sizeof(buf), "%.2f KB", b / 1024.0);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%llu B",
+                  static_cast<unsigned long long>(bytes));
+  }
+  return std::string(buf);
+}
+
+}  // namespace viptree

@@ -1,0 +1,343 @@
+#include "core/distance_query.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace viptree {
+
+namespace {
+
+// The child of `ancestor` whose subtree contains `leaf`.
+NodeId ChildToward(const IPTree& tree, NodeId ancestor, NodeId leaf) {
+  NodeId cur = leaf;
+  while (tree.node(cur).parent != ancestor) {
+    cur = tree.node(cur).parent;
+    VIPTREE_DCHECK(cur != kInvalidId);
+  }
+  return cur;
+}
+
+}  // namespace
+
+IPDistanceQuery::IPDistanceQuery(const IPTree& tree,
+                                 const DistanceQueryOptions& options)
+    : tree_(tree), options_(options), dijkstra_(tree.graph()) {}
+
+NodeId IPDistanceQuery::LeafOf(const QuerySource& source) const {
+  if (source.point != nullptr) {
+    return tree_.LeafOfPartition(source.point->partition);
+  }
+  return tree_.LeavesOfDoor(source.door)[0].leaf;
+}
+
+void IPDistanceQuery::SeedLeaf(const QuerySource& source, const TreeNode& leaf,
+                               std::vector<double>& dist,
+                               std::vector<PathBack>& back) const {
+  const size_t m = leaf.access_doors.size();
+  dist.assign(m, kInfDistance);
+  back.assign(m, PathBack{});
+
+  if (source.door != kInvalidId) {
+    // A door source reads its row of the leaf matrix directly.
+    const int row = IPTree::IndexOf(leaf.doors, source.door);
+    VIPTREE_DCHECK(row >= 0);
+    for (size_t c = 0; c < m; ++c) {
+      dist[c] = leaf.dist.at(row, c);
+      back[c] = PathBack{kInvalidId, -1};
+    }
+    return;
+  }
+
+  const Venue& venue = tree_.venue();
+  const IndoorPoint& s = *source.point;
+  const std::span<const DoorId> partition_doors = venue.DoorsOf(s.partition);
+  const std::span<const DoorId> seeds = options_.use_superior_doors
+                                            ? tree_.SuperiorDoors(s.partition)
+                                            : partition_doors;
+  for (size_t c = 0; c < m; ++c) {
+    const DoorId a = leaf.access_doors[c];
+    // Local access door: reachable directly through the partition (Eq. 1's
+    // trivial case).
+    if (std::find(partition_doors.begin(), partition_doors.end(), a) !=
+        partition_doors.end()) {
+      dist[c] = venue.DistanceToDoor(s, a);
+      back[c] = PathBack{kInvalidId, -1};
+    }
+    for (DoorId u : seeds) {
+      const double cand =
+          venue.DistanceToDoor(s, u) + tree_.LeafMatrixDist(leaf, u, a);
+      if (cand < dist[c]) {
+        dist[c] = cand;
+        back[c] = PathBack{u, -1};
+      }
+    }
+  }
+}
+
+AscentDistances IPDistanceQuery::GetDistances(const QuerySource& source,
+                                              NodeId target) {
+  AscentDistances out;
+  const NodeId leaf_id = LeafOf(source);
+  out.chain.push_back(leaf_id);
+  out.ad_dist.emplace_back();
+  out.back.emplace_back();
+  SeedLeaf(source, tree_.node(leaf_id), out.ad_dist[0], out.back[0]);
+
+  NodeId cur = leaf_id;
+  while (cur != target) {
+    const NodeId parent = tree_.node(cur).parent;
+    VIPTREE_CHECK_MSG(parent != kInvalidId,
+                      "target must be an ancestor of the source leaf");
+    const TreeNode& pnode = tree_.node(parent);
+    const TreeNode& cnode = tree_.node(cur);
+    const std::vector<double>& cdist = out.ad_dist.back();
+    const int child_chain_idx = static_cast<int>(out.chain.size()) - 1;
+
+    std::vector<double> pdist(pnode.access_doors.size(), kInfDistance);
+    std::vector<PathBack> pback(pnode.access_doors.size());
+    for (size_t c = 0; c < pnode.access_doors.size(); ++c) {
+      const DoorId a = pnode.access_doors[c];
+      // "Marked" doors of Algorithm 2: already computed at the child level.
+      const int in_child = IPTree::IndexOf(cnode.access_doors, a);
+      if (in_child >= 0) {
+        pdist[c] = cdist[in_child];
+        pback[c] = out.back.back()[in_child];
+        continue;
+      }
+      const int col = IPTree::IndexOf(pnode.matrix_doors, a);
+      VIPTREE_DCHECK(col >= 0);
+      for (size_t b = 0; b < cnode.access_doors.size(); ++b) {
+        const DoorId bd = cnode.access_doors[b];
+        const int row = IPTree::IndexOf(pnode.matrix_doors, bd);
+        VIPTREE_DCHECK(row >= 0);
+        const double cand = cdist[b] + pnode.dist.at(row, col);
+        if (cand < pdist[c]) {
+          pdist[c] = cand;
+          pback[c] = PathBack{bd, child_chain_idx};
+        }
+      }
+    }
+    out.chain.push_back(parent);
+    out.ad_dist.push_back(std::move(pdist));
+    out.back.push_back(std::move(pback));
+    cur = parent;
+  }
+  return out;
+}
+
+double IPDistanceQuery::LocalDistance(const QuerySource& s,
+                                      const IndoorPoint& t) {
+  const Venue& venue = tree_.venue();
+  double best = kInfDistance;
+
+  std::vector<DijkstraSource> sources;
+  if (s.door != kInvalidId) {
+    sources.push_back({s.door, 0.0});
+    if (venue.DoorTouches(s.door, t.partition)) {
+      best = venue.DistanceToDoor(t, s.door);
+    }
+  } else {
+    if (s.point->partition == t.partition) {
+      best = venue.IntraPartitionDistance(t.partition, s.point->position,
+                                          t.position);
+    }
+    for (DoorId u : venue.DoorsOf(s.point->partition)) {
+      sources.push_back({u, venue.DistanceToDoor(*s.point, u)});
+    }
+  }
+
+  const std::span<const DoorId> targets = venue.DoorsOf(t.partition);
+  dijkstra_.Start(sources);
+  dijkstra_.RunToTargets(targets);
+  for (DoorId dt : targets) {
+    if (!dijkstra_.Settled(dt)) continue;
+    best = std::min(best,
+                    dijkstra_.DistanceTo(dt) + venue.DistanceToDoor(t, dt));
+  }
+  return best;
+}
+
+double IPDistanceQuery::Distance(const IndoorPoint& s, const IndoorPoint& t) {
+  const NodeId ls = tree_.LeafOfPartition(s.partition);
+  const NodeId lt = tree_.LeafOfPartition(t.partition);
+  if (ls == lt) return LocalDistance(QuerySource::Point(s), t);
+
+  const NodeId lca = tree_.Lca(ls, lt);
+  const NodeId ns = ChildToward(tree_, lca, ls);
+  const NodeId nt = ChildToward(tree_, lca, lt);
+  const AscentDistances as = GetDistances(QuerySource::Point(s), ns);
+  const AscentDistances at = GetDistances(QuerySource::Point(t), nt);
+
+  const TreeNode& lca_node = tree_.node(lca);
+  const TreeNode& ns_node = tree_.node(ns);
+  const TreeNode& nt_node = tree_.node(nt);
+  double best = kInfDistance;
+  for (size_t i = 0; i < ns_node.access_doors.size(); ++i) {
+    const int row =
+        IPTree::IndexOf(lca_node.matrix_doors, ns_node.access_doors[i]);
+    VIPTREE_DCHECK(row >= 0);
+    for (size_t j = 0; j < nt_node.access_doors.size(); ++j) {
+      const int col =
+          IPTree::IndexOf(lca_node.matrix_doors, nt_node.access_doors[j]);
+      VIPTREE_DCHECK(col >= 0);
+      const double cand = as.ad_dist.back()[i] + lca_node.dist.at(row, col) +
+                          at.ad_dist.back()[j];
+      best = std::min(best, cand);
+    }
+  }
+  return best;
+}
+
+double IPDistanceQuery::DoorDistance(DoorId s, DoorId t) {
+  if (s == t) return 0.0;
+  const auto s_leaves = tree_.LeavesOfDoor(s);
+  const auto t_leaves = tree_.LeavesOfDoor(t);
+  for (const auto& sl : s_leaves) {
+    for (const auto& tl : t_leaves) {
+      if (sl.leaf == tl.leaf) {
+        // Same leaf: Dijkstra on the D2D graph (§3.1.1).
+        dijkstra_.Start(s);
+        dijkstra_.RunToTargets(std::span<const DoorId>(&t, 1));
+        return dijkstra_.DistanceTo(t);
+      }
+    }
+  }
+  const NodeId ls = s_leaves[0].leaf;
+  const NodeId lt = t_leaves[0].leaf;
+  const NodeId lca = tree_.Lca(ls, lt);
+  const NodeId ns = ChildToward(tree_, lca, ls);
+  const NodeId nt = ChildToward(tree_, lca, lt);
+  const AscentDistances as = GetDistances(QuerySource::Door(s), ns);
+  const AscentDistances at = GetDistances(QuerySource::Door(t), nt);
+  const TreeNode& lca_node = tree_.node(lca);
+  const TreeNode& ns_node = tree_.node(ns);
+  const TreeNode& nt_node = tree_.node(nt);
+  double best = kInfDistance;
+  for (size_t i = 0; i < ns_node.access_doors.size(); ++i) {
+    const int row =
+        IPTree::IndexOf(lca_node.matrix_doors, ns_node.access_doors[i]);
+    for (size_t j = 0; j < nt_node.access_doors.size(); ++j) {
+      const int col =
+          IPTree::IndexOf(lca_node.matrix_doors, nt_node.access_doors[j]);
+      best = std::min(best, as.ad_dist.back()[i] +
+                                lca_node.dist.at(row, col) +
+                                at.ad_dist.back()[j]);
+    }
+  }
+  return best;
+}
+
+// ---------------------------------------------------------------------------
+// VIP variant
+// ---------------------------------------------------------------------------
+
+VIPDistanceQuery::VIPDistanceQuery(const VIPTree& tree,
+                                   const DistanceQueryOptions& options)
+    : vip_(tree), options_(options), ip_(tree.base(), options) {}
+
+void VIPDistanceQuery::DistancesToNodeAd(const QuerySource& source,
+                                         NodeId node,
+                                         std::vector<double>& dist,
+                                         std::vector<PathBack>& back) const {
+  const IPTree& tree = vip_.base();
+  const TreeNode& n = tree.node(node);
+  const size_t m = n.access_doors.size();
+  dist.assign(m, kInfDistance);
+  back.assign(m, PathBack{});
+
+  if (source.door != kInvalidId) {
+    for (size_t c = 0; c < m; ++c) {
+      dist[c] = vip_.ExtDist(node, source.door, c);
+      back[c] = PathBack{kInvalidId, -1};
+    }
+    return;
+  }
+
+  const Venue& venue = tree.venue();
+  const IndoorPoint& s = *source.point;
+  const std::span<const DoorId> partition_doors = venue.DoorsOf(s.partition);
+  const std::span<const DoorId> seeds = options_.use_superior_doors
+                                            ? tree.SuperiorDoors(s.partition)
+                                            : partition_doors;
+  for (size_t c = 0; c < m; ++c) {
+    const DoorId a = n.access_doors[c];
+    if (std::find(partition_doors.begin(), partition_doors.end(), a) !=
+        partition_doors.end()) {
+      dist[c] = venue.DistanceToDoor(s, a);
+      back[c] = PathBack{kInvalidId, -1};
+    }
+    for (DoorId u : seeds) {
+      const double cand = venue.DistanceToDoor(s, u) + vip_.ExtDist(node, u, c);
+      if (cand < dist[c]) {
+        dist[c] = cand;
+        back[c] = PathBack{u, -1};
+      }
+    }
+  }
+}
+
+double VIPDistanceQuery::Distance(const IndoorPoint& s, const IndoorPoint& t) {
+  const IPTree& tree = vip_.base();
+  const NodeId ls = tree.LeafOfPartition(s.partition);
+  const NodeId lt = tree.LeafOfPartition(t.partition);
+  if (ls == lt) return ip_.LocalDistance(QuerySource::Point(s), t);
+
+  const NodeId lca = tree.Lca(ls, lt);
+  const NodeId ns = ChildToward(tree, lca, ls);
+  const NodeId nt = ChildToward(tree, lca, lt);
+  std::vector<double> sdist, tdist;
+  std::vector<PathBack> sback, tback;
+  DistancesToNodeAd(QuerySource::Point(s), ns, sdist, sback);
+  DistancesToNodeAd(QuerySource::Point(t), nt, tdist, tback);
+
+  const TreeNode& lca_node = tree.node(lca);
+  const TreeNode& ns_node = tree.node(ns);
+  const TreeNode& nt_node = tree.node(nt);
+  double best = kInfDistance;
+  for (size_t i = 0; i < ns_node.access_doors.size(); ++i) {
+    const int row =
+        IPTree::IndexOf(lca_node.matrix_doors, ns_node.access_doors[i]);
+    for (size_t j = 0; j < nt_node.access_doors.size(); ++j) {
+      const int col =
+          IPTree::IndexOf(lca_node.matrix_doors, nt_node.access_doors[j]);
+      best = std::min(best, sdist[i] + lca_node.dist.at(row, col) + tdist[j]);
+    }
+  }
+  return best;
+}
+
+double VIPDistanceQuery::DoorDistance(DoorId s, DoorId t) {
+  if (s == t) return 0.0;
+  const IPTree& tree = vip_.base();
+  const auto s_leaves = tree.LeavesOfDoor(s);
+  const auto t_leaves = tree.LeavesOfDoor(t);
+  for (const auto& sl : s_leaves) {
+    for (const auto& tl : t_leaves) {
+      if (sl.leaf == tl.leaf) return ip_.DoorDistance(s, t);
+    }
+  }
+  const NodeId lca = tree.Lca(s_leaves[0].leaf, t_leaves[0].leaf);
+  const NodeId ns = ChildToward(tree, lca, s_leaves[0].leaf);
+  const NodeId nt = ChildToward(tree, lca, t_leaves[0].leaf);
+  std::vector<double> sdist, tdist;
+  std::vector<PathBack> sback, tback;
+  DistancesToNodeAd(QuerySource::Door(s), ns, sdist, sback);
+  DistancesToNodeAd(QuerySource::Door(t), nt, tdist, tback);
+  const TreeNode& lca_node = tree.node(lca);
+  const TreeNode& ns_node = tree.node(ns);
+  const TreeNode& nt_node = tree.node(nt);
+  double best = kInfDistance;
+  for (size_t i = 0; i < ns_node.access_doors.size(); ++i) {
+    const int row =
+        IPTree::IndexOf(lca_node.matrix_doors, ns_node.access_doors[i]);
+    for (size_t j = 0; j < nt_node.access_doors.size(); ++j) {
+      const int col =
+          IPTree::IndexOf(lca_node.matrix_doors, nt_node.access_doors[j]);
+      best = std::min(best, sdist[i] + lca_node.dist.at(row, col) + tdist[j]);
+    }
+  }
+  return best;
+}
+
+}  // namespace viptree

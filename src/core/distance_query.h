@@ -1,0 +1,117 @@
+// Shortest distance queries (§3.1): Algorithm 2 (distances from a source to
+// all access doors of an ancestor node) and Algorithm 3 (distance between
+// two arbitrary indoor points), in the IP-Tree variant (iterative ascent,
+// O(h*rho^2)) and the VIP-Tree variant (materialized lookups, O(rho^2)).
+//
+// Engines hold reusable scratch state (a Dijkstra engine for same-leaf
+// queries); they are cheap to construct but not thread-safe — use one per
+// thread.
+
+#ifndef VIPTREE_CORE_DISTANCE_QUERY_H_
+#define VIPTREE_CORE_DISTANCE_QUERY_H_
+
+#include <vector>
+
+#include "core/ip_tree.h"
+#include "core/vip_tree.h"
+#include "graph/dijkstra.h"
+
+namespace viptree {
+
+// Where a door's best-known distance came from, for path recovery.
+// pred == kInvalidId means "directly from the source point/door".
+struct PathBack {
+  DoorId pred = kInvalidId;
+  int pred_chain_idx = -1;  // index into AscentDistances::chain, -1 = seed
+};
+
+// Output of Algorithm 2: distances from the source to the access doors of
+// every node on the chain Leaf(source) = chain[0], ..., chain.back().
+struct AscentDistances {
+  std::vector<NodeId> chain;
+  // ad_dist[i][j] = dist(source, node(chain[i]).access_doors[j]).
+  std::vector<std::vector<double>> ad_dist;
+  std::vector<std::vector<PathBack>> back;
+};
+
+// A query source: either an indoor point or a door.
+struct QuerySource {
+  // Exactly one of the two is set.
+  const IndoorPoint* point = nullptr;
+  DoorId door = kInvalidId;
+
+  static QuerySource Point(const IndoorPoint& p) { return {&p, kInvalidId}; }
+  static QuerySource Door(DoorId d) { return {nullptr, d}; }
+};
+
+struct DistanceQueryOptions {
+  // Restrict Eq. (1) to the superior doors of the source partition
+  // (§3.1.1, Definition 2). Disabling falls back to all partition doors —
+  // used by tests to validate the superior-door lemma empirically.
+  bool use_superior_doors = true;
+};
+
+class IPDistanceQuery {
+ public:
+  explicit IPDistanceQuery(const IPTree& tree,
+                           const DistanceQueryOptions& options = {});
+
+  // Algorithm 3.
+  double Distance(const IndoorPoint& s, const IndoorPoint& t);
+  double DoorDistance(DoorId s, DoorId t);
+
+  // Algorithm 2: ascend from Leaf(source) up to `target` (inclusive),
+  // which must be an ancestor of (or equal to) the source's leaf.
+  AscentDistances GetDistances(const QuerySource& source, NodeId target);
+
+  // Shared same-leaf fallback: Dijkstra on the D2D graph.
+  double LocalDistance(const QuerySource& s, const IndoorPoint& t);
+
+  // Seed of Algorithm 2: distances from the source to every access door of
+  // the source's leaf.
+  void SeedLeaf(const QuerySource& source, const TreeNode& leaf,
+                std::vector<double>& dist, std::vector<PathBack>& back) const;
+
+  // The leaf a query source belongs to.
+  NodeId LeafOf(const QuerySource& source) const;
+
+  const IPTree& tree() const { return tree_; }
+
+ private:
+  friend class IPPathQuery;
+  friend class VIPPathQuery;
+
+  const IPTree& tree_;
+  DistanceQueryOptions options_;
+  DijkstraEngine dijkstra_;
+};
+
+class VIPDistanceQuery {
+ public:
+  explicit VIPDistanceQuery(const VIPTree& tree,
+                            const DistanceQueryOptions& options = {});
+
+  double Distance(const IndoorPoint& s, const IndoorPoint& t);
+  double DoorDistance(DoorId s, DoorId t);
+
+  // VIP variant of Algorithm 2's output at one node: distances from the
+  // source to every access door of `node` (an ancestor of the source's
+  // leaf), via O(1) extended-matrix lookups per (superior door, access
+  // door) pair.
+  void DistancesToNodeAd(const QuerySource& source, NodeId node,
+                         std::vector<double>& dist,
+                         std::vector<PathBack>& back) const;
+
+  const VIPTree& tree() const { return vip_; }
+
+ private:
+  friend class VIPPathQuery;
+
+  const VIPTree& vip_;
+  DistanceQueryOptions options_;
+  IPDistanceQuery ip_;  // same-leaf fallback + seeding helpers
+};
+
+}  // namespace viptree
+
+#endif  // VIPTREE_CORE_DISTANCE_QUERY_H_

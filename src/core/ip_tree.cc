@@ -1,0 +1,106 @@
+#include "core/ip_tree.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "core/tree_builder.h"
+
+namespace viptree {
+
+IPTree IPTree::Build(const Venue& venue, const D2DGraph& graph,
+                     const IPTreeOptions& options) {
+  return TreeBuilder(venue, graph, options).BuildIPTree();
+}
+
+NodeId IPTree::Lca(NodeId a, NodeId b) const {
+  while (a != b) {
+    if (nodes_[a].level < nodes_[b].level) {
+      a = nodes_[a].parent;
+    } else if (nodes_[b].level < nodes_[a].level) {
+      b = nodes_[b].parent;
+    } else {
+      a = nodes_[a].parent;
+      b = nodes_[b].parent;
+    }
+    VIPTREE_DCHECK(a != kInvalidId && b != kInvalidId);
+  }
+  return a;
+}
+
+int IPTree::IndexOf(std::span<const DoorId> doors, DoorId d) {
+  const auto it = std::lower_bound(doors.begin(), doors.end(), d);
+  if (it == doors.end() || *it != d) return -1;
+  return static_cast<int>(it - doors.begin());
+}
+
+float IPTree::LeafMatrixDist(const TreeNode& leaf, DoorId door,
+                             DoorId access_door) const {
+  const int r = IndexOf(leaf.doors, door);
+  const int c = IndexOf(leaf.access_doors, access_door);
+  VIPTREE_DCHECK(r >= 0 && c >= 0);
+  return leaf.dist.at(r, c);
+}
+
+DoorId IPTree::LeafMatrixNextHop(const TreeNode& leaf, DoorId door,
+                                 DoorId access_door) const {
+  const int r = IndexOf(leaf.doors, door);
+  const int c = IndexOf(leaf.access_doors, access_door);
+  VIPTREE_DCHECK(r >= 0 && c >= 0);
+  return leaf.next_hop.at(r, c);
+}
+
+IPTree::Stats IPTree::ComputeStats() const {
+  Stats stats;
+  stats.num_nodes = nodes_.size();
+  stats.num_leaves = num_leaves_;
+  stats.height = height();
+  double total_ad = 0.0;
+  double total_children = 0.0;
+  size_t non_leaf = 0;
+  for (const TreeNode& n : nodes_) {
+    total_ad += static_cast<double>(n.access_doors.size());
+    stats.max_access_doors =
+        std::max(stats.max_access_doors, n.access_doors.size());
+    if (!n.is_leaf()) {
+      ++non_leaf;
+      total_children += static_cast<double>(n.children.size());
+    }
+  }
+  stats.avg_access_doors = total_ad / static_cast<double>(nodes_.size());
+  stats.avg_children =
+      non_leaf == 0 ? 0.0 : total_children / static_cast<double>(non_leaf);
+
+  double total_superior = 0.0;
+  for (PartitionId p = 0; p < static_cast<PartitionId>(venue_->NumPartitions());
+       ++p) {
+    const size_t s = SuperiorDoors(p).size();
+    total_superior += static_cast<double>(s);
+    stats.max_superior_doors = std::max(stats.max_superior_doors, s);
+  }
+  stats.avg_superior_doors =
+      total_superior / static_cast<double>(venue_->NumPartitions());
+  stats.memory_bytes = MemoryBytes();
+  return stats;
+}
+
+uint64_t IPTree::MemoryBytes() const {
+  uint64_t bytes = 0;
+  for (const TreeNode& n : nodes_) {
+    bytes += sizeof(TreeNode);
+    bytes += n.children.capacity() * sizeof(NodeId);
+    bytes += n.partitions.capacity() * sizeof(PartitionId);
+    bytes += n.doors.capacity() * sizeof(DoorId);
+    bytes += n.access_doors.capacity() * sizeof(DoorId);
+    bytes += n.matrix_doors.capacity() * sizeof(DoorId);
+    bytes += n.dist.MemoryBytes();
+    bytes += n.next_hop.MemoryBytes();
+  }
+  bytes += leaf_of_partition_.capacity() * sizeof(NodeId);
+  bytes += door_leaves_.capacity() * sizeof(std::array<DoorLeafEntry, 2>);
+  bytes += is_access_door_.capacity();
+  bytes += superior_offsets_.capacity() * sizeof(uint32_t);
+  bytes += superior_doors_.capacity() * sizeof(DoorId);
+  return bytes;
+}
+
+}  // namespace viptree

@@ -1,0 +1,114 @@
+#include "core/keyword_query.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace viptree {
+
+KeywordIndex::KeywordIndex(
+    const IPTree& tree, const ObjectIndex& objects,
+    const std::vector<std::vector<std::string>>& keywords)
+    : tree_(tree), objects_(objects), knn_(tree, objects) {
+  VIPTREE_CHECK(keywords.size() == objects.NumObjects());
+
+  object_keywords_.resize(keywords.size());
+  for (ObjectId o = 0; o < static_cast<ObjectId>(keywords.size()); ++o) {
+    for (const std::string& word : keywords[o]) {
+      const auto [it, _] = keyword_ids_.emplace(
+          word, static_cast<KeywordId>(keyword_ids_.size()));
+      object_keywords_[o].push_back(it->second);
+    }
+    std::sort(object_keywords_[o].begin(), object_keywords_[o].end());
+    object_keywords_[o].erase(
+        std::unique(object_keywords_[o].begin(), object_keywords_[o].end()),
+        object_keywords_[o].end());
+  }
+
+  // Per-node keyword summaries, leaves first then propagated upward
+  // (children have smaller ids than parents in the bottom-up build, so one
+  // ascending pass per leaf-object suffices via the parent chain).
+  node_keywords_.resize(tree.nodes().size());
+  for (const TreeNode& node : tree.nodes()) {
+    if (!node.is_leaf()) continue;
+    std::vector<KeywordId> merged;
+    for (ObjectId o : objects.ObjectsInLeaf(node.id)) {
+      merged.insert(merged.end(), object_keywords_[o].begin(),
+                    object_keywords_[o].end());
+    }
+    std::sort(merged.begin(), merged.end());
+    merged.erase(std::unique(merged.begin(), merged.end()), merged.end());
+    node_keywords_[node.id] = std::move(merged);
+  }
+  // Propagate up level by level.
+  std::vector<NodeId> order;
+  for (const TreeNode& node : tree.nodes()) {
+    if (!node.is_leaf()) order.push_back(node.id);
+  }
+  std::sort(order.begin(), order.end(), [&tree](NodeId a, NodeId b) {
+    return tree.node(a).level < tree.node(b).level;
+  });
+  for (NodeId nid : order) {
+    std::vector<KeywordId> merged;
+    for (NodeId child : tree.node(nid).children) {
+      merged.insert(merged.end(), node_keywords_[child].begin(),
+                    node_keywords_[child].end());
+    }
+    std::sort(merged.begin(), merged.end());
+    merged.erase(std::unique(merged.begin(), merged.end()), merged.end());
+    node_keywords_[nid] = std::move(merged);
+  }
+}
+
+bool KeywordIndex::NodeHasAll(NodeId n,
+                              const std::vector<KeywordId>& wanted) const {
+  const std::vector<KeywordId>& have = node_keywords_[n];
+  for (KeywordId w : wanted) {
+    if (!std::binary_search(have.begin(), have.end(), w)) return false;
+  }
+  return true;
+}
+
+bool KeywordIndex::ObjectHasAll(ObjectId o,
+                                const std::vector<KeywordId>& wanted) const {
+  const std::vector<KeywordId>& have = object_keywords_[o];
+  for (KeywordId w : wanted) {
+    if (!std::binary_search(have.begin(), have.end(), w)) return false;
+  }
+  return true;
+}
+
+std::vector<ObjectResult> KeywordIndex::BooleanKnn(
+    const IndoorPoint& q, size_t k, const std::vector<std::string>& query) {
+  std::vector<KeywordId> wanted;
+  for (const std::string& word : query) {
+    const auto it = keyword_ids_.find(word);
+    if (it == keyword_ids_.end()) return {};  // keyword matches no object
+    wanted.push_back(it->second);
+  }
+  std::sort(wanted.begin(), wanted.end());
+  wanted.erase(std::unique(wanted.begin(), wanted.end()), wanted.end());
+
+  KnnQuery::Filters filters;
+  filters.node = [this, &wanted](NodeId n) { return NodeHasAll(n, wanted); };
+  filters.object = [this, &wanted](ObjectId o) {
+    return ObjectHasAll(o, wanted);
+  };
+  return knn_.KnnFiltered(q, k, filters);
+}
+
+uint64_t KeywordIndex::MemoryBytes() const {
+  uint64_t bytes = 0;
+  for (const auto& v : object_keywords_) {
+    bytes += v.capacity() * sizeof(KeywordId);
+  }
+  for (const auto& v : node_keywords_) {
+    bytes += v.capacity() * sizeof(KeywordId);
+  }
+  for (const auto& [word, id] : keyword_ids_) {
+    bytes += word.capacity() + sizeof(KeywordId);
+  }
+  return bytes;
+}
+
+}  // namespace viptree

@@ -1,0 +1,53 @@
+// Spatial keyword queries — the adaptability claim of §1.3: "the proposed
+// indexes can be used to answer spatial keyword queries in indoor space by
+// integrating the inverted lists with the nodes of the tree, e.g., in a way
+// similar to how R-tree is extended to IR-tree [10]".
+//
+// KeywordIndex attaches per-node keyword summaries (the union of the
+// keywords of the objects in each subtree) to the IP-/VIP-Tree; a boolean
+// keyword kNN query then runs the standard best-first search of
+// Algorithm 5, pruning subtrees that cannot contain all query keywords.
+
+#ifndef VIPTREE_CORE_KEYWORD_QUERY_H_
+#define VIPTREE_CORE_KEYWORD_QUERY_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/knn_query.h"
+
+namespace viptree {
+
+class KeywordIndex {
+ public:
+  // keywords[o] is object o's keyword set; must align with `objects`.
+  KeywordIndex(const IPTree& tree, const ObjectIndex& objects,
+               const std::vector<std::vector<std::string>>& keywords);
+
+  // The k nearest objects whose keyword sets contain *all* query keywords.
+  // Unknown keywords yield an empty result.
+  std::vector<ObjectResult> BooleanKnn(const IndoorPoint& q, size_t k,
+                                       const std::vector<std::string>& query);
+
+  size_t NumDistinctKeywords() const { return keyword_ids_.size(); }
+
+  uint64_t MemoryBytes() const;
+
+ private:
+  using KeywordId = int32_t;
+
+  bool NodeHasAll(NodeId n, const std::vector<KeywordId>& wanted) const;
+  bool ObjectHasAll(ObjectId o, const std::vector<KeywordId>& wanted) const;
+
+  const IPTree& tree_;
+  const ObjectIndex& objects_;
+  KnnQuery knn_;
+  std::unordered_map<std::string, KeywordId> keyword_ids_;
+  std::vector<std::vector<KeywordId>> object_keywords_;  // sorted per object
+  std::vector<std::vector<KeywordId>> node_keywords_;    // sorted per node
+};
+
+}  // namespace viptree
+
+#endif  // VIPTREE_CORE_KEYWORD_QUERY_H_

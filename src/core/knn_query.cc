@@ -1,0 +1,202 @@
+#include "core/knn_query.h"
+
+#include <algorithm>
+#include <queue>
+
+#include "common/check.h"
+
+namespace viptree {
+
+KnnQuery::KnnQuery(const IPTree& tree, const ObjectIndex& objects,
+                   const DistanceQueryOptions& options)
+    : tree_(tree), objects_(objects), query_(tree, options) {}
+
+std::vector<ObjectResult> KnnQuery::Knn(const IndoorPoint& q, size_t k) {
+  return Search(q, k, kInfDistance, nullptr);
+}
+
+std::vector<ObjectResult> KnnQuery::WithinRange(const IndoorPoint& q,
+                                                double radius) {
+  return Search(q, std::numeric_limits<size_t>::max(), radius, nullptr);
+}
+
+void KnnQuery::LocalObjectDistances(const IndoorPoint& q, NodeId leaf,
+                                    std::vector<double>& out) {
+  const Venue& venue = tree_.venue();
+  const std::span<const ObjectId> objs = objects_.ObjectsInLeaf(leaf);
+  out.assign(objs.size(), kInfDistance);
+  // One multi-source Dijkstra from q covers every object of the leaf; the
+  // search runs on the full D2D graph so routes leaving the leaf are exact.
+  std::vector<DijkstraSource> sources;
+  for (DoorId u : venue.DoorsOf(q.partition)) {
+    sources.push_back({u, venue.DistanceToDoor(q, u)});
+  }
+  DijkstraEngine engine(tree_.graph());
+  engine.Start(sources);
+  std::vector<DoorId> targets;
+  for (ObjectId o : objs) {
+    for (DoorId d : venue.DoorsOf(objects_.object(o).partition)) {
+      targets.push_back(d);
+    }
+  }
+  std::sort(targets.begin(), targets.end());
+  targets.erase(std::unique(targets.begin(), targets.end()), targets.end());
+  engine.RunToTargets(targets);
+  for (size_t i = 0; i < objs.size(); ++i) {
+    const IndoorPoint& obj = objects_.object(objs[i]);
+    if (obj.partition == q.partition) {
+      out[i] = venue.IntraPartitionDistance(q.partition, q.position,
+                                            obj.position);
+    }
+    for (DoorId d : venue.DoorsOf(obj.partition)) {
+      if (!engine.Settled(d)) continue;
+      out[i] = std::min(out[i],
+                        engine.DistanceTo(d) + venue.DistanceToDoor(obj, d));
+    }
+  }
+}
+
+std::vector<ObjectResult> KnnQuery::Search(const IndoorPoint& q, size_t k,
+                                           double radius,
+                                           const Filters* filters) {
+  std::vector<ObjectResult> results;
+  if (objects_.NumObjects() == 0 || k == 0) return results;
+  auto node_allowed = [filters](NodeId n) {
+    return filters == nullptr || !filters->node || filters->node(n);
+  };
+  auto object_allowed = [filters](ObjectId o) {
+    return filters == nullptr || !filters->object || filters->object(o);
+  };
+
+  // Line 2 of Algorithm 5: distances from q to the access doors of every
+  // ancestor of Leaf(q).
+  const AscentDistances ascent =
+      query_.GetDistances(QuerySource::Point(q), tree_.root());
+  std::unordered_map<NodeId, std::vector<double>> ad_dist;
+  std::unordered_map<NodeId, int> chain_pos;  // nodes containing q
+  for (size_t i = 0; i < ascent.chain.size(); ++i) {
+    ad_dist[ascent.chain[i]] = ascent.ad_dist[i];
+    chain_pos[ascent.chain[i]] = static_cast<int>(i);
+  }
+  const NodeId q_leaf = ascent.chain[0];
+
+  // Results as a max-heap so dk (distance to the current kth NN) is O(1).
+  auto worse = [](const ObjectResult& a, const ObjectResult& b) {
+    return a.distance < b.distance;
+  };
+  std::priority_queue<ObjectResult, std::vector<ObjectResult>,
+                      decltype(worse)>
+      best(worse);
+  auto dk = [&]() {
+    if (radius != kInfDistance) {
+      return best.size() >= k ? std::min(radius, best.top().distance) : radius;
+    }
+    return best.size() >= k ? best.top().distance : kInfDistance;
+  };
+  auto offer = [&](ObjectId o, double dist) {
+    if (dist > radius) return;
+    if (!object_allowed(o)) return;
+    if (best.size() < k) {
+      best.push({o, dist});
+    } else if (dist < best.top().distance) {
+      best.pop();
+      best.push({o, dist});
+    }
+  };
+
+  // Distance from q to each access door of `n`, deriving missing vectors
+  // from the parent (Lemma 9) or the sibling on q's chain (Lemma 8).
+  auto ensure_ad_dist =
+      [&](NodeId n) -> const std::vector<double>& {
+    const auto it = ad_dist.find(n);
+    if (it != ad_dist.end()) return it->second;
+    const TreeNode& node = tree_.node(n);
+    const NodeId parent = node.parent;
+    VIPTREE_DCHECK(parent != kInvalidId);
+    const TreeNode& pnode = tree_.node(parent);
+
+    const std::vector<double>* source_dist = nullptr;
+    const TreeNode* source_node = nullptr;
+    const auto chain_it = chain_pos.find(parent);
+    if (chain_it != chain_pos.end() && chain_it->second > 0) {
+      // Parent contains q: use the sibling on q's chain (Lemma 8).
+      const NodeId sibling = ascent.chain[chain_it->second - 1];
+      source_dist = &ad_dist.at(sibling);
+      source_node = &tree_.node(sibling);
+    } else {
+      // Parent does not contain q: use the parent itself (Lemma 9).
+      source_dist = &ad_dist.at(parent);
+      source_node = &pnode;
+    }
+    std::vector<double> dist(node.access_doors.size(), kInfDistance);
+    for (size_t c = 0; c < node.access_doors.size(); ++c) {
+      const int col =
+          IPTree::IndexOf(pnode.matrix_doors, node.access_doors[c]);
+      VIPTREE_DCHECK(col >= 0);
+      for (size_t b = 0; b < source_node->access_doors.size(); ++b) {
+        const int row = IPTree::IndexOf(pnode.matrix_doors,
+                                        source_node->access_doors[b]);
+        VIPTREE_DCHECK(row >= 0);
+        const double cand =
+            (*source_dist)[b] + pnode.dist.at(row, col);
+        dist[c] = std::min(dist[c], cand);
+      }
+    }
+    return ad_dist.emplace(n, std::move(dist)).first->second;
+  };
+
+  auto mindist = [&](NodeId n) {
+    if (chain_pos.count(n) > 0) return 0.0;  // node contains q
+    double m = kInfDistance;
+    for (double d : ensure_ad_dist(n)) m = std::min(m, d);
+    return m;
+  };
+
+  using HeapEntry = std::pair<double, NodeId>;
+  std::priority_queue<HeapEntry, std::vector<HeapEntry>,
+                      std::greater<HeapEntry>>
+      heap;
+  heap.emplace(0.0, tree_.root());
+
+  while (!heap.empty()) {
+    const auto [bound, n] = heap.top();
+    heap.pop();
+    if (bound > dk()) break;  // line 6-7 of Algorithm 5
+    const TreeNode& node = tree_.node(n);
+    if (!node.is_leaf()) {
+      for (NodeId child : node.children) {
+        if (objects_.SubtreeCount(tree_.node(child)) == 0) continue;
+        if (!node_allowed(child)) continue;
+        heap.emplace(mindist(child), child);
+      }
+      continue;
+    }
+    // Leaf: exact object distances.
+    const std::span<const ObjectId> objs = objects_.ObjectsInLeaf(n);
+    if (objs.empty()) continue;
+    if (n == q_leaf) {
+      std::vector<double> dists;
+      LocalObjectDistances(q, n, dists);
+      for (size_t i = 0; i < objs.size(); ++i) offer(objs[i], dists[i]);
+      continue;
+    }
+    const std::vector<double>& q_to_ad = ensure_ad_dist(n);
+    for (size_t i = 0; i < objs.size(); ++i) {
+      double d = kInfDistance;
+      for (size_t col = 0; col < node.access_doors.size(); ++col) {
+        d = std::min(d, q_to_ad[col] + objects_.AccessDoorToObject(n, col, i));
+      }
+      offer(objs[i], d);
+    }
+  }
+
+  results.reserve(best.size());
+  while (!best.empty()) {
+    results.push_back(best.top());
+    best.pop();
+  }
+  std::reverse(results.begin(), results.end());
+  return results;
+}
+
+}  // namespace viptree

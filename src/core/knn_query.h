@@ -1,0 +1,71 @@
+// k-nearest-neighbour queries over indexed indoor objects (Algorithm 5):
+// best-first search over the tree with the mindist computation of
+// Lemmas 8 and 9 (distances to a node's access doors derived from its
+// parent's or sibling's, each in O(rho^2)).
+//
+// The same engine serves IP-Tree and VIP-Tree: the paper observes both
+// perform equally for kNN because the Lemma 8/9 optimization makes the
+// mindist cost independent of the materialization (§3.4, §4.3.3).
+
+#ifndef VIPTREE_CORE_KNN_QUERY_H_
+#define VIPTREE_CORE_KNN_QUERY_H_
+
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "core/distance_query.h"
+#include "core/object_index.h"
+
+namespace viptree {
+
+struct ObjectResult {
+  ObjectId object = kInvalidId;
+  double distance = kInfDistance;
+};
+
+class KnnQuery {
+ public:
+  KnnQuery(const IPTree& tree, const ObjectIndex& objects,
+           const DistanceQueryOptions& options = {});
+
+  // The k nearest objects to q, ascending by distance.
+  std::vector<ObjectResult> Knn(const IndoorPoint& q, size_t k);
+
+  // All objects within `radius` of q, ascending by distance (the range
+  // query of §3.4, reached through RangeQuery for API symmetry).
+  std::vector<ObjectResult> WithinRange(const IndoorPoint& q, double radius);
+
+  // Optional pruning hooks for derived query types (e.g. spatial keyword
+  // queries, §1.3): subtrees where node_filter returns false are skipped,
+  // objects where object_filter returns false are not reported.
+  struct Filters {
+    std::function<bool(NodeId)> node;
+    std::function<bool(ObjectId)> object;
+  };
+
+  // The k nearest objects passing the filters.
+  std::vector<ObjectResult> KnnFiltered(const IndoorPoint& q, size_t k,
+                                        const Filters& filters) {
+    return Search(q, k, kInfDistance, &filters);
+  }
+
+ private:
+  // Shared branch-and-bound: best-first traversal collecting either the k
+  // nearest or everything within a fixed radius.
+  std::vector<ObjectResult> Search(const IndoorPoint& q, size_t k,
+                                   double radius,
+                                   const Filters* filters = nullptr);
+
+  // Exact distances from q to the objects of q's own leaf (one Dijkstra).
+  void LocalObjectDistances(const IndoorPoint& q, NodeId leaf,
+                            std::vector<double>& out);
+
+  const IPTree& tree_;
+  const ObjectIndex& objects_;
+  IPDistanceQuery query_;
+};
+
+}  // namespace viptree
+
+#endif  // VIPTREE_CORE_KNN_QUERY_H_

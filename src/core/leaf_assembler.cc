@@ -1,0 +1,124 @@
+#include "core/leaf_assembler.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace viptree {
+
+namespace {
+
+// Number of doors of partition `p` that lead into the current members of
+// leaf `leaf`.
+int CommonDoorsWithLeaf(const Venue& venue, PartitionId p, int leaf,
+                        const std::vector<int>& assignment) {
+  int common = 0;
+  for (DoorId d : venue.DoorsOf(p)) {
+    const PartitionId q = venue.OtherSide(d, p);
+    if (q != kInvalidId && assignment[q] == leaf) ++common;
+  }
+  return common;
+}
+
+}  // namespace
+
+LeafAssignment AssembleLeaves(const Venue& venue) {
+  const size_t n = venue.NumPartitions();
+  LeafAssignment result;
+  result.leaf_of_partition.assign(n, -1);
+  std::vector<int>& assignment = result.leaf_of_partition;
+  // The level (floor) of the leaf's seed partition, for the same-floor
+  // tie-break of rule (i).
+  std::vector<int> leaf_level;
+
+  // Step 1: every hallway partition seeds its own leaf (rule ii guarantees
+  // hallways end up in distinct leaves).
+  for (const Partition& p : venue.partitions()) {
+    if (venue.Classify(p.id) == PartitionClass::kHallway) {
+      assignment[p.id] = static_cast<int>(leaf_level.size());
+      leaf_level.push_back(p.level);
+    }
+  }
+
+  // Step 2: repeatedly attach unassigned partitions to the adjacent leaf
+  // with the greatest number of common doors. Seeding new leaves from the
+  // most-doored unassigned partition covers hallway-free regions.
+  size_t unassigned = 0;
+  for (int a : assignment) {
+    if (a < 0) ++unassigned;
+  }
+  while (unassigned > 0) {
+    bool progress = false;
+    for (PartitionId p = 0; p < static_cast<PartitionId>(n); ++p) {
+      if (assignment[p] >= 0) continue;
+      // Find the best adjacent leaf: most common doors; tie -> same floor;
+      // tie -> lowest leaf id (deterministic stand-in for "arbitrarily").
+      int best_leaf = -1;
+      int best_common = 0;
+      bool best_same_floor = false;
+      const int p_level = venue.partition(p).level;
+      for (DoorId d : venue.DoorsOf(p)) {
+        const PartitionId q = venue.OtherSide(d, p);
+        if (q == kInvalidId || assignment[q] < 0) continue;
+        const int leaf = assignment[q];
+        if (leaf == best_leaf) continue;
+        const int common = CommonDoorsWithLeaf(venue, p, leaf, assignment);
+        const bool same_floor = leaf_level[leaf] == p_level;
+        const bool better =
+            common > best_common ||
+            (common == best_common && same_floor && !best_same_floor) ||
+            (common == best_common && same_floor == best_same_floor &&
+             best_leaf != -1 && leaf < best_leaf);
+        if (best_leaf == -1 || better) {
+          best_leaf = leaf;
+          best_common = common;
+          best_same_floor = same_floor;
+        }
+      }
+      if (best_leaf >= 0) {
+        assignment[p] = best_leaf;
+        --unassigned;
+        progress = true;
+      }
+    }
+    if (!progress) {
+      // A region with no hallway and no assigned neighbour: seed a new leaf
+      // at its partition with the most doors.
+      PartitionId seed = kInvalidId;
+      size_t seed_doors = 0;
+      for (PartitionId p = 0; p < static_cast<PartitionId>(n); ++p) {
+        if (assignment[p] >= 0) continue;
+        if (seed == kInvalidId || venue.DoorsOf(p).size() > seed_doors) {
+          seed = p;
+          seed_doors = venue.DoorsOf(p).size();
+        }
+      }
+      VIPTREE_CHECK(seed != kInvalidId);
+      assignment[seed] = static_cast<int>(leaf_level.size());
+      leaf_level.push_back(venue.partition(seed).level);
+      --unassigned;
+    }
+  }
+
+  result.num_leaves = static_cast<int>(leaf_level.size());
+  return result;
+}
+
+LeafAssignment ForcedLeaves(const Venue& venue,
+                            const std::vector<int>& leaf_of_partition) {
+  VIPTREE_CHECK(leaf_of_partition.size() == venue.NumPartitions());
+  int max_leaf = -1;
+  for (int leaf : leaf_of_partition) {
+    VIPTREE_CHECK(leaf >= 0);
+    max_leaf = std::max(max_leaf, leaf);
+  }
+  std::vector<bool> seen(max_leaf + 1, false);
+  for (int leaf : leaf_of_partition) seen[leaf] = true;
+  for (bool s : seen) VIPTREE_CHECK_MSG(s, "leaf ids must be dense");
+  LeafAssignment result;
+  result.leaf_of_partition = leaf_of_partition;
+  result.num_leaves = max_leaf + 1;
+  return result;
+}
+
+}  // namespace viptree

@@ -1,0 +1,40 @@
+// Leaf node assembly (§2.1.2 step 1): combine adjacent indoor partitions
+// into leaf nodes.
+//
+// Rules implemented exactly as the paper states:
+//   (i)  a general/no-through partition adjacent to several hallways merges
+//        with the hallway sharing the most doors with it; ties prefer a
+//        hallway on the same floor, then the lowest partition id
+//        (the paper breaks the remaining ties arbitrarily);
+//   (ii) a leaf node never contains more than one hallway (hallways seed
+//        the leaves, so no merge can violate this).
+//
+// Venues whose connected regions contain no hallway at all (degenerate, but
+// legal) seed extra leaves from the partition with the most doors.
+
+#ifndef VIPTREE_CORE_LEAF_ASSEMBLER_H_
+#define VIPTREE_CORE_LEAF_ASSEMBLER_H_
+
+#include <vector>
+
+#include "model/venue.h"
+
+namespace viptree {
+
+struct LeafAssignment {
+  // leaf_of_partition[p] is the 0-based leaf index of partition p.
+  std::vector<int> leaf_of_partition;
+  int num_leaves = 0;
+};
+
+LeafAssignment AssembleLeaves(const Venue& venue);
+
+// Wraps a caller-provided assignment (used to reproduce the paper's Fig. 3
+// grouping in tests, and to plug custom partitionings). Validates that ids
+// are dense in [0, max+1).
+LeafAssignment ForcedLeaves(const Venue& venue,
+                            const std::vector<int>& leaf_of_partition);
+
+}  // namespace viptree
+
+#endif  // VIPTREE_CORE_LEAF_ASSEMBLER_H_

@@ -1,0 +1,45 @@
+// Dense row-major matrix used for the distance / next-hop matrices of tree
+// nodes (§2.1.1).
+
+#ifndef VIPTREE_CORE_MATRIX_H_
+#define VIPTREE_CORE_MATRIX_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/check.h"
+
+namespace viptree {
+
+template <typename T>
+class FlatMatrix {
+ public:
+  FlatMatrix() = default;
+  FlatMatrix(size_t rows, size_t cols, T fill = T())
+      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+  size_t rows() const { return rows_; }
+  size_t cols() const { return cols_; }
+  bool empty() const { return data_.empty(); }
+
+  T& at(size_t r, size_t c) {
+    VIPTREE_DCHECK(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
+  const T& at(size_t r, size_t c) const {
+    VIPTREE_DCHECK(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
+
+  uint64_t MemoryBytes() const { return data_.capacity() * sizeof(T); }
+
+ private:
+  size_t rows_ = 0;
+  size_t cols_ = 0;
+  std::vector<T> data_;
+};
+
+}  // namespace viptree
+
+#endif  // VIPTREE_CORE_MATRIX_H_

@@ -1,0 +1,74 @@
+#include "core/object_index.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/check.h"
+
+namespace viptree {
+
+ObjectIndex::ObjectIndex(const IPTree& tree, std::vector<IndoorPoint> objects)
+    : tree_(tree), objects_(std::move(objects)) {
+  const Venue& venue = tree.venue();
+  leaf_objects_.resize(tree.nodes().size());
+  leaf_door_dists_.resize(tree.nodes().size());
+
+  for (ObjectId o = 0; o < static_cast<ObjectId>(objects_.size()); ++o) {
+    const NodeId leaf = tree.LeafOfPartition(objects_[o].partition);
+    leaf_objects_[leaf].push_back(o);
+  }
+
+  for (const TreeNode& node : tree.nodes()) {
+    if (!node.is_leaf() || leaf_objects_[node.id].empty()) continue;
+    const std::vector<ObjectId>& objs = leaf_objects_[node.id];
+    auto& per_door = leaf_door_dists_[node.id];
+    per_door.assign(node.access_doors.size(),
+                    std::vector<double>(objs.size(), kInfDistance));
+    for (size_t col = 0; col < node.access_doors.size(); ++col) {
+      const DoorId a = node.access_doors[col];
+      for (size_t i = 0; i < objs.size(); ++i) {
+        const IndoorPoint& obj = objects_[objs[i]];
+        double best = kInfDistance;
+        if (venue.DoorTouches(a, obj.partition)) {
+          best = venue.DistanceToDoor(obj, a);
+        }
+        for (DoorId u : venue.DoorsOf(obj.partition)) {
+          const double cand = tree.LeafMatrixDist(node, u, a) +
+                              venue.DistanceToDoor(obj, u);
+          best = std::min(best, cand);
+        }
+        per_door[col][i] = best;
+      }
+    }
+  }
+
+  // Subtree counts via leaf DFS prefix sums.
+  std::vector<uint32_t> count_at_dfs(tree.num_leaves(), 0);
+  for (const TreeNode& node : tree.nodes()) {
+    if (node.is_leaf()) {
+      count_at_dfs[node.leaf_begin] =
+          static_cast<uint32_t>(leaf_objects_[node.id].size());
+    }
+  }
+  dfs_prefix_.assign(tree.num_leaves() + 1, 0);
+  for (size_t i = 0; i < tree.num_leaves(); ++i) {
+    dfs_prefix_[i + 1] = dfs_prefix_[i] + count_at_dfs[i];
+  }
+  VIPTREE_CHECK(dfs_prefix_.back() == objects_.size());
+}
+
+std::span<const ObjectId> ObjectIndex::ObjectsInLeaf(NodeId leaf) const {
+  return leaf_objects_[leaf];
+}
+
+uint64_t ObjectIndex::MemoryBytes() const {
+  uint64_t bytes = objects_.capacity() * sizeof(IndoorPoint);
+  for (const auto& v : leaf_objects_) bytes += v.capacity() * sizeof(ObjectId);
+  for (const auto& per_door : leaf_door_dists_) {
+    for (const auto& v : per_door) bytes += v.capacity() * sizeof(double);
+  }
+  bytes += dfs_prefix_.capacity() * sizeof(uint32_t);
+  return bytes;
+}
+
+}  // namespace viptree

@@ -1,0 +1,52 @@
+// Indoor object embedding (§3.4): objects are attached to the leaf node of
+// the partition containing them; every leaf keeps, per access door, the
+// exact network distances from that access door to each of its objects
+// (sorted, enabling early termination), plus subtree object counts so the
+// branch-and-bound search can skip empty nodes (Alg. 5 line 10).
+
+#ifndef VIPTREE_CORE_OBJECT_INDEX_H_
+#define VIPTREE_CORE_OBJECT_INDEX_H_
+
+#include <span>
+#include <vector>
+
+#include "core/ip_tree.h"
+
+namespace viptree {
+
+class ObjectIndex {
+ public:
+  // `objects` are indoor points; object ids are their indices.
+  ObjectIndex(const IPTree& tree, std::vector<IndoorPoint> objects);
+
+  size_t NumObjects() const { return objects_.size(); }
+  const IndoorPoint& object(ObjectId o) const { return objects_[o]; }
+  const std::vector<IndoorPoint>& objects() const { return objects_; }
+
+  std::span<const ObjectId> ObjectsInLeaf(NodeId leaf) const;
+
+  // Exact indoor distance from access door `col` of `leaf` to object with
+  // in-leaf index `i` (aligned with ObjectsInLeaf).
+  double AccessDoorToObject(NodeId leaf, size_t col, size_t i) const {
+    return leaf_door_dists_[leaf][col][i];
+  }
+
+  // Number of objects in the subtree of `node`.
+  size_t SubtreeCount(const TreeNode& node) const {
+    return dfs_prefix_[node.leaf_end] - dfs_prefix_[node.leaf_begin];
+  }
+
+  uint64_t MemoryBytes() const;
+
+ private:
+  const IPTree& tree_;
+  std::vector<IndoorPoint> objects_;
+  std::vector<std::vector<ObjectId>> leaf_objects_;  // by leaf node id
+  // leaf_door_dists_[leaf][access door col][object idx in leaf].
+  std::vector<std::vector<std::vector<double>>> leaf_door_dists_;
+  std::vector<uint32_t> dfs_prefix_;  // objects in leaves with dfs index < i
+};
+
+}  // namespace viptree
+
+#endif  // VIPTREE_CORE_OBJECT_INDEX_H_

@@ -1,0 +1,407 @@
+#include "core/path_query.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace viptree {
+
+namespace {
+
+NodeId ChildToward(const IPTree& tree, NodeId ancestor, NodeId leaf) {
+  NodeId cur = leaf;
+  while (tree.node(cur).parent != ancestor) {
+    cur = tree.node(cur).parent;
+    VIPTREE_DCHECK(cur != kInvalidId);
+  }
+  return cur;
+}
+
+// A leaf containing both doors, kInvalidId if none.
+NodeId CommonLeaf(const IPTree& tree, DoorId x, DoorId y) {
+  for (const auto& lx : tree.LeavesOfDoor(x)) {
+    for (const auto& ly : tree.LeavesOfDoor(y)) {
+      if (lx.leaf == ly.leaf) return lx.leaf;
+    }
+  }
+  return kInvalidId;
+}
+
+}  // namespace
+
+IPPathQuery::IPPathQuery(const IPTree& tree,
+                         const DistanceQueryOptions& options)
+    : tree_(tree), query_(tree, options) {}
+
+bool IPPathQuery::Represents(DoorId x, DoorId y, NodeId n) const {
+  const TreeNode& node = tree_.node(n);
+  if (node.is_leaf()) {
+    return IPTree::IndexOf(node.doors, x) >= 0 &&
+           IPTree::IndexOf(node.doors, y) >= 0 &&
+           (IPTree::IndexOf(node.access_doors, x) >= 0 ||
+            IPTree::IndexOf(node.access_doors, y) >= 0);
+  }
+  return IPTree::IndexOf(node.matrix_doors, x) >= 0 &&
+         IPTree::IndexOf(node.matrix_doors, y) >= 0;
+}
+
+NodeId IPPathQuery::Descend(DoorId x, DoorId y, NodeId ctx) const {
+  bool descended = true;
+  while (descended && !tree_.node(ctx).is_leaf()) {
+    descended = false;
+    for (NodeId child : tree_.node(ctx).children) {
+      if (Represents(x, y, child)) {
+        ctx = child;
+        descended = true;
+        break;
+      }
+    }
+  }
+  return ctx;
+}
+
+void IPPathQuery::Expand(DoorId x, DoorId y, NodeId ctx,
+                         std::vector<DoorId>& out) {
+  if (x == y) return;
+  // Lemmas 4 and 6: an edge between two non-access doors is final.
+  if (!tree_.IsAccessDoor(x) && !tree_.IsAccessDoor(y)) return;
+  ctx = Descend(x, y, ctx);
+  if (!Represents(x, y, ctx)) {
+    // Shortest paths that leave a node and re-enter (Example 6's rare
+    // scenario) can hand us a pair no matrix represents; recover the short
+    // remaining segment with a bounded Dijkstra.
+    DijkstraEngine& engine = query_.dijkstra_;
+    engine.Start(x);
+    engine.RunToTargets(std::span<const DoorId>(&y, 1));
+    const std::vector<DoorId> seg = engine.PathTo(y);
+    for (size_t i = 1; i + 1 < seg.size(); ++i) out.push_back(seg[i]);
+    return;
+  }
+  const TreeNode& node = tree_.node(ctx);
+
+  DoorId hop = kInvalidId;
+  if (node.is_leaf()) {
+    // The leaf matrix is doors x access-doors: orient the lookup so the
+    // column is an access door of this leaf. Splitting at a door that lies
+    // anywhere on the shortest path is valid in either orientation.
+    if (IPTree::IndexOf(node.access_doors, y) >= 0) {
+      hop = tree_.LeafMatrixNextHop(node, x, y);
+    } else {
+      VIPTREE_DCHECK(IPTree::IndexOf(node.access_doors, x) >= 0);
+      hop = tree_.LeafMatrixNextHop(node, y, x);
+    }
+    if (hop == kInvalidId) return;  // final edge (Lemma 3)
+  } else {
+    const int row = IPTree::IndexOf(node.matrix_doors, x);
+    const int col = IPTree::IndexOf(node.matrix_doors, y);
+    VIPTREE_DCHECK(row >= 0 && col >= 0);
+    hop = node.next_hop.at(row, col);
+    if (hop == kInvalidId) {
+      // NULL at a non-leaf means x and y are access doors of one node at
+      // the level below (Lemma 3) — usually a common child, which Descend
+      // entered. A door borders every node its two leaves chain through,
+      // so the common node can live under a *different* parent; the
+      // segment is then a single level-graph edge: recover it locally.
+      DijkstraEngine& engine = query_.dijkstra_;
+      engine.Start(x);
+      engine.RunToTargets(std::span<const DoorId>(&y, 1));
+      const std::vector<DoorId> seg = engine.PathTo(y);
+      for (size_t i = 1; i + 1 < seg.size(); ++i) out.push_back(seg[i]);
+      return;
+    }
+  }
+  Expand(x, hop, ctx, out);
+  out.push_back(hop);
+  Expand(hop, y, ctx, out);
+}
+
+IPPathQuery::PartialPath IPPathQuery::Backtrack(const AscentDistances& ascent,
+                                                size_t top_idx) const {
+  PartialPath pp;
+  int idx = static_cast<int>(ascent.chain.size()) - 1;
+  size_t c = top_idx;
+  pp.doors.push_back(
+      tree_.node(ascent.chain[idx]).access_doors[c]);
+  PathBack b = ascent.back[idx][c];
+  while (b.pred != kInvalidId) {
+    pp.edge_ctx.push_back(ascent.chain[b.pred_chain_idx + 1]);
+    pp.doors.push_back(b.pred);
+    if (b.pred_chain_idx < 0) break;  // seed superior door: next stop is s
+    idx = b.pred_chain_idx;
+    c = static_cast<size_t>(IPTree::IndexOf(
+        tree_.node(ascent.chain[idx]).access_doors, b.pred));
+    b = ascent.back[idx][c];
+  }
+  std::reverse(pp.doors.begin(), pp.doors.end());
+  std::reverse(pp.edge_ctx.begin(), pp.edge_ctx.end());
+  return pp;
+}
+
+IndoorPath IPPathQuery::LocalPath(const QuerySource& s, const QuerySource& t) {
+  const Venue& venue = tree_.venue();
+  IndoorPath path;
+
+  std::vector<DijkstraSource> sources;
+  if (s.door != kInvalidId) {
+    sources.push_back({s.door, 0.0});
+  } else {
+    for (DoorId u : venue.DoorsOf(s.point->partition)) {
+      sources.push_back({u, venue.DistanceToDoor(*s.point, u)});
+    }
+  }
+
+  DijkstraEngine& engine = query_.dijkstra_;
+  engine.Start(sources);
+  if (t.door != kInvalidId) {
+    engine.RunToTargets(std::span<const DoorId>(&t.door, 1));
+    path.distance = engine.DistanceTo(t.door);
+    if (engine.Settled(t.door)) path.doors = engine.PathTo(t.door);
+    return path;
+  }
+
+  // Point target: best door of the target partition, or the direct
+  // intra-partition route.
+  if (s.point != nullptr && s.point->partition == t.point->partition) {
+    path.distance = venue.IntraPartitionDistance(
+        t.point->partition, s.point->position, t.point->position);
+  }
+  const std::span<const DoorId> targets = venue.DoorsOf(t.point->partition);
+  engine.RunToTargets(targets);
+  DoorId best_door = kInvalidId;
+  for (DoorId dt : targets) {
+    if (!engine.Settled(dt)) continue;
+    const double cand =
+        engine.DistanceTo(dt) + venue.DistanceToDoor(*t.point, dt);
+    if (cand < path.distance) {
+      path.distance = cand;
+      best_door = dt;
+    }
+  }
+  if (best_door != kInvalidId) path.doors = engine.PathTo(best_door);
+  return path;
+}
+
+IndoorPath IPPathQuery::CrossLeafPath(const QuerySource& s,
+                                      const QuerySource& t) {
+  const NodeId ls = query_.LeafOf(s);
+  const NodeId lt = query_.LeafOf(t);
+  const NodeId lca = tree_.Lca(ls, lt);
+  const NodeId ns = ChildToward(tree_, lca, ls);
+  const NodeId nt = ChildToward(tree_, lca, lt);
+  const AscentDistances as = query_.GetDistances(s, ns);
+  const AscentDistances at = query_.GetDistances(t, nt);
+
+  const TreeNode& lca_node = tree_.node(lca);
+  const TreeNode& ns_node = tree_.node(ns);
+  const TreeNode& nt_node = tree_.node(nt);
+  IndoorPath path;
+  size_t best_i = 0;
+  size_t best_j = 0;
+  for (size_t i = 0; i < ns_node.access_doors.size(); ++i) {
+    const int row =
+        IPTree::IndexOf(lca_node.matrix_doors, ns_node.access_doors[i]);
+    for (size_t j = 0; j < nt_node.access_doors.size(); ++j) {
+      const int col =
+          IPTree::IndexOf(lca_node.matrix_doors, nt_node.access_doors[j]);
+      const double cand = as.ad_dist.back()[i] + lca_node.dist.at(row, col) +
+                          at.ad_dist.back()[j];
+      if (cand < path.distance) {
+        path.distance = cand;
+        best_i = i;
+        best_j = j;
+      }
+    }
+  }
+  if (path.distance == kInfDistance) return path;
+
+  PartialPath ps = Backtrack(as, best_i);
+  PartialPath pt = Backtrack(at, best_j);
+  // Door-source seeds leave the source door implicit; prepend it.
+  if (s.door != kInvalidId && ps.doors.front() != s.door) {
+    ps.doors.insert(ps.doors.begin(), s.door);
+    ps.edge_ctx.insert(ps.edge_ctx.begin(), as.chain[0]);
+  }
+  if (t.door != kInvalidId && pt.doors.front() != t.door) {
+    pt.doors.insert(pt.doors.begin(), t.door);
+    pt.edge_ctx.insert(pt.edge_ctx.begin(), at.chain[0]);
+  }
+
+  std::vector<DoorId>& out = path.doors;
+  out.push_back(ps.doors[0]);
+  for (size_t k = 0; k + 1 < ps.doors.size(); ++k) {
+    Expand(ps.doors[k], ps.doors[k + 1], ps.edge_ctx[k], out);
+    out.push_back(ps.doors[k + 1]);
+  }
+  const DoorId a_star = ns_node.access_doors[best_i];
+  const DoorId b_star = nt_node.access_doors[best_j];
+  if (a_star != b_star) {
+    Expand(a_star, b_star, lca, out);
+    out.push_back(b_star);
+  }
+  // t side, reversed (from b_star down to t's first door).
+  for (size_t k = pt.doors.size(); k-- > 1;) {
+    Expand(pt.doors[k], pt.doors[k - 1], pt.edge_ctx[k - 1], out);
+    out.push_back(pt.doors[k - 1]);
+  }
+  return path;
+}
+
+IndoorPath IPPathQuery::Path(const IndoorPoint& s, const IndoorPoint& t) {
+  const NodeId ls = tree_.LeafOfPartition(s.partition);
+  const NodeId lt = tree_.LeafOfPartition(t.partition);
+  if (ls == lt) {
+    IndoorPath local =
+        LocalPath(QuerySource::Point(s), QuerySource::Point(t));
+    // When the best route is the direct intra-partition line, the door list
+    // reflects the best door route; clear it if direct wins.
+    if (s.partition == t.partition) {
+      const double direct = tree_.venue().IntraPartitionDistance(
+          s.partition, s.position, t.position);
+      if (direct <= local.distance) {
+        local.distance = direct;
+        local.doors.clear();
+      }
+    }
+    return local;
+  }
+  return CrossLeafPath(QuerySource::Point(s), QuerySource::Point(t));
+}
+
+IndoorPath IPPathQuery::DoorPath(DoorId s, DoorId t) {
+  if (s == t) return IndoorPath{0.0, {s}};
+  if (CommonLeaf(tree_, s, t) != kInvalidId) {
+    return LocalPath(QuerySource::Door(s), QuerySource::Door(t));
+  }
+  return CrossLeafPath(QuerySource::Door(s), QuerySource::Door(t));
+}
+
+// ---------------------------------------------------------------------------
+// VIP variant
+// ---------------------------------------------------------------------------
+
+VIPPathQuery::VIPPathQuery(const VIPTree& tree,
+                           const DistanceQueryOptions& options)
+    : vip_(tree), query_(tree, options), ip_path_(tree.base(), options) {}
+
+void VIPPathQuery::WalkToAncestorAd(DoorId x, NodeId ancestor, size_t col,
+                                    std::vector<DoorId>& out) {
+  const IPTree& tree = vip_.base();
+  const DoorId target = tree.node(ancestor).access_doors[col];
+  while (x != target) {
+    if (vip_.ExtRowOf(ancestor, x) < 0) {
+      // The path excursed outside the ancestor's subtree (§3.3's "very
+      // rare" case): finish the remaining segment with a bounded Dijkstra.
+      DijkstraEngine& engine = ip_path_.query_.dijkstra_;
+      engine.Start(x);
+      engine.RunToTargets(std::span<const DoorId>(&target, 1));
+      const std::vector<DoorId> seg = engine.PathTo(target);
+      for (size_t i = 1; i + 1 < seg.size(); ++i) out.push_back(seg[i]);
+      return;
+    }
+    const DoorId hop = vip_.ExtNextHop(ancestor, x, col);
+    if (hop == kInvalidId) return;  // direct final edge x -> target
+    // x -> hop normally stays within one leaf (hop is either the immediate
+    // next door or the first access door, with only non-access doors in
+    // between).
+    const NodeId leaf = CommonLeaf(tree, x, hop);
+    if (leaf != kInvalidId) {
+      ip_path_.Expand(x, hop, leaf, out);
+    } else {
+      ip_path_.Expand(x, hop, ancestor, out);  // guarded fallback
+    }
+    out.push_back(hop);
+    x = hop;
+  }
+}
+
+IndoorPath VIPPathQuery::CrossLeafPath(const QuerySource& s,
+                                       const QuerySource& t) {
+  const IPTree& tree = vip_.base();
+  const NodeId ls = s.point != nullptr
+                        ? tree.LeafOfPartition(s.point->partition)
+                        : tree.LeavesOfDoor(s.door)[0].leaf;
+  const NodeId lt = t.point != nullptr
+                        ? tree.LeafOfPartition(t.point->partition)
+                        : tree.LeavesOfDoor(t.door)[0].leaf;
+  const NodeId lca = tree.Lca(ls, lt);
+  const NodeId ns = ChildToward(tree, lca, ls);
+  const NodeId nt = ChildToward(tree, lca, lt);
+
+  std::vector<double> sdist, tdist;
+  std::vector<PathBack> sback, tback;
+  query_.DistancesToNodeAd(s, ns, sdist, sback);
+  query_.DistancesToNodeAd(t, nt, tdist, tback);
+
+  const TreeNode& lca_node = tree.node(lca);
+  const TreeNode& ns_node = tree.node(ns);
+  const TreeNode& nt_node = tree.node(nt);
+  IndoorPath path;
+  size_t best_i = 0, best_j = 0;
+  for (size_t i = 0; i < ns_node.access_doors.size(); ++i) {
+    const int row =
+        IPTree::IndexOf(lca_node.matrix_doors, ns_node.access_doors[i]);
+    for (size_t j = 0; j < nt_node.access_doors.size(); ++j) {
+      const int col =
+          IPTree::IndexOf(lca_node.matrix_doors, nt_node.access_doors[j]);
+      const double cand =
+          sdist[i] + lca_node.dist.at(row, col) + tdist[j];
+      if (cand < path.distance) {
+        path.distance = cand;
+        best_i = i;
+        best_j = j;
+      }
+    }
+  }
+  if (path.distance == kInfDistance) return path;
+
+  const DoorId a_star = ns_node.access_doors[best_i];
+  const DoorId b_star = nt_node.access_doors[best_j];
+  std::vector<DoorId>& out = path.doors;
+
+  // s -> first door -> a*.
+  DoorId s_first = sback[best_i].pred;
+  if (s_first == kInvalidId) s_first = s.door;  // door source or direct
+  if (s_first != kInvalidId && s_first != a_star) {
+    out.push_back(s_first);
+    WalkToAncestorAd(s_first, ns, best_i, out);
+  }
+  out.push_back(a_star);
+
+  if (a_star != b_star) {
+    ip_path_.Expand(a_star, b_star, lca, out);
+    out.push_back(b_star);
+  }
+
+  // b* -> ... -> t's first door, computed in t -> b* direction and reversed.
+  DoorId t_first = tback[best_j].pred;
+  if (t_first == kInvalidId) t_first = t.door;
+  if (t_first != kInvalidId && t_first != b_star) {
+    std::vector<DoorId> t_side;
+    t_side.push_back(t_first);
+    WalkToAncestorAd(t_first, nt, best_j, t_side);
+    // t_side = t_first ... (doors approaching b*); reverse and append,
+    // dropping b* which is already emitted.
+    for (size_t k = t_side.size(); k-- > 0;) {
+      if (t_side[k] == b_star) continue;
+      out.push_back(t_side[k]);
+    }
+  }
+  return path;
+}
+
+IndoorPath VIPPathQuery::Path(const IndoorPoint& s, const IndoorPoint& t) {
+  const IPTree& tree = vip_.base();
+  const NodeId ls = tree.LeafOfPartition(s.partition);
+  const NodeId lt = tree.LeafOfPartition(t.partition);
+  if (ls == lt) return ip_path_.Path(s, t);
+  return CrossLeafPath(QuerySource::Point(s), QuerySource::Point(t));
+}
+
+IndoorPath VIPPathQuery::DoorPath(DoorId s, DoorId t) {
+  if (s == t) return IndoorPath{0.0, {s}};
+  const IPTree& tree = vip_.base();
+  if (CommonLeaf(tree, s, t) != kInvalidId) return ip_path_.DoorPath(s, t);
+  return CrossLeafPath(QuerySource::Door(s), QuerySource::Door(t));
+}
+
+}  // namespace viptree

@@ -1,0 +1,14 @@
+#include "core/range_query.h"
+
+namespace viptree {
+
+RangeQuery::RangeQuery(const IPTree& tree, const ObjectIndex& objects,
+                       const DistanceQueryOptions& options)
+    : knn_(tree, objects, options) {}
+
+std::vector<ObjectResult> RangeQuery::Range(const IndoorPoint& q,
+                                            double radius) {
+  return knn_.WithinRange(q, radius);
+}
+
+}  // namespace viptree

@@ -1,0 +1,42 @@
+// Bottom-up IP-Tree construction (§2.1.2): leaf assembly, Algorithm 1 node
+// merging, leaf distance matrices (Dijkstra on the D2D graph), and non-leaf
+// distance matrices (Dijkstra on the level-l graphs).
+
+#ifndef VIPTREE_CORE_TREE_BUILDER_H_
+#define VIPTREE_CORE_TREE_BUILDER_H_
+
+#include "core/ip_tree.h"
+#include "graph/d2d_graph.h"
+#include "model/venue.h"
+
+namespace viptree {
+
+class TreeBuilder {
+ public:
+  TreeBuilder(const Venue& venue, const D2DGraph& graph,
+              const IPTreeOptions& options);
+
+  // Runs the full §2.1.2 pipeline and returns the finished tree.
+  IPTree BuildIPTree();
+
+ private:
+  void BuildLeaves();
+  void BuildUpperLevels();
+  void AssignLeafIntervals();
+  void BuildLeafMatricesAndSuperiorDoors();
+  void BuildNonLeafMatrices();
+
+  // Whether door `d` is an access door of the group identified by
+  // `cluster_of_leaf` (kInvalidId group = outside).
+  bool IsAccessOf(DoorId d, const std::vector<NodeId>& cluster_of_leaf,
+                  NodeId cluster) const;
+
+  const Venue& venue_;
+  const D2DGraph& graph_;
+  IPTreeOptions options_;
+  IPTree tree_;
+};
+
+}  // namespace viptree
+
+#endif  // VIPTREE_CORE_TREE_BUILDER_H_

@@ -1,0 +1,123 @@
+#include "core/vip_tree.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/check.h"
+#include "graph/dijkstra.h"
+
+namespace viptree {
+
+VIPTree VIPTree::Build(const Venue& venue, const D2DGraph& graph,
+                       const IPTreeOptions& options) {
+  return Extend(IPTree::Build(venue, graph, options));
+}
+
+VIPTree VIPTree::Extend(IPTree base) {
+  VIPTree vip;
+  vip.base_ = std::move(base);
+  const IPTree& tree = vip.base_;
+  const Venue& venue = tree.venue();
+
+  vip.ext_.resize(tree.nodes().size());
+  DijkstraEngine engine(tree.graph());
+
+  // Leaves in DFS order so a subtree's doors are the union of a contiguous
+  // leaf range.
+  std::vector<NodeId> leaf_at_index(tree.num_leaves());
+  for (const TreeNode& n : tree.nodes()) {
+    if (n.is_leaf()) leaf_at_index[n.leaf_begin] = n.id;
+  }
+
+  for (const TreeNode& node : tree.nodes()) {
+    if (node.is_leaf()) continue;  // the IP leaf matrix already has the shape
+    ExtMatrix& ext = vip.ext_[node.id];
+    for (uint32_t li = node.leaf_begin; li < node.leaf_end; ++li) {
+      const TreeNode& leaf = tree.node(leaf_at_index[li]);
+      ext.doors.insert(ext.doors.end(), leaf.doors.begin(), leaf.doors.end());
+    }
+    std::sort(ext.doors.begin(), ext.doors.end());
+    ext.doors.erase(std::unique(ext.doors.begin(), ext.doors.end()),
+                    ext.doors.end());
+
+    ext.dist = FlatMatrix<float>(ext.doors.size(), node.access_doors.size(),
+                                 0.0f);
+    ext.next_hop = FlatMatrix<DoorId>(ext.doors.size(),
+                                      node.access_doors.size(), kInvalidId);
+
+    for (size_t col = 0; col < node.access_doors.size(); ++col) {
+      const DoorId a = node.access_doors[col];
+      engine.Start(a);
+      engine.RunToTargets(ext.doors);
+      for (size_t row = 0; row < ext.doors.size(); ++row) {
+        const DoorId d = ext.doors[row];
+        VIPTREE_CHECK_MSG(engine.Settled(d),
+                          "subtree door unreachable from access door");
+        ext.dist.at(row, col) = static_cast<float>(engine.DistanceTo(d));
+        if (d == a) continue;
+        bool inside = true;
+        DoorId first_access = kInvalidId;
+        for (DoorId cur = d; cur != a; cur = engine.ParentOf(cur)) {
+          const PartitionId via = engine.ParentVia(cur);
+          if (!tree.NodeContainsPartition(node.id, via)) inside = false;
+          const DoorId next = engine.ParentOf(cur);
+          if (next != a && first_access == kInvalidId &&
+              tree.IsAccessDoor(next)) {
+            first_access = next;
+          }
+        }
+        const DoorId first_door = engine.ParentOf(d);
+        if (inside) {
+          ext.next_hop.at(row, col) =
+              first_door == a ? kInvalidId : first_door;
+        } else {
+          DoorId hop = first_access;
+          if (hop == kInvalidId) {
+            hop = first_door == a ? kInvalidId : first_door;
+          }
+          ext.next_hop.at(row, col) = hop;
+        }
+      }
+    }
+  }
+  (void)venue;
+  return vip;
+}
+
+std::span<const DoorId> VIPTree::ExtDoors(NodeId n) const {
+  const TreeNode& node = base_.node(n);
+  if (node.is_leaf()) return node.doors;
+  return ext_[n].doors;
+}
+
+int VIPTree::ExtRowOf(NodeId n, DoorId d) const {
+  return IPTree::IndexOf(ExtDoors(n), d);
+}
+
+float VIPTree::ExtDist(NodeId n, DoorId d, size_t col) const {
+  const TreeNode& node = base_.node(n);
+  const int row = ExtRowOf(n, d);
+  VIPTREE_DCHECK(row >= 0);
+  if (node.is_leaf()) return node.dist.at(row, col);
+  return ext_[n].dist.at(row, col);
+}
+
+DoorId VIPTree::ExtNextHop(NodeId n, DoorId d, size_t col) const {
+  const TreeNode& node = base_.node(n);
+  const int row = ExtRowOf(n, d);
+  VIPTREE_DCHECK(row >= 0);
+  if (node.is_leaf()) return node.next_hop.at(row, col);
+  return ext_[n].next_hop.at(row, col);
+}
+
+uint64_t VIPTree::MemoryBytes() const {
+  uint64_t bytes = base_.MemoryBytes();
+  for (const ExtMatrix& e : ext_) {
+    bytes += e.doors.capacity() * sizeof(DoorId);
+    bytes += e.dist.MemoryBytes();
+    bytes += e.next_hop.MemoryBytes();
+  }
+  return bytes;
+}
+
+}  // namespace viptree

@@ -1,0 +1,71 @@
+// The Vivid IP-Tree (VIP-Tree) of §2.2: an IP-Tree that additionally
+// materializes, for every door d and every access door a of every ancestor
+// node N of Leaf(d), the distance dist(d, a) and the next-hop door on the
+// shortest path.
+//
+// Storage layout: one "extended matrix" per non-leaf node N with rows = all
+// doors inside N's subtree and columns = AD(N). A door's entry for ancestor
+// N is then one O(1) lookup, which is exactly the paper's per-door
+// materialization with O(rho * D * log_f M) total extra space. (At leaf
+// level the IP leaf matrix already has this shape, so leaves add nothing.)
+//
+// Next-hop semantics (§3.3): first door on the shortest path when the path
+// stays inside N; first *global access* door when it leaves N; kInvalidId
+// when there is no intermediate door.
+
+#ifndef VIPTREE_CORE_VIP_TREE_H_
+#define VIPTREE_CORE_VIP_TREE_H_
+
+#include <span>
+#include <vector>
+
+#include "core/ip_tree.h"
+
+namespace viptree {
+
+class VIPTree {
+ public:
+  static VIPTree Build(const Venue& venue, const D2DGraph& graph,
+                       const IPTreeOptions& options = {});
+
+  // Takes ownership of an already-built IP-Tree and adds the §2.2
+  // materialization (used by benchmarks that compare both trees on the
+  // same base).
+  static VIPTree Extend(IPTree base);
+
+  VIPTree(const VIPTree&) = delete;
+  VIPTree& operator=(const VIPTree&) = delete;
+  VIPTree(VIPTree&&) = default;
+
+  const IPTree& base() const { return base_; }
+
+  // Row door set of node `n`'s extended matrix: all doors in the subtree,
+  // sorted. For leaves this aliases TreeNode::doors.
+  std::span<const DoorId> ExtDoors(NodeId n) const;
+
+  // Distance / next-hop for (door `d`, access door index `col` of node
+  // `n`). `d` must be a door inside n's subtree.
+  float ExtDist(NodeId n, DoorId d, size_t col) const;
+  DoorId ExtNextHop(NodeId n, DoorId d, size_t col) const;
+
+  // Row index of door `d` in node `n`'s extended matrix; -1 if absent.
+  int ExtRowOf(NodeId n, DoorId d) const;
+
+  uint64_t MemoryBytes() const;
+
+ private:
+  VIPTree() = default;
+
+  struct ExtMatrix {
+    std::vector<DoorId> doors;  // sorted rows
+    FlatMatrix<float> dist;
+    FlatMatrix<DoorId> next_hop;
+  };
+
+  IPTree base_;
+  std::vector<ExtMatrix> ext_;  // indexed by NodeId; unused for leaves
+};
+
+}  // namespace viptree
+
+#endif  // VIPTREE_CORE_VIP_TREE_H_

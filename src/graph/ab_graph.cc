@@ -1,0 +1,23 @@
+#include "graph/ab_graph.h"
+
+namespace viptree {
+
+ABGraph::ABGraph(const Venue& venue) {
+  const size_t num_partitions = venue.NumPartitions();
+  offsets_.assign(num_partitions + 1, 0);
+  for (const Door& d : venue.doors()) {
+    if (d.is_exterior()) continue;  // exterior doors lead out of the venue
+    ++offsets_[d.partition_a + 1];
+    ++offsets_[d.partition_b + 1];
+  }
+  for (size_t p = 0; p < num_partitions; ++p) offsets_[p + 1] += offsets_[p];
+  edges_.resize(offsets_.back());
+  std::vector<uint32_t> cursor(offsets_.begin(), offsets_.end() - 1);
+  for (const Door& d : venue.doors()) {
+    if (d.is_exterior()) continue;
+    edges_[cursor[d.partition_a]++] = ABEdge{d.partition_b, d.id};
+    edges_[cursor[d.partition_b]++] = ABEdge{d.partition_a, d.id};
+  }
+}
+
+}  // namespace viptree

@@ -1,0 +1,49 @@
+// The accessibility-base (AB) graph of Lu et al. [19], §1.2.2: every
+// partition is a vertex and every door is a labelled edge between the two
+// partitions it connects. The AB graph captures connectivity (not
+// distances) and is the navigation backbone of the DistAw baseline and of
+// IP-Tree leaf assembly.
+
+#ifndef VIPTREE_GRAPH_AB_GRAPH_H_
+#define VIPTREE_GRAPH_AB_GRAPH_H_
+
+#include <span>
+#include <vector>
+
+#include "model/venue.h"
+
+namespace viptree {
+
+struct ABEdge {
+  PartitionId to = kInvalidId;
+  DoorId door = kInvalidId;  // the edge label of Fig. 2(b)
+};
+
+class ABGraph {
+ public:
+  explicit ABGraph(const Venue& venue);
+
+  ABGraph(const ABGraph&) = delete;
+  ABGraph& operator=(const ABGraph&) = delete;
+  ABGraph(ABGraph&&) = default;
+
+  size_t NumVertices() const { return offsets_.size() - 1; }
+  size_t NumDirectedEdges() const { return edges_.size(); }
+
+  std::span<const ABEdge> EdgesOf(PartitionId p) const {
+    return {edges_.data() + offsets_[p], edges_.data() + offsets_[p + 1]};
+  }
+
+  uint64_t MemoryBytes() const {
+    return offsets_.capacity() * sizeof(uint32_t) +
+           edges_.capacity() * sizeof(ABEdge);
+  }
+
+ private:
+  std::vector<uint32_t> offsets_;
+  std::vector<ABEdge> edges_;
+};
+
+}  // namespace viptree
+
+#endif  // VIPTREE_GRAPH_AB_GRAPH_H_

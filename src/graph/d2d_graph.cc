@@ -1,0 +1,68 @@
+#include "graph/d2d_graph.h"
+
+#include "common/check.h"
+
+namespace viptree {
+
+D2DGraph::D2DGraph(const Venue& venue) {
+  num_vertices_ = venue.NumDoors();
+
+  // Pass 1: count directed edges per door. Every unordered pair of distinct
+  // doors of a partition contributes one edge in each direction.
+  std::vector<uint64_t> degree(num_vertices_ + 1, 0);
+  for (const Partition& p : venue.partitions()) {
+    const std::span<const DoorId> doors = venue.DoorsOf(p.id);
+    const uint64_t others = doors.size() - 1;
+    for (DoorId d : doors) degree[d] += others;
+  }
+  offsets_.assign(num_vertices_ + 1, 0);
+  for (size_t v = 0; v < num_vertices_; ++v) {
+    offsets_[v + 1] = offsets_[v] + degree[v];
+  }
+  edges_.resize(offsets_.back());
+
+  // Pass 2: fill.
+  std::vector<uint64_t> cursor(offsets_.begin(), offsets_.end() - 1);
+  for (const Partition& p : venue.partitions()) {
+    const std::span<const DoorId> doors = venue.DoorsOf(p.id);
+    for (size_t i = 0; i < doors.size(); ++i) {
+      for (size_t j = i + 1; j < doors.size(); ++j) {
+        const DoorId u = doors[i];
+        const DoorId v = doors[j];
+        const float w = static_cast<float>(venue.IntraPartitionDistance(
+            p.id, venue.door(u).position, venue.door(v).position));
+        edges_[cursor[u]++] = D2DEdge{v, w, p.id};
+        edges_[cursor[v]++] = D2DEdge{u, w, p.id};
+      }
+    }
+  }
+  for (size_t v = 0; v < num_vertices_; ++v) {
+    VIPTREE_DCHECK(cursor[v] == offsets_[v + 1]);
+  }
+}
+
+D2DGraph::D2DGraph(size_t num_doors,
+                   std::span<const ExplicitD2DEdge> explicit_edges) {
+  num_vertices_ = num_doors;
+  std::vector<uint64_t> degree(num_vertices_, 0);
+  for (const ExplicitD2DEdge& e : explicit_edges) {
+    VIPTREE_CHECK(e.u >= 0 && static_cast<size_t>(e.u) < num_doors);
+    VIPTREE_CHECK(e.v >= 0 && static_cast<size_t>(e.v) < num_doors);
+    VIPTREE_CHECK(e.u != e.v);
+    VIPTREE_CHECK(e.weight >= 0.0f);
+    ++degree[e.u];
+    ++degree[e.v];
+  }
+  offsets_.assign(num_vertices_ + 1, 0);
+  for (size_t v = 0; v < num_vertices_; ++v) {
+    offsets_[v + 1] = offsets_[v] + degree[v];
+  }
+  edges_.resize(offsets_.back());
+  std::vector<uint64_t> cursor(offsets_.begin(), offsets_.end() - 1);
+  for (const ExplicitD2DEdge& e : explicit_edges) {
+    edges_[cursor[e.u]++] = D2DEdge{e.v, e.weight, e.via};
+    edges_[cursor[e.v]++] = D2DEdge{e.u, e.weight, e.via};
+  }
+}
+
+}  // namespace viptree

@@ -1,0 +1,89 @@
+// The door-to-door (D2D) graph of Yang et al. [25], §1.2.2 of the paper:
+// every door is a vertex and two doors are connected by a weighted edge if
+// they are attached to the same indoor partition, the weight being the
+// walking distance through that partition.
+//
+// Each edge is labelled with the partition it traverses; the label is what
+// lets index construction decide whether a shortest path stays inside a tree
+// node (the next-hop rule of §2.1.1) without re-deriving geometry.
+//
+// The graph is stored in CSR form. Two doors sharing both of their
+// partitions produce two parallel edges (one per partition); Dijkstra
+// naturally picks the cheaper one.
+
+#ifndef VIPTREE_GRAPH_D2D_GRAPH_H_
+#define VIPTREE_GRAPH_D2D_GRAPH_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "model/venue.h"
+
+namespace viptree {
+
+struct D2DEdge {
+  DoorId to = kInvalidId;
+  float weight = 0.0f;
+  PartitionId via = kInvalidId;  // the partition this edge walks through
+};
+
+// An explicitly weighted door-to-door connection, for building a D2D graph
+// whose weights are not derived from geometry (imported venues, the paper's
+// running example with hand-specified distances, travel-time models).
+struct ExplicitD2DEdge {
+  DoorId u = kInvalidId;
+  DoorId v = kInvalidId;
+  float weight = 0.0f;
+  PartitionId via = kInvalidId;
+};
+
+class D2DGraph {
+ public:
+  // Builds the D2D graph of `venue` with geometric weights. The venue must
+  // outlive the graph.
+  explicit D2DGraph(const Venue& venue);
+
+  // Builds a D2D graph from explicit undirected edges over `num_doors`
+  // doors (each explicit edge produces both directions).
+  D2DGraph(size_t num_doors, std::span<const ExplicitD2DEdge> edges);
+
+  D2DGraph(const D2DGraph&) = delete;
+  D2DGraph& operator=(const D2DGraph&) = delete;
+  D2DGraph(D2DGraph&&) = default;
+
+  size_t NumVertices() const { return num_vertices_; }
+
+  // Number of directed edges.
+  size_t NumDirectedEdges() const { return edges_.size(); }
+
+  // Number of undirected edges (what Table 2 reports).
+  size_t NumEdges() const { return edges_.size() / 2; }
+
+  std::span<const D2DEdge> EdgesOf(DoorId d) const {
+    return {edges_.data() + offsets_[d], edges_.data() + offsets_[d + 1]};
+  }
+
+  // Average out-degree; the paper observes indoor graphs reach out-degrees
+  // of hundreds while road networks stay at 2-4 (§1.2.1).
+  double AverageOutDegree() const {
+    return num_vertices_ == 0
+               ? 0.0
+               : static_cast<double>(edges_.size()) /
+                     static_cast<double>(num_vertices_);
+  }
+
+  uint64_t MemoryBytes() const {
+    return offsets_.capacity() * sizeof(uint32_t) +
+           edges_.capacity() * sizeof(D2DEdge);
+  }
+
+ private:
+  size_t num_vertices_ = 0;
+  std::vector<uint64_t> offsets_;
+  std::vector<D2DEdge> edges_;
+};
+
+}  // namespace viptree
+
+#endif  // VIPTREE_GRAPH_D2D_GRAPH_H_

@@ -1,0 +1,111 @@
+// Reusable Dijkstra engine over the D2D graph.
+//
+// One engine instance owns distance / parent / epoch arrays sized to the
+// graph, so repeated queries (index construction issues one search per
+// access door; DistAw issues one per query) cost O(visited) instead of
+// O(|V|) re-initialization. The engine exposes an incremental interface --
+// Start() then SettleNext() -- because the DistAw kNN/range algorithms need
+// to examine doors in increasing distance order and stop early.
+//
+// Not thread-safe; use one engine per thread.
+
+#ifndef VIPTREE_GRAPH_DIJKSTRA_H_
+#define VIPTREE_GRAPH_DIJKSTRA_H_
+
+#include <cstdint>
+#include <queue>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "graph/d2d_graph.h"
+#include "model/types.h"
+
+namespace viptree {
+
+// A source door with an initial distance offset (multi-source searches from
+// a query point seed every door of its partition with the intra-partition
+// walking distance).
+struct DijkstraSource {
+  DoorId door = kInvalidId;
+  double offset = 0.0;
+};
+
+struct SettledDoor {
+  DoorId door = kInvalidId;
+  double distance = 0.0;
+};
+
+class DijkstraEngine {
+ public:
+  // The graph must outlive the engine.
+  explicit DijkstraEngine(const D2DGraph& graph);
+
+  DijkstraEngine(const DijkstraEngine&) = delete;
+  DijkstraEngine& operator=(const DijkstraEngine&) = delete;
+
+  // Begins a new search from the given sources, invalidating all state from
+  // the previous search.
+  void Start(std::span<const DijkstraSource> sources);
+  void Start(DoorId source) {
+    const DijkstraSource s{source, 0.0};
+    Start(std::span<const DijkstraSource>(&s, 1));
+  }
+
+  // Settles and returns the next-closest door, or a door with
+  // id == kInvalidId when the reachable space is exhausted.
+  SettledDoor SettleNext();
+
+  // Runs until all doors in `targets` are settled (or the graph is
+  // exhausted). Returns the number of targets actually reached.
+  size_t RunToTargets(std::span<const DoorId> targets);
+
+  // Runs until the next door to settle is farther than `radius`.
+  void RunWithin(double radius);
+
+  // Runs the search to completion.
+  void RunAll();
+
+  // Accessors for the current search. Distance is kInfDistance for doors
+  // not yet settled (or unreachable).
+  bool Settled(DoorId d) const {
+    return epoch_mark_[d] == epoch_ && settled_[d];
+  }
+  double DistanceTo(DoorId d) const {
+    return Settled(d) ? dist_[d] : kInfDistance;
+  }
+  // Predecessor door on the shortest path from the nearest source
+  // (kInvalidId for source doors), and the partition the final edge
+  // traverses.
+  DoorId ParentOf(DoorId d) const { return Settled(d) ? parent_[d] : kInvalidId; }
+  PartitionId ParentVia(DoorId d) const {
+    return Settled(d) ? parent_via_[d] : kInvalidId;
+  }
+
+  // Reconstructs the door sequence from the source to `d` (source door
+  // first, `d` last). `d` must be settled.
+  std::vector<DoorId> PathTo(DoorId d) const;
+
+  size_t NumSettledInSearch() const { return settled_count_; }
+
+ private:
+  void Reach(DoorId d, double dist, DoorId parent, PartitionId via);
+
+  const D2DGraph& graph_;
+  std::vector<double> dist_;
+  std::vector<DoorId> parent_;
+  std::vector<PartitionId> parent_via_;
+  std::vector<uint8_t> settled_;
+  std::vector<uint32_t> epoch_mark_;
+  uint32_t epoch_ = 0;
+  size_t settled_count_ = 0;
+
+  using HeapEntry = std::pair<double, DoorId>;
+  std::priority_queue<HeapEntry, std::vector<HeapEntry>,
+                      std::greater<HeapEntry>>
+      heap_;
+};
+
+}  // namespace viptree
+
+#endif  // VIPTREE_GRAPH_DIJKSTRA_H_

@@ -1,0 +1,45 @@
+// Fundamental identifier and geometry types shared by the whole library.
+
+#ifndef VIPTREE_MODEL_TYPES_H_
+#define VIPTREE_MODEL_TYPES_H_
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+
+namespace viptree {
+
+// Dense 0-based identifiers. kInvalidId marks "none" (e.g. a NULL next-hop
+// door in a distance matrix, exactly the paper's NULL entries).
+using DoorId = int32_t;
+using PartitionId = int32_t;
+using NodeId = int32_t;
+using ObjectId = int32_t;
+
+inline constexpr int32_t kInvalidId = -1;
+
+inline constexpr double kInfDistance = std::numeric_limits<double>::infinity();
+
+// A point in the three-dimensional indoor coordinate system of §4.1: x and y
+// are planar coordinates in metres, z is the height in metres (floor number
+// times floor height, so inter-floor movement has a real cost).
+struct Point {
+  double x = 0.0;
+  double y = 0.0;
+  double z = 0.0;
+};
+
+inline double EuclideanDistance(const Point& a, const Point& b) {
+  const double dx = a.x - b.x;
+  const double dy = a.y - b.y;
+  const double dz = a.z - b.z;
+  return std::sqrt(dx * dx + dy * dy + dz * dz);
+}
+
+inline bool operator==(const Point& a, const Point& b) {
+  return a.x == b.x && a.y == b.y && a.z == b.z;
+}
+
+}  // namespace viptree
+
+#endif  // VIPTREE_MODEL_TYPES_H_

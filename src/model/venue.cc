@@ -1,0 +1,78 @@
+#include "model/venue.h"
+
+#include <vector>
+
+#include "common/check.h"
+
+namespace viptree {
+
+std::span<const DoorId> Venue::DoorsOf(PartitionId p) const {
+  VIPTREE_DCHECK(p >= 0 && static_cast<size_t>(p) < partitions_.size());
+  const uint32_t begin = partition_door_offsets_[p];
+  const uint32_t end = partition_door_offsets_[p + 1];
+  return {partition_doors_.data() + begin, partition_doors_.data() + end};
+}
+
+PartitionId Venue::OtherSide(DoorId d, PartitionId p) const {
+  const Door& door = doors_[d];
+  VIPTREE_DCHECK(door.partition_a == p || door.partition_b == p);
+  return door.partition_a == p ? door.partition_b : door.partition_a;
+}
+
+bool Venue::DoorTouches(DoorId d, PartitionId p) const {
+  const Door& door = doors_[d];
+  return door.partition_a == p || door.partition_b == p;
+}
+
+bool Venue::Adjacent(PartitionId a, PartitionId b) const {
+  // Iterate over the smaller door list.
+  std::span<const DoorId> da = DoorsOf(a);
+  std::span<const DoorId> db = DoorsOf(b);
+  if (db.size() < da.size()) {
+    std::swap(a, b);
+    std::swap(da, db);
+  }
+  for (DoorId d : da) {
+    if (DoorTouches(d, b)) return true;
+  }
+  return false;
+}
+
+double Venue::DistanceToDoor(const IndoorPoint& s, DoorId d) const {
+  VIPTREE_DCHECK(DoorTouches(d, s.partition));
+  return IntraPartitionDistance(s.partition, s.position, doors_[d].position);
+}
+
+bool Venue::IsConnected() const {
+  if (partitions_.empty()) return true;
+  std::vector<bool> seen(partitions_.size(), false);
+  std::vector<PartitionId> stack = {0};
+  seen[0] = true;
+  size_t reached = 1;
+  while (!stack.empty()) {
+    const PartitionId p = stack.back();
+    stack.pop_back();
+    for (DoorId d : DoorsOf(p)) {
+      const PartitionId q = OtherSide(d, p);
+      if (q == kInvalidId) continue;  // exterior door
+      if (!seen[q]) {
+        seen[q] = true;
+        ++reached;
+        stack.push_back(q);
+      }
+    }
+  }
+  return reached == partitions_.size();
+}
+
+uint64_t Venue::MemoryBytes() const {
+  uint64_t bytes = 0;
+  bytes += partitions_.capacity() * sizeof(Partition);
+  for (const Partition& p : partitions_) bytes += p.name.capacity();
+  bytes += doors_.capacity() * sizeof(Door);
+  bytes += partition_door_offsets_.capacity() * sizeof(uint32_t);
+  bytes += partition_doors_.capacity() * sizeof(DoorId);
+  return bytes;
+}
+
+}  // namespace viptree

@@ -1,0 +1,149 @@
+// The indoor venue data model of §2: indoor partitions (rooms, hallways,
+// staircases, lifts, outdoor walkways) connected by doors.
+//
+// Model invariants (enforced by VenueBuilder):
+//   * every door connects exactly two distinct partitions;
+//   * every partition has at least one door;
+// Outdoor space is modelled as ordinary walkway partitions so campus venues
+// need no special casing (see DESIGN.md §3).
+//
+// Partition taxonomy (§2): a partition with one door is a *no-through*
+// partition, a partition with more than beta doors is a *hallway* partition
+// (beta defaults to 4 as in the paper), everything else is a *general*
+// partition.
+
+#ifndef VIPTREE_MODEL_VENUE_H_
+#define VIPTREE_MODEL_VENUE_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "model/types.h"
+
+namespace viptree {
+
+// Provenance tag: what the generator (or importer) says this partition is.
+// Index classification never depends on this; it is used by examples,
+// object placement and venue statistics.
+enum class PartitionUse : uint8_t {
+  kRoom,
+  kCorridor,
+  kStaircase,
+  kLift,
+  kOutdoor,
+  kOther,
+};
+
+// Index-level classification of §2, derived from the door count and beta.
+enum class PartitionClass : uint8_t {
+  kNoThrough,  // exactly one door: no shortest path passes through it
+  kGeneral,
+  kHallway,  // more than beta doors
+};
+
+struct Partition {
+  PartitionId id = kInvalidId;
+  int level = 0;  // floor number (z = level * floor height for generators)
+  // Building / zone membership. Generators assign one zone per building so
+  // venue replication (CL-2 style) can connect each building to its replica.
+  int zone = 0;
+  PartitionUse use = PartitionUse::kRoom;
+  // Multiplier applied to intra-partition Euclidean distances; lets
+  // staircases model longer walking paths and lifts model travel time
+  // (§2: "the distances between the doors can be set appropriately").
+  double cost_scale = 1.0;
+  Point centroid;
+  std::string name;  // optional human-readable label for examples
+};
+
+struct Door {
+  DoorId id = kInvalidId;
+  // The two distinct partitions this door connects. partition_b may be
+  // kInvalidId for an *exterior* door leading out of the venue (e.g. a
+  // building entrance): such doors belong to one partition only and are
+  // access doors of every tree node containing it (the paper's root node
+  // N7 has access doors d1, d7, d20 -- the venue entrances).
+  PartitionId partition_a = kInvalidId;
+  PartitionId partition_b = kInvalidId;
+  Point position;
+
+  bool is_exterior() const { return partition_b == kInvalidId; }
+};
+
+// A query location: a point inside a known partition.
+struct IndoorPoint {
+  PartitionId partition = kInvalidId;
+  Point position;
+};
+
+// Immutable indoor venue. Construct through VenueBuilder.
+class Venue {
+ public:
+  Venue(const Venue&) = delete;
+  Venue& operator=(const Venue&) = delete;
+  Venue(Venue&&) = default;
+  Venue& operator=(Venue&&) = default;
+
+  size_t NumPartitions() const { return partitions_.size(); }
+  size_t NumDoors() const { return doors_.size(); }
+  int beta() const { return beta_; }
+
+  const Partition& partition(PartitionId p) const { return partitions_[p]; }
+  const Door& door(DoorId d) const { return doors_[d]; }
+  const std::vector<Partition>& partitions() const { return partitions_; }
+  const std::vector<Door>& doors() const { return doors_; }
+
+  // Doors attached to a partition (both doors leading in and out; a door
+  // belongs to exactly the two partitions it connects).
+  std::span<const DoorId> DoorsOf(PartitionId p) const;
+
+  // The partition on the other side of `d` from `p` (kInvalidId if `d` is
+  // an exterior door). `p` must be one of the partitions of `d`.
+  PartitionId OtherSide(DoorId d, PartitionId p) const;
+
+  // True if `d` is a door of partition `p`.
+  bool DoorTouches(DoorId d, PartitionId p) const;
+
+  // True if partitions `a` and `b` share at least one door (§2.1.2 adjacency).
+  bool Adjacent(PartitionId a, PartitionId b) const;
+
+  PartitionClass Classify(PartitionId p) const {
+    const size_t n = DoorsOf(p).size();
+    if (n == 1) return PartitionClass::kNoThrough;
+    if (n > static_cast<size_t>(beta_)) return PartitionClass::kHallway;
+    return PartitionClass::kGeneral;
+  }
+
+  // Walking distance between two points of the same partition, or between a
+  // point of a partition and one of its doors: Euclidean distance scaled by
+  // the partition's cost_scale (partitions are modelled convex).
+  double IntraPartitionDistance(PartitionId p, const Point& a,
+                                const Point& b) const {
+    return EuclideanDistance(a, b) * partitions_[p].cost_scale;
+  }
+
+  double DistanceToDoor(const IndoorPoint& s, DoorId d) const;
+
+  // True if every partition is reachable from partition 0 through doors.
+  bool IsConnected() const;
+
+  // Approximate in-memory footprint, for Table 2 / Fig 8 accounting.
+  uint64_t MemoryBytes() const;
+
+ private:
+  friend class VenueBuilder;
+  Venue() = default;
+
+  std::vector<Partition> partitions_;
+  std::vector<Door> doors_;
+  // CSR layout of partition -> doors.
+  std::vector<uint32_t> partition_door_offsets_;
+  std::vector<DoorId> partition_doors_;
+  int beta_ = 4;
+};
+
+}  // namespace viptree
+
+#endif  // VIPTREE_MODEL_VENUE_H_

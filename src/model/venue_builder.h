@@ -1,0 +1,57 @@
+// Mutable builder and validator for Venue objects.
+
+#ifndef VIPTREE_MODEL_VENUE_BUILDER_H_
+#define VIPTREE_MODEL_VENUE_BUILDER_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "model/venue.h"
+
+namespace viptree {
+
+class VenueBuilder {
+ public:
+  // beta is the hallway threshold of §2 (partitions with more than beta
+  // doors are hallways). The paper uses beta = 4.
+  explicit VenueBuilder(int beta = 4) : beta_(beta) {}
+
+  // Adds a partition and returns its id (dense, starting at 0).
+  PartitionId AddPartition(int level, PartitionUse use, Point centroid,
+                           std::string name = "", double cost_scale = 1.0,
+                           int zone = 0);
+
+  // Adds a door connecting partitions `a` and `b` at `position`; returns its
+  // id. `a` and `b` must be existing, distinct partitions.
+  DoorId AddDoor(PartitionId a, PartitionId b, Point position);
+
+  // Adds an exterior door: a venue entrance/exit belonging to partition `a`
+  // only.
+  DoorId AddExteriorDoor(PartitionId a, Point position);
+
+  size_t NumPartitions() const { return partitions_.size(); }
+  size_t NumDoors() const { return doors_.size(); }
+
+  // Centroid of an already-added partition (generators use it to position
+  // connector doors).
+  Point PartitionCentroid(PartitionId p) const;
+
+  // Returns an error description if the venue is malformed (a partition with
+  // no door, a door with an unknown or duplicate partition, a disconnected
+  // venue), std::nullopt if it is valid.
+  std::optional<std::string> Validate() const;
+
+  // Validates and finalizes. Aborts on invalid input (call Validate() first
+  // if the input is untrusted).
+  Venue Build() &&;
+
+ private:
+  int beta_;
+  std::vector<Partition> partitions_;
+  std::vector<Door> doors_;
+};
+
+}  // namespace viptree
+
+#endif  // VIPTREE_MODEL_VENUE_BUILDER_H_

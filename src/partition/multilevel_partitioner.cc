@@ -1,0 +1,284 @@
+#include "partition/multilevel_partitioner.h"
+
+#include <algorithm>
+#include <numeric>
+#include <queue>
+#include <unordered_map>
+
+#include "common/check.h"
+#include "common/rng.h"
+
+namespace viptree {
+
+namespace {
+
+// Builds a compact graph over `vertices` from the D2D graph, collapsing
+// parallel edges into weights.
+MultilevelPartitioner::CompactGraph BuildCompact(
+    const D2DGraph& graph, const std::vector<DoorId>& vertices) {
+  MultilevelPartitioner::CompactGraph g;
+  const size_t n = vertices.size();
+  std::unordered_map<DoorId, int> local;
+  local.reserve(n * 2);
+  for (size_t i = 0; i < n; ++i) local[vertices[i]] = static_cast<int>(i);
+
+  g.offsets.assign(n + 1, 0);
+  g.vertex_weight.assign(n, 1);
+  std::vector<std::vector<std::pair<int, int>>> adj(n);
+  for (size_t i = 0; i < n; ++i) {
+    std::unordered_map<int, int> merged;
+    for (const D2DEdge& e : graph.EdgesOf(vertices[i])) {
+      const auto it = local.find(e.to);
+      if (it == local.end()) continue;
+      ++merged[it->second];
+    }
+    adj[i].assign(merged.begin(), merged.end());
+  }
+  for (size_t i = 0; i < n; ++i) {
+    g.offsets[i + 1] = g.offsets[i] + static_cast<int>(adj[i].size());
+  }
+  g.targets.resize(g.offsets.back());
+  g.weights.resize(g.offsets.back());
+  for (size_t i = 0; i < n; ++i) {
+    int cursor = g.offsets[i];
+    for (const auto& [to, w] : adj[i]) {
+      g.targets[cursor] = to;
+      g.weights[cursor] = w;
+      ++cursor;
+    }
+  }
+  return g;
+}
+
+// Heavy-edge matching: returns coarse vertex id per fine vertex.
+std::vector<int> HeavyEdgeMatching(
+    const MultilevelPartitioner::CompactGraph& g, size_t* coarse_n) {
+  const size_t n = g.n();
+  std::vector<int> match(n, -1);
+  std::vector<int> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  // Visit low-degree vertices first so they are not starved of partners.
+  std::sort(order.begin(), order.end(), [&g](int a, int b) {
+    return g.offsets[a + 1] - g.offsets[a] < g.offsets[b + 1] - g.offsets[b];
+  });
+  for (int v : order) {
+    if (match[v] >= 0) continue;
+    int best = -1;
+    int best_w = -1;
+    for (int e = g.offsets[v]; e < g.offsets[v + 1]; ++e) {
+      const int u = g.targets[e];
+      if (u == v || match[u] >= 0) continue;
+      if (g.weights[e] > best_w) {
+        best_w = g.weights[e];
+        best = u;
+      }
+    }
+    if (best >= 0) {
+      match[v] = best;
+      match[best] = v;
+    } else {
+      match[v] = v;  // stays single
+    }
+  }
+  std::vector<int> coarse_of(n, -1);
+  int next = 0;
+  for (size_t v = 0; v < n; ++v) {
+    if (coarse_of[v] >= 0) continue;
+    coarse_of[v] = next;
+    coarse_of[match[v]] = next;
+    ++next;
+  }
+  *coarse_n = static_cast<size_t>(next);
+  return coarse_of;
+}
+
+MultilevelPartitioner::CompactGraph Coarsen(
+    const MultilevelPartitioner::CompactGraph& g,
+    const std::vector<int>& coarse_of, size_t coarse_n) {
+  MultilevelPartitioner::CompactGraph c;
+  c.vertex_weight.assign(coarse_n, 0);
+  for (size_t v = 0; v < g.n(); ++v) {
+    c.vertex_weight[coarse_of[v]] += g.vertex_weight[v];
+  }
+  std::vector<std::unordered_map<int, int>> adj(coarse_n);
+  for (size_t v = 0; v < g.n(); ++v) {
+    const int cv = coarse_of[v];
+    for (int e = g.offsets[v]; e < g.offsets[v + 1]; ++e) {
+      const int cu = coarse_of[g.targets[e]];
+      if (cu == cv) continue;
+      adj[cv][cu] += g.weights[e];
+    }
+  }
+  c.offsets.assign(coarse_n + 1, 0);
+  for (size_t v = 0; v < coarse_n; ++v) {
+    c.offsets[v + 1] = c.offsets[v] + static_cast<int>(adj[v].size());
+  }
+  c.targets.resize(c.offsets.back());
+  c.weights.resize(c.offsets.back());
+  for (size_t v = 0; v < coarse_n; ++v) {
+    int cursor = c.offsets[v];
+    for (const auto& [to, w] : adj[v]) {
+      c.targets[cursor] = to;
+      c.weights[cursor] = w;
+      ++cursor;
+    }
+  }
+  return c;
+}
+
+int TotalWeight(const MultilevelPartitioner::CompactGraph& g) {
+  int total = 0;
+  for (int w : g.vertex_weight) total += w;
+  return total;
+}
+
+}  // namespace
+
+MultilevelPartitioner::MultilevelPartitioner(const D2DGraph& graph,
+                                             uint64_t seed)
+    : graph_(graph), seed_(seed) {}
+
+std::vector<int> MultilevelPartitioner::BisectDirect(const CompactGraph& g) {
+  // Greedy graph growing: BFS-accumulate vertices from a start vertex until
+  // half the total weight is collected.
+  const size_t n = g.n();
+  std::vector<int> side(n, 1);
+  if (n <= 1) {
+    return side;
+  }
+  const int total = TotalWeight(g);
+  Rng rng(seed_ + n);
+  const int start = static_cast<int>(rng.UniformIndex(n));
+  std::vector<bool> taken(n, false);
+  std::queue<int> frontier;
+  frontier.push(start);
+  taken[start] = true;
+  int grown = g.vertex_weight[start];
+  side[start] = 0;
+  while (grown * 2 < total && !frontier.empty()) {
+    const int v = frontier.front();
+    frontier.pop();
+    for (int e = g.offsets[v]; e < g.offsets[v + 1]; ++e) {
+      const int u = g.targets[e];
+      if (taken[u] || grown * 2 >= total) continue;
+      taken[u] = true;
+      side[u] = 0;
+      grown += g.vertex_weight[u];
+      frontier.push(u);
+    }
+    if (frontier.empty() && grown * 2 < total) {
+      // Disconnected remainder: jump to any untaken vertex.
+      for (size_t u = 0; u < n; ++u) {
+        if (!taken[u]) {
+          taken[u] = true;
+          side[u] = 0;
+          grown += g.vertex_weight[u];
+          frontier.push(static_cast<int>(u));
+          break;
+        }
+      }
+    }
+  }
+  return side;
+}
+
+void MultilevelPartitioner::Refine(const CompactGraph& g,
+                                   std::vector<int>& side) {
+  // Boundary refinement: move vertices with positive gain (more edge weight
+  // to the other side) while keeping both sides within 60% of the total.
+  const int total = TotalWeight(g);
+  int weight0 = 0;
+  for (size_t v = 0; v < g.n(); ++v) {
+    if (side[v] == 0) weight0 += g.vertex_weight[v];
+  }
+  const int cap = (total * 3) / 5 + 1;
+  for (int pass = 0; pass < 2; ++pass) {
+    bool moved = false;
+    for (size_t v = 0; v < g.n(); ++v) {
+      int to_same = 0;
+      int to_other = 0;
+      for (int e = g.offsets[v]; e < g.offsets[v + 1]; ++e) {
+        if (side[g.targets[e]] == side[v]) {
+          to_same += g.weights[e];
+        } else {
+          to_other += g.weights[e];
+        }
+      }
+      if (to_other <= to_same) continue;
+      const int new_w0 =
+          side[v] == 0 ? weight0 - g.vertex_weight[v]
+                       : weight0 + g.vertex_weight[v];
+      if (new_w0 > cap || total - new_w0 > cap) continue;
+      side[v] = 1 - side[v];
+      weight0 = new_w0;
+      moved = true;
+    }
+    if (!moved) break;
+  }
+}
+
+std::vector<int> MultilevelPartitioner::Bisect(const CompactGraph& g) {
+  constexpr size_t kDirectThreshold = 256;
+  if (g.n() <= kDirectThreshold) {
+    std::vector<int> side = BisectDirect(g);
+    Refine(g, side);
+    return side;
+  }
+  size_t coarse_n = 0;
+  const std::vector<int> coarse_of = HeavyEdgeMatching(g, &coarse_n);
+  if (coarse_n == g.n()) {  // matching made no progress
+    std::vector<int> side = BisectDirect(g);
+    Refine(g, side);
+    return side;
+  }
+  const CompactGraph coarse = Coarsen(g, coarse_of, coarse_n);
+  const std::vector<int> coarse_side = Bisect(coarse);
+  std::vector<int> side(g.n());
+  for (size_t v = 0; v < g.n(); ++v) side[v] = coarse_side[coarse_of[v]];
+  Refine(g, side);
+  return side;
+}
+
+std::vector<int> MultilevelPartitioner::Partition(
+    const std::vector<DoorId>& vertices, int parts) {
+  VIPTREE_CHECK(parts >= 1);
+  std::vector<int> result(vertices.size(), 0);
+  if (parts == 1 || vertices.size() <= 1) return result;
+
+  // Recursive bisection: split into ceil(parts/2) and floor(parts/2).
+  const CompactGraph g = BuildCompact(graph_, vertices);
+  std::vector<int> side = Bisect(g);
+
+  std::vector<DoorId> left, right;
+  std::vector<size_t> left_pos, right_pos;
+  for (size_t i = 0; i < vertices.size(); ++i) {
+    if (side[i] == 0) {
+      left.push_back(vertices[i]);
+      left_pos.push_back(i);
+    } else {
+      right.push_back(vertices[i]);
+      right_pos.push_back(i);
+    }
+  }
+  // Guard against empty sides (pathological graphs).
+  if (left.empty() || right.empty()) {
+    for (size_t i = 0; i < vertices.size(); ++i) {
+      result[i] = static_cast<int>(i % parts);
+    }
+    return result;
+  }
+  const int left_parts = (parts + 1) / 2;
+  const int right_parts = parts - left_parts;
+  const std::vector<int> left_assign = Partition(left, left_parts);
+  const std::vector<int> right_assign =
+      Partition(right, std::max(1, right_parts));
+  for (size_t i = 0; i < left.size(); ++i) {
+    result[left_pos[i]] = left_assign[i];
+  }
+  for (size_t i = 0; i < right.size(); ++i) {
+    result[right_pos[i]] = left_parts + right_assign[i];
+  }
+  return result;
+}
+
+}  // namespace viptree

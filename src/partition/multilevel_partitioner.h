@@ -1,0 +1,52 @@
+// Multilevel graph partitioner — the METIS [15] stand-in used by the G-tree
+// and ROAD baselines (§5: "G-tree uses an existing multilevel graph
+// partitioning algorithm for graph decomposition").
+//
+// Classic three-phase scheme on the door connectivity graph:
+//   1. coarsen by heavy-edge matching until the graph is small,
+//   2. greedy graph-growing bisection of the coarse graph,
+//   3. project back with boundary Kernighan-Lin-style refinement.
+// Multi-way splits are recursive bisections.
+
+#ifndef VIPTREE_PARTITION_MULTILEVEL_PARTITIONER_H_
+#define VIPTREE_PARTITION_MULTILEVEL_PARTITIONER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/d2d_graph.h"
+
+namespace viptree {
+
+class MultilevelPartitioner {
+ public:
+  explicit MultilevelPartitioner(const D2DGraph& graph, uint64_t seed = 1);
+
+  // Splits `vertices` (door ids) into up to `parts` balanced groups with a
+  // small edge cut. Returns a part index in [0, parts) per input position.
+  // Groups are non-empty as long as parts <= vertices.size().
+  std::vector<int> Partition(const std::vector<DoorId>& vertices, int parts);
+
+  // Internal compact graph for one (sub)problem. Public for the free
+  // helper functions in the implementation file; not part of the API.
+  struct CompactGraph {
+    // CSR with edge multiplicities as weights.
+    std::vector<int> offsets;
+    std::vector<int> targets;
+    std::vector<int> weights;
+    std::vector<int> vertex_weight;  // number of original doors merged in
+    size_t n() const { return vertex_weight.size(); }
+  };
+
+ private:
+  std::vector<int> Bisect(const CompactGraph& g);
+  std::vector<int> BisectDirect(const CompactGraph& g);
+  void Refine(const CompactGraph& g, std::vector<int>& side);
+
+  const D2DGraph& graph_;
+  uint64_t seed_;
+};
+
+}  // namespace viptree
+
+#endif  // VIPTREE_PARTITION_MULTILEVEL_PARTITIONER_H_

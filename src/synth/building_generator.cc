@@ -1,0 +1,189 @@
+#include "synth/building_generator.h"
+
+#include <algorithm>
+#include <tuple>
+#include <utility>
+
+#include "common/check.h"
+
+namespace viptree {
+namespace synth {
+
+namespace {
+
+// Identifies a generated room so the generator can add inter-room doors.
+struct RoomSlot {
+  PartitionId id = kInvalidId;
+  int segment = 0;
+  int side = 0;  // 0 = south, 1 = north
+  int index = 0;
+  Point door_anchor;  // where the corridor wall is
+};
+
+}  // namespace
+
+BuildingArtifacts GenerateBuilding(const BuildingConfig& config, int zone,
+                                   VenueBuilder& builder, Rng& rng) {
+  VIPTREE_CHECK(config.floors >= 1);
+  VIPTREE_CHECK(config.corridors_per_floor >= 1);
+  VIPTREE_CHECK(config.rooms_per_floor >= 0);
+
+  BuildingArtifacts out;
+  out.zone = zone;
+
+  const int segments = config.corridors_per_floor;
+  const int rooms_per_segment =
+      (config.rooms_per_floor + segments - 1) / segments;
+  const int rooms_per_side = (rooms_per_segment + 1) / 2;
+  const double seg_len =
+      std::max(1, rooms_per_side) * config.room_width + config.room_width;
+  const double ox = config.origin.x;
+  const double oy = config.origin.y;
+  const double oz = config.origin.z;
+
+  // corridor_ids[floor][segment]
+  std::vector<std::vector<PartitionId>> corridor_ids(
+      config.floors, std::vector<PartitionId>(segments, kInvalidId));
+
+  for (int f = 0; f < config.floors; ++f) {
+    const double z = oz + f * config.floor_height;
+    std::vector<RoomSlot> rooms;
+    rooms.reserve(rooms_per_segment * segments);
+
+    for (int s = 0; s < segments; ++s) {
+      const double seg_x0 = ox + s * seg_len;
+      const Point corridor_center{seg_x0 + seg_len / 2.0, oy, z};
+      corridor_ids[f][s] = builder.AddPartition(
+          f, PartitionUse::kCorridor, corridor_center,
+          config.name + "/L" + std::to_string(f) + "/corridor" +
+              std::to_string(s),
+          1.0, zone);
+      out.corridors.push_back(corridor_ids[f][s]);
+      if (f == 0) out.ground_corridors.push_back(corridor_ids[f][s]);
+
+      int remaining = std::min(rooms_per_segment,
+                               config.rooms_per_floor - s * rooms_per_segment);
+      for (int r = 0; r < remaining; ++r) {
+        const int side = r % 2;
+        const int idx = r / 2;
+        const double rx = seg_x0 + (idx + 0.5) * config.room_width;
+        const double wall_y =
+            side == 0 ? oy - config.corridor_width / 2.0
+                      : oy + config.corridor_width / 2.0;
+        const double room_y =
+            side == 0 ? wall_y - config.room_depth / 2.0
+                      : wall_y + config.room_depth / 2.0;
+        const PartitionId room = builder.AddPartition(
+            f, PartitionUse::kRoom, Point{rx, room_y, z},
+            config.name + "/L" + std::to_string(f) + "/room" +
+                std::to_string(s * rooms_per_segment + r),
+            1.0, zone);
+        const Point door_pos{rx, wall_y, z};
+        builder.AddDoor(room, corridor_ids[f][s], door_pos);
+        if (rng.Chance(config.extra_corridor_door_prob)) {
+          builder.AddDoor(room, corridor_ids[f][s],
+                          Point{rx + config.room_width * 0.35, wall_y, z});
+        }
+        rooms.push_back(RoomSlot{room, s, side, idx, door_pos});
+      }
+    }
+
+    // Doors between consecutive corridor segments.
+    for (int s = 0; s + 1 < segments; ++s) {
+      const double boundary_x = ox + (s + 1) * seg_len;
+      builder.AddDoor(corridor_ids[f][s], corridor_ids[f][s + 1],
+                      Point{boundary_x, oy, z});
+    }
+
+    // Occasional doors between adjacent rooms on the same side (gives rooms
+    // with several doors, exercising superior/inferior door logic).
+    std::sort(rooms.begin(), rooms.end(),
+              [](const RoomSlot& a, const RoomSlot& b) {
+                return std::tie(a.segment, a.side, a.index) <
+                       std::tie(b.segment, b.side, b.index);
+              });
+    for (size_t i = 0; i + 1 < rooms.size(); ++i) {
+      const RoomSlot& a = rooms[i];
+      const RoomSlot& b = rooms[i + 1];
+      if (a.segment == b.segment && a.side == b.side &&
+          b.index == a.index + 1 && rng.Chance(config.inter_room_door_prob)) {
+        const double wall_x = (a.door_anchor.x + b.door_anchor.x) / 2.0;
+        const double mid_y = a.side == 0
+                                 ? oy - config.corridor_width / 2.0 -
+                                       config.room_depth / 2.0
+                                 : oy + config.corridor_width / 2.0 +
+                                       config.room_depth / 2.0;
+        builder.AddDoor(a.id, b.id, Point{wall_x, mid_y, z});
+      }
+    }
+  }
+
+  // Staircases between consecutive floors, spread over corridor segments.
+  for (int f = 0; f + 1 < config.floors; ++f) {
+    const double z_lo = oz + f * config.floor_height;
+    const double z_hi = z_lo + config.floor_height;
+    for (int st = 0; st < config.staircases; ++st) {
+      const int seg = st % segments;
+      const double sx = ox + seg * seg_len + seg_len * (0.15 + 0.7 * st /
+                            std::max(1, config.staircases));
+      const PartitionId stair = builder.AddPartition(
+          f, PartitionUse::kStaircase,
+          Point{sx, oy + config.corridor_width, (z_lo + z_hi) / 2.0},
+          config.name + "/stair" + std::to_string(st) + "/L" +
+              std::to_string(f),
+          config.stair_cost_scale, zone);
+      builder.AddDoor(stair, corridor_ids[f][seg], Point{sx, oy, z_lo});
+      builder.AddDoor(stair, corridor_ids[f + 1][seg], Point{sx, oy, z_hi});
+    }
+    // Lift shafts: one general partition per consecutive floor pair (§2).
+    for (int lf = 0; lf < config.lifts; ++lf) {
+      const int seg = (lf + 1) % segments;
+      const double lx = ox + seg * seg_len + seg_len * 0.5 + (lf + 1) * 1.5;
+      const PartitionId lift = builder.AddPartition(
+          f, PartitionUse::kLift,
+          Point{lx, oy - config.corridor_width, (z_lo + z_hi) / 2.0},
+          config.name + "/lift" + std::to_string(lf) + "/L" +
+              std::to_string(f),
+          config.lift_cost_scale, zone);
+      builder.AddDoor(lift, corridor_ids[f][seg], Point{lx, oy, z_lo});
+      builder.AddDoor(lift, corridor_ids[f + 1][seg], Point{lx, oy, z_hi});
+    }
+  }
+
+  // Exits: either exterior doors out of the venue, or doors onto an outdoor
+  // forecourt partition (campus mode).
+  if (config.exits > 0) {
+    if (!config.exterior_exits) {
+      out.forecourt = builder.AddPartition(
+          0, PartitionUse::kOutdoor,
+          Point{ox + segments * seg_len / 2.0, oy - 3.0 * config.room_depth,
+                oz},
+          config.name + "/forecourt", 1.0, zone);
+    }
+    for (int e = 0; e < config.exits; ++e) {
+      const PartitionId corridor =
+          out.ground_corridors[e % out.ground_corridors.size()];
+      const double ex =
+          ox + (e % segments) * seg_len + seg_len * (e + 1) /
+              (config.exits + 1.0);
+      const Point door_pos{ex, oy - config.corridor_width / 2.0, oz};
+      if (config.exterior_exits) {
+        builder.AddExteriorDoor(corridor, door_pos);
+      } else {
+        builder.AddDoor(corridor, out.forecourt, door_pos);
+      }
+    }
+  }
+
+  return out;
+}
+
+Venue GenerateStandaloneBuilding(const BuildingConfig& config, uint64_t seed) {
+  VenueBuilder builder;
+  Rng rng(seed);
+  GenerateBuilding(config, /*zone=*/0, builder, rng);
+  return std::move(builder).Build();
+}
+
+}  // namespace synth
+}  // namespace viptree

@@ -1,0 +1,89 @@
+// Parametric multi-storey building generator.
+//
+// The paper evaluates on floor plans of real venues (Melbourne Central,
+// Menzies building, Clayton campus) that are not publicly available; this
+// generator produces buildings with the same structural signature the
+// IP-/VIP-Tree design exploits (§1.3): long double-loaded corridors whose
+// door sets form large cliques in the D2D graph, rooms hanging off them
+// (many no-through partitions), and a small number of staircases / lift
+// segments acting as the only access doors between floors.
+//
+// Per-floor layout (top view), corridors_per_floor = 2:
+//
+//   [room][room][room][room]   [room][room][room][room]
+//   ===== corridor seg 0 =====x===== corridor seg 1 =====   <- x: seg door
+//   [room][room][room][room]   [room][room][room][room]
+//
+// Staircase and lift partitions connect corridor segments of consecutive
+// floors; an optional outdoor "forecourt" partition provides building exits
+// (used by campus assembly and the evacuation example).
+
+#ifndef VIPTREE_SYNTH_BUILDING_GENERATOR_H_
+#define VIPTREE_SYNTH_BUILDING_GENERATOR_H_
+
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "model/venue.h"
+#include "model/venue_builder.h"
+
+namespace viptree {
+namespace synth {
+
+struct BuildingConfig {
+  std::string name = "building";
+  int floors = 3;
+  // Rooms per floor, split evenly across corridor segments (two sides each).
+  int rooms_per_floor = 24;
+  int corridors_per_floor = 1;
+  // Staircases and lift shafts connecting consecutive floors.
+  int staircases = 2;
+  int lifts = 0;
+  // Number of exit doors; 0 means the building is closed.
+  int exits = 2;
+  // When true, exits are exterior doors leading out of the venue (they
+  // become access doors of the tree root, like d1/d7/d20 in the paper's
+  // Fig. 1). When false, exits open onto an outdoor forecourt partition,
+  // which campus assembly connects to neighbouring forecourts.
+  bool exterior_exits = true;
+
+  double room_width = 5.0;
+  double room_depth = 6.0;
+  double corridor_width = 3.0;
+  double floor_height = 4.0;
+  // Walking a staircase is longer than the straight-line distance between
+  // its two doors; lifts can be cheaper (travel-time semantics, §2).
+  double stair_cost_scale = 1.8;
+  double lift_cost_scale = 1.0;
+
+  // Probability that a room gets a second door onto its corridor.
+  double extra_corridor_door_prob = 0.08;
+  // Probability of a door between two adjacent rooms on the same side.
+  double inter_room_door_prob = 0.10;
+
+  // Placement offset of the building footprint (campus grids).
+  Point origin;
+};
+
+// What campus assembly and replication need to know about a generated
+// building.
+struct BuildingArtifacts {
+  int zone = 0;
+  std::vector<PartitionId> corridors;         // all corridor segments
+  std::vector<PartitionId> ground_corridors;  // level-0 segments
+  PartitionId forecourt = kInvalidId;         // outdoor partition, if exits>0
+};
+
+// Emits one building into `builder`; all its partitions get zone `zone`.
+BuildingArtifacts GenerateBuilding(const BuildingConfig& config, int zone,
+                                   VenueBuilder& builder, Rng& rng);
+
+// Convenience wrapper: a standalone venue containing exactly one building
+// (with its forecourt when config.exits > 0).
+Venue GenerateStandaloneBuilding(const BuildingConfig& config, uint64_t seed);
+
+}  // namespace synth
+}  // namespace viptree
+
+#endif  // VIPTREE_SYNTH_BUILDING_GENERATOR_H_

@@ -1,0 +1,104 @@
+#include "synth/campus_generator.h"
+
+#include <algorithm>
+#include <string>
+#include <utility>
+
+#include "common/check.h"
+#include "common/rng.h"
+#include "model/venue_builder.h"
+
+namespace viptree {
+namespace synth {
+
+Venue GenerateCampus(const CampusConfig& config) {
+  VIPTREE_CHECK(!config.buildings.empty());
+  VIPTREE_CHECK(config.grid_columns >= 1);
+
+  VenueBuilder builder;
+  Rng rng(config.seed);
+
+  const int cols = config.grid_columns;
+  std::vector<BuildingArtifacts> artifacts;
+  artifacts.reserve(config.buildings.size());
+
+  for (size_t b = 0; b < config.buildings.size(); ++b) {
+    BuildingConfig cfg = config.buildings[b];
+    const int gx = static_cast<int>(b) % cols;
+    const int gy = static_cast<int>(b) / cols;
+    cfg.origin = Point{gx * config.building_spacing,
+                       gy * config.building_spacing, 0.0};
+    if (cfg.exits <= 0) cfg.exits = 1;  // campus buildings must have an exit
+    cfg.exterior_exits = false;         // exits open onto the forecourt
+    artifacts.push_back(
+        GenerateBuilding(cfg, static_cast<int>(b), builder, rng));
+  }
+
+  // Walkway doors between forecourts of grid neighbours (right and down).
+  for (size_t b = 0; b < artifacts.size(); ++b) {
+    const int gx = static_cast<int>(b) % cols;
+    const Point here =
+        Point{gx * config.building_spacing, (static_cast<int>(b) / cols) *
+                                                config.building_spacing,
+              0.0};
+    const size_t right = b + 1;
+    if (gx + 1 < cols && right < artifacts.size()) {
+      builder.AddDoor(artifacts[b].forecourt, artifacts[right].forecourt,
+                      Point{here.x + config.building_spacing / 2.0, here.y,
+                            0.0});
+    }
+    const size_t down = b + cols;
+    if (down < artifacts.size()) {
+      builder.AddDoor(artifacts[b].forecourt, artifacts[down].forecourt,
+                      Point{here.x, here.y + config.building_spacing / 2.0,
+                            0.0});
+    }
+  }
+
+  return std::move(builder).Build();
+}
+
+CampusConfig MixedCampusConfig(int num_buildings, double room_scale,
+                               uint64_t seed) {
+  VIPTREE_CHECK(num_buildings >= 1);
+  CampusConfig campus;
+  campus.seed = seed;
+  campus.grid_columns = std::max(1, static_cast<int>(num_buildings > 9
+                                                         ? 8
+                                                         : num_buildings));
+  auto scaled = [room_scale](int rooms) {
+    return std::max(4, static_cast<int>(rooms * room_scale));
+  };
+  for (int b = 0; b < num_buildings; ++b) {
+    BuildingConfig cfg;
+    cfg.name = "bldg" + std::to_string(b);
+    switch (b % 3) {
+      case 0:  // small teaching building
+        cfg.floors = 3;
+        cfg.rooms_per_floor = scaled(60);
+        cfg.corridors_per_floor = 2;
+        cfg.staircases = 2;
+        break;
+      case 1:  // mid-rise office building
+        cfg.floors = 6;
+        cfg.rooms_per_floor = scaled(90);
+        cfg.corridors_per_floor = 2;
+        cfg.staircases = 2;
+        cfg.lifts = 1;
+        break;
+      default:  // large laboratory block with big hallway cliques
+        cfg.floors = 8;
+        cfg.rooms_per_floor = scaled(130);
+        cfg.corridors_per_floor = 1;
+        cfg.staircases = 3;
+        cfg.lifts = 1;
+        break;
+    }
+    cfg.exits = 2;
+    campus.buildings.push_back(std::move(cfg));
+  }
+  return campus;
+}
+
+}  // namespace synth
+}  // namespace viptree

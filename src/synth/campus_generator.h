@@ -1,0 +1,43 @@
+// Multi-building campus generator (Clayton-campus analogue).
+//
+// Buildings are placed on a grid; each building's outdoor forecourt
+// partition is connected by walkway doors to the forecourts of its grid
+// neighbours, which reproduces the paper's Clayton construction where "the
+// D2D graph also contains edges between the entry/exit doors of different
+// buildings" (§4.1) while keeping the closed-world invariant that every
+// door connects two partitions.
+
+#ifndef VIPTREE_SYNTH_CAMPUS_GENERATOR_H_
+#define VIPTREE_SYNTH_CAMPUS_GENERATOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "model/venue.h"
+#include "synth/building_generator.h"
+
+namespace viptree {
+namespace synth {
+
+struct CampusConfig {
+  // One entry per building; origins are overwritten by the grid placer.
+  std::vector<BuildingConfig> buildings;
+  int grid_columns = 8;
+  double building_spacing = 120.0;  // metres between building origins
+  uint64_t seed = 7;
+};
+
+// Builds a campus venue. Building b gets zone id b.
+Venue GenerateCampus(const CampusConfig& config);
+
+// A convenience mixed-size campus: `num_buildings` buildings whose floor /
+// room counts cycle through small, medium and large templates, scaled by
+// `room_scale` (1.0 reproduces paper-magnitude buildings; smaller values
+// make laptop-friendly venues with the same shape).
+CampusConfig MixedCampusConfig(int num_buildings, double room_scale,
+                               uint64_t seed);
+
+}  // namespace synth
+}  // namespace viptree
+
+#endif  // VIPTREE_SYNTH_CAMPUS_GENERATOR_H_

@@ -1,0 +1,70 @@
+#include "synth/objects.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace viptree {
+namespace synth {
+
+namespace {
+
+IndoorPoint PointIn(const Venue& venue, PartitionId p, Rng& rng) {
+  const Partition& part = venue.partition(p);
+  IndoorPoint point;
+  point.partition = p;
+  point.position = part.centroid;
+  point.position.x += rng.UniformReal(-1.5, 1.5);
+  point.position.y += rng.UniformReal(-1.5, 1.5);
+  return point;
+}
+
+}  // namespace
+
+IndoorPoint RandomIndoorPoint(const Venue& venue, Rng& rng) {
+  const PartitionId p =
+      static_cast<PartitionId>(rng.UniformIndex(venue.NumPartitions()));
+  return PointIn(venue, p, rng);
+}
+
+std::vector<std::pair<IndoorPoint, IndoorPoint>> RandomPointPairs(
+    const Venue& venue, size_t n, Rng& rng) {
+  std::vector<std::pair<IndoorPoint, IndoorPoint>> pairs;
+  pairs.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    pairs.emplace_back(RandomIndoorPoint(venue, rng),
+                       RandomIndoorPoint(venue, rng));
+  }
+  return pairs;
+}
+
+std::vector<IndoorPoint> RandomQueryPoints(const Venue& venue, size_t n,
+                                           Rng& rng) {
+  std::vector<IndoorPoint> points;
+  points.reserve(n);
+  for (size_t i = 0; i < n; ++i) points.push_back(RandomIndoorPoint(venue, rng));
+  return points;
+}
+
+std::vector<IndoorPoint> PlaceObjects(const Venue& venue, size_t count,
+                                      Rng& rng) {
+  std::vector<PartitionId> rooms;
+  for (const Partition& p : venue.partitions()) {
+    if (p.use == PartitionUse::kRoom) rooms.push_back(p.id);
+  }
+  if (rooms.empty()) {
+    for (const Partition& p : venue.partitions()) rooms.push_back(p.id);
+  }
+  std::shuffle(rooms.begin(), rooms.end(), rng.engine());
+
+  std::vector<IndoorPoint> objects;
+  objects.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    const PartitionId p = rooms[i % rooms.size()];
+    objects.push_back(PointIn(venue, p, rng));
+  }
+  return objects;
+}
+
+}  // namespace synth
+}  // namespace viptree

@@ -1,0 +1,37 @@
+// Workload generation: random indoor query points, source/target pairs, and
+// indoor object sets (the "washrooms" of §4.1).
+
+#ifndef VIPTREE_SYNTH_OBJECTS_H_
+#define VIPTREE_SYNTH_OBJECTS_H_
+
+#include <utility>
+#include <vector>
+
+#include "common/rng.h"
+#include "model/venue.h"
+
+namespace viptree {
+namespace synth {
+
+// A point in a uniformly random partition, jittered around its centroid.
+IndoorPoint RandomIndoorPoint(const Venue& venue, Rng& rng);
+
+// `n` independent (source, target) pairs for shortest distance/path
+// workloads (§4.1 uses 10,000 random pairs).
+std::vector<std::pair<IndoorPoint, IndoorPoint>> RandomPointPairs(
+    const Venue& venue, size_t n, Rng& rng);
+
+// `n` independent query points for kNN / range workloads.
+std::vector<IndoorPoint> RandomQueryPoints(const Venue& venue, size_t n,
+                                           Rng& rng);
+
+// Places `count` objects uniformly over room partitions (distinct partitions
+// while enough rooms are available), mirroring the paper's small
+// facility-style object sets (ATMs, washrooms, kiosks).
+std::vector<IndoorPoint> PlaceObjects(const Venue& venue, size_t count,
+                                      Rng& rng);
+
+}  // namespace synth
+}  // namespace viptree
+
+#endif  // VIPTREE_SYNTH_OBJECTS_H_

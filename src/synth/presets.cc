@@ -1,0 +1,118 @@
+#include "synth/presets.h"
+
+#include <algorithm>
+#include <cctype>
+
+#include "common/check.h"
+#include "synth/building_generator.h"
+#include "synth/campus_generator.h"
+#include "synth/replicate.h"
+
+namespace viptree {
+namespace synth {
+
+namespace {
+
+BuildingConfig MelbourneCentralConfig(double scale) {
+  // Shopping centre: 7 levels (incl. ground and lower ground), wide
+  // corridors ringed by shops, escalators modelled as staircases.
+  BuildingConfig cfg;
+  cfg.name = "MC";
+  cfg.floors = 7;
+  cfg.rooms_per_floor = std::max(4, static_cast<int>(40 * scale));
+  cfg.corridors_per_floor = 1;
+  cfg.staircases = 2;
+  cfg.lifts = 1;
+  cfg.exits = 3;
+  cfg.room_width = 8.0;  // shops are wider than offices
+  cfg.room_depth = 10.0;
+  cfg.corridor_width = 6.0;
+  cfg.floor_height = 5.0;
+  return cfg;
+}
+
+BuildingConfig MenziesConfig(double scale) {
+  // 14-level tower with long double-loaded corridors.
+  BuildingConfig cfg;
+  cfg.name = "Men";
+  cfg.floors = 14;
+  cfg.rooms_per_floor = std::max(4, static_cast<int>(90 * scale));
+  cfg.corridors_per_floor = 1;
+  cfg.staircases = 2;
+  cfg.lifts = 1;
+  cfg.exits = 2;
+  return cfg;
+}
+
+Venue MakeBase(Dataset dataset, double scale) {
+  switch (dataset) {
+    case Dataset::kMC:
+    case Dataset::kMC2:
+      return GenerateStandaloneBuilding(MelbourneCentralConfig(scale),
+                                        /*seed=*/11);
+    case Dataset::kMen:
+    case Dataset::kMen2:
+      return GenerateStandaloneBuilding(MenziesConfig(scale), /*seed=*/13);
+    case Dataset::kCL:
+    case Dataset::kCL2:
+      return GenerateCampus(MixedCampusConfig(/*num_buildings=*/71, scale,
+                                              /*seed=*/17));
+  }
+  VIPTREE_CHECK(false);
+  __builtin_unreachable();
+}
+
+bool IsReplica(Dataset dataset) {
+  return dataset == Dataset::kMC2 || dataset == Dataset::kMen2 ||
+         dataset == Dataset::kCL2;
+}
+
+}  // namespace
+
+const std::vector<DatasetInfo>& AllDatasets() {
+  static const std::vector<DatasetInfo>* kInfos = new std::vector<DatasetInfo>{
+      {Dataset::kMC, "MC", 299, 297, 8466},
+      {Dataset::kMC2, "MC-2", 600, 597, 16933},
+      {Dataset::kMen, "Men", 1368, 1306, 56035},
+      {Dataset::kMen2, "Men-2", 2738, 2613, 112114},
+      {Dataset::kCL, "CL", 41392, 41100, 6700272},
+      {Dataset::kCL2, "CL-2", 83138, 82540, 13400884},
+  };
+  return *kInfos;
+}
+
+DatasetInfo InfoFor(Dataset dataset) {
+  for (const DatasetInfo& info : AllDatasets()) {
+    if (info.dataset == dataset) return info;
+  }
+  VIPTREE_CHECK(false);
+  __builtin_unreachable();
+}
+
+Venue MakeDataset(Dataset dataset, double scale) {
+  Venue base = MakeBase(dataset, scale);
+  if (!IsReplica(dataset)) return base;
+  ReplicateOptions options;
+  options.copies = 2;
+  options.stairs_per_zone = 2;
+  options.floor_height =
+      dataset == Dataset::kMC2 ? 5.0 : 4.0;  // MC uses taller floors
+  return ReplicateVertically(base, options);
+}
+
+Dataset DatasetFromName(const std::string& name) {
+  std::string lower = name;
+  std::transform(lower.begin(), lower.end(), lower.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  if (lower == "mc") return Dataset::kMC;
+  if (lower == "mc-2" || lower == "mc2") return Dataset::kMC2;
+  if (lower == "men") return Dataset::kMen;
+  if (lower == "men-2" || lower == "men2") return Dataset::kMen2;
+  if (lower == "cl") return Dataset::kCL;
+  if (lower == "cl-2" || lower == "cl2") return Dataset::kCL2;
+  VIPTREE_CHECK_MSG(false, ("unknown dataset: " + name).c_str());
+  __builtin_unreachable();
+}
+
+}  // namespace synth
+}  // namespace viptree

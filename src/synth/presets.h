@@ -1,0 +1,42 @@
+// The six evaluation venues of Table 2, as synthetic analogues:
+// MC / MC-2 (Melbourne Central), Men / Men-2 (Menzies building),
+// CL / CL-2 (Clayton campus). See DESIGN.md §2 for the substitution
+// rationale. `scale` multiplies room counts (1.0 = paper magnitude).
+
+#ifndef VIPTREE_SYNTH_PRESETS_H_
+#define VIPTREE_SYNTH_PRESETS_H_
+
+#include <string>
+
+#include "model/venue.h"
+
+namespace viptree {
+namespace synth {
+
+enum class Dataset { kMC, kMC2, kMen, kMen2, kCL, kCL2 };
+
+struct DatasetInfo {
+  Dataset dataset;
+  std::string name;
+  // Table 2 reference values from the paper.
+  size_t paper_doors;
+  size_t paper_rooms;
+  size_t paper_edges;
+};
+
+// All six datasets in Table 2 order.
+const std::vector<DatasetInfo>& AllDatasets();
+
+DatasetInfo InfoFor(Dataset dataset);
+
+// Builds the analogue venue. Deterministic for a given (dataset, scale).
+Venue MakeDataset(Dataset dataset, double scale = 1.0);
+
+// Parses "MC", "MC-2", "Men", "Men-2", "CL", "CL-2" (case-insensitive).
+// Aborts on unknown names.
+Dataset DatasetFromName(const std::string& name);
+
+}  // namespace synth
+}  // namespace viptree
+
+#endif  // VIPTREE_SYNTH_PRESETS_H_

@@ -1,0 +1,123 @@
+#include "synth/replicate.h"
+
+#include <algorithm>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/check.h"
+#include "model/venue_builder.h"
+
+namespace viptree {
+namespace synth {
+
+Venue ReplicateVertically(const Venue& venue,
+                          const ReplicateOptions& options) {
+  VIPTREE_CHECK(options.copies >= 1);
+
+  int min_level = venue.partition(0).level;
+  int max_level = min_level;
+  for (const Partition& p : venue.partitions()) {
+    min_level = std::min(min_level, p.level);
+    max_level = std::max(max_level, p.level);
+  }
+  const int levels_per_copy = max_level - min_level + 1;
+  const double z_span = levels_per_copy * options.floor_height;
+
+  const auto num_partitions = static_cast<PartitionId>(venue.NumPartitions());
+  VenueBuilder builder(venue.beta());
+
+  for (int copy = 0; copy < options.copies; ++copy) {
+    const std::string suffix = copy == 0 ? "" : "#" + std::to_string(copy);
+    for (const Partition& p : venue.partitions()) {
+      Point centroid = p.centroid;
+      centroid.z += copy * z_span;
+      const PartitionId id = builder.AddPartition(
+          p.level + copy * levels_per_copy, p.use, centroid, p.name + suffix,
+          p.cost_scale, p.zone);
+      VIPTREE_CHECK(id == p.id + copy * num_partitions);
+    }
+  }
+  for (int copy = 0; copy < options.copies; ++copy) {
+    const PartitionId shift = copy * num_partitions;
+    for (const Door& d : venue.doors()) {
+      Point pos = d.position;
+      pos.z += copy * z_span;
+      if (d.is_exterior()) {
+        builder.AddExteriorDoor(d.partition_a + shift, pos);
+      } else {
+        builder.AddDoor(d.partition_a + shift, d.partition_b + shift, pos);
+      }
+    }
+  }
+
+  // Collect, per zone, the corridors on the zone's top level (connection
+  // points downward-facing in the upper copy, upward-facing in the lower)
+  // and on its bottom level.
+  std::map<int, std::vector<PartitionId>> top_corridors;
+  std::map<int, std::vector<PartitionId>> bottom_corridors;
+  std::map<int, std::pair<int, int>> zone_levels;  // zone -> (min, max)
+  std::map<int, bool> zone_has_corridor;
+  for (const Partition& p : venue.partitions()) {
+    zone_has_corridor[p.zone] =
+        zone_has_corridor[p.zone] || p.use == PartitionUse::kCorridor;
+  }
+  auto is_anchor = [&zone_has_corridor](const Partition& p) {
+    // Prefer corridors; zones without any corridor use every partition.
+    return p.use == PartitionUse::kCorridor || !zone_has_corridor[p.zone];
+  };
+  for (const Partition& p : venue.partitions()) {
+    if (!is_anchor(p)) continue;
+    auto it = zone_levels.find(p.zone);
+    if (it == zone_levels.end()) {
+      zone_levels[p.zone] = {p.level, p.level};
+    } else {
+      it->second.first = std::min(it->second.first, p.level);
+      it->second.second = std::max(it->second.second, p.level);
+    }
+  }
+  for (const Partition& p : venue.partitions()) {
+    if (!is_anchor(p)) continue;
+    const auto [lo, hi] = zone_levels[p.zone];
+    if (p.level == hi) top_corridors[p.zone].push_back(p.id);
+    if (p.level == lo) bottom_corridors[p.zone].push_back(p.id);
+  }
+
+  // Join copy k-1 to copy k with stairs per zone.
+  for (int copy = 1; copy < options.copies; ++copy) {
+    const PartitionId lower_shift = (copy - 1) * num_partitions;
+    const PartitionId upper_shift = copy * num_partitions;
+    for (const auto& [zone, tops] : top_corridors) {
+      const std::vector<PartitionId>& bottoms = bottom_corridors[zone];
+      VIPTREE_CHECK(!bottoms.empty());
+      const int stairs = std::max(1, options.stairs_per_zone);
+      for (int s = 0; s < stairs; ++s) {
+        const PartitionId top = tops[s % tops.size()] + lower_shift;
+        const PartitionId bottom = bottoms[s % bottoms.size()] + upper_shift;
+        const Point top_centroid = builder.PartitionCentroid(top);
+        const Point bottom_centroid = builder.PartitionCentroid(bottom);
+        const Point mid{(top_centroid.x + bottom_centroid.x) / 2.0,
+                        (top_centroid.y + bottom_centroid.y) / 2.0,
+                        (top_centroid.z + bottom_centroid.z) / 2.0};
+        const PartitionId stair = builder.AddPartition(
+            zone_levels[zone].second + (copy - 1) * levels_per_copy,
+            PartitionUse::kStaircase, mid,
+            "replica-stair/z" + std::to_string(zone) + "/c" +
+                std::to_string(copy) + "/s" + std::to_string(s),
+            options.stair_cost_scale, zone);
+        builder.AddDoor(stair, top,
+                        Point{top_centroid.x + s, top_centroid.y,
+                              top_centroid.z});
+        builder.AddDoor(stair, bottom,
+                        Point{bottom_centroid.x + s, bottom_centroid.y,
+                              bottom_centroid.z});
+      }
+    }
+  }
+
+  return std::move(builder).Build();
+}
+
+}  // namespace synth
+}  // namespace viptree

@@ -1,0 +1,33 @@
+// Venue replication, reproducing the paper's MC-2 / Men-2 / CL-2
+// construction (§4.1): "a replica ... is placed on top of the original
+// building. The replicas are connected with the original buildings by
+// stairs."
+//
+// Replication is zone-aware: every building (zone) in the lower copy is
+// joined to its replica by `stairs_per_zone` staircases between its
+// top-floor corridors and the replica's ground-floor corridors.
+
+#ifndef VIPTREE_SYNTH_REPLICATE_H_
+#define VIPTREE_SYNTH_REPLICATE_H_
+
+#include "model/venue.h"
+
+namespace viptree {
+namespace synth {
+
+struct ReplicateOptions {
+  int copies = 2;           // total number of copies (2 = the "-2" venues)
+  int stairs_per_zone = 2;  // staircases joining consecutive copies per zone
+  double floor_height = 4.0;
+  double stair_cost_scale = 1.8;
+};
+
+// Returns a venue consisting of `options.copies` vertically stacked copies
+// of `venue`, joined by stairs. Door/partition ids of copy 0 are identical
+// to the input's ids.
+Venue ReplicateVertically(const Venue& venue, const ReplicateOptions& options);
+
+}  // namespace synth
+}  // namespace viptree
+
+#endif  // VIPTREE_SYNTH_REPLICATE_H_

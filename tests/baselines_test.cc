@@ -1,0 +1,289 @@
+#include "baselines/engines.h"
+
+#include <gtest/gtest.h>
+
+#include "baselines/dist_aware.h"
+#include "baselines/dist_matrix.h"
+#include "baselines/gtree.h"
+#include "baselines/road.h"
+#include "ground_truth.h"
+#include "partition/multilevel_partitioner.h"
+#include "synth/building_generator.h"
+#include "synth/campus_generator.h"
+#include "synth/objects.h"
+
+namespace viptree {
+namespace {
+
+Venue MakeTestBuilding(uint64_t seed) {
+  synth::BuildingConfig cfg;
+  cfg.floors = 3;
+  cfg.rooms_per_floor = 20;
+  cfg.staircases = 2;
+  cfg.lifts = 1;
+  cfg.inter_room_door_prob = 0.2;
+  return synth::GenerateStandaloneBuilding(cfg, seed);
+}
+
+TEST(MultilevelPartitionerTest, BalancedBisectionCoversAllVertices) {
+  const Venue venue = MakeTestBuilding(300);
+  const D2DGraph graph(venue);
+  MultilevelPartitioner partitioner(graph);
+  std::vector<DoorId> all(graph.NumVertices());
+  for (size_t i = 0; i < all.size(); ++i) all[i] = static_cast<DoorId>(i);
+  const std::vector<int> assign = partitioner.Partition(all, 4);
+  ASSERT_EQ(assign.size(), all.size());
+  std::vector<int> counts(4, 0);
+  for (int a : assign) {
+    ASSERT_GE(a, 0);
+    ASSERT_LT(a, 4);
+    ++counts[a];
+  }
+  for (int c : counts) {
+    EXPECT_GT(c, 0);
+    // Reasonable balance: no part above 60% of the total.
+    EXPECT_LT(c, static_cast<int>(all.size() * 3 / 5));
+  }
+}
+
+TEST(DistanceMatrixTest, MatchesBruteForce) {
+  const Venue venue = MakeTestBuilding(301);
+  const D2DGraph graph(venue);
+  const DistanceMatrix matrix(venue, graph);
+  Rng rng(1000);
+  const auto pairs = synth::RandomPointPairs(venue, 40, rng);
+  for (const auto& [s, t] : pairs) {
+    const double expected = testing::BruteDistance(venue, graph, s, t);
+    EXPECT_NEAR(matrix.Distance(s, t, /*optimized=*/true), expected, 1e-3);
+    EXPECT_NEAR(matrix.Distance(s, t, /*optimized=*/false), expected, 1e-3);
+  }
+}
+
+TEST(DistanceMatrixTest, OptimizationReducesPairCount) {
+  const Venue venue = MakeTestBuilding(302);
+  const D2DGraph graph(venue);
+  const DistanceMatrix matrix(venue, graph);
+  Rng rng(1001);
+  size_t optimized_pairs = 0;
+  size_t plain_pairs = 0;
+  const auto pairs = synth::RandomPointPairs(venue, 50, rng);
+  for (const auto& [s, t] : pairs) {
+    matrix.Distance(s, t, true);
+    optimized_pairs += matrix.last_pair_count();
+    matrix.Distance(s, t, false);
+    plain_pairs += matrix.last_pair_count();
+  }
+  EXPECT_LT(optimized_pairs, plain_pairs);  // Fig. 9(a)'s effect
+}
+
+TEST(DistanceMatrixTest, DoorPathFollowsNextHops) {
+  const Venue venue = MakeTestBuilding(303);
+  const D2DGraph graph(venue);
+  const DistanceMatrix matrix(venue, graph);
+  Rng rng(1002);
+  for (int i = 0; i < 20; ++i) {
+    const DoorId a = static_cast<DoorId>(rng.UniformIndex(venue.NumDoors()));
+    const DoorId b = static_cast<DoorId>(rng.UniformIndex(venue.NumDoors()));
+    const std::vector<DoorId> path = matrix.DoorPath(a, b);
+    ASSERT_FALSE(path.empty());
+    EXPECT_EQ(path.front(), a);
+    EXPECT_EQ(path.back(), b);
+    EXPECT_NEAR(testing::DoorPathLength(graph, path),
+                matrix.DoorDistance(a, b), 1e-3);
+  }
+}
+
+TEST(DistAwareTest, DistanceAndPathMatchBruteForce) {
+  const Venue venue = MakeTestBuilding(304);
+  const D2DGraph graph(venue);
+  DistAwareModel model(venue, graph);
+  Rng rng(1003);
+  const auto pairs = synth::RandomPointPairs(venue, 40, rng);
+  for (const auto& [s, t] : pairs) {
+    const double expected = testing::BruteDistance(venue, graph, s, t);
+    EXPECT_NEAR(model.Distance(s, t), expected, 1e-3);
+    double d = kInfDistance;
+    const std::vector<DoorId> path = model.Path(s, t, &d);
+    EXPECT_NEAR(d, expected, 1e-3);
+    if (!path.empty()) {
+      EXPECT_NEAR(testing::PointPathLength(venue, graph, s, t, path),
+                  expected, 1e-2);
+    }
+  }
+}
+
+TEST(DistAwareTest, KnnMatchesBruteForceWithAndWithoutMatrix) {
+  const Venue venue = MakeTestBuilding(305);
+  const D2DGraph graph(venue);
+  const DistanceMatrix matrix(venue, graph);
+  DistAwareModel plain(venue, graph);
+  DistAwareModel plus(venue, graph, &matrix);
+  Rng rng(1004);
+  const auto objects = synth::PlaceObjects(venue, 12, rng);
+  plain.SetObjects(objects);
+  plus.SetObjects(objects);
+  for (int i = 0; i < 20; ++i) {
+    const IndoorPoint q = synth::RandomIndoorPoint(venue, rng);
+    const auto expected =
+        testing::BruteAllObjectDistances(venue, graph, q, objects);
+    const auto a = plain.Knn(q, 5);
+    const auto b = plus.Knn(q, 5);
+    ASSERT_EQ(a.size(), 5u);
+    ASSERT_EQ(b.size(), 5u);
+    for (size_t j = 0; j < 5; ++j) {
+      EXPECT_NEAR(a[j].distance, expected[j].distance, 1e-3);
+      EXPECT_NEAR(b[j].distance, expected[j].distance, 1e-3);
+    }
+  }
+}
+
+TEST(GTreeTest, DistancesMatchBruteForce) {
+  const Venue venue = MakeTestBuilding(306);
+  const D2DGraph graph(venue);
+  GTree gtree(venue, graph, {.fanout = 4, .leaf_tau = 32});
+  Rng rng(1005);
+  const auto pairs = synth::RandomPointPairs(venue, 40, rng);
+  for (const auto& [s, t] : pairs) {
+    const double expected = testing::BruteDistance(venue, graph, s, t);
+    EXPECT_NEAR(gtree.Distance(s, t), expected, 1e-3 + expected * 1e-5);
+  }
+}
+
+TEST(GTreeTest, PathsSumToDistances) {
+  const Venue venue = MakeTestBuilding(307);
+  const D2DGraph graph(venue);
+  GTree gtree(venue, graph, {.fanout = 4, .leaf_tau = 32});
+  Rng rng(1006);
+  const auto pairs = synth::RandomPointPairs(venue, 25, rng);
+  for (const auto& [s, t] : pairs) {
+    std::vector<DoorId> doors;
+    const double d = gtree.Path(s, t, &doors);
+    const double expected = testing::BruteDistance(venue, graph, s, t);
+    EXPECT_NEAR(d, expected, 1e-3 + expected * 1e-5);
+    if (!doors.empty()) {
+      EXPECT_NEAR(testing::PointPathLength(venue, graph, s, t, doors),
+                  expected, 1e-2 + expected * 1e-4);
+    }
+  }
+}
+
+TEST(GTreeTest, KnnMatchesBruteForce) {
+  const Venue venue = MakeTestBuilding(308);
+  const D2DGraph graph(venue);
+  GTree gtree(venue, graph, {.fanout = 4, .leaf_tau = 32});
+  Rng rng(1007);
+  const auto objects = synth::PlaceObjects(venue, 10, rng);
+  gtree.SetObjects(objects);
+  for (int i = 0; i < 15; ++i) {
+    const IndoorPoint q = synth::RandomIndoorPoint(venue, rng);
+    const auto expected =
+        testing::BruteAllObjectDistances(venue, graph, q, objects);
+    const auto actual = gtree.Knn(q, 5);
+    ASSERT_EQ(actual.size(), 5u);
+    for (size_t j = 0; j < 5; ++j) {
+      EXPECT_NEAR(actual[j].distance, expected[j].distance, 1e-3);
+    }
+  }
+}
+
+TEST(RoadTest, DistancesMatchBruteForce) {
+  const Venue venue = MakeTestBuilding(309);
+  const D2DGraph graph(venue);
+  RoadIndex road(venue, graph, {.leaf_tau = 32});
+  Rng rng(1008);
+  const auto pairs = synth::RandomPointPairs(venue, 40, rng);
+  for (const auto& [s, t] : pairs) {
+    const double expected = testing::BruteDistance(venue, graph, s, t);
+    EXPECT_NEAR(road.Distance(s, t), expected, 1e-3 + expected * 1e-5);
+  }
+}
+
+TEST(RoadTest, PathsSumToDistances) {
+  const Venue venue = MakeTestBuilding(310);
+  const D2DGraph graph(venue);
+  RoadIndex road(venue, graph, {.leaf_tau = 32});
+  Rng rng(1009);
+  const auto pairs = synth::RandomPointPairs(venue, 20, rng);
+  for (const auto& [s, t] : pairs) {
+    std::vector<DoorId> doors;
+    const double d = road.Path(s, t, &doors);
+    const double expected = testing::BruteDistance(venue, graph, s, t);
+    EXPECT_NEAR(d, expected, 1e-3 + expected * 1e-5);
+    if (!doors.empty()) {
+      EXPECT_NEAR(testing::PointPathLength(venue, graph, s, t, doors),
+                  expected, 1e-2 + expected * 1e-4);
+    }
+  }
+}
+
+TEST(RoadTest, KnnAndRangeMatchBruteForce) {
+  const Venue venue = MakeTestBuilding(311);
+  const D2DGraph graph(venue);
+  RoadIndex road(venue, graph, {.leaf_tau = 32});
+  Rng rng(1010);
+  const auto objects = synth::PlaceObjects(venue, 10, rng);
+  road.SetObjects(objects);
+  for (int i = 0; i < 15; ++i) {
+    const IndoorPoint q = synth::RandomIndoorPoint(venue, rng);
+    const auto expected =
+        testing::BruteAllObjectDistances(venue, graph, q, objects);
+    const auto actual = road.Knn(q, 3);
+    ASSERT_EQ(actual.size(), 3u);
+    for (size_t j = 0; j < 3; ++j) {
+      EXPECT_NEAR(actual[j].distance, expected[j].distance, 1e-3);
+    }
+    const auto in_range = road.Range(q, 60.0);
+    size_t expected_count = 0;
+    for (const auto& e : expected) {
+      if (e.distance <= 60.0) ++expected_count;
+    }
+    EXPECT_EQ(in_range.size(), expected_count);
+  }
+}
+
+TEST(EnginesTest, AllEnginesAgreeOnACampus) {
+  const Venue venue =
+      synth::GenerateCampus(synth::MixedCampusConfig(3, 0.1, 312));
+  const D2DGraph graph(venue);
+  const DistanceMatrix matrix(venue, graph);
+
+  std::vector<std::unique_ptr<QueryEngine>> engines;
+  for (EngineKind kind :
+       {EngineKind::kVipTree, EngineKind::kIpTree, EngineKind::kDistAw,
+        EngineKind::kDistAwPlusPlus, EngineKind::kDistMx, EngineKind::kGTree,
+        EngineKind::kRoad}) {
+    engines.push_back(MakeEngineWithMatrix(kind, venue, graph, &matrix));
+  }
+
+  Rng rng(1011);
+  const auto objects = synth::PlaceObjects(venue, 8, rng);
+  for (auto& e : engines) e->SetObjects(objects);
+
+  const auto pairs = synth::RandomPointPairs(venue, 15, rng);
+  for (const auto& [s, t] : pairs) {
+    const double expected = testing::BruteDistance(venue, graph, s, t);
+    for (auto& e : engines) {
+      EXPECT_NEAR(e->Distance(s, t), expected, 1e-3 + expected * 1e-5)
+          << e->name();
+      std::vector<DoorId> doors;
+      EXPECT_NEAR(e->Path(s, t, &doors), expected, 1e-3 + expected * 1e-5)
+          << e->name();
+    }
+  }
+  for (int i = 0; i < 5; ++i) {
+    const IndoorPoint q = synth::RandomIndoorPoint(venue, rng);
+    const auto expected =
+        testing::BruteAllObjectDistances(venue, graph, q, objects);
+    for (auto& e : engines) {
+      const auto knn = e->Knn(q, 3);
+      ASSERT_EQ(knn.size(), 3u) << e->name();
+      for (size_t j = 0; j < 3; ++j) {
+        EXPECT_NEAR(knn[j].distance, expected[j].distance, 1e-3)
+            << e->name();
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace viptree

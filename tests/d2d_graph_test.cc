@@ -1,0 +1,112 @@
+#include "graph/d2d_graph.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/ab_graph.h"
+#include "model/venue_builder.h"
+#include "paper_example.h"
+
+namespace viptree {
+namespace {
+
+Venue MakeStarVenue(int rooms) {
+  VenueBuilder builder;
+  const PartitionId hallway =
+      builder.AddPartition(0, PartitionUse::kCorridor, Point{});
+  for (int i = 0; i < rooms; ++i) {
+    const PartitionId room =
+        builder.AddPartition(0, PartitionUse::kRoom, Point{});
+    builder.AddDoor(hallway, room, Point{static_cast<double>(i), 0, 0});
+  }
+  return std::move(builder).Build();
+}
+
+TEST(D2DGraphTest, HallwayDoorsFormClique) {
+  const Venue venue = MakeStarVenue(6);
+  const D2DGraph graph(venue);
+  EXPECT_EQ(graph.NumVertices(), 6u);
+  // 6 doors of the hallway form a clique: C(6,2) undirected edges. The
+  // rooms are no-through (one door each) and add nothing.
+  EXPECT_EQ(graph.NumEdges(), 15u);
+  EXPECT_EQ(graph.NumDirectedEdges(), 30u);
+  for (DoorId d = 0; d < 6; ++d) {
+    EXPECT_EQ(graph.EdgesOf(d).size(), 5u);
+  }
+}
+
+TEST(D2DGraphTest, WeightsAreScaledEuclidean) {
+  VenueBuilder builder;
+  const PartitionId stair = builder.AddPartition(
+      0, PartitionUse::kStaircase, Point{}, "s", /*cost_scale=*/1.5);
+  const PartitionId a = builder.AddPartition(0, PartitionUse::kRoom, Point{});
+  const PartitionId b = builder.AddPartition(1, PartitionUse::kRoom, Point{});
+  const DoorId da = builder.AddDoor(stair, a, Point{0, 0, 0});
+  const DoorId db = builder.AddDoor(stair, b, Point{0, 3, 4});
+  const Venue venue = std::move(builder).Build();
+  const D2DGraph graph(venue);
+
+  ASSERT_EQ(graph.EdgesOf(da).size(), 1u);
+  const D2DEdge& e = graph.EdgesOf(da)[0];
+  EXPECT_EQ(e.to, db);
+  EXPECT_FLOAT_EQ(e.weight, 7.5f);  // 5 * 1.5
+  EXPECT_EQ(e.via, stair);
+}
+
+TEST(D2DGraphTest, ParallelEdgesWhenDoorsShareTwoPartitions) {
+  VenueBuilder builder;
+  const PartitionId a = builder.AddPartition(0, PartitionUse::kRoom, Point{});
+  const PartitionId b = builder.AddPartition(0, PartitionUse::kRoom, Point{});
+  const DoorId d1 = builder.AddDoor(a, b, Point{0, 0, 0});
+  builder.AddDoor(a, b, Point{2, 0, 0});
+  const Venue venue = std::move(builder).Build();
+  const D2DGraph graph(venue);
+
+  // The two doors are connected through partition a AND through partition b.
+  EXPECT_EQ(graph.NumEdges(), 2u);
+  ASSERT_EQ(graph.EdgesOf(d1).size(), 2u);
+  EXPECT_NE(graph.EdgesOf(d1)[0].via, graph.EdgesOf(d1)[1].via);
+}
+
+TEST(D2DGraphTest, ExplicitEdgeConstructor) {
+  const std::vector<ExplicitD2DEdge> edges = {
+      {0, 1, 2.0f, 0},
+      {1, 2, 3.0f, 1},
+  };
+  const D2DGraph graph(3, edges);
+  EXPECT_EQ(graph.NumVertices(), 3u);
+  EXPECT_EQ(graph.NumEdges(), 2u);
+  ASSERT_EQ(graph.EdgesOf(1).size(), 2u);
+}
+
+TEST(D2DGraphTest, PaperExampleEdgeCount) {
+  const testing::PaperExample example = testing::MakePaperExample();
+  // 40 explicit undirected edges in the fixture.
+  EXPECT_EQ(example.graph.NumEdges(), 40u);
+  EXPECT_EQ(example.graph.NumVertices(), 20u);
+}
+
+TEST(ABGraphTest, PartitionVertexPerDoorEdge) {
+  const testing::PaperExample example = testing::MakePaperExample();
+  const ABGraph ab(example.venue);
+  EXPECT_EQ(ab.NumVertices(), 17u);
+  // 17 interior doors (d1, d7, d20 are exterior): each contributes two
+  // directed edges.
+  EXPECT_EQ(ab.NumDirectedEdges(), 34u);
+
+  // P1 and P3 are connected by two labelled edges (d2 and d3), Fig. 2(b).
+  int p1_to_p3 = 0;
+  for (const ABEdge& e : ab.EdgesOf(testing::P(1))) {
+    if (e.to == testing::P(3)) ++p1_to_p3;
+  }
+  EXPECT_EQ(p1_to_p3, 2);
+}
+
+TEST(ABGraphTest, StarVenue) {
+  const Venue venue = MakeStarVenue(4);
+  const ABGraph ab(venue);
+  EXPECT_EQ(ab.NumVertices(), 5u);
+  EXPECT_EQ(ab.EdgesOf(0).size(), 4u);  // the hallway sees all four rooms
+}
+
+}  // namespace
+}  // namespace viptree

@@ -1,0 +1,130 @@
+#include "graph/dijkstra.h"
+
+#include <gtest/gtest.h>
+
+#include "paper_example.h"
+
+namespace viptree {
+namespace {
+
+using testing::D;
+
+class DijkstraPaperTest : public ::testing::Test {
+ protected:
+  DijkstraPaperTest() : example_(testing::MakePaperExample()) {}
+  testing::PaperExample example_;
+};
+
+TEST_F(DijkstraPaperTest, DistancesMatchPaperWorkedValues) {
+  DijkstraEngine engine(example_.graph);
+  engine.Start(D(2));
+  engine.RunAll();
+  // Example 4 of the paper: distances from d2.
+  EXPECT_DOUBLE_EQ(engine.DistanceTo(D(1)), 2.0);
+  EXPECT_DOUBLE_EQ(engine.DistanceTo(D(6)), 7.0);
+  EXPECT_DOUBLE_EQ(engine.DistanceTo(D(7)), 11.0);
+  EXPECT_DOUBLE_EQ(engine.DistanceTo(D(10)), 13.0);
+  EXPECT_DOUBLE_EQ(engine.DistanceTo(D(20)), 23.0);
+}
+
+TEST_F(DijkstraPaperTest, FullPathFromD1ToD20) {
+  DijkstraEngine engine(example_.graph);
+  engine.Start(D(1));
+  const DoorId target = D(20);
+  engine.RunToTargets(std::span<const DoorId>(&target, 1));
+  EXPECT_DOUBLE_EQ(engine.DistanceTo(D(20)), 25.0);
+  // §2.1.1: "the shortest path from d1 to d20 is
+  //   d1 -> d2 -> d3 -> d5 -> d6 -> d10 -> d15 -> d20".
+  const std::vector<DoorId> expected = {D(1), D(2), D(3),  D(5),
+                                        D(6), D(10), D(15), D(20)};
+  EXPECT_EQ(engine.PathTo(D(20)), expected);
+}
+
+TEST_F(DijkstraPaperTest, EarlyTerminationSettlesFewerDoors) {
+  DijkstraEngine engine(example_.graph);
+  engine.Start(D(1));
+  const std::vector<DoorId> targets = {D(2), D(3)};
+  const size_t reached = engine.RunToTargets(targets);
+  EXPECT_EQ(reached, 2u);
+  EXPECT_LT(engine.NumSettledInSearch(), example_.graph.NumVertices());
+}
+
+TEST_F(DijkstraPaperTest, MultiSourceUsesOffsets) {
+  // A query point 1.0 from d2 and 5.0 from d4 inside P1.
+  DijkstraEngine engine(example_.graph);
+  const std::vector<DijkstraSource> sources = {{D(2), 1.0}, {D(4), 5.0}};
+  engine.Start(sources);
+  engine.RunAll();
+  EXPECT_DOUBLE_EQ(engine.DistanceTo(D(2)), 1.0);
+  EXPECT_DOUBLE_EQ(engine.DistanceTo(D(4)), 5.0);
+  // d1 reached through d2: 1 + 2.
+  EXPECT_DOUBLE_EQ(engine.DistanceTo(D(1)), 3.0);
+  EXPECT_EQ(engine.ParentOf(D(2)), kInvalidId);  // a source
+}
+
+TEST_F(DijkstraPaperTest, EngineIsReusableAcrossSearches) {
+  DijkstraEngine engine(example_.graph);
+  engine.Start(D(1));
+  engine.RunAll();
+  const double first = engine.DistanceTo(D(20));
+
+  engine.Start(D(20));
+  engine.RunAll();
+  EXPECT_DOUBLE_EQ(engine.DistanceTo(D(1)), first);  // symmetric graph
+  // Distances from the previous epoch must not leak.
+  engine.Start(D(16));
+  EXPECT_EQ(engine.DistanceTo(D(1)), kInfDistance);
+  engine.RunAll();
+  EXPECT_NE(engine.DistanceTo(D(1)), kInfDistance);
+}
+
+TEST_F(DijkstraPaperTest, SettleNextYieldsNondecreasingDistances) {
+  DijkstraEngine engine(example_.graph);
+  engine.Start(D(11));
+  double last = 0.0;
+  size_t count = 0;
+  while (true) {
+    const SettledDoor s = engine.SettleNext();
+    if (s.door == kInvalidId) break;
+    EXPECT_GE(s.distance, last);
+    last = s.distance;
+    ++count;
+  }
+  EXPECT_EQ(count, example_.graph.NumVertices());  // connected graph
+}
+
+TEST_F(DijkstraPaperTest, ParentViaReportsTraversedPartition) {
+  DijkstraEngine engine(example_.graph);
+  engine.Start(D(15));
+  const DoorId target = D(20);
+  engine.RunToTargets(std::span<const DoorId>(&target, 1));
+  // d15 -> d20 is a direct edge through P13.
+  EXPECT_DOUBLE_EQ(engine.DistanceTo(D(20)), 4.0);
+  EXPECT_EQ(engine.ParentOf(D(20)), D(15));
+  EXPECT_EQ(engine.ParentVia(D(20)), testing::P(13));
+}
+
+TEST(DijkstraTest, RunWithinStopsAtRadius) {
+  const testing::PaperExample example = testing::MakePaperExample();
+  DijkstraEngine engine(example.graph);
+  engine.Start(D(2));
+  engine.RunWithin(7.0);
+  EXPECT_TRUE(engine.Settled(D(1)));   // dist 2
+  EXPECT_TRUE(engine.Settled(D(6)));   // dist 7
+  EXPECT_FALSE(engine.Settled(D(20)));  // dist 23
+}
+
+TEST(DijkstraTest, UnreachableVertexStaysInfinite) {
+  // Two disconnected doors in an explicit graph.
+  const std::vector<ExplicitD2DEdge> edges = {{0, 1, 1.0f, 0}};
+  const D2DGraph graph(4, edges);  // doors 2 and 3 isolated
+  DijkstraEngine engine(graph);
+  engine.Start(0);
+  engine.RunAll();
+  EXPECT_EQ(engine.DistanceTo(2), kInfDistance);
+  EXPECT_EQ(engine.DistanceTo(3), kInfDistance);
+  EXPECT_DOUBLE_EQ(engine.DistanceTo(1), 1.0);
+}
+
+}  // namespace
+}  // namespace viptree

@@ -1,0 +1,89 @@
+// Brute-force reference implementations used by property tests: exact
+// point-to-point distances via multi-source Dijkstra on the D2D graph,
+// brute-force kNN / range, and door-path validation.
+
+#ifndef VIPTREE_TESTS_GROUND_TRUTH_H_
+#define VIPTREE_TESTS_GROUND_TRUTH_H_
+
+#include <algorithm>
+#include <vector>
+
+#include "graph/d2d_graph.h"
+#include "graph/dijkstra.h"
+#include "model/venue.h"
+
+namespace viptree {
+namespace testing {
+
+inline double BruteDistance(const Venue& venue, const D2DGraph& graph,
+                            const IndoorPoint& s, const IndoorPoint& t) {
+  double best = kInfDistance;
+  if (s.partition == t.partition) {
+    best = venue.IntraPartitionDistance(s.partition, s.position, t.position);
+  }
+  std::vector<DijkstraSource> sources;
+  for (DoorId u : venue.DoorsOf(s.partition)) {
+    sources.push_back({u, venue.DistanceToDoor(s, u)});
+  }
+  DijkstraEngine engine(graph);
+  engine.Start(sources);
+  engine.RunAll();
+  for (DoorId dt : venue.DoorsOf(t.partition)) {
+    if (!engine.Settled(dt)) continue;
+    best =
+        std::min(best, engine.DistanceTo(dt) + venue.DistanceToDoor(t, dt));
+  }
+  return best;
+}
+
+struct BruteResult {
+  ObjectId object;
+  double distance;
+};
+
+inline std::vector<BruteResult> BruteAllObjectDistances(
+    const Venue& venue, const D2DGraph& graph, const IndoorPoint& q,
+    const std::vector<IndoorPoint>& objects) {
+  std::vector<BruteResult> out;
+  for (ObjectId o = 0; o < static_cast<ObjectId>(objects.size()); ++o) {
+    out.push_back({o, BruteDistance(venue, graph, q, objects[o])});
+  }
+  std::sort(out.begin(), out.end(),
+            [](const BruteResult& a, const BruteResult& b) {
+              return a.distance < b.distance;
+            });
+  return out;
+}
+
+// Sum of edge weights along a door path (using the cheapest parallel edge
+// for each consecutive pair); kInfDistance if two consecutive doors are not
+// connected. Endpoints' point legs are not included.
+inline double DoorPathLength(const D2DGraph& graph,
+                             const std::vector<DoorId>& doors) {
+  double total = 0.0;
+  for (size_t i = 0; i + 1 < doors.size(); ++i) {
+    double best = kInfDistance;
+    for (const D2DEdge& e : graph.EdgesOf(doors[i])) {
+      if (e.to == doors[i + 1]) best = std::min(best, (double)e.weight);
+    }
+    if (best == kInfDistance) return kInfDistance;
+    total += best;
+  }
+  return total;
+}
+
+// Full length of a point-to-point route through `doors`.
+inline double PointPathLength(const Venue& venue, const D2DGraph& graph,
+                              const IndoorPoint& s, const IndoorPoint& t,
+                              const std::vector<DoorId>& doors) {
+  if (doors.empty()) {
+    return venue.IntraPartitionDistance(s.partition, s.position, t.position);
+  }
+  return venue.DistanceToDoor(s, doors.front()) +
+         DoorPathLength(graph, doors) + venue.DistanceToDoor(t, doors.back());
+}
+
+}  // namespace testing
+}  // namespace viptree
+
+#endif  // VIPTREE_TESTS_GROUND_TRUTH_H_

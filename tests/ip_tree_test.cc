@@ -1,0 +1,261 @@
+#include "core/ip_tree.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/leaf_assembler.h"
+#include "core/vip_tree.h"
+#include "paper_example.h"
+#include "synth/building_generator.h"
+
+namespace viptree {
+namespace {
+
+using testing::D;
+using testing::P;
+
+class PaperTreeTest : public ::testing::Test {
+ protected:
+  PaperTreeTest()
+      : example_(testing::MakePaperExample()),
+        tree_(IPTree::Build(example_.venue, example_.graph,
+                            {.min_degree = 2,
+                             .forced_leaf_assignment =
+                                 example_.leaf_assignment})) {}
+
+  // Finds the leaf node whose partitions match the given paper leaf index.
+  NodeId Leaf(int paper_leaf) const {
+    for (PartitionId p = 0; p < 17; ++p) {
+      if (example_.leaf_assignment[p] == paper_leaf) {
+        return tree_.LeafOfPartition(p);
+      }
+    }
+    return kInvalidId;
+  }
+
+  std::set<DoorId> AccessDoors(NodeId n) const {
+    const auto& ad = tree_.node(n).access_doors;
+    return {ad.begin(), ad.end()};
+  }
+
+  testing::PaperExample example_;
+  IPTree tree_;
+};
+
+TEST_F(PaperTreeTest, TreeShapeMatchesFig3) {
+  EXPECT_EQ(tree_.num_leaves(), 4u);
+  // 4 leaves + N5 + N6 + N7 = 7 nodes.
+  EXPECT_EQ(tree_.nodes().size(), 7u);
+  EXPECT_EQ(tree_.height(), 3);
+}
+
+TEST_F(PaperTreeTest, AccessDoorsMatchFig3) {
+  const NodeId n1 = Leaf(0);
+  const NodeId n2 = Leaf(1);
+  const NodeId n3 = Leaf(2);
+  const NodeId n4 = Leaf(3);
+  EXPECT_EQ(AccessDoors(n1), (std::set<DoorId>{D(1), D(6)}));
+  EXPECT_EQ(AccessDoors(n2), (std::set<DoorId>{D(6), D(7), D(10)}));
+  EXPECT_EQ(AccessDoors(n3), (std::set<DoorId>{D(10), D(15)}));
+  EXPECT_EQ(AccessDoors(n4), (std::set<DoorId>{D(15), D(20)}));
+
+  const NodeId n5 = tree_.node(n1).parent;
+  const NodeId n6 = tree_.node(n4).parent;
+  EXPECT_EQ(tree_.node(n2).parent, n5);
+  EXPECT_EQ(tree_.node(n3).parent, n6);
+  EXPECT_EQ(AccessDoors(n5), (std::set<DoorId>{D(1), D(7), D(10)}));
+  EXPECT_EQ(AccessDoors(n6), (std::set<DoorId>{D(10), D(20)}));
+  EXPECT_EQ(AccessDoors(tree_.root()),
+            (std::set<DoorId>{D(1), D(7), D(20)}));
+}
+
+TEST_F(PaperTreeTest, LeafMatrixOfN1MatchesFig3) {
+  const TreeNode& n1 = tree_.node(Leaf(0));
+  // Distances of the N1 matrix.
+  EXPECT_FLOAT_EQ(tree_.LeafMatrixDist(n1, D(1), D(6)), 9.0f);
+  EXPECT_FLOAT_EQ(tree_.LeafMatrixDist(n1, D(2), D(6)), 7.0f);
+  EXPECT_FLOAT_EQ(tree_.LeafMatrixDist(n1, D(3), D(6)), 4.0f);
+  EXPECT_FLOAT_EQ(tree_.LeafMatrixDist(n1, D(4), D(6)), 7.0f);
+  EXPECT_FLOAT_EQ(tree_.LeafMatrixDist(n1, D(5), D(6)), 2.0f);
+  EXPECT_FLOAT_EQ(tree_.LeafMatrixDist(n1, D(2), D(1)), 2.0f);
+  // Next-hop doors: first door on the path from row-door to access door.
+  EXPECT_EQ(tree_.LeafMatrixNextHop(n1, D(1), D(6)), D(2));  // §2.1.1
+  EXPECT_EQ(tree_.LeafMatrixNextHop(n1, D(2), D(6)), D(3));  // §2.1.1
+  EXPECT_EQ(tree_.LeafMatrixNextHop(n1, D(3), D(6)), D(5));
+  EXPECT_EQ(tree_.LeafMatrixNextHop(n1, D(5), D(6)), kInvalidId);  // direct
+  EXPECT_EQ(tree_.LeafMatrixNextHop(n1, D(4), D(1)), kInvalidId);  // direct
+}
+
+TEST_F(PaperTreeTest, NonLeafMatricesMatchFig3) {
+  const NodeId n5 = tree_.node(Leaf(0)).parent;
+  const TreeNode& n5_node = tree_.node(n5);
+  auto entry = [this](const TreeNode& n, DoorId a, DoorId b) {
+    const int r = IPTree::IndexOf(n.matrix_doors, a);
+    const int c = IPTree::IndexOf(n.matrix_doors, b);
+    EXPECT_GE(r, 0);
+    EXPECT_GE(c, 0);
+    return std::make_pair(n.dist.at(r, c), n.next_hop.at(r, c));
+  };
+  // N5's matrix over {d1, d6, d7, d10}.
+  EXPECT_EQ(n5_node.matrix_doors,
+            (std::vector<DoorId>{D(1), D(6), D(7), D(10)}));
+  EXPECT_FLOAT_EQ(entry(n5_node, D(1), D(7)).first, 13.0f);
+  EXPECT_EQ(entry(n5_node, D(1), D(7)).second, D(6));
+  EXPECT_FLOAT_EQ(entry(n5_node, D(1), D(10)).first, 15.0f);
+  EXPECT_EQ(entry(n5_node, D(1), D(10)).second, D(6));
+  EXPECT_FLOAT_EQ(entry(n5_node, D(6), D(7)).first, 4.0f);
+  EXPECT_EQ(entry(n5_node, D(6), D(7)).second, kInvalidId);
+  EXPECT_FLOAT_EQ(entry(n5_node, D(6), D(10)).first, 6.0f);
+
+  // N7's matrix over {d1, d7, d10, d20}.
+  const TreeNode& root = tree_.node(tree_.root());
+  EXPECT_EQ(root.matrix_doors,
+            (std::vector<DoorId>{D(1), D(7), D(10), D(20)}));
+  EXPECT_FLOAT_EQ(entry(root, D(1), D(20)).first, 25.0f);
+  EXPECT_EQ(entry(root, D(1), D(20)).second, D(10));  // §2.1.1
+  EXPECT_FLOAT_EQ(entry(root, D(7), D(20)).first, 17.0f);
+  EXPECT_EQ(entry(root, D(7), D(20)).second, D(10));
+  EXPECT_FLOAT_EQ(entry(root, D(1), D(7)).first, 13.0f);
+  EXPECT_EQ(entry(root, D(1), D(7)).second, kInvalidId);  // paper: NULL
+  EXPECT_FLOAT_EQ(entry(root, D(10), D(20)).first, 10.0f);
+}
+
+TEST_F(PaperTreeTest, SuperiorDoorsOfP1MatchFig5a) {
+  const std::span<const DoorId> sup = tree_.SuperiorDoors(P(1));
+  EXPECT_EQ(std::set<DoorId>(sup.begin(), sup.end()),
+            (std::set<DoorId>{D(1), D(5)}));
+}
+
+TEST_F(PaperTreeTest, GlobalAccessDoorFlags) {
+  const std::set<DoorId> access = {D(1), D(6), D(7), D(10), D(15), D(20)};
+  for (DoorId d = 0; d < 20; ++d) {
+    EXPECT_EQ(tree_.IsAccessDoor(d), access.count(d) > 0) << "d" << (d + 1);
+  }
+}
+
+TEST_F(PaperTreeTest, VipExtendedMatricesMatchExample4) {
+  VIPTree vip = VIPTree::Build(example_.venue, example_.graph,
+                               {.min_degree = 2,
+                                .forced_leaf_assignment =
+                                    example_.leaf_assignment});
+  // Example 4 / Fig. 5(b): distances from d2 to ancestor access doors.
+  const IPTree& base = vip.base();
+  const NodeId root = base.root();
+  auto col_of = [&base](NodeId n, DoorId a) {
+    return static_cast<size_t>(
+        IPTree::IndexOf(base.node(n).access_doors, a));
+  };
+  EXPECT_FLOAT_EQ(vip.ExtDist(root, D(2), col_of(root, D(1))), 2.0f);
+  EXPECT_FLOAT_EQ(vip.ExtDist(root, D(2), col_of(root, D(7))), 11.0f);
+  EXPECT_FLOAT_EQ(vip.ExtDist(root, D(2), col_of(root, D(20))), 23.0f);
+  const NodeId n5 = base.node(base.LeafOfPartition(P(1))).parent;
+  EXPECT_FLOAT_EQ(vip.ExtDist(n5, D(2), col_of(n5, D(10))), 13.0f);
+}
+
+TEST(LeafAssemblerTest, PaperVenueAutoAssembly) {
+  const testing::PaperExample example = testing::MakePaperExample();
+  const LeafAssignment assignment = AssembleLeaves(example.venue);
+  // Four hallways -> four leaves; every partition assigned.
+  EXPECT_EQ(assignment.num_leaves, 4);
+  for (PartitionId p = 0; p < 17; ++p) {
+    EXPECT_GE(assignment.leaf_of_partition[p], 0);
+    EXPECT_LT(assignment.leaf_of_partition[p], 4);
+  }
+  // Rule ii: at most one hallway per leaf.
+  std::vector<int> hallways(4, 0);
+  for (PartitionId p = 0; p < 17; ++p) {
+    if (example.venue.Classify(p) == PartitionClass::kHallway) {
+      ++hallways[assignment.leaf_of_partition[p]];
+    }
+  }
+  for (int h : hallways) EXPECT_EQ(h, 1);
+  // No-through partitions join the leaf of their only neighbour.
+  EXPECT_EQ(assignment.leaf_of_partition[P(2)],
+            assignment.leaf_of_partition[P(1)]);
+  EXPECT_EQ(assignment.leaf_of_partition[P(9)],
+            assignment.leaf_of_partition[P(12)]);
+}
+
+TEST(LeafAssemblerTest, HallwayFreeVenueStillAssembles) {
+  // A chain of small rooms with no hallway at all.
+  VenueBuilder builder;
+  std::vector<PartitionId> rooms;
+  for (int i = 0; i < 6; ++i) {
+    rooms.push_back(builder.AddPartition(0, PartitionUse::kRoom,
+                                         Point{double(i), 0, 0}));
+    if (i > 0) {
+      builder.AddDoor(rooms[i - 1], rooms[i], Point{i - 0.5, 0, 0});
+    }
+  }
+  const Venue venue = std::move(builder).Build();
+  const LeafAssignment assignment = AssembleLeaves(venue);
+  EXPECT_GE(assignment.num_leaves, 1);
+  for (int leaf : assignment.leaf_of_partition) EXPECT_GE(leaf, 0);
+}
+
+TEST(IPTreeBuildTest, GeneratedBuildingInvariants) {
+  synth::BuildingConfig cfg;
+  cfg.floors = 4;
+  cfg.rooms_per_floor = 24;
+  cfg.staircases = 2;
+  cfg.lifts = 1;
+  const Venue venue = synth::GenerateStandaloneBuilding(cfg, 77);
+  const D2DGraph graph(venue);
+  const IPTree tree = IPTree::Build(venue, graph);
+
+  // Every partition in exactly one leaf; every leaf has >= 1 partition.
+  std::vector<int> count(tree.nodes().size(), 0);
+  for (PartitionId p = 0; p < (PartitionId)venue.NumPartitions(); ++p) {
+    const NodeId leaf = tree.LeafOfPartition(p);
+    ASSERT_TRUE(tree.node(leaf).is_leaf());
+    ++count[leaf];
+  }
+  for (const TreeNode& n : tree.nodes()) {
+    if (n.is_leaf()) {
+      EXPECT_GT(count[n.id], 0);
+      EXPECT_FALSE(n.access_doors.empty());
+    } else {
+      EXPECT_GE(n.children.size(), 2u);
+      for (NodeId c : n.children) EXPECT_EQ(tree.node(c).parent, n.id);
+    }
+  }
+  // The paper's observation: rho stays small.
+  const IPTree::Stats stats = tree.ComputeStats();
+  EXPECT_LT(stats.avg_access_doors, 10.0);
+  EXPECT_LT(stats.avg_superior_doors, 5.0);
+  EXPECT_GT(stats.num_leaves, 1u);
+}
+
+TEST(IPTreeBuildTest, MinDegreeControlsFanout) {
+  synth::BuildingConfig cfg;
+  cfg.floors = 6;
+  cfg.rooms_per_floor = 20;
+  const Venue venue = synth::GenerateStandaloneBuilding(cfg, 78);
+  const D2DGraph graph(venue);
+  const IPTree t2 = IPTree::Build(venue, graph, {.min_degree = 2});
+  const IPTree t4 = IPTree::Build(venue, graph, {.min_degree = 4});
+  EXPECT_GE(t2.height(), t4.height());
+  const IPTree::Stats s4 = t4.ComputeStats();
+  EXPECT_GE(s4.avg_children, 3.0);  // min degree 4 nodes (root may be small)
+}
+
+TEST(IPTreeBuildTest, LcaAndContainment) {
+  const testing::PaperExample example = testing::MakePaperExample();
+  const IPTree tree = IPTree::Build(example.venue, example.graph,
+                                    {.min_degree = 2,
+                                     .forced_leaf_assignment =
+                                         example.leaf_assignment});
+  const NodeId l1 = tree.LeafOfPartition(P(1));
+  const NodeId l2 = tree.LeafOfPartition(P(5));
+  const NodeId l4 = tree.LeafOfPartition(P(17));
+  EXPECT_EQ(tree.Lca(l1, l2), tree.node(l1).parent);
+  EXPECT_EQ(tree.Lca(l1, l4), tree.root());
+  EXPECT_EQ(tree.Lca(l1, l1), l1);
+  EXPECT_TRUE(tree.NodeContainsLeaf(tree.root(), l1));
+  EXPECT_TRUE(tree.NodeContainsLeaf(tree.node(l1).parent, l2));
+  EXPECT_FALSE(tree.NodeContainsLeaf(tree.node(l1).parent, l4));
+}
+
+}  // namespace
+}  // namespace viptree

@@ -1,0 +1,150 @@
+// The running example of the paper (Fig. 1): an indoor venue with 17
+// partitions P1..P17 and 20 doors d1..d20, with explicit door-to-door
+// distances chosen to be consistent with every worked number in the paper:
+//
+//   * N1 leaf matrix (Fig. 3): dist(d1,d6)=9 first door d2; dist(d2,d6)=7
+//     first door d3; dist(d3,d6)=4 first d5; dist(d4,d6)=7 first d5;
+//     dist(d5,d6)=2 direct; dist(d1,d3)=5 (via d2), dist(d1,d4)=6 direct.
+//   * N5 matrix: dist(d6,d7)=4, dist(d6,d10)=6, dist(d7,d10)=7,
+//     dist(d1,d7)=13 via d6, dist(d1,d10)=15 via d6.
+//   * N7 matrix: dist(d1,d20)=25 via d10, dist(d7,d20)=17 via d10,
+//     dist(d10,d20)=10.
+//   * Example 4: dist(d2,d1)=2, dist(d2,d6)=7, dist(d2,d7)=11,
+//     dist(d2,d10)=13, dist(d2,d20)=23.
+//   * Example 5: d10->d20 decomposes via d15 (dist(d10,d15)=6 direct,
+//     dist(d15,d20)=4 direct); d2->d6 decomposes to d2->d3->d5->d6.
+//   * Superior doors of P1 (Fig. 5a): {d1, d5}; inferior: {d2, d3, d4}.
+//
+// Door incidence: d1 exterior(P1); d2,d3: P1-P3; d4: P1-P2; d5: P1-P4;
+// d6: P4-P5; d7 exterior(P5); d8: P5-P6; d9: P5-P7; d10: P5-P8;
+// d11: P8-P12; d12: P12-P9; d13: P12-P10; d14: P12-P11; d15: P8-P13;
+// d16: P13-P17; d17: P17-P14; d18: P17-P15; d19: P17-P16;
+// d20 exterior(P13).
+//
+// With beta = 3 the hallway partitions are exactly P1, P5, P12, P17 as the
+// paper states. The paper's leaf grouping N1={P1..P4}, N2={P5..P7},
+// N3={P8..P12}, N4={P13..P17} is provided as a forced assignment (the
+// automatic assembler may legally resolve the P8 tie differently; the paper
+// breaks such ties arbitrarily).
+
+#ifndef VIPTREE_TESTS_PAPER_EXAMPLE_H_
+#define VIPTREE_TESTS_PAPER_EXAMPLE_H_
+
+#include <utility>
+#include <vector>
+
+#include "graph/d2d_graph.h"
+#include "model/venue.h"
+#include "model/venue_builder.h"
+
+namespace viptree {
+namespace testing {
+
+// 0-based ids for the paper's 1-based names.
+inline constexpr PartitionId P(int paper_index) { return paper_index - 1; }
+inline constexpr DoorId D(int paper_index) { return paper_index - 1; }
+
+struct PaperExample {
+  Venue venue;
+  D2DGraph graph;
+  // The paper's leaf grouping: leaf index per partition
+  // (N1=0, N2=1, N3=2, N4=3).
+  std::vector<int> leaf_assignment;
+};
+
+inline PaperExample MakePaperExample() {
+  VenueBuilder builder(/*beta=*/3);
+  // 17 partitions; centroids are nominal (all queries in the fixture are
+  // door-to-door, distances come from the explicit edge weights below).
+  for (int i = 1; i <= 17; ++i) {
+    builder.AddPartition(/*level=*/0, PartitionUse::kRoom,
+                         Point{static_cast<double>(i), 0.0, 0.0},
+                         "P" + std::to_string(i));
+  }
+  auto at = [](double x) { return Point{x, 0.0, 0.0}; };
+  builder.AddExteriorDoor(P(1), at(1));       // d1
+  builder.AddDoor(P(1), P(3), at(2));         // d2
+  builder.AddDoor(P(1), P(3), at(3));         // d3
+  builder.AddDoor(P(1), P(2), at(4));         // d4
+  builder.AddDoor(P(1), P(4), at(5));         // d5
+  builder.AddDoor(P(4), P(5), at(6));         // d6
+  builder.AddExteriorDoor(P(5), at(7));       // d7
+  builder.AddDoor(P(5), P(6), at(8));         // d8
+  builder.AddDoor(P(5), P(7), at(9));         // d9
+  builder.AddDoor(P(5), P(8), at(10));        // d10
+  builder.AddDoor(P(8), P(12), at(11));       // d11
+  builder.AddDoor(P(12), P(9), at(12));       // d12
+  builder.AddDoor(P(12), P(10), at(13));      // d13
+  builder.AddDoor(P(12), P(11), at(14));      // d14
+  builder.AddDoor(P(8), P(13), at(15));       // d15
+  builder.AddDoor(P(13), P(17), at(16));      // d16
+  builder.AddDoor(P(17), P(14), at(17));      // d17
+  builder.AddDoor(P(17), P(15), at(18));      // d18
+  builder.AddDoor(P(17), P(16), at(19));      // d19
+  builder.AddExteriorDoor(P(13), at(20));     // d20
+
+  const std::vector<ExplicitD2DEdge> edges = {
+      // Hallway P1 clique.
+      {D(1), D(2), 2.0f, P(1)},
+      {D(1), D(3), 5.5f, P(1)},
+      {D(1), D(4), 6.0f, P(1)},
+      {D(1), D(5), 8.0f, P(1)},
+      {D(2), D(3), 3.0f, P(1)},
+      {D(2), D(4), 5.0f, P(1)},
+      {D(2), D(5), 6.5f, P(1)},
+      {D(3), D(4), 4.0f, P(1)},
+      {D(3), D(5), 2.0f, P(1)},
+      {D(4), D(5), 5.0f, P(1)},
+      // P3 offers a second (longer) way between d2 and d3.
+      {D(2), D(3), 3.5f, P(3)},
+      // P4 joins the P1 hallway to N2's hallway.
+      {D(5), D(6), 2.0f, P(4)},
+      // Hallway P5 clique.
+      {D(6), D(7), 4.0f, P(5)},
+      {D(6), D(8), 3.0f, P(5)},
+      {D(6), D(9), 5.0f, P(5)},
+      {D(6), D(10), 6.0f, P(5)},
+      {D(7), D(8), 5.0f, P(5)},
+      {D(7), D(9), 3.0f, P(5)},
+      {D(7), D(10), 7.0f, P(5)},
+      {D(8), D(9), 6.0f, P(5)},
+      {D(8), D(10), 6.0f, P(5)},
+      {D(9), D(10), 4.5f, P(5)},
+      // P8 (general, three doors) carries the N2->N3->N4 through-traffic.
+      {D(10), D(11), 3.0f, P(8)},
+      {D(10), D(15), 6.0f, P(8)},
+      {D(11), D(15), 3.5f, P(8)},
+      // Hallway P12 clique.
+      {D(11), D(12), 2.0f, P(12)},
+      {D(11), D(13), 3.0f, P(12)},
+      {D(11), D(14), 4.2f, P(12)},
+      {D(12), D(13), 2.5f, P(12)},
+      {D(12), D(14), 3.5f, P(12)},
+      {D(13), D(14), 2.0f, P(12)},
+      // P13 connects N3 to N4 and to the d20 exit.
+      {D(15), D(16), 2.0f, P(13)},
+      {D(15), D(20), 4.0f, P(13)},
+      {D(16), D(20), 2.5f, P(13)},
+      // Hallway P17 clique.
+      {D(16), D(17), 2.0f, P(17)},
+      {D(16), D(18), 3.0f, P(17)},
+      {D(16), D(19), 4.0f, P(17)},
+      {D(17), D(18), 2.2f, P(17)},
+      {D(17), D(19), 3.2f, P(17)},
+      {D(18), D(19), 2.1f, P(17)},
+  };
+
+  PaperExample example{std::move(builder).Build(),
+                       D2DGraph(20, edges),
+                       {}};
+  example.leaf_assignment = {0, 0, 0, 0,      // P1..P4   -> N1
+                             1, 1, 1,         // P5..P7   -> N2
+                             2, 2, 2, 2, 2,   // P8..P12  -> N3
+                             3, 3, 3, 3, 3};  // P13..P17 -> N4
+  return example;
+}
+
+}  // namespace testing
+}  // namespace viptree
+
+#endif  // VIPTREE_TESTS_PAPER_EXAMPLE_H_

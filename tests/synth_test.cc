@@ -1,0 +1,207 @@
+#include "synth/building_generator.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "graph/d2d_graph.h"
+#include "synth/campus_generator.h"
+#include "synth/objects.h"
+#include "synth/presets.h"
+#include "synth/replicate.h"
+
+namespace viptree {
+namespace synth {
+namespace {
+
+TEST(BuildingGeneratorTest, ProducesValidConnectedVenue) {
+  BuildingConfig cfg;
+  cfg.floors = 4;
+  cfg.rooms_per_floor = 20;
+  cfg.staircases = 2;
+  cfg.lifts = 1;
+  const Venue venue = GenerateStandaloneBuilding(cfg, /*seed=*/1);
+  EXPECT_TRUE(venue.IsConnected());
+  // 4 corridors + 80 rooms + stairs + lifts.
+  EXPECT_GE(venue.NumPartitions(), 84u);
+  // Corridors are hallway partitions (rooms hang off them).
+  size_t hallways = 0;
+  for (const Partition& p : venue.partitions()) {
+    if (venue.Classify(p.id) == PartitionClass::kHallway) ++hallways;
+  }
+  EXPECT_GE(hallways, 4u);
+}
+
+TEST(BuildingGeneratorTest, DeterministicForSeed) {
+  BuildingConfig cfg;
+  cfg.floors = 3;
+  cfg.rooms_per_floor = 30;
+  const Venue a = GenerateStandaloneBuilding(cfg, 42);
+  const Venue b = GenerateStandaloneBuilding(cfg, 42);
+  ASSERT_EQ(a.NumPartitions(), b.NumPartitions());
+  ASSERT_EQ(a.NumDoors(), b.NumDoors());
+  for (size_t d = 0; d < a.NumDoors(); ++d) {
+    EXPECT_EQ(a.door(d).partition_a, b.door(d).partition_a);
+    EXPECT_EQ(a.door(d).partition_b, b.door(d).partition_b);
+  }
+}
+
+TEST(BuildingGeneratorTest, ExteriorExitsAreExteriorDoors) {
+  BuildingConfig cfg;
+  cfg.floors = 2;
+  cfg.rooms_per_floor = 10;
+  cfg.exits = 3;
+  cfg.exterior_exits = true;
+  const Venue venue = GenerateStandaloneBuilding(cfg, 5);
+  size_t exterior = 0;
+  for (const Door& d : venue.doors()) {
+    if (d.is_exterior()) ++exterior;
+  }
+  EXPECT_EQ(exterior, 3u);
+}
+
+TEST(BuildingGeneratorTest, StaircasesConnectConsecutiveFloors) {
+  BuildingConfig cfg;
+  cfg.floors = 5;
+  cfg.rooms_per_floor = 8;
+  cfg.staircases = 1;
+  cfg.lifts = 0;
+  cfg.exits = 0;
+  const Venue venue = GenerateStandaloneBuilding(cfg, 3);
+  size_t stairs = 0;
+  for (const Partition& p : venue.partitions()) {
+    if (p.use == PartitionUse::kStaircase) {
+      ++stairs;
+      EXPECT_EQ(venue.DoorsOf(p.id).size(), 2u);
+      EXPECT_GT(p.cost_scale, 1.0);
+    }
+  }
+  EXPECT_EQ(stairs, 4u);  // one per consecutive floor pair
+}
+
+TEST(CampusGeneratorTest, ZonesAndWalkways) {
+  const Venue campus = GenerateCampus(MixedCampusConfig(6, 0.2, 9));
+  EXPECT_TRUE(campus.IsConnected());
+  int max_zone = 0;
+  size_t outdoor = 0;
+  for (const Partition& p : campus.partitions()) {
+    max_zone = std::max(max_zone, p.zone);
+    if (p.use == PartitionUse::kOutdoor) ++outdoor;
+  }
+  EXPECT_EQ(max_zone, 5);
+  EXPECT_EQ(outdoor, 6u);  // one forecourt per building
+}
+
+TEST(ReplicateTest, DoublesTheVenueAndConnectsByStairs) {
+  BuildingConfig cfg;
+  cfg.floors = 3;
+  cfg.rooms_per_floor = 12;
+  const Venue base = GenerateStandaloneBuilding(cfg, 21);
+  ReplicateOptions options;
+  options.copies = 2;
+  options.stairs_per_zone = 2;
+  const Venue doubled = ReplicateVertically(base, options);
+
+  EXPECT_TRUE(doubled.IsConnected());
+  // 2x partitions plus the connector stairs.
+  EXPECT_EQ(doubled.NumPartitions(), 2 * base.NumPartitions() + 2);
+  EXPECT_EQ(doubled.NumDoors(), 2 * base.NumDoors() + 4);
+
+  // Copy 0 is id-stable.
+  for (size_t p = 0; p < base.NumPartitions(); ++p) {
+    EXPECT_EQ(doubled.partition(p).level, base.partition(p).level);
+  }
+}
+
+TEST(ReplicateTest, ThreeCopies) {
+  BuildingConfig cfg;
+  cfg.floors = 2;
+  cfg.rooms_per_floor = 6;
+  const Venue base = GenerateStandaloneBuilding(cfg, 22);
+  ReplicateOptions options;
+  options.copies = 3;
+  options.stairs_per_zone = 1;
+  const Venue tripled = ReplicateVertically(base, options);
+  EXPECT_TRUE(tripled.IsConnected());
+  EXPECT_EQ(tripled.NumPartitions(), 3 * base.NumPartitions() + 2);
+}
+
+TEST(PresetsTest, AllDatasetsBuildAtSmallScale) {
+  for (const DatasetInfo& info : AllDatasets()) {
+    const double scale =
+        (info.dataset == Dataset::kCL || info.dataset == Dataset::kCL2)
+            ? 0.05
+            : 0.2;
+    const Venue venue = MakeDataset(info.dataset, scale);
+    EXPECT_TRUE(venue.IsConnected()) << info.name;
+    EXPECT_GT(venue.NumDoors(), 0u) << info.name;
+  }
+}
+
+TEST(PresetsTest, ReplicaDatasetsAreRoughlyDouble) {
+  const Venue mc = MakeDataset(Dataset::kMC, 0.3);
+  const Venue mc2 = MakeDataset(Dataset::kMC2, 0.3);
+  EXPECT_GE(mc2.NumPartitions(), 2 * mc.NumPartitions());
+  EXPECT_LE(mc2.NumPartitions(), 2 * mc.NumPartitions() + 8);
+}
+
+TEST(PresetsTest, MenAnalogueApproximatesPaperShape) {
+  const Venue men = MakeDataset(Dataset::kMen, 1.0);
+  const DatasetInfo info = InfoFor(Dataset::kMen);
+  // Partition and door counts within 15% of the paper's Table 2.
+  EXPECT_NEAR(static_cast<double>(men.NumPartitions()),
+              static_cast<double>(info.paper_rooms),
+              0.15 * info.paper_rooms);
+  EXPECT_NEAR(static_cast<double>(men.NumDoors()),
+              static_cast<double>(info.paper_doors),
+              0.15 * info.paper_doors);
+  // Edge count within a factor of two (clique sizes are the paper's main
+  // unknown).
+  const D2DGraph graph(men);
+  EXPECT_GT(graph.NumEdges(), info.paper_edges / 2);
+  EXPECT_LT(graph.NumEdges(), info.paper_edges * 2);
+}
+
+TEST(PresetsTest, DatasetFromNameRoundTrips) {
+  for (const DatasetInfo& info : AllDatasets()) {
+    EXPECT_EQ(DatasetFromName(info.name), info.dataset);
+  }
+}
+
+TEST(ObjectsTest, PlaceObjectsPrefersRooms) {
+  BuildingConfig cfg;
+  cfg.floors = 3;
+  cfg.rooms_per_floor = 20;
+  const Venue venue = GenerateStandaloneBuilding(cfg, 30);
+  Rng rng(4);
+  const std::vector<IndoorPoint> objects = PlaceObjects(venue, 10, rng);
+  ASSERT_EQ(objects.size(), 10u);
+  for (const IndoorPoint& o : objects) {
+    EXPECT_EQ(venue.partition(o.partition).use, PartitionUse::kRoom);
+  }
+  // Distinct partitions while enough rooms exist.
+  std::set<PartitionId> distinct;
+  for (const IndoorPoint& o : objects) distinct.insert(o.partition);
+  EXPECT_EQ(distinct.size(), 10u);
+}
+
+TEST(ObjectsTest, RandomPairsAreDeterministic) {
+  BuildingConfig cfg;
+  cfg.floors = 2;
+  cfg.rooms_per_floor = 10;
+  const Venue venue = GenerateStandaloneBuilding(cfg, 31);
+  Rng rng_a(7);
+  Rng rng_b(7);
+  const auto pairs_a = RandomPointPairs(venue, 50, rng_a);
+  const auto pairs_b = RandomPointPairs(venue, 50, rng_b);
+  ASSERT_EQ(pairs_a.size(), pairs_b.size());
+  for (size_t i = 0; i < pairs_a.size(); ++i) {
+    EXPECT_EQ(pairs_a[i].first.partition, pairs_b[i].first.partition);
+    EXPECT_EQ(pairs_a[i].second.partition, pairs_b[i].second.partition);
+  }
+}
+
+}  // namespace
+}  // namespace synth
+}  // namespace viptree

@@ -1,0 +1,221 @@
+// Structural invariants of the IP-Tree across a parameterized sweep of
+// venue shapes and minimum degrees — the properties the §3 algorithms rely
+// on (access-door nesting, matrix door sets, next-hop consistency, DFS
+// interval partitioning, superior-door definition).
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/ip_tree.h"
+#include "graph/dijkstra.h"
+#include "synth/building_generator.h"
+#include "synth/campus_generator.h"
+#include "synth/replicate.h"
+
+namespace viptree {
+namespace {
+
+struct SweepParam {
+  int venue_kind;  // 0..3
+  int min_degree;
+};
+
+std::string ParamName(const ::testing::TestParamInfo<SweepParam>& info) {
+  return "venue" + std::to_string(info.param.venue_kind) + "_t" +
+         std::to_string(info.param.min_degree);
+}
+
+Venue MakeSweepVenue(int kind) {
+  switch (kind) {
+    case 0: {  // compact two-floor building
+      synth::BuildingConfig cfg;
+      cfg.floors = 2;
+      cfg.rooms_per_floor = 14;
+      cfg.staircases = 1;
+      return synth::GenerateStandaloneBuilding(cfg, 400);
+    }
+    case 1: {  // tall tower with lifts and room-to-room doors
+      synth::BuildingConfig cfg;
+      cfg.floors = 8;
+      cfg.rooms_per_floor = 26;
+      cfg.staircases = 2;
+      cfg.lifts = 2;
+      cfg.inter_room_door_prob = 0.3;
+      cfg.extra_corridor_door_prob = 0.25;
+      return synth::GenerateStandaloneBuilding(cfg, 401);
+    }
+    case 2: {  // replicated building (Men-2 style)
+      synth::BuildingConfig cfg;
+      cfg.floors = 3;
+      cfg.rooms_per_floor = 16;
+      const Venue base = synth::GenerateStandaloneBuilding(cfg, 402);
+      synth::ReplicateOptions options;
+      options.copies = 2;
+      return synth::ReplicateVertically(base, options);
+    }
+    default:  // small campus
+      return synth::GenerateCampus(synth::MixedCampusConfig(3, 0.12, 403));
+  }
+}
+
+class TreeInvariantTest : public ::testing::TestWithParam<SweepParam> {
+ protected:
+  TreeInvariantTest()
+      : venue_(MakeSweepVenue(GetParam().venue_kind)),
+        graph_(venue_),
+        tree_(IPTree::Build(venue_, graph_,
+                            {.min_degree = GetParam().min_degree})) {}
+
+  Venue venue_;
+  D2DGraph graph_;
+  IPTree tree_;
+};
+
+TEST_P(TreeInvariantTest, AccessDoorNesting) {
+  // d in AD(N) implies d in AD(child of N containing it), all the way to a
+  // leaf — the property path decomposition relies on.
+  for (const TreeNode& n : tree_.nodes()) {
+    if (n.is_leaf()) continue;
+    for (DoorId d : n.access_doors) {
+      bool found = false;
+      for (NodeId c : n.children) {
+        const TreeNode& child = tree_.node(c);
+        const auto& ad = child.access_doors;
+        if (std::binary_search(ad.begin(), ad.end(), d)) found = true;
+      }
+      EXPECT_TRUE(found) << "door " << d << " in AD(" << n.id
+                         << ") but no child has it";
+    }
+  }
+}
+
+TEST_P(TreeInvariantTest, MatrixDoorsAreUnionOfChildAccessDoors) {
+  for (const TreeNode& n : tree_.nodes()) {
+    if (n.is_leaf()) continue;
+    std::set<DoorId> expected;
+    for (NodeId c : n.children) {
+      const auto& ad = tree_.node(c).access_doors;
+      expected.insert(ad.begin(), ad.end());
+    }
+    EXPECT_EQ(std::set<DoorId>(n.matrix_doors.begin(), n.matrix_doors.end()),
+              expected);
+    EXPECT_EQ(n.dist.rows(), n.matrix_doors.size());
+    EXPECT_EQ(n.dist.cols(), n.matrix_doors.size());
+  }
+}
+
+TEST_P(TreeInvariantTest, LeafDfsIntervalsPartitionTheLeaves) {
+  const TreeNode& root = tree_.node(tree_.root());
+  EXPECT_EQ(root.leaf_begin, 0u);
+  EXPECT_EQ(root.leaf_end, tree_.num_leaves());
+  for (const TreeNode& n : tree_.nodes()) {
+    EXPECT_LT(n.leaf_begin, n.leaf_end);
+    if (n.is_leaf()) {
+      EXPECT_EQ(n.leaf_end, n.leaf_begin + 1);
+      continue;
+    }
+    // Children intervals tile the parent's interval.
+    uint32_t covered = 0;
+    for (NodeId c : n.children) {
+      covered += tree_.node(c).leaf_end - tree_.node(c).leaf_begin;
+      EXPECT_GE(tree_.node(c).leaf_begin, n.leaf_begin);
+      EXPECT_LE(tree_.node(c).leaf_end, n.leaf_end);
+    }
+    EXPECT_EQ(covered, n.leaf_end - n.leaf_begin);
+  }
+}
+
+TEST_P(TreeInvariantTest, NonLeafMatrixDistancesAreGlobalShortest) {
+  // Spot-check non-leaf matrix entries against plain Dijkstra.
+  DijkstraEngine engine(graph_);
+  int checked = 0;
+  for (const TreeNode& n : tree_.nodes()) {
+    if (n.is_leaf() || checked > 4) continue;
+    ++checked;
+    const size_t m = n.matrix_doors.size();
+    const size_t step = std::max<size_t>(1, m / 3);
+    for (size_t i = 0; i < m; i += step) {
+      engine.Start(n.matrix_doors[i]);
+      engine.RunToTargets(n.matrix_doors);
+      for (size_t j = 0; j < m; j += step) {
+        EXPECT_NEAR(n.dist.at(i, j), engine.DistanceTo(n.matrix_doors[j]),
+                    1e-3)
+            << "node " << n.id;
+      }
+    }
+  }
+}
+
+TEST_P(TreeInvariantTest, NextHopSplitsPreserveDistance) {
+  // dist(x, y) == dist(x, hop) + dist(hop, y) whenever a next-hop exists.
+  DijkstraEngine engine(graph_);
+  int checked = 0;
+  for (const TreeNode& n : tree_.nodes()) {
+    if (n.is_leaf() || checked > 3) continue;
+    ++checked;
+    const size_t m = n.matrix_doors.size();
+    const size_t step = std::max<size_t>(1, m / 3);
+    for (size_t i = 0; i < m; i += step) {
+      for (size_t j = 0; j < m; j += step) {
+        const DoorId hop = n.next_hop.at(i, j);
+        if (hop == kInvalidId) continue;
+        const int hop_row = IPTree::IndexOf(n.matrix_doors, hop);
+        ASSERT_GE(hop_row, 0);
+        EXPECT_NEAR(n.dist.at(i, j),
+                    n.dist.at(i, hop_row) + n.dist.at(hop_row, j), 1e-3);
+      }
+    }
+  }
+}
+
+TEST_P(TreeInvariantTest, SuperiorDoorsContainLocalAccessDoors) {
+  for (const Partition& p : venue_.partitions()) {
+    const TreeNode& leaf = tree_.node(tree_.LeafOfPartition(p.id));
+    const std::span<const DoorId> sup = tree_.SuperiorDoors(p.id);
+    const std::span<const DoorId> doors = venue_.DoorsOf(p.id);
+    // Superior doors are doors of the partition.
+    for (DoorId d : sup) {
+      EXPECT_NE(std::find(doors.begin(), doors.end(), d), doors.end());
+    }
+    // Definition 2(i): local access doors are superior.
+    for (DoorId d : doors) {
+      if (IPTree::IndexOf(leaf.access_doors, d) >= 0) {
+        EXPECT_NE(std::find(sup.begin(), sup.end(), d), sup.end())
+            << "local access door " << d << " of partition " << p.id;
+      }
+    }
+    // At least one superior door unless the leaf has no access doors.
+    if (!leaf.access_doors.empty()) EXPECT_FALSE(sup.empty());
+  }
+}
+
+TEST_P(TreeInvariantTest, MinDegreeRespectedBelowRoot) {
+  const int t = GetParam().min_degree;
+  for (const TreeNode& n : tree_.nodes()) {
+    if (n.is_leaf() || n.id == tree_.root()) continue;
+    // Each non-root internal node was merged from at least t nodes.
+    EXPECT_GE(static_cast<int>(n.children.size()), 2);
+    (void)t;
+  }
+  const IPTree::Stats stats = tree_.ComputeStats();
+  EXPECT_GT(stats.num_leaves, 0u);
+  EXPECT_GT(stats.memory_bytes, 0u);
+}
+
+TEST_P(TreeInvariantTest, AccessDoorCountsStaySmall) {
+  // The paper's central empirical claim (§4.1): rho stays small because
+  // indoor regions connect through few doors.
+  const IPTree::Stats stats = tree_.ComputeStats();
+  EXPECT_LT(stats.avg_access_doors, 16.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, TreeInvariantTest,
+    ::testing::Values(SweepParam{0, 2}, SweepParam{0, 4}, SweepParam{1, 2},
+                      SweepParam{1, 6}, SweepParam{2, 2}, SweepParam{2, 3},
+                      SweepParam{3, 2}, SweepParam{3, 5}),
+    ParamName);
+
+}  // namespace
+}  // namespace viptree

@@ -1,0 +1,140 @@
+#include "model/venue.h"
+
+#include <gtest/gtest.h>
+
+#include "model/venue_builder.h"
+#include "paper_example.h"
+
+namespace viptree {
+namespace {
+
+TEST(VenueBuilderTest, RejectsEmptyVenue) {
+  VenueBuilder builder;
+  ASSERT_TRUE(builder.Validate().has_value());
+}
+
+TEST(VenueBuilderTest, RejectsPartitionWithoutDoor) {
+  VenueBuilder builder;
+  builder.AddPartition(0, PartitionUse::kRoom, Point{});
+  ASSERT_TRUE(builder.Validate().has_value());
+  EXPECT_NE(builder.Validate()->find("has no door"), std::string::npos);
+}
+
+TEST(VenueBuilderTest, RejectsDisconnectedVenue) {
+  VenueBuilder builder;
+  const PartitionId a = builder.AddPartition(0, PartitionUse::kRoom, Point{});
+  const PartitionId b = builder.AddPartition(0, PartitionUse::kRoom, Point{});
+  const PartitionId c = builder.AddPartition(0, PartitionUse::kRoom, Point{});
+  const PartitionId d = builder.AddPartition(0, PartitionUse::kRoom, Point{});
+  builder.AddDoor(a, b, Point{});
+  builder.AddDoor(c, d, Point{});
+  ASSERT_TRUE(builder.Validate().has_value());
+  EXPECT_NE(builder.Validate()->find("not connected"), std::string::npos);
+}
+
+TEST(VenueBuilderTest, AcceptsMinimalConnectedVenue) {
+  VenueBuilder builder;
+  const PartitionId a = builder.AddPartition(0, PartitionUse::kRoom, Point{});
+  const PartitionId b = builder.AddPartition(0, PartitionUse::kRoom, Point{});
+  builder.AddDoor(a, b, Point{});
+  EXPECT_FALSE(builder.Validate().has_value());
+  const Venue venue = std::move(builder).Build();
+  EXPECT_EQ(venue.NumPartitions(), 2u);
+  EXPECT_EQ(venue.NumDoors(), 1u);
+  EXPECT_TRUE(venue.IsConnected());
+}
+
+TEST(VenueBuilderTest, ExteriorDoorBelongsToOnePartition) {
+  VenueBuilder builder;
+  const PartitionId a = builder.AddPartition(0, PartitionUse::kRoom, Point{});
+  const PartitionId b = builder.AddPartition(0, PartitionUse::kRoom, Point{});
+  builder.AddDoor(a, b, Point{});
+  const DoorId exit = builder.AddExteriorDoor(a, Point{1, 0, 0});
+  const Venue venue = std::move(builder).Build();
+  EXPECT_TRUE(venue.door(exit).is_exterior());
+  EXPECT_EQ(venue.OtherSide(exit, a), kInvalidId);
+  ASSERT_EQ(venue.DoorsOf(a).size(), 2u);
+  ASSERT_EQ(venue.DoorsOf(b).size(), 1u);
+}
+
+TEST(VenueTest, ClassificationFollowsDoorCountAndBeta) {
+  VenueBuilder builder(/*beta=*/4);
+  const PartitionId hallway =
+      builder.AddPartition(0, PartitionUse::kCorridor, Point{});
+  std::vector<PartitionId> rooms;
+  for (int i = 0; i < 5; ++i) {
+    rooms.push_back(builder.AddPartition(0, PartitionUse::kRoom, Point{}));
+    builder.AddDoor(hallway, rooms.back(),
+                    Point{static_cast<double>(i), 0, 0});
+  }
+  // Give one room a second door so it is "general".
+  builder.AddDoor(rooms[0], rooms[1], Point{0.5, 1, 0});
+  const Venue venue = std::move(builder).Build();
+
+  EXPECT_EQ(venue.Classify(hallway), PartitionClass::kHallway);  // 5 > 4
+  EXPECT_EQ(venue.Classify(rooms[0]), PartitionClass::kGeneral);
+  EXPECT_EQ(venue.Classify(rooms[1]), PartitionClass::kGeneral);
+  EXPECT_EQ(venue.Classify(rooms[2]), PartitionClass::kNoThrough);
+}
+
+TEST(VenueTest, AdjacencyAndOtherSide) {
+  VenueBuilder builder;
+  const PartitionId a = builder.AddPartition(0, PartitionUse::kRoom, Point{});
+  const PartitionId b = builder.AddPartition(0, PartitionUse::kRoom, Point{});
+  const PartitionId c = builder.AddPartition(0, PartitionUse::kRoom, Point{});
+  const DoorId ab = builder.AddDoor(a, b, Point{});
+  builder.AddDoor(b, c, Point{});
+  const Venue venue = std::move(builder).Build();
+
+  EXPECT_TRUE(venue.Adjacent(a, b));
+  EXPECT_TRUE(venue.Adjacent(b, c));
+  EXPECT_FALSE(venue.Adjacent(a, c));
+  EXPECT_EQ(venue.OtherSide(ab, a), b);
+  EXPECT_EQ(venue.OtherSide(ab, b), a);
+  EXPECT_TRUE(venue.DoorTouches(ab, a));
+  EXPECT_FALSE(venue.DoorTouches(ab, c));
+}
+
+TEST(VenueTest, IntraPartitionDistanceUsesCostScale) {
+  VenueBuilder builder;
+  const PartitionId stair = builder.AddPartition(
+      0, PartitionUse::kStaircase, Point{}, "stair", /*cost_scale=*/2.0);
+  const PartitionId room = builder.AddPartition(0, PartitionUse::kRoom, Point{});
+  builder.AddDoor(stair, room, Point{});
+  const Venue venue = std::move(builder).Build();
+
+  const Point p0{0, 0, 0};
+  const Point p1{3, 4, 0};
+  EXPECT_DOUBLE_EQ(venue.IntraPartitionDistance(stair, p0, p1), 10.0);
+  EXPECT_DOUBLE_EQ(venue.IntraPartitionDistance(room, p0, p1), 5.0);
+}
+
+TEST(PaperExampleTest, MatchesPaperTaxonomy) {
+  const testing::PaperExample example = testing::MakePaperExample();
+  const Venue& venue = example.venue;
+  ASSERT_EQ(venue.NumPartitions(), 17u);
+  ASSERT_EQ(venue.NumDoors(), 20u);
+  EXPECT_TRUE(venue.IsConnected());
+
+  // "partitions P1, P5, P12 and P17 are the hallway partitions" (§2).
+  for (int i = 1; i <= 17; ++i) {
+    const PartitionClass c = venue.Classify(testing::P(i));
+    if (i == 1 || i == 5 || i == 12 || i == 17) {
+      EXPECT_EQ(c, PartitionClass::kHallway) << "P" << i;
+    } else {
+      EXPECT_NE(c, PartitionClass::kHallway) << "P" << i;
+    }
+  }
+  // "partitions P2, P9 and P10 ... no-through" (§2).
+  EXPECT_EQ(venue.Classify(testing::P(2)), PartitionClass::kNoThrough);
+  EXPECT_EQ(venue.Classify(testing::P(9)), PartitionClass::kNoThrough);
+  EXPECT_EQ(venue.Classify(testing::P(10)), PartitionClass::kNoThrough);
+
+  // d1, d7, d20 are venue entrances.
+  EXPECT_TRUE(venue.door(testing::D(1)).is_exterior());
+  EXPECT_TRUE(venue.door(testing::D(7)).is_exterior());
+  EXPECT_TRUE(venue.door(testing::D(20)).is_exterior());
+}
+
+}  // namespace
+}  // namespace viptree
