@@ -4,6 +4,7 @@
 #include <queue>
 
 #include "common/check.h"
+#include "common/span.h"
 
 namespace viptree {
 
@@ -25,7 +26,7 @@ double DistAwareModel::Distance(const IndoorPoint& s, const IndoorPoint& t) {
     sources.push_back({u, venue_.DistanceToDoor(s, u)});
   }
   engine_.Start(sources);
-  const std::span<const DoorId> targets = venue_.DoorsOf(t.partition);
+  const Span<const DoorId> targets = venue_.DoorsOf(t.partition);
   engine_.RunToTargets(targets);
   for (DoorId dt : targets) {
     if (!engine_.Settled(dt)) continue;
@@ -47,7 +48,7 @@ std::vector<DoorId> DistAwareModel::Path(const IndoorPoint& s,
     sources.push_back({u, venue_.DistanceToDoor(s, u)});
   }
   engine_.Start(sources);
-  const std::span<const DoorId> targets = venue_.DoorsOf(t.partition);
+  const Span<const DoorId> targets = venue_.DoorsOf(t.partition);
   engine_.RunToTargets(targets);
   DoorId best_door = kInvalidId;
   for (DoorId dt : targets) {

@@ -6,6 +6,7 @@
 
 #include "common/check.h"
 #include "partition/multilevel_partitioner.h"
+#include "common/span.h"
 
 namespace viptree {
 
@@ -16,7 +17,7 @@ void SortUnique(std::vector<DoorId>& v) {
   v.erase(std::unique(v.begin(), v.end()), v.end());
 }
 
-int IndexOf(std::span<const DoorId> doors, DoorId d) {
+int IndexOf(Span<const DoorId> doors, DoorId d) {
   const auto it = std::lower_bound(doors.begin(), doors.end(), d);
   if (it == doors.end() || *it != d) return -1;
   return static_cast<int>(it - doors.begin());
@@ -414,7 +415,7 @@ double GTree::LocalDistance(const IndoorPoint& s, const IndoorPoint& t,
     sources.push_back({u, venue_.DistanceToDoor(s, u)});
   }
   engine_.Start(sources);
-  const std::span<const DoorId> targets = venue_.DoorsOf(t.partition);
+  const Span<const DoorId> targets = venue_.DoorsOf(t.partition);
   engine_.RunToTargets(targets);
   DoorId best_door = kInvalidId;
   for (DoorId dt : targets) {
@@ -449,7 +450,7 @@ void GTree::Expand(DoorId x, DoorId y, NodeId ctx,
   // Dijkstra between two nearby doors.
   auto local = [this, &out](DoorId from, DoorId to) {
     engine_.Start(from);
-    engine_.RunToTargets(std::span<const DoorId>(&to, 1));
+    engine_.RunToTargets(Span<const DoorId>(&to, 1));
     const std::vector<DoorId> path = engine_.PathTo(to);
     for (size_t i = 1; i + 1 < path.size(); ++i) out.push_back(path[i]);
   };
@@ -606,7 +607,7 @@ double GTree::DoorDistance(DoorId u, DoorId v) {
   if (u == v) return 0.0;
   if (leaf_of_door_[u] == leaf_of_door_[v]) {
     engine_.Start(u);
-    engine_.RunToTargets(std::span<const DoorId>(&v, 1));
+    engine_.RunToTargets(Span<const DoorId>(&v, 1));
     return engine_.DistanceTo(v);
   }
   std::unordered_map<NodeId, std::vector<DijkstraSource>> s_groups;

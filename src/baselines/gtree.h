@@ -17,7 +17,6 @@
 #define VIPTREE_BASELINES_GTREE_H_
 
 #include <cstdint>
-#include <span>
 #include <unordered_map>
 #include <vector>
 
@@ -25,6 +24,7 @@
 #include "graph/d2d_graph.h"
 #include "graph/dijkstra.h"
 #include "model/venue.h"
+#include "common/span.h"
 
 namespace viptree {
 
@@ -64,7 +64,7 @@ class GTree {
   size_t NumLeaves() const { return num_leaves_; }
 
  private:
-  // ROAD reuses the hierarchy and shortcut matrices (DESIGN.md §1).
+  // ROAD reuses the hierarchy and shortcut matrices (docs/ARCHITECTURE.md).
   friend class RoadIndex;
 
   struct GNode {

@@ -4,12 +4,13 @@
 #include <queue>
 
 #include "common/check.h"
+#include "common/span.h"
 
 namespace viptree {
 
 namespace {
 
-int IndexOf(std::span<const DoorId> doors, DoorId d) {
+int IndexOf(Span<const DoorId> doors, DoorId d) {
   const auto it = std::lower_bound(doors.begin(), doors.end(), d);
   if (it == doors.end() || *it != d) return -1;
   return static_cast<int>(it - doors.begin());
@@ -72,7 +73,7 @@ RoadIndex::SearchResult RoadIndex::OverlaySearch(
     reach(u, venue_.DistanceToDoor(s, u), kInvalidId, false);
   }
 
-  const std::span<const DoorId> targets = venue_.DoorsOf(t.partition);
+  const Span<const DoorId> targets = venue_.DoorsOf(t.partition);
   size_t wanted = targets.size();
 
   while (wanted > 0 && !heap.empty()) {
@@ -157,7 +158,7 @@ RoadIndex::SearchResult RoadIndex::OverlaySearch(
       if (rev[i].second) {
         expander.Start(rev[i - 1].first);
         const DoorId goal = rev[i].first;
-        expander.RunToTargets(std::span<const DoorId>(&goal, 1));
+        expander.RunToTargets(Span<const DoorId>(&goal, 1));
         const std::vector<DoorId> seg = expander.PathTo(goal);
         for (size_t j = 1; j < seg.size(); ++j) path_doors->push_back(seg[j]);
       } else {

@@ -1,0 +1,73 @@
+// Minimal C++17 stand-in for std::span (C++20), covering the subset the
+// library needs: a non-owning (pointer, length) view over contiguous door /
+// edge / object arrays. Implicitly constructible from std::vector and
+// pointer ranges, convertible from Span<T> to Span<const T>.
+
+#ifndef VIPTREE_COMMON_SPAN_H_
+#define VIPTREE_COMMON_SPAN_H_
+
+#include <cstddef>
+#include <type_traits>
+
+namespace viptree {
+
+template <typename T>
+class Span {
+ public:
+  using element_type = T;
+  using value_type = std::remove_cv_t<T>;
+  using iterator = T*;
+  using const_iterator = const T*;
+
+  constexpr Span() noexcept : data_(nullptr), size_(0) {}
+  constexpr Span(T* data, size_t size) noexcept : data_(data), size_(size) {}
+
+  // Templated on the end pointer so that Span(ptr, 0) — where literal 0
+  // converts equally well to size_t and to T* — unambiguously picks the
+  // (pointer, count) constructor above.
+  template <typename End,
+            typename = std::enable_if_t<std::is_pointer_v<End>>>
+  constexpr Span(T* first, End last) noexcept
+      : data_(first), size_(static_cast<size_t>(last - first)) {}
+
+  template <size_t N>
+  constexpr Span(T (&arr)[N]) noexcept : data_(arr), size_(N) {}
+
+  // From any contiguous container (std::vector, std::array, another Span)
+  // whose data() pointer converts to T*. The const overload participates for
+  // Span<const T> only, so a Span<T> can never silently alias const data.
+  // Rvalue containers therefore bind only when the element type is const —
+  // the same rule as C++20 std::span ([span.cons]: borrowed_range<R> ||
+  // is_const_v<element_type>), which permits the common pass-a-temporary-
+  // to-a-Span-parameter pattern while rejecting mutable dangling views.
+  template <typename Container,
+            typename = std::enable_if_t<std::is_convertible_v<
+                decltype(std::declval<Container&>().data()), T*>>>
+  constexpr Span(Container& c) noexcept : data_(c.data()), size_(c.size()) {}
+
+  template <typename Container,
+            typename = std::enable_if_t<std::is_convertible_v<
+                decltype(std::declval<const Container&>().data()), T*>>,
+            typename = void>
+  constexpr Span(const Container& c) noexcept
+      : data_(c.data()), size_(c.size()) {}
+
+  constexpr T* data() const noexcept { return data_; }
+  constexpr size_t size() const noexcept { return size_; }
+  constexpr bool empty() const noexcept { return size_ == 0; }
+
+  constexpr T* begin() const noexcept { return data_; }
+  constexpr T* end() const noexcept { return data_ + size_; }
+
+  constexpr T& operator[](size_t i) const { return data_[i]; }
+  constexpr T& front() const { return data_[0]; }
+  constexpr T& back() const { return data_[size_ - 1]; }
+
+ private:
+  T* data_;
+  size_t size_;
+};
+
+}  // namespace viptree
+
+#endif  // VIPTREE_COMMON_SPAN_H_

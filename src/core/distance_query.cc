@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/check.h"
+#include "common/span.h"
 
 namespace viptree {
 
@@ -51,8 +52,8 @@ void IPDistanceQuery::SeedLeaf(const QuerySource& source, const TreeNode& leaf,
 
   const Venue& venue = tree_.venue();
   const IndoorPoint& s = *source.point;
-  const std::span<const DoorId> partition_doors = venue.DoorsOf(s.partition);
-  const std::span<const DoorId> seeds = options_.use_superior_doors
+  const Span<const DoorId> partition_doors = venue.DoorsOf(s.partition);
+  const Span<const DoorId> seeds = options_.use_superior_doors
                                             ? tree_.SuperiorDoors(s.partition)
                                             : partition_doors;
   for (size_t c = 0; c < m; ++c) {
@@ -147,7 +148,7 @@ double IPDistanceQuery::LocalDistance(const QuerySource& s,
     }
   }
 
-  const std::span<const DoorId> targets = venue.DoorsOf(t.partition);
+  const Span<const DoorId> targets = venue.DoorsOf(t.partition);
   dijkstra_.Start(sources);
   dijkstra_.RunToTargets(targets);
   for (DoorId dt : targets) {
@@ -198,7 +199,7 @@ double IPDistanceQuery::DoorDistance(DoorId s, DoorId t) {
       if (sl.leaf == tl.leaf) {
         // Same leaf: Dijkstra on the D2D graph (§3.1.1).
         dijkstra_.Start(s);
-        dijkstra_.RunToTargets(std::span<const DoorId>(&t, 1));
+        dijkstra_.RunToTargets(Span<const DoorId>(&t, 1));
         return dijkstra_.DistanceTo(t);
       }
     }
@@ -256,8 +257,8 @@ void VIPDistanceQuery::DistancesToNodeAd(const QuerySource& source,
 
   const Venue& venue = tree.venue();
   const IndoorPoint& s = *source.point;
-  const std::span<const DoorId> partition_doors = venue.DoorsOf(s.partition);
-  const std::span<const DoorId> seeds = options_.use_superior_doors
+  const Span<const DoorId> partition_doors = venue.DoorsOf(s.partition);
+  const Span<const DoorId> seeds = options_.use_superior_doors
                                             ? tree.SuperiorDoors(s.partition)
                                             : partition_doors;
   for (size_t c = 0; c < m; ++c) {

@@ -1,3 +1,7 @@
+// Part of the reproduction of "VIP-Tree: An Effective Index for Indoor
+// Spatial Queries" (Shao, Cheema, Taniar, Lu — PVLDB 10(4), 2016); all
+// section/algorithm references below point into that paper.
+//
 // Shortest distance queries (§3.1): Algorithm 2 (distances from a source to
 // all access doors of an ancestor node) and Algorithm 3 (distance between
 // two arbitrary indoor points), in the IP-Tree variant (iterative ascent,

@@ -4,6 +4,7 @@
 
 #include "common/check.h"
 #include "core/tree_builder.h"
+#include "common/span.h"
 
 namespace viptree {
 
@@ -27,7 +28,7 @@ NodeId IPTree::Lca(NodeId a, NodeId b) const {
   return a;
 }
 
-int IPTree::IndexOf(std::span<const DoorId> doors, DoorId d) {
+int IPTree::IndexOf(Span<const DoorId> doors, DoorId d) {
   const auto it = std::lower_bound(doors.begin(), doors.end(), d);
   if (it == doors.end() || *it != d) return -1;
   return static_cast<int>(it - doors.begin());

@@ -1,3 +1,7 @@
+// Part of the reproduction of "VIP-Tree: An Effective Index for Indoor
+// Spatial Queries" (Shao, Cheema, Taniar, Lu — PVLDB 10(4), 2016); all
+// section/algorithm references below point into that paper.
+//
 // The Indoor Partitioning Tree (IP-Tree) of §2.1.
 //
 // Leaves group adjacent indoor partitions around at most one hallway each;
@@ -21,14 +25,15 @@
 #ifndef VIPTREE_CORE_IP_TREE_H_
 #define VIPTREE_CORE_IP_TREE_H_
 
+#include <array>
 #include <cstdint>
 #include <optional>
-#include <span>
 #include <vector>
 
 #include "core/matrix.h"
 #include "graph/d2d_graph.h"
 #include "model/venue.h"
+#include "common/span.h"
 
 namespace viptree {
 
@@ -99,7 +104,7 @@ class IPTree {
     NodeId leaf = kInvalidId;
     uint32_t row = 0;
   };
-  std::span<const DoorLeafEntry> LeavesOfDoor(DoorId d) const {
+  Span<const DoorLeafEntry> LeavesOfDoor(DoorId d) const {
     return {door_leaves_[d].data(),
             static_cast<size_t>(door_leaves_[d][1].leaf == kInvalidId ? 1 : 2)};
   }
@@ -109,7 +114,7 @@ class IPTree {
   bool IsAccessDoor(DoorId d) const { return is_access_door_[d]; }
 
   // Superior doors of a partition (§3.1.1 Definition 2).
-  std::span<const DoorId> SuperiorDoors(PartitionId p) const {
+  Span<const DoorId> SuperiorDoors(PartitionId p) const {
     return {superior_doors_.data() + superior_offsets_[p],
             superior_offsets_[p + 1] - superior_offsets_[p]};
   }
@@ -133,7 +138,7 @@ class IPTree {
                            DoorId access_door) const;
 
   // Index of `d` within `doors` (binary search); -1 if absent.
-  static int IndexOf(std::span<const DoorId> doors, DoorId d);
+  static int IndexOf(Span<const DoorId> doors, DoorId d);
 
   // Aggregate statistics (Table 1 / Fig. 7 reporting).
   struct Stats {

@@ -4,6 +4,7 @@
 #include <queue>
 
 #include "common/check.h"
+#include "common/span.h"
 
 namespace viptree {
 
@@ -23,7 +24,7 @@ std::vector<ObjectResult> KnnQuery::WithinRange(const IndoorPoint& q,
 void KnnQuery::LocalObjectDistances(const IndoorPoint& q, NodeId leaf,
                                     std::vector<double>& out) {
   const Venue& venue = tree_.venue();
-  const std::span<const ObjectId> objs = objects_.ObjectsInLeaf(leaf);
+  const Span<const ObjectId> objs = objects_.ObjectsInLeaf(leaf);
   out.assign(objs.size(), kInfDistance);
   // One multi-source Dijkstra from q covers every object of the leaf; the
   // search runs on the full D2D graph so routes leaving the leaf are exact.
@@ -172,7 +173,7 @@ std::vector<ObjectResult> KnnQuery::Search(const IndoorPoint& q, size_t k,
       continue;
     }
     // Leaf: exact object distances.
-    const std::span<const ObjectId> objs = objects_.ObjectsInLeaf(n);
+    const Span<const ObjectId> objs = objects_.ObjectsInLeaf(n);
     if (objs.empty()) continue;
     if (n == q_leaf) {
       std::vector<double> dists;

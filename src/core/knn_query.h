@@ -1,3 +1,7 @@
+// Part of the reproduction of "VIP-Tree: An Effective Index for Indoor
+// Spatial Queries" (Shao, Cheema, Taniar, Lu — PVLDB 10(4), 2016); all
+// section/algorithm references below point into that paper.
+//
 // k-nearest-neighbour queries over indexed indoor objects (Algorithm 5):
 // best-first search over the tree with the mindist computation of
 // Lemmas 8 and 9 (distances to a node's access doors derived from its

@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "common/check.h"
+#include "common/span.h"
 
 namespace viptree {
 
@@ -57,7 +58,7 @@ ObjectIndex::ObjectIndex(const IPTree& tree, std::vector<IndoorPoint> objects)
   VIPTREE_CHECK(dfs_prefix_.back() == objects_.size());
 }
 
-std::span<const ObjectId> ObjectIndex::ObjectsInLeaf(NodeId leaf) const {
+Span<const ObjectId> ObjectIndex::ObjectsInLeaf(NodeId leaf) const {
   return leaf_objects_[leaf];
 }
 

@@ -7,10 +7,10 @@
 #ifndef VIPTREE_CORE_OBJECT_INDEX_H_
 #define VIPTREE_CORE_OBJECT_INDEX_H_
 
-#include <span>
 #include <vector>
 
 #include "core/ip_tree.h"
+#include "common/span.h"
 
 namespace viptree {
 
@@ -23,7 +23,7 @@ class ObjectIndex {
   const IndoorPoint& object(ObjectId o) const { return objects_[o]; }
   const std::vector<IndoorPoint>& objects() const { return objects_; }
 
-  std::span<const ObjectId> ObjectsInLeaf(NodeId leaf) const;
+  Span<const ObjectId> ObjectsInLeaf(NodeId leaf) const;
 
   // Exact indoor distance from access door `col` of `leaf` to object with
   // in-leaf index `i` (aligned with ObjectsInLeaf).

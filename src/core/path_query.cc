@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/check.h"
+#include "common/span.h"
 
 namespace viptree {
 
@@ -72,7 +73,7 @@ void IPPathQuery::Expand(DoorId x, DoorId y, NodeId ctx,
     // remaining segment with a bounded Dijkstra.
     DijkstraEngine& engine = query_.dijkstra_;
     engine.Start(x);
-    engine.RunToTargets(std::span<const DoorId>(&y, 1));
+    engine.RunToTargets(Span<const DoorId>(&y, 1));
     const std::vector<DoorId> seg = engine.PathTo(y);
     for (size_t i = 1; i + 1 < seg.size(); ++i) out.push_back(seg[i]);
     return;
@@ -104,7 +105,7 @@ void IPPathQuery::Expand(DoorId x, DoorId y, NodeId ctx,
       // segment is then a single level-graph edge: recover it locally.
       DijkstraEngine& engine = query_.dijkstra_;
       engine.Start(x);
-      engine.RunToTargets(std::span<const DoorId>(&y, 1));
+      engine.RunToTargets(Span<const DoorId>(&y, 1));
       const std::vector<DoorId> seg = engine.PathTo(y);
       for (size_t i = 1; i + 1 < seg.size(); ++i) out.push_back(seg[i]);
       return;
@@ -153,7 +154,7 @@ IndoorPath IPPathQuery::LocalPath(const QuerySource& s, const QuerySource& t) {
   DijkstraEngine& engine = query_.dijkstra_;
   engine.Start(sources);
   if (t.door != kInvalidId) {
-    engine.RunToTargets(std::span<const DoorId>(&t.door, 1));
+    engine.RunToTargets(Span<const DoorId>(&t.door, 1));
     path.distance = engine.DistanceTo(t.door);
     if (engine.Settled(t.door)) path.doors = engine.PathTo(t.door);
     return path;
@@ -165,7 +166,7 @@ IndoorPath IPPathQuery::LocalPath(const QuerySource& s, const QuerySource& t) {
     path.distance = venue.IntraPartitionDistance(
         t.point->partition, s.point->position, t.point->position);
   }
-  const std::span<const DoorId> targets = venue.DoorsOf(t.point->partition);
+  const Span<const DoorId> targets = venue.DoorsOf(t.point->partition);
   engine.RunToTargets(targets);
   DoorId best_door = kInvalidId;
   for (DoorId dt : targets) {
@@ -293,7 +294,7 @@ void VIPPathQuery::WalkToAncestorAd(DoorId x, NodeId ancestor, size_t col,
       // rare" case): finish the remaining segment with a bounded Dijkstra.
       DijkstraEngine& engine = ip_path_.query_.dijkstra_;
       engine.Start(x);
-      engine.RunToTargets(std::span<const DoorId>(&target, 1));
+      engine.RunToTargets(Span<const DoorId>(&target, 1));
       const std::vector<DoorId> seg = engine.PathTo(target);
       for (size_t i = 1; i + 1 < seg.size(); ++i) out.push_back(seg[i]);
       return;

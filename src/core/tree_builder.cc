@@ -9,6 +9,7 @@
 #include "common/check.h"
 #include "core/leaf_assembler.h"
 #include "graph/dijkstra.h"
+#include "common/span.h"
 
 namespace viptree {
 
@@ -112,7 +113,7 @@ IPTree TreeBuilder::BuildIPTree() {
 
 bool TreeBuilder::IsAccessOf(DoorId d,
                              const std::vector<NodeId>& cluster_of_leaf,
-                             NodeId cluster) const {
+                             [[maybe_unused]] NodeId cluster) const {
   const Door& door = venue_.door(d);
   if (door.is_exterior()) return true;
   const NodeId ca = cluster_of_leaf[tree_.leaf_of_partition_[door.partition_a]];
@@ -460,7 +461,7 @@ void TreeBuilder::BuildLeafMatricesAndSuperiorDoors() {
       // for which `a` is a *global* access door, a door di is superior if
       // the path di -> a crosses no other door of the partition.
       for (PartitionId p : leaf.partitions) {
-        const std::span<const DoorId> p_doors = venue_.DoorsOf(p);
+        const Span<const DoorId> p_doors = venue_.DoorsOf(p);
         bool a_local = false;
         for (DoorId d : p_doors) in_partition[d] = 1;
         if (in_partition[a]) a_local = true;

@@ -5,6 +5,7 @@
 
 #include "common/check.h"
 #include "graph/dijkstra.h"
+#include "common/span.h"
 
 namespace viptree {
 
@@ -84,7 +85,7 @@ VIPTree VIPTree::Extend(IPTree base) {
   return vip;
 }
 
-std::span<const DoorId> VIPTree::ExtDoors(NodeId n) const {
+Span<const DoorId> VIPTree::ExtDoors(NodeId n) const {
   const TreeNode& node = base_.node(n);
   if (node.is_leaf()) return node.doors;
   return ext_[n].doors;

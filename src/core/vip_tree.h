@@ -1,3 +1,7 @@
+// Part of the reproduction of "VIP-Tree: An Effective Index for Indoor
+// Spatial Queries" (Shao, Cheema, Taniar, Lu — PVLDB 10(4), 2016); all
+// section/algorithm references below point into that paper.
+//
 // The Vivid IP-Tree (VIP-Tree) of §2.2: an IP-Tree that additionally
 // materializes, for every door d and every access door a of every ancestor
 // node N of Leaf(d), the distance dist(d, a) and the next-hop door on the
@@ -16,10 +20,10 @@
 #ifndef VIPTREE_CORE_VIP_TREE_H_
 #define VIPTREE_CORE_VIP_TREE_H_
 
-#include <span>
 #include <vector>
 
 #include "core/ip_tree.h"
+#include "common/span.h"
 
 namespace viptree {
 
@@ -41,7 +45,7 @@ class VIPTree {
 
   // Row door set of node `n`'s extended matrix: all doors in the subtree,
   // sorted. For leaves this aliases TreeNode::doors.
-  std::span<const DoorId> ExtDoors(NodeId n) const;
+  Span<const DoorId> ExtDoors(NodeId n) const;
 
   // Distance / next-hop for (door `d`, access door index `col` of node
   // `n`). `d` must be a door inside n's subtree.

@@ -7,10 +7,10 @@
 #ifndef VIPTREE_GRAPH_AB_GRAPH_H_
 #define VIPTREE_GRAPH_AB_GRAPH_H_
 
-#include <span>
 #include <vector>
 
 #include "model/venue.h"
+#include "common/span.h"
 
 namespace viptree {
 
@@ -30,7 +30,7 @@ class ABGraph {
   size_t NumVertices() const { return offsets_.size() - 1; }
   size_t NumDirectedEdges() const { return edges_.size(); }
 
-  std::span<const ABEdge> EdgesOf(PartitionId p) const {
+  Span<const ABEdge> EdgesOf(PartitionId p) const {
     return {edges_.data() + offsets_[p], edges_.data() + offsets_[p + 1]};
   }
 

@@ -1,6 +1,7 @@
 #include "graph/d2d_graph.h"
 
 #include "common/check.h"
+#include "common/span.h"
 
 namespace viptree {
 
@@ -11,7 +12,7 @@ D2DGraph::D2DGraph(const Venue& venue) {
   // doors of a partition contributes one edge in each direction.
   std::vector<uint64_t> degree(num_vertices_ + 1, 0);
   for (const Partition& p : venue.partitions()) {
-    const std::span<const DoorId> doors = venue.DoorsOf(p.id);
+    const Span<const DoorId> doors = venue.DoorsOf(p.id);
     const uint64_t others = doors.size() - 1;
     for (DoorId d : doors) degree[d] += others;
   }
@@ -24,7 +25,7 @@ D2DGraph::D2DGraph(const Venue& venue) {
   // Pass 2: fill.
   std::vector<uint64_t> cursor(offsets_.begin(), offsets_.end() - 1);
   for (const Partition& p : venue.partitions()) {
-    const std::span<const DoorId> doors = venue.DoorsOf(p.id);
+    const Span<const DoorId> doors = venue.DoorsOf(p.id);
     for (size_t i = 0; i < doors.size(); ++i) {
       for (size_t j = i + 1; j < doors.size(); ++j) {
         const DoorId u = doors[i];
@@ -42,7 +43,7 @@ D2DGraph::D2DGraph(const Venue& venue) {
 }
 
 D2DGraph::D2DGraph(size_t num_doors,
-                   std::span<const ExplicitD2DEdge> explicit_edges) {
+                   Span<const ExplicitD2DEdge> explicit_edges) {
   num_vertices_ = num_doors;
   std::vector<uint64_t> degree(num_vertices_, 0);
   for (const ExplicitD2DEdge& e : explicit_edges) {

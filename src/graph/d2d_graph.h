@@ -15,10 +15,10 @@
 #define VIPTREE_GRAPH_D2D_GRAPH_H_
 
 #include <cstdint>
-#include <span>
 #include <vector>
 
 #include "model/venue.h"
+#include "common/span.h"
 
 namespace viptree {
 
@@ -46,7 +46,7 @@ class D2DGraph {
 
   // Builds a D2D graph from explicit undirected edges over `num_doors`
   // doors (each explicit edge produces both directions).
-  D2DGraph(size_t num_doors, std::span<const ExplicitD2DEdge> edges);
+  D2DGraph(size_t num_doors, Span<const ExplicitD2DEdge> edges);
 
   D2DGraph(const D2DGraph&) = delete;
   D2DGraph& operator=(const D2DGraph&) = delete;
@@ -60,7 +60,7 @@ class D2DGraph {
   // Number of undirected edges (what Table 2 reports).
   size_t NumEdges() const { return edges_.size() / 2; }
 
-  std::span<const D2DEdge> EdgesOf(DoorId d) const {
+  Span<const D2DEdge> EdgesOf(DoorId d) const {
     return {edges_.data() + offsets_[d], edges_.data() + offsets_[d + 1]};
   }
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/check.h"
+#include "common/span.h"
 
 namespace viptree {
 
@@ -29,7 +30,7 @@ void DijkstraEngine::Reach(DoorId d, double dist, DoorId parent,
   }
 }
 
-void DijkstraEngine::Start(std::span<const DijkstraSource> sources) {
+void DijkstraEngine::Start(Span<const DijkstraSource> sources) {
   ++epoch_;
   settled_count_ = 0;
   // priority_queue has no clear(); rebuild it empty.
@@ -58,7 +59,7 @@ SettledDoor DijkstraEngine::SettleNext() {
   return SettledDoor{kInvalidId, kInfDistance};
 }
 
-size_t DijkstraEngine::RunToTargets(std::span<const DoorId> targets) {
+size_t DijkstraEngine::RunToTargets(Span<const DoorId> targets) {
   size_t wanted = 0;
   for (DoorId t : targets) {
     if (!Settled(t)) ++wanted;

@@ -14,12 +14,12 @@
 
 #include <cstdint>
 #include <queue>
-#include <span>
 #include <utility>
 #include <vector>
 
 #include "graph/d2d_graph.h"
 #include "model/types.h"
+#include "common/span.h"
 
 namespace viptree {
 
@@ -46,10 +46,10 @@ class DijkstraEngine {
 
   // Begins a new search from the given sources, invalidating all state from
   // the previous search.
-  void Start(std::span<const DijkstraSource> sources);
+  void Start(Span<const DijkstraSource> sources);
   void Start(DoorId source) {
     const DijkstraSource s{source, 0.0};
-    Start(std::span<const DijkstraSource>(&s, 1));
+    Start(Span<const DijkstraSource>(&s, 1));
   }
 
   // Settles and returns the next-closest door, or a door with
@@ -58,7 +58,7 @@ class DijkstraEngine {
 
   // Runs until all doors in `targets` are settled (or the graph is
   // exhausted). Returns the number of targets actually reached.
-  size_t RunToTargets(std::span<const DoorId> targets);
+  size_t RunToTargets(Span<const DoorId> targets);
 
   // Runs until the next door to settle is farther than `radius`.
   void RunWithin(double radius);

@@ -3,10 +3,11 @@
 #include <vector>
 
 #include "common/check.h"
+#include "common/span.h"
 
 namespace viptree {
 
-std::span<const DoorId> Venue::DoorsOf(PartitionId p) const {
+Span<const DoorId> Venue::DoorsOf(PartitionId p) const {
   VIPTREE_DCHECK(p >= 0 && static_cast<size_t>(p) < partitions_.size());
   const uint32_t begin = partition_door_offsets_[p];
   const uint32_t end = partition_door_offsets_[p + 1];
@@ -26,8 +27,8 @@ bool Venue::DoorTouches(DoorId d, PartitionId p) const {
 
 bool Venue::Adjacent(PartitionId a, PartitionId b) const {
   // Iterate over the smaller door list.
-  std::span<const DoorId> da = DoorsOf(a);
-  std::span<const DoorId> db = DoorsOf(b);
+  Span<const DoorId> da = DoorsOf(a);
+  Span<const DoorId> db = DoorsOf(b);
   if (db.size() < da.size()) {
     std::swap(a, b);
     std::swap(da, db);

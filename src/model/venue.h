@@ -5,7 +5,7 @@
 //   * every door connects exactly two distinct partitions;
 //   * every partition has at least one door;
 // Outdoor space is modelled as ordinary walkway partitions so campus venues
-// need no special casing (see DESIGN.md §3).
+// need no special casing (see docs/ARCHITECTURE.md).
 //
 // Partition taxonomy (§2): a partition with one door is a *no-through*
 // partition, a partition with more than beta doors is a *hallway* partition
@@ -16,11 +16,11 @@
 #define VIPTREE_MODEL_VENUE_H_
 
 #include <cstdint>
-#include <span>
 #include <string>
 #include <vector>
 
 #include "model/types.h"
+#include "common/span.h"
 
 namespace viptree {
 
@@ -97,7 +97,7 @@ class Venue {
 
   // Doors attached to a partition (both doors leading in and out; a door
   // belongs to exactly the two partitions it connects).
-  std::span<const DoorId> DoorsOf(PartitionId p) const;
+  Span<const DoorId> DoorsOf(PartitionId p) const;
 
   // The partition on the other side of `d` from `p` (kInvalidId if `d` is
   // an exterior door). `p` must be one of the partitions of `d`.

@@ -1,6 +1,6 @@
 // The six evaluation venues of Table 2, as synthetic analogues:
 // MC / MC-2 (Melbourne Central), Men / Men-2 (Menzies building),
-// CL / CL-2 (Clayton campus). See DESIGN.md §2 for the substitution
+// CL / CL-2 (Clayton campus). See docs/ARCHITECTURE.md for the substitution
 // rationale. `scale` multiplies room counts (1.0 = paper magnitude).
 
 #ifndef VIPTREE_SYNTH_PRESETS_H_

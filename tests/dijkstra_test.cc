@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "paper_example.h"
+#include "common/span.h"
 
 namespace viptree {
 namespace {
@@ -31,7 +32,7 @@ TEST_F(DijkstraPaperTest, FullPathFromD1ToD20) {
   DijkstraEngine engine(example_.graph);
   engine.Start(D(1));
   const DoorId target = D(20);
-  engine.RunToTargets(std::span<const DoorId>(&target, 1));
+  engine.RunToTargets(viptree::Span<const DoorId>(&target, 1));
   EXPECT_DOUBLE_EQ(engine.DistanceTo(D(20)), 25.0);
   // §2.1.1: "the shortest path from d1 to d20 is
   //   d1 -> d2 -> d3 -> d5 -> d6 -> d10 -> d15 -> d20".
@@ -97,7 +98,7 @@ TEST_F(DijkstraPaperTest, ParentViaReportsTraversedPartition) {
   DijkstraEngine engine(example_.graph);
   engine.Start(D(15));
   const DoorId target = D(20);
-  engine.RunToTargets(std::span<const DoorId>(&target, 1));
+  engine.RunToTargets(viptree::Span<const DoorId>(&target, 1));
   // d15 -> d20 is a direct edge through P13.
   EXPECT_DOUBLE_EQ(engine.DistanceTo(D(20)), 4.0);
   EXPECT_EQ(engine.ParentOf(D(20)), D(15));

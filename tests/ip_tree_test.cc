@@ -8,6 +8,7 @@
 #include "core/vip_tree.h"
 #include "paper_example.h"
 #include "synth/building_generator.h"
+#include "common/span.h"
 
 namespace viptree {
 namespace {
@@ -122,7 +123,7 @@ TEST_F(PaperTreeTest, NonLeafMatricesMatchFig3) {
 }
 
 TEST_F(PaperTreeTest, SuperiorDoorsOfP1MatchFig5a) {
-  const std::span<const DoorId> sup = tree_.SuperiorDoors(P(1));
+  const viptree::Span<const DoorId> sup = tree_.SuperiorDoors(P(1));
   EXPECT_EQ(std::set<DoorId>(sup.begin(), sup.end()),
             (std::set<DoorId>{D(1), D(5)}));
 }

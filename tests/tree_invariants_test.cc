@@ -12,6 +12,7 @@
 #include "synth/building_generator.h"
 #include "synth/campus_generator.h"
 #include "synth/replicate.h"
+#include "common/span.h"
 
 namespace viptree {
 namespace {
@@ -172,8 +173,8 @@ TEST_P(TreeInvariantTest, NextHopSplitsPreserveDistance) {
 TEST_P(TreeInvariantTest, SuperiorDoorsContainLocalAccessDoors) {
   for (const Partition& p : venue_.partitions()) {
     const TreeNode& leaf = tree_.node(tree_.LeafOfPartition(p.id));
-    const std::span<const DoorId> sup = tree_.SuperiorDoors(p.id);
-    const std::span<const DoorId> doors = venue_.DoorsOf(p.id);
+    const viptree::Span<const DoorId> sup = tree_.SuperiorDoors(p.id);
+    const viptree::Span<const DoorId> doors = venue_.DoorsOf(p.id);
     // Superior doors are doors of the partition.
     for (DoorId d : sup) {
       EXPECT_NE(std::find(doors.begin(), doors.end(), d), doors.end());
@@ -186,7 +187,9 @@ TEST_P(TreeInvariantTest, SuperiorDoorsContainLocalAccessDoors) {
       }
     }
     // At least one superior door unless the leaf has no access doors.
-    if (!leaf.access_doors.empty()) EXPECT_FALSE(sup.empty());
+    if (!leaf.access_doors.empty()) {
+      EXPECT_FALSE(sup.empty());
+    }
   }
 }
 

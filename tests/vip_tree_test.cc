@@ -10,6 +10,7 @@
 #include "graph/dijkstra.h"
 #include "synth/building_generator.h"
 #include "synth/replicate.h"
+#include "common/span.h"
 
 namespace viptree {
 namespace {
@@ -62,7 +63,7 @@ TEST_P(VipTreeTest, ExtendedDistancesAreExact) {
     for (size_t col = 0; col < n.access_doors.size(); ++col) {
       engine.Start(n.access_doors[col]);
       engine.RunAll();
-      const std::span<const DoorId> rows = vip_.ExtDoors(n.id);
+      const viptree::Span<const DoorId> rows = vip_.ExtDoors(n.id);
       const size_t step = std::max<size_t>(1, rows.size() / 10);
       for (size_t r = 0; r < rows.size(); r += step) {
         EXPECT_NEAR(vip_.ExtDist(n.id, rows[r], col),
@@ -80,7 +81,7 @@ TEST_P(VipTreeTest, ExtendedNextHopsDecompose) {
   IPDistanceQuery ip(tree);
   for (const TreeNode& n : tree.nodes()) {
     if (n.is_leaf()) continue;
-    const std::span<const DoorId> rows = vip_.ExtDoors(n.id);
+    const viptree::Span<const DoorId> rows = vip_.ExtDoors(n.id);
     const size_t step = std::max<size_t>(1, rows.size() / 6);
     for (size_t col = 0; col < n.access_doors.size(); ++col) {
       const DoorId target = n.access_doors[col];
