@@ -1,0 +1,126 @@
+// Batch query throughput of the engine façade: a mixed workload (shortest
+// distance / path / kNN / range / boolean keyword) over the Men-2 venue,
+// fanned across the RunBatch worker pool at 1 / 2 / 4 / 8 threads.
+//
+// Not a paper figure — this measures the serving layer added on top of the
+// reproduction. Prints queries/sec, speedup over one thread, and the
+// per-query latency distribution (p50/p95) collected by the engine itself.
+//
+//   VIPTREE_SCALE= / VIPTREE_QUERIES= shrink or grow the workload as with
+//   the figure benchmarks.
+
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.h"
+#include "engine/query_engine.h"
+
+namespace viptree {
+namespace bench {
+namespace {
+
+namespace eng = ::viptree::engine;
+
+std::vector<eng::Query> MixedWorkload(synth::Dataset dataset, size_t n) {
+  const Venue& venue = GetDataset(dataset).venue;
+  Rng rng(0xBA7C4);
+  std::vector<eng::Query> queries;
+  queries.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    const IndoorPoint a = synth::RandomIndoorPoint(venue, rng);
+    const IndoorPoint b = synth::RandomIndoorPoint(venue, rng);
+    switch (i % 10) {
+      case 0:
+      case 1:
+      case 2:
+      case 3:
+        queries.push_back(eng::Query::Distance(a, b));
+        break;
+      case 4:
+      case 5:
+        queries.push_back(eng::Query::Path(a, b));
+        break;
+      case 6:
+      case 7:
+        queries.push_back(eng::Query::Knn(a, 5));
+        break;
+      case 8:
+        queries.push_back(eng::Query::Range(a, 100.0));
+        break;
+      default:
+        queries.push_back(eng::Query::BooleanKnn(a, 3, {"atm"}));
+        break;
+    }
+  }
+  return queries;
+}
+
+int Main() {
+  const synth::Dataset dataset = synth::Dataset::kMen2;
+  DatasetBundle& bundle = GetDataset(dataset);
+  const size_t cores = std::thread::hardware_concurrency();
+  std::printf("venue %s: %zu partitions, %zu doors (%zu hardware threads)\n",
+              bundle.info.name.c_str(), bundle.venue.NumPartitions(),
+              bundle.venue.NumDoors(), cores);
+
+  // 50 facilities; every other one is an ATM so boolean-keyword queries
+  // have a non-trivial filter.
+  const std::vector<IndoorPoint> facilities = Objects(dataset, 50);
+  std::vector<std::vector<std::string>> keywords(facilities.size());
+  for (size_t i = 0; i < facilities.size(); ++i) {
+    keywords[i] = {i % 2 == 0 ? std::string("atm") : std::string("kiosk")};
+  }
+
+  Timer build_timer;
+  eng::EngineOptions options;
+  options.object_keywords = keywords;
+  const eng::QueryEngine engine(bundle.venue, bundle.graph, facilities,
+                                options);
+  std::printf("engine built in %.1f ms (index %s)\n\n",
+              build_timer.ElapsedMillis(),
+              HumanBytes(engine.IndexMemoryBytes()).c_str());
+
+  const std::vector<eng::Query> queries =
+      MixedWorkload(dataset, NumQueries() * 8);
+  std::printf("workload: %zu mixed queries (40%% SD, 20%% SP, 20%% kNN, "
+              "10%% range, 10%% boolean kNN)\n\n",
+              queries.size());
+
+  std::printf("%8s %12s %12s %9s %10s %10s\n", "threads", "wall ms",
+              "queries/s", "speedup", "p50 us", "p95 us");
+  double base_qps = 0.0;
+  double speedup4 = 0.0;
+  for (const size_t threads : {1u, 2u, 4u, 8u}) {
+    eng::BatchOptions batch;
+    batch.num_threads = threads;
+    const eng::BatchResult run = engine.RunBatch(queries, batch);
+    if (threads == 1) base_qps = run.stats.queries_per_second;
+    const double speedup =
+        base_qps > 0.0 ? run.stats.queries_per_second / base_qps : 0.0;
+    if (threads == 4) speedup4 = speedup;
+    std::printf("%8zu %12.2f %12.0f %8.2fx %10.2f %10.2f\n", threads,
+                run.stats.wall_millis, run.stats.queries_per_second, speedup,
+                run.stats.latency_micros.p50, run.stats.latency_micros.p95);
+  }
+  if (cores < 2) {
+    std::printf(
+        "\n4-thread speedup: %.2fx — this host exposes %zu hardware "
+        "thread(s), so wall-clock scaling cannot show here; the per-query "
+        "overhead above is the signal (run on a multi-core host for the "
+        "scaling curve)\n",
+        speedup4, cores);
+  } else {
+    std::printf("\n4-thread speedup: %.2fx %s\n", speedup4,
+                speedup4 > 1.5 ? "(>1.5x target met)"
+                               : "(below 1.5x target)");
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace viptree
+
+int main() { return viptree::bench::Main(); }

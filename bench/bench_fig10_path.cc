@@ -9,8 +9,7 @@
 #include <algorithm>
 
 #include "bench_common.h"
-#include "core/distance_query.h"
-#include "core/vip_tree.h"
+#include "engine/query_engine.h"
 
 namespace viptree {
 namespace bench {
@@ -33,13 +32,15 @@ std::vector<std::vector<std::pair<IndoorPoint, IndoorPoint>>>
 DistanceBuckets() {
   const synth::Dataset dataset = synth::Dataset::kMen2;
   DatasetBundle& bundle = GetDataset(dataset);
-  VIPTree vip = VIPTree::Build(bundle.venue, bundle.graph);
-  VIPDistanceQuery query(vip);
+  const engine::QueryEngine engine(bundle.venue, bundle.graph,
+                                   /*objects=*/{});
   const auto pairs = QueryPairs(dataset, 3000);
   std::vector<double> dist(pairs.size());
   double dmax = 0.0;
   for (size_t i = 0; i < pairs.size(); ++i) {
-    dist[i] = query.Distance(pairs[i].first, pairs[i].second);
+    dist[i] =
+        engine.Run(engine::Query::Distance(pairs[i].first, pairs[i].second))
+            .distance;
     dmax = std::max(dmax, dist[i]);
   }
   std::vector<std::vector<std::pair<IndoorPoint, IndoorPoint>>> buckets(5);

@@ -46,6 +46,8 @@ void PrintFig9a() {
 
 void BM_ShortestDistance(benchmark::State& state, synth::Dataset dataset,
                          EngineKind kind) {
+  // The kVipTree series runs through the engine::QueryEngine façade (the
+  // baselines adapter delegates to it), so this measures the serving path.
   QueryEngine& engine = GetEngine(dataset, kind);
   const auto pairs = QueryPairs(dataset, NumQueries());
   size_t i = 0;

@@ -1,16 +1,16 @@
 // Campus-scale queries (§1.2.1: the Clayton campus motivates the paper's
 // scalability claims): builds a multi-building campus connected by outdoor
 // walkways, then answers cross-building queries — "a student may issue a
-// query to find the nearest photocopier in a university campus" — and
-// compares IP-Tree vs VIP-Tree latency on long-range shortest paths.
+// query to find the nearest photocopier in a university campus" — comparing
+// IP-Tree against the VIP-Tree engine façade on long-range shortest
+// distances, sequentially and as a multi-threaded batch.
 
 #include <cstdio>
 
 #include "common/stats.h"
 #include "core/distance_query.h"
-#include "core/knn_query.h"
-#include "core/object_index.h"
-#include "core/vip_tree.h"
+#include "core/ip_tree.h"
+#include "engine/query_engine.h"
 #include "graph/d2d_graph.h"
 #include "synth/campus_generator.h"
 #include "synth/objects.h"
@@ -25,19 +25,22 @@ int main() {
   std::printf("campus: %zu partitions, %zu doors, %zu D2D edges\n",
               venue.NumPartitions(), venue.NumDoors(), graph.NumEdges());
 
+  Rng rng(17);
+  const std::vector<IndoorPoint> copiers = synth::PlaceObjects(venue, 20, rng);
+
   Timer build_timer;
   const IPTree ip = IPTree::Build(venue, graph);
   const double ip_ms = build_timer.ElapsedMillis();
   build_timer.Reset();
-  const VIPTree vip = VIPTree::Build(venue, graph);
+  const engine::QueryEngine engine(venue, graph, copiers);
   const double vip_ms = build_timer.ElapsedMillis();
-  std::printf("IP-Tree built in %.1f ms (%.1f MB), VIP in %.1f ms (%.1f MB)\n",
-              ip_ms, ip.MemoryBytes() / 1048576.0, vip_ms,
-              vip.MemoryBytes() / 1048576.0);
+  std::printf(
+      "IP-Tree built in %.1f ms (%.1f MB), VIP engine in %.1f ms (%.1f MB)\n",
+      ip_ms, ip.MemoryBytes() / 1048576.0, vip_ms,
+      engine.tree().MemoryBytes() / 1048576.0);
 
   // Cross-building shortest distances: a student in building 0 heading to
   // rooms all over the campus.
-  Rng rng(17);
   IndoorPoint student;
   for (PartitionId p = 0; p < (PartitionId)venue.NumPartitions(); ++p) {
     if (venue.partition(p).zone == 0 &&
@@ -48,29 +51,38 @@ int main() {
   }
   const std::vector<IndoorPoint> targets =
       synth::RandomQueryPoints(venue, 2000, rng);
+  std::vector<engine::Query> batch;
+  batch.reserve(targets.size());
+  for (const IndoorPoint& t : targets) {
+    batch.push_back(engine::Query::Distance(student, t));
+  }
 
   IPDistanceQuery ip_query(ip);
-  VIPDistanceQuery vip_query(vip);
   Timer timer;
   double sum_ip = 0.0;
   for (const IndoorPoint& t : targets) sum_ip += ip_query.Distance(student, t);
   const double ip_query_us = timer.ElapsedMicros() / targets.size();
-  timer.Reset();
+
+  const std::vector<engine::Result> seq = engine.RunSequential(batch);
+  const engine::BatchStats seq_stats =
+      engine::QueryEngine::Aggregate(seq, 0.0, 1);
   double sum_vip = 0.0;
-  for (const IndoorPoint& t : targets) {
-    sum_vip += vip_query.Distance(student, t);
-  }
-  const double vip_query_us = timer.ElapsedMicros() / targets.size();
+  for (const engine::Result& r : seq) sum_vip += r.distance;
   std::printf(
-      "avg SD query: IP-Tree %.2f us, VIP-Tree %.2f us (checksums %.0f / "
+      "avg SD query: IP-Tree %.2f us, VIP engine %.2f us (checksums %.0f / "
       "%.0f)\n",
-      ip_query_us, vip_query_us, sum_ip, sum_vip);
+      ip_query_us, seq_stats.latency_micros.mean, sum_ip, sum_vip);
+
+  // The same 2000 queries as one batch over 4 worker threads.
+  engine::BatchOptions batch_options;
+  batch_options.num_threads = 4;
+  const engine::BatchResult parallel = engine.RunBatch(batch, batch_options);
+  std::printf("batched on %zu threads: %.1f ms wall, %.0f queries/s\n",
+              parallel.stats.num_threads, parallel.stats.wall_millis,
+              parallel.stats.queries_per_second);
 
   // Nearest photocopier across the campus.
-  const std::vector<IndoorPoint> copiers = synth::PlaceObjects(venue, 20, rng);
-  const ObjectIndex copier_index(vip.base(), copiers);
-  KnnQuery knn(vip.base(), copier_index);
-  const auto nearest = knn.Knn(student, 3);
+  const auto nearest = engine.Run(engine::Query::Knn(student, 3)).objects;
   std::printf("3 nearest photocopiers from %s:\n",
               venue.partition(student.partition).name.c_str());
   for (const ObjectResult& r : nearest) {

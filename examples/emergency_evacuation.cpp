@@ -1,16 +1,16 @@
 // Emergency evacuation: "in an emergency, an indoor LBS can guide people to
 // the nearby exit doors" (§1.1). Builds a tower, picks occupants on random
-// floors, and routes each of them to their nearest building exit using
-// VIP-Tree shortest path queries — then compares how long the same routing
-// takes with a plain Dijkstra expansion (the DistAw approach).
+// floors, and routes each of them to their nearest building exit — the
+// (occupant, exit) distance matrix is evaluated as one RunBatch over the
+// engine's worker pool, then each occupant gets a full door path. Compares
+// against a plain Dijkstra expansion (the DistAw approach).
 
+#include <algorithm>
 #include <cstdio>
 
 #include "baselines/dist_aware.h"
 #include "common/stats.h"
-#include "core/distance_query.h"
-#include "core/path_query.h"
-#include "core/vip_tree.h"
+#include "engine/query_engine.h"
 #include "graph/d2d_graph.h"
 #include "synth/building_generator.h"
 #include "synth/objects.h"
@@ -27,59 +27,70 @@ int main() {
   config.exits = 4;
   const Venue venue = synth::GenerateStandaloneBuilding(config, /*seed=*/99);
   const D2DGraph graph(venue);
-  const VIPTree vip = VIPTree::Build(venue, graph);
+  const engine::QueryEngine engine(venue, graph, /*objects=*/{});
 
   // Exits are the exterior doors of the venue = the access doors of the
   // tree root (exactly the paper's d1/d7/d20 situation in Fig. 1).
-  const std::vector<DoorId>& exits =
-      vip.base().node(vip.base().root()).access_doors;
+  const IPTree& tree = engine.tree().base();
+  const std::vector<DoorId>& exits = tree.node(tree.root()).access_doors;
   std::printf("tower has %zu exits\n", exits.size());
 
   Rng rng(5);
   const std::vector<IndoorPoint> occupants =
       synth::RandomQueryPoints(venue, 200, rng);
+  std::vector<IndoorPoint> exit_points;
+  exit_points.reserve(exits.size());
+  for (DoorId exit : exits) {
+    exit_points.push_back(IndoorPoint{venue.door(exit).partition_a,
+                                      venue.door(exit).position});
+  }
 
-  VIPPathQuery router(vip);
-  VIPDistanceQuery dq(vip);
-  DistAwareModel dijkstra_router(venue, graph);
-
+  // One batch holds every (occupant, exit) distance query; the engine fans
+  // it across 4 threads over the shared read-only index.
+  std::vector<engine::Query> batch;
+  batch.reserve(occupants.size() * exit_points.size());
+  for (const IndoorPoint& person : occupants) {
+    for (const IndoorPoint& exit_point : exit_points) {
+      batch.push_back(engine::Query::Distance(person, exit_point));
+    }
+  }
   Timer timer;
+  engine::BatchOptions batch_options;
+  batch_options.num_threads = 4;
+  const engine::BatchResult distances = engine.RunBatch(batch, batch_options);
+
+  // Pick each occupant's nearest exit and recover the full door path.
   double total = 0.0;
   size_t total_doors = 0;
-  for (const IndoorPoint& person : occupants) {
-    // Nearest exit by network distance (an exit door is a point in the
-    // partition it belongs to).
+  for (size_t i = 0; i < occupants.size(); ++i) {
     double best = kInfDistance;
-    IndoorPoint best_exit;
-    for (DoorId exit : exits) {
-      const IndoorPoint exit_point{venue.door(exit).partition_a,
-                                   venue.door(exit).position};
-      const double d = dq.Distance(person, exit_point);
+    size_t best_exit = 0;
+    for (size_t e = 0; e < exit_points.size(); ++e) {
+      const double d = distances.results[i * exit_points.size() + e].distance;
       if (d < best) {
         best = d;
-        best_exit = exit_point;
+        best_exit = e;
       }
     }
-    const IndoorPath path = router.Path(person, best_exit);
+    const engine::Result path = engine.Run(
+        engine::Query::Path(occupants[i], exit_points[best_exit]));
     total += best;
     total_doors += path.doors.size();
   }
   const double vip_ms = timer.ElapsedMillis();
   std::printf(
-      "VIP-Tree: routed %zu occupants in %.2f ms (avg escape %.1f m, avg %zu "
-      "doors)\n",
-      occupants.size(), vip_ms, total / occupants.size(),
-      total_doors / occupants.size());
+      "VIP engine: routed %zu occupants in %.2f ms (batch %.0f queries/s; "
+      "avg escape %.1f m, avg %zu doors)\n",
+      occupants.size(), vip_ms, distances.stats.queries_per_second,
+      total / occupants.size(), total_doors / occupants.size());
 
   // The same routing with Dijkstra expansion per occupant.
+  DistAwareModel dijkstra_router(venue, graph);
   timer.Reset();
-  IndoorPoint exit_point;  // treat the exit door's partition as the target
   double check = 0.0;
   for (const IndoorPoint& person : occupants) {
     double best = kInfDistance;
-    for (DoorId exit : exits) {
-      exit_point.partition = venue.door(exit).partition_a;
-      exit_point.position = venue.door(exit).position;
+    for (const IndoorPoint& exit_point : exit_points) {
       best = std::min(best, dijkstra_router.Distance(person, exit_point));
     }
     check += best;

@@ -1,16 +1,14 @@
 // In-store navigation in a shopping centre (§1.1): "a disabled person may
 // issue a query to find accessible toilets within 100 meters" and "a
 // passenger may want to find the shortest path to the boarding gate".
-// Demonstrates kNN and range queries over facility objects in a Melbourne
-// Central-like mall, including the paper's washroom scenario.
+// Demonstrates kNN, range and boolean keyword queries over facility objects
+// in a Melbourne Central-like mall through the QueryEngine façade,
+// including the paper's washroom scenario.
 
+#include <algorithm>
 #include <cstdio>
 
-#include "core/knn_query.h"
-#include "core/object_index.h"
-#include "core/path_query.h"
-#include "core/range_query.h"
-#include "core/vip_tree.h"
+#include "engine/query_engine.h"
 #include "graph/d2d_graph.h"
 #include "synth/objects.h"
 #include "synth/presets.h"
@@ -21,17 +19,20 @@ int main() {
   // The Melbourne Central analogue of Table 2.
   const Venue venue = synth::MakeDataset(synth::Dataset::kMC);
   const D2DGraph graph(venue);
-  const VIPTree vip = VIPTree::Build(venue, graph);
   std::printf("mall: %zu partitions over 7 levels, %zu doors\n",
               venue.NumPartitions(), venue.NumDoors());
 
-  // Facilities: washrooms, ATMs and charging kiosks (the small object sets
-  // the paper argues are the realistic kNN workload).
+  // Facilities: washrooms, half of them wheelchair-accessible. Keyword
+  // lists feed the engine's boolean kNN queries (§1.3).
   Rng rng(12);
   const std::vector<IndoorPoint> washrooms = synth::PlaceObjects(venue, 8, rng);
-  const ObjectIndex washroom_index(vip.base(), washrooms);
-  KnnQuery nearest_washroom(vip.base(), washroom_index);
-  RangeQuery washrooms_within(vip.base(), washroom_index);
+  engine::EngineOptions options;
+  options.object_keywords.resize(washrooms.size());
+  for (size_t i = 0; i < washrooms.size(); ++i) {
+    options.object_keywords[i] = {"washroom"};
+    if (i % 2 == 0) options.object_keywords[i].push_back("accessible");
+  }
+  const engine::QueryEngine engine(venue, graph, washrooms, options);
 
   // A shopper somewhere on an upper level.
   IndoorPoint shopper = synth::RandomIndoorPoint(venue, rng);
@@ -39,15 +40,14 @@ int main() {
               venue.partition(shopper.partition).name.c_str(),
               venue.partition(shopper.partition).level);
 
-  const auto knn = nearest_washroom.Knn(shopper, 1);
+  const auto knn = engine.Run(engine::Query::Knn(shopper, 1)).objects;
   if (!knn.empty()) {
     const IndoorPoint& w = washrooms[knn[0].object];
     std::printf("nearest washroom: %s (level %d) at %.1f m\n",
                 venue.partition(w.partition).name.c_str(),
                 venue.partition(w.partition).level, knn[0].distance);
     // Walkable directions: the full door sequence.
-    VIPPathQuery path_query(vip);
-    const IndoorPath path = path_query.Path(shopper, w);
+    const engine::Result path = engine.Run(engine::Query::Path(shopper, w));
     std::printf("route crosses %zu doors", path.doors.size());
     int level_changes = 0;
     for (size_t i = 0; i + 1 < path.doors.size(); ++i) {
@@ -59,13 +59,25 @@ int main() {
     std::printf(" with %d level change(s)\n", level_changes);
   }
 
-  // "accessible toilets within 100 meters".
-  const auto accessible = washrooms_within.Range(shopper, 100.0);
-  std::printf("%zu washroom(s) within 100 m:\n", accessible.size());
+  // "accessible toilets within 100 meters": boolean-keyword kNN filtered to
+  // the quoted radius, then the plain range query for comparison.
+  auto accessible =
+      engine.Run(engine::Query::BooleanKnn(shopper, 3, {"accessible"}))
+          .objects;
+  accessible.erase(std::remove_if(accessible.begin(), accessible.end(),
+                                  [](const ObjectResult& r) {
+                                    return r.distance > 100.0;
+                                  }),
+                   accessible.end());
+  std::printf("%zu accessible washroom(s) within 100 m:\n",
+              accessible.size());
   for (const ObjectResult& r : accessible) {
     std::printf("  %s at %.1f m\n",
                 venue.partition(washrooms[r.object].partition).name.c_str(),
                 r.distance);
   }
+  const auto in_range =
+      engine.Run(engine::Query::Range(shopper, 100.0)).objects;
+  std::printf("%zu washroom(s) of any kind within 100 m\n", in_range.size());
   return 0;
 }

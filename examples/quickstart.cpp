@@ -1,17 +1,13 @@
-// Quickstart: build a small office building, index it with a VIP-Tree and
-// answer the four query types of the paper (shortest distance, shortest
-// path, kNN, range).
+// Quickstart: build a small office building, stand up the QueryEngine
+// façade over a VIP-Tree, and answer the four query types of the paper
+// (shortest distance, shortest path, kNN, range) — single queries through
+// Run() and a concurrent batch through RunBatch().
 //
-//   ./build/examples/quickstart
+//   ./build/quickstart
 
 #include <cstdio>
 
-#include "core/distance_query.h"
-#include "core/knn_query.h"
-#include "core/object_index.h"
-#include "core/path_query.h"
-#include "core/range_query.h"
-#include "core/vip_tree.h"
+#include "engine/query_engine.h"
 #include "graph/d2d_graph.h"
 #include "synth/building_generator.h"
 #include "synth/objects.h"
@@ -30,44 +26,60 @@ int main() {
   std::printf("venue: %zu partitions, %zu doors\n", venue.NumPartitions(),
               venue.NumDoors());
 
-  // 2. Derive the door-to-door graph and build the index.
+  // 2. Derive the door-to-door graph, index some objects (printers, say)
+  // and build the engine: one VIP-Tree plus an object index behind a typed
+  // query API.
   const D2DGraph graph(venue);
-  const VIPTree vip = VIPTree::Build(venue, graph);
-  const IPTree::Stats stats = vip.base().ComputeStats();
+  Rng rng(42);
+  const std::vector<IndoorPoint> printers = synth::PlaceObjects(venue, 8, rng);
+  const engine::QueryEngine engine(venue, graph, printers);
+  const IPTree::Stats stats = engine.tree().base().ComputeStats();
   std::printf(
       "VIP-Tree: %zu nodes, %zu leaves, height %d, avg access doors %.2f\n",
       stats.num_nodes, stats.num_leaves, stats.height,
       stats.avg_access_doors);
 
   // 3. Shortest distance and path between two points on different floors.
-  Rng rng(42);
   const IndoorPoint a = synth::RandomIndoorPoint(venue, rng);
   const IndoorPoint b = synth::RandomIndoorPoint(venue, rng);
-  VIPDistanceQuery distance(vip);
-  std::printf("dist(%s, %s) = %.2f m\n",
+  const engine::Result dist = engine.Run(engine::Query::Distance(a, b));
+  std::printf("dist(%s, %s) = %.2f m (%.1f us, %zu tree nodes)\n",
               venue.partition(a.partition).name.c_str(),
-              venue.partition(b.partition).name.c_str(),
-              distance.Distance(a, b));
+              venue.partition(b.partition).name.c_str(), dist.distance,
+              dist.latency_micros, dist.visited_nodes);
 
-  VIPPathQuery path_query(vip);
-  const IndoorPath path = path_query.Path(a, b);
+  const engine::Result path = engine.Run(engine::Query::Path(a, b));
   std::printf("shortest path crosses %zu doors:", path.doors.size());
   for (DoorId d : path.doors) std::printf(" d%d", d);
   std::printf("\n");
 
-  // 4. Index some objects (printers, say) and ask for the 3 nearest plus
-  // everything within 50 metres.
-  const std::vector<IndoorPoint> printers = synth::PlaceObjects(venue, 8, rng);
-  const ObjectIndex objects(vip.base(), printers);
-  KnnQuery knn(vip.base(), objects);
+  // 4. The 3 nearest printers plus everything within 50 metres.
   std::printf("3 nearest printers:\n");
-  for (const ObjectResult& r : knn.Knn(a, 3)) {
+  for (const ObjectResult& r : engine.Run(engine::Query::Knn(a, 3)).objects) {
     std::printf("  printer %d in %s at %.2f m\n", r.object,
                 venue.partition(printers[r.object].partition).name.c_str(),
                 r.distance);
   }
-  RangeQuery range(vip.base(), objects);
-  const auto in_range = range.Range(a, 50.0);
-  std::printf("%zu printers within 50 m\n", in_range.size());
+  const engine::Result in_range = engine.Run(engine::Query::Range(a, 50.0));
+  std::printf("%zu printers within 50 m\n", in_range.objects.size());
+
+  // 5. Batch mode: fan 400 mixed queries across 4 worker threads over the
+  // same read-only index.
+  std::vector<engine::Query> batch;
+  for (int i = 0; i < 400; ++i) {
+    const IndoorPoint s = synth::RandomIndoorPoint(venue, rng);
+    const IndoorPoint t = synth::RandomIndoorPoint(venue, rng);
+    batch.push_back(i % 2 == 0 ? engine::Query::Distance(s, t)
+                               : engine::Query::Knn(s, 3));
+  }
+  engine::BatchOptions batch_options;
+  batch_options.num_threads = 4;
+  const engine::BatchResult result = engine.RunBatch(batch, batch_options);
+  std::printf(
+      "batch: %zu queries on %zu threads in %.2f ms (%.0f queries/s, "
+      "p95 %.1f us)\n",
+      result.stats.num_queries, result.stats.num_threads,
+      result.stats.wall_millis, result.stats.queries_per_second,
+      result.stats.latency_micros.p95);
   return 0;
 }

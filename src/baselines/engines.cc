@@ -13,6 +13,7 @@
 #include "core/object_index.h"
 #include "core/path_query.h"
 #include "core/vip_tree.h"
+#include "engine/query_engine.h"
 
 namespace viptree {
 
@@ -62,44 +63,47 @@ std::vector<EngineObjectResult> Convert(
   return out;
 }
 
+// The VIP-Tree competitor runs through the engine façade, so the paper's
+// figure benchmarks exercise the same code path the serving layer uses.
+// This adds the façade's fixed per-query cost (a Timer read and Result
+// construction, ~tens of ns) that the other engines do not pay — a
+// deliberate trade: the reported VIP numbers are end-to-end serving
+// latencies, a conservative bound on the bare-index latencies of the paper.
 class VipEngine : public QueryEngine {
  public:
   VipEngine(const Venue& venue, const D2DGraph& graph)
-      : tree_(VIPTree::Build(venue, graph)),
-        distance_(tree_),
-        path_(tree_) {}
+      : engine_(venue, graph, /*objects=*/{}) {}
 
   EngineKind kind() const override { return EngineKind::kVipTree; }
 
   double Distance(const IndoorPoint& s, const IndoorPoint& t) override {
-    return distance_.Distance(s, t);
+    return engine_.Run(engine::Query::Distance(s, t)).distance;
   }
   double Path(const IndoorPoint& s, const IndoorPoint& t,
               std::vector<DoorId>* doors) override {
-    IndoorPath p = path_.Path(s, t);
-    if (doors != nullptr) *doors = std::move(p.doors);
-    return p.distance;
+    engine::Result r = engine_.Run(engine::Query::Path(s, t));
+    if (doors != nullptr) *doors = std::move(r.doors);
+    return r.distance;
   }
   void SetObjects(const std::vector<IndoorPoint>& objects) override {
-    objects_.emplace(tree_.base(), objects);
-    knn_.emplace(tree_.base(), *objects_);
+    engine_.SetObjects(objects);
   }
   std::vector<EngineObjectResult> Knn(const IndoorPoint& q,
                                       size_t k) override {
-    return Convert(knn_->Knn(q, k));
+    return Convert(engine_.Run(engine::Query::Knn(q, k)).objects);
   }
   std::vector<EngineObjectResult> Range(const IndoorPoint& q,
                                         double radius) override {
-    return Convert(knn_->WithinRange(q, radius));
+    return Convert(engine_.Run(engine::Query::Range(q, radius)).objects);
   }
-  uint64_t IndexMemoryBytes() const override { return tree_.MemoryBytes(); }
+  uint64_t IndexMemoryBytes() const override {
+    // Tree only, matching the paper's Fig. 8 accounting (objects are
+    // workload, not index).
+    return engine_.tree().MemoryBytes();
+  }
 
  private:
-  VIPTree tree_;
-  VIPDistanceQuery distance_;
-  VIPPathQuery path_;
-  std::optional<ObjectIndex> objects_;
-  std::optional<KnnQuery> knn_;
+  engine::QueryEngine engine_;
 };
 
 class IpEngine : public QueryEngine {

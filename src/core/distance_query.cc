@@ -77,7 +77,7 @@ void IPDistanceQuery::SeedLeaf(const QuerySource& source, const TreeNode& leaf,
 }
 
 AscentDistances IPDistanceQuery::GetDistances(const QuerySource& source,
-                                              NodeId target) {
+                                              NodeId target) const {
   AscentDistances out;
   const NodeId leaf_id = LeafOf(source);
   out.chain.push_back(leaf_id);
@@ -128,7 +128,7 @@ AscentDistances IPDistanceQuery::GetDistances(const QuerySource& source,
 }
 
 double IPDistanceQuery::LocalDistance(const QuerySource& s,
-                                      const IndoorPoint& t) {
+                                      const IndoorPoint& t) const {
   const Venue& venue = tree_.venue();
   double best = kInfDistance;
 
@@ -159,7 +159,8 @@ double IPDistanceQuery::LocalDistance(const QuerySource& s,
   return best;
 }
 
-double IPDistanceQuery::Distance(const IndoorPoint& s, const IndoorPoint& t) {
+double IPDistanceQuery::Distance(const IndoorPoint& s,
+                                 const IndoorPoint& t) const {
   const NodeId ls = tree_.LeafOfPartition(s.partition);
   const NodeId lt = tree_.LeafOfPartition(t.partition);
   if (ls == lt) return LocalDistance(QuerySource::Point(s), t);
@@ -190,7 +191,7 @@ double IPDistanceQuery::Distance(const IndoorPoint& s, const IndoorPoint& t) {
   return best;
 }
 
-double IPDistanceQuery::DoorDistance(DoorId s, DoorId t) {
+double IPDistanceQuery::DoorDistance(DoorId s, DoorId t) const {
   if (s == t) return 0.0;
   const auto s_leaves = tree_.LeavesOfDoor(s);
   const auto t_leaves = tree_.LeavesOfDoor(t);
@@ -278,7 +279,8 @@ void VIPDistanceQuery::DistancesToNodeAd(const QuerySource& source,
   }
 }
 
-double VIPDistanceQuery::Distance(const IndoorPoint& s, const IndoorPoint& t) {
+double VIPDistanceQuery::Distance(const IndoorPoint& s,
+                                  const IndoorPoint& t) const {
   const IPTree& tree = vip_.base();
   const NodeId ls = tree.LeafOfPartition(s.partition);
   const NodeId lt = tree.LeafOfPartition(t.partition);
@@ -308,7 +310,7 @@ double VIPDistanceQuery::Distance(const IndoorPoint& s, const IndoorPoint& t) {
   return best;
 }
 
-double VIPDistanceQuery::DoorDistance(DoorId s, DoorId t) {
+double VIPDistanceQuery::DoorDistance(DoorId s, DoorId t) const {
   if (s == t) return 0.0;
   const IPTree& tree = vip_.base();
   const auto s_leaves = tree.LeavesOfDoor(s);

@@ -7,9 +7,15 @@
 // two arbitrary indoor points), in the IP-Tree variant (iterative ascent,
 // O(h*rho^2)) and the VIP-Tree variant (materialized lookups, O(rho^2)).
 //
-// Engines hold reusable scratch state (a Dijkstra engine for same-leaf
-// queries); they are cheap to construct but not thread-safe — use one per
-// thread.
+// Thread-safety contract (shared by every query engine in core/): the
+// indexes (IPTree / VIPTree / ObjectIndex / KeywordIndex) are immutable
+// after construction and only ever read, so any number of engines on any
+// number of threads may share them. Each engine instance holds reusable
+// *mutable* scratch (a Dijkstra engine for same-leaf queries), so one engine
+// instance must not be used from two threads at once — engines are cheap to
+// construct: use one per thread. All query entry points are const, which
+// makes the "reads only touch shared immutable state" half of the contract
+// compiler-checked.
 
 #ifndef VIPTREE_CORE_DISTANCE_QUERY_H_
 #define VIPTREE_CORE_DISTANCE_QUERY_H_
@@ -61,15 +67,15 @@ class IPDistanceQuery {
                            const DistanceQueryOptions& options = {});
 
   // Algorithm 3.
-  double Distance(const IndoorPoint& s, const IndoorPoint& t);
-  double DoorDistance(DoorId s, DoorId t);
+  double Distance(const IndoorPoint& s, const IndoorPoint& t) const;
+  double DoorDistance(DoorId s, DoorId t) const;
 
   // Algorithm 2: ascend from Leaf(source) up to `target` (inclusive),
   // which must be an ancestor of (or equal to) the source's leaf.
-  AscentDistances GetDistances(const QuerySource& source, NodeId target);
+  AscentDistances GetDistances(const QuerySource& source, NodeId target) const;
 
   // Shared same-leaf fallback: Dijkstra on the D2D graph.
-  double LocalDistance(const QuerySource& s, const IndoorPoint& t);
+  double LocalDistance(const QuerySource& s, const IndoorPoint& t) const;
 
   // Seed of Algorithm 2: distances from the source to every access door of
   // the source's leaf.
@@ -87,7 +93,9 @@ class IPDistanceQuery {
 
   const IPTree& tree_;
   DistanceQueryOptions options_;
-  DijkstraEngine dijkstra_;
+  // Per-engine scratch, never shared state: mutable so const query methods
+  // stay const while reusing the arrays (see the thread-safety contract).
+  mutable DijkstraEngine dijkstra_;
 };
 
 class VIPDistanceQuery {
@@ -95,8 +103,8 @@ class VIPDistanceQuery {
   explicit VIPDistanceQuery(const VIPTree& tree,
                             const DistanceQueryOptions& options = {});
 
-  double Distance(const IndoorPoint& s, const IndoorPoint& t);
-  double DoorDistance(DoorId s, DoorId t);
+  double Distance(const IndoorPoint& s, const IndoorPoint& t) const;
+  double DoorDistance(DoorId s, DoorId t) const;
 
   // VIP variant of Algorithm 2's output at one node: distances from the
   // source to every access door of `node` (an ancestor of the source's

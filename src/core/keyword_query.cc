@@ -79,7 +79,14 @@ bool KeywordIndex::ObjectHasAll(ObjectId o,
 }
 
 std::vector<ObjectResult> KeywordIndex::BooleanKnn(
-    const IndoorPoint& q, size_t k, const std::vector<std::string>& query) {
+    const IndoorPoint& q, size_t k,
+    const std::vector<std::string>& query) const {
+  return BooleanKnn(q, k, query, knn_, nullptr);
+}
+
+std::vector<ObjectResult> KeywordIndex::BooleanKnn(
+    const IndoorPoint& q, size_t k, const std::vector<std::string>& query,
+    const KnnQuery& knn, SearchStats* stats) const {
   std::vector<KeywordId> wanted;
   for (const std::string& word : query) {
     const auto it = keyword_ids_.find(word);
@@ -94,7 +101,7 @@ std::vector<ObjectResult> KeywordIndex::BooleanKnn(
   filters.object = [this, &wanted](ObjectId o) {
     return ObjectHasAll(o, wanted);
   };
-  return knn_.KnnFiltered(q, k, filters);
+  return knn.KnnFiltered(q, k, filters, stats);
 }
 
 uint64_t KeywordIndex::MemoryBytes() const {

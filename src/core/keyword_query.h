@@ -26,9 +26,20 @@ class KeywordIndex {
                const std::vector<std::vector<std::string>>& keywords);
 
   // The k nearest objects whose keyword sets contain *all* query keywords.
-  // Unknown keywords yield an empty result.
+  // Unknown keywords yield an empty result. Uses the index's own KnnQuery
+  // engine, so concurrent callers must use the overload below instead.
+  std::vector<ObjectResult> BooleanKnn(
+      const IndoorPoint& q, size_t k,
+      const std::vector<std::string>& query) const;
+
+  // Same query through a caller-supplied KnnQuery engine (one per thread):
+  // the keyword tables themselves are immutable after construction, so a
+  // shared KeywordIndex is safe as long as each thread brings its own
+  // engine.
   std::vector<ObjectResult> BooleanKnn(const IndoorPoint& q, size_t k,
-                                       const std::vector<std::string>& query);
+                                       const std::vector<std::string>& query,
+                                       const KnnQuery& knn,
+                                       SearchStats* stats = nullptr) const;
 
   size_t NumDistinctKeywords() const { return keyword_ids_.size(); }
 

@@ -12,17 +12,20 @@ KnnQuery::KnnQuery(const IPTree& tree, const ObjectIndex& objects,
                    const DistanceQueryOptions& options)
     : tree_(tree), objects_(objects), query_(tree, options) {}
 
-std::vector<ObjectResult> KnnQuery::Knn(const IndoorPoint& q, size_t k) {
-  return Search(q, k, kInfDistance, nullptr);
+std::vector<ObjectResult> KnnQuery::Knn(const IndoorPoint& q, size_t k,
+                                        SearchStats* stats) const {
+  return Search(q, k, kInfDistance, nullptr, stats);
 }
 
 std::vector<ObjectResult> KnnQuery::WithinRange(const IndoorPoint& q,
-                                                double radius) {
-  return Search(q, std::numeric_limits<size_t>::max(), radius, nullptr);
+                                                double radius,
+                                                SearchStats* stats) const {
+  return Search(q, std::numeric_limits<size_t>::max(), radius, nullptr,
+                stats);
 }
 
 void KnnQuery::LocalObjectDistances(const IndoorPoint& q, NodeId leaf,
-                                    std::vector<double>& out) {
+                                    std::vector<double>& out) const {
   const Venue& venue = tree_.venue();
   const Span<const ObjectId> objs = objects_.ObjectsInLeaf(leaf);
   out.assign(objs.size(), kInfDistance);
@@ -59,7 +62,9 @@ void KnnQuery::LocalObjectDistances(const IndoorPoint& q, NodeId leaf,
 
 std::vector<ObjectResult> KnnQuery::Search(const IndoorPoint& q, size_t k,
                                            double radius,
-                                           const Filters* filters) {
+                                           const Filters* filters,
+                                           SearchStats* stats) const {
+  if (stats != nullptr) *stats = SearchStats{};
   std::vector<ObjectResult> results;
   if (objects_.NumObjects() == 0 || k == 0) return results;
   auto node_allowed = [filters](NodeId n) {
@@ -95,6 +100,7 @@ std::vector<ObjectResult> KnnQuery::Search(const IndoorPoint& q, size_t k,
     return best.size() >= k ? best.top().distance : kInfDistance;
   };
   auto offer = [&](ObjectId o, double dist) {
+    if (stats != nullptr) ++stats->objects_considered;
     if (dist > radius) return;
     if (!object_allowed(o)) return;
     if (best.size() < k) {
@@ -164,6 +170,10 @@ std::vector<ObjectResult> KnnQuery::Search(const IndoorPoint& q, size_t k,
     heap.pop();
     if (bound > dk()) break;  // line 6-7 of Algorithm 5
     const TreeNode& node = tree_.node(n);
+    if (stats != nullptr) {
+      ++stats->nodes_visited;
+      if (node.is_leaf()) ++stats->leaves_scanned;
+    }
     if (!node.is_leaf()) {
       for (NodeId child : node.children) {
         if (objects_.SubtreeCount(tree_.node(child)) == 0) continue;

@@ -28,17 +28,27 @@ struct ObjectResult {
   double distance = kInfDistance;
 };
 
+// Per-query work counters of the branch-and-bound search, filled when the
+// caller passes a sink (batch engines aggregate them across a workload).
+struct SearchStats {
+  size_t nodes_visited = 0;       // heap pops (tree nodes examined)
+  size_t leaves_scanned = 0;      // leaves whose objects were scored
+  size_t objects_considered = 0;  // candidate objects offered to the heap
+};
+
 class KnnQuery {
  public:
   KnnQuery(const IPTree& tree, const ObjectIndex& objects,
            const DistanceQueryOptions& options = {});
 
   // The k nearest objects to q, ascending by distance.
-  std::vector<ObjectResult> Knn(const IndoorPoint& q, size_t k);
+  std::vector<ObjectResult> Knn(const IndoorPoint& q, size_t k,
+                                SearchStats* stats = nullptr) const;
 
   // All objects within `radius` of q, ascending by distance (the range
   // query of §3.4, reached through RangeQuery for API symmetry).
-  std::vector<ObjectResult> WithinRange(const IndoorPoint& q, double radius);
+  std::vector<ObjectResult> WithinRange(const IndoorPoint& q, double radius,
+                                        SearchStats* stats = nullptr) const;
 
   // Optional pruning hooks for derived query types (e.g. spatial keyword
   // queries, §1.3): subtrees where node_filter returns false are skipped,
@@ -50,8 +60,9 @@ class KnnQuery {
 
   // The k nearest objects passing the filters.
   std::vector<ObjectResult> KnnFiltered(const IndoorPoint& q, size_t k,
-                                        const Filters& filters) {
-    return Search(q, k, kInfDistance, &filters);
+                                        const Filters& filters,
+                                        SearchStats* stats = nullptr) const {
+    return Search(q, k, kInfDistance, &filters, stats);
   }
 
  private:
@@ -59,11 +70,12 @@ class KnnQuery {
   // nearest or everything within a fixed radius.
   std::vector<ObjectResult> Search(const IndoorPoint& q, size_t k,
                                    double radius,
-                                   const Filters* filters = nullptr);
+                                   const Filters* filters = nullptr,
+                                   SearchStats* stats = nullptr) const;
 
   // Exact distances from q to the objects of q's own leaf (one Dijkstra).
   void LocalObjectDistances(const IndoorPoint& q, NodeId leaf,
-                            std::vector<double>& out);
+                            std::vector<double>& out) const;
 
   const IPTree& tree_;
   const ObjectIndex& objects_;

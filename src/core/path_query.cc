@@ -62,7 +62,7 @@ NodeId IPPathQuery::Descend(DoorId x, DoorId y, NodeId ctx) const {
 }
 
 void IPPathQuery::Expand(DoorId x, DoorId y, NodeId ctx,
-                         std::vector<DoorId>& out) {
+                         std::vector<DoorId>& out) const {
   if (x == y) return;
   // Lemmas 4 and 6: an edge between two non-access doors is final.
   if (!tree_.IsAccessDoor(x) && !tree_.IsAccessDoor(y)) return;
@@ -138,7 +138,8 @@ IPPathQuery::PartialPath IPPathQuery::Backtrack(const AscentDistances& ascent,
   return pp;
 }
 
-IndoorPath IPPathQuery::LocalPath(const QuerySource& s, const QuerySource& t) {
+IndoorPath IPPathQuery::LocalPath(const QuerySource& s,
+                                  const QuerySource& t) const {
   const Venue& venue = tree_.venue();
   IndoorPath path;
 
@@ -183,7 +184,7 @@ IndoorPath IPPathQuery::LocalPath(const QuerySource& s, const QuerySource& t) {
 }
 
 IndoorPath IPPathQuery::CrossLeafPath(const QuerySource& s,
-                                      const QuerySource& t) {
+                                      const QuerySource& t) const {
   const NodeId ls = query_.LeafOf(s);
   const NodeId lt = query_.LeafOf(t);
   const NodeId lca = tree_.Lca(ls, lt);
@@ -247,7 +248,8 @@ IndoorPath IPPathQuery::CrossLeafPath(const QuerySource& s,
   return path;
 }
 
-IndoorPath IPPathQuery::Path(const IndoorPoint& s, const IndoorPoint& t) {
+IndoorPath IPPathQuery::Path(const IndoorPoint& s,
+                             const IndoorPoint& t) const {
   const NodeId ls = tree_.LeafOfPartition(s.partition);
   const NodeId lt = tree_.LeafOfPartition(t.partition);
   if (ls == lt) {
@@ -268,7 +270,7 @@ IndoorPath IPPathQuery::Path(const IndoorPoint& s, const IndoorPoint& t) {
   return CrossLeafPath(QuerySource::Point(s), QuerySource::Point(t));
 }
 
-IndoorPath IPPathQuery::DoorPath(DoorId s, DoorId t) {
+IndoorPath IPPathQuery::DoorPath(DoorId s, DoorId t) const {
   if (s == t) return IndoorPath{0.0, {s}};
   if (CommonLeaf(tree_, s, t) != kInvalidId) {
     return LocalPath(QuerySource::Door(s), QuerySource::Door(t));
@@ -285,7 +287,7 @@ VIPPathQuery::VIPPathQuery(const VIPTree& tree,
     : vip_(tree), query_(tree, options), ip_path_(tree.base(), options) {}
 
 void VIPPathQuery::WalkToAncestorAd(DoorId x, NodeId ancestor, size_t col,
-                                    std::vector<DoorId>& out) {
+                                    std::vector<DoorId>& out) const {
   const IPTree& tree = vip_.base();
   const DoorId target = tree.node(ancestor).access_doors[col];
   while (x != target) {
@@ -316,7 +318,7 @@ void VIPPathQuery::WalkToAncestorAd(DoorId x, NodeId ancestor, size_t col,
 }
 
 IndoorPath VIPPathQuery::CrossLeafPath(const QuerySource& s,
-                                       const QuerySource& t) {
+                                       const QuerySource& t) const {
   const IPTree& tree = vip_.base();
   const NodeId ls = s.point != nullptr
                         ? tree.LeafOfPartition(s.point->partition)
@@ -390,7 +392,8 @@ IndoorPath VIPPathQuery::CrossLeafPath(const QuerySource& s,
   return path;
 }
 
-IndoorPath VIPPathQuery::Path(const IndoorPoint& s, const IndoorPoint& t) {
+IndoorPath VIPPathQuery::Path(const IndoorPoint& s,
+                              const IndoorPoint& t) const {
   const IPTree& tree = vip_.base();
   const NodeId ls = tree.LeafOfPartition(s.partition);
   const NodeId lt = tree.LeafOfPartition(t.partition);
@@ -398,7 +401,7 @@ IndoorPath VIPPathQuery::Path(const IndoorPoint& s, const IndoorPoint& t) {
   return CrossLeafPath(QuerySource::Point(s), QuerySource::Point(t));
 }
 
-IndoorPath VIPPathQuery::DoorPath(DoorId s, DoorId t) {
+IndoorPath VIPPathQuery::DoorPath(DoorId s, DoorId t) const {
   if (s == t) return IndoorPath{0.0, {s}};
   const IPTree& tree = vip_.base();
   if (CommonLeaf(tree, s, t) != kInvalidId) return ip_path_.DoorPath(s, t);

@@ -29,18 +29,18 @@ class IPPathQuery {
   explicit IPPathQuery(const IPTree& tree,
                        const DistanceQueryOptions& options = {});
 
-  IndoorPath Path(const IndoorPoint& s, const IndoorPoint& t);
-  IndoorPath DoorPath(DoorId s, DoorId t);
+  IndoorPath Path(const IndoorPoint& s, const IndoorPoint& t) const;
+  IndoorPath DoorPath(DoorId s, DoorId t) const;
 
  private:
   friend class VIPPathQuery;
 
-  IndoorPath CrossLeafPath(const QuerySource& s, const QuerySource& t);
-  IndoorPath LocalPath(const QuerySource& s, const QuerySource& t);
+  IndoorPath CrossLeafPath(const QuerySource& s, const QuerySource& t) const;
+  IndoorPath LocalPath(const QuerySource& s, const QuerySource& t) const;
 
   // Appends the doors strictly between x and y on their shortest path,
   // using the matrices of `ctx` and below. `ctx` must represent the pair.
-  void Expand(DoorId x, DoorId y, NodeId ctx, std::vector<DoorId>& out);
+  void Expand(DoorId x, DoorId y, NodeId ctx, std::vector<DoorId>& out) const;
 
   // Deepest node under `ctx` (inclusive) whose matrix represents (x, y).
   NodeId Descend(DoorId x, DoorId y, NodeId ctx) const;
@@ -64,16 +64,16 @@ class VIPPathQuery {
   explicit VIPPathQuery(const VIPTree& tree,
                         const DistanceQueryOptions& options = {});
 
-  IndoorPath Path(const IndoorPoint& s, const IndoorPoint& t);
-  IndoorPath DoorPath(DoorId s, DoorId t);
+  IndoorPath Path(const IndoorPoint& s, const IndoorPoint& t) const;
+  IndoorPath DoorPath(DoorId s, DoorId t) const;
 
  private:
-  IndoorPath CrossLeafPath(const QuerySource& s, const QuerySource& t);
+  IndoorPath CrossLeafPath(const QuerySource& s, const QuerySource& t) const;
 
   // Appends the doors strictly between x and access door index `col` of
   // node A (an ancestor of Leaf(x)), walking materialized next-hops.
   void WalkToAncestorAd(DoorId x, NodeId ancestor, size_t col,
-                        std::vector<DoorId>& out);
+                        std::vector<DoorId>& out) const;
 
   const VIPTree& vip_;
   VIPDistanceQuery query_;

@@ -7,8 +7,9 @@ RangeQuery::RangeQuery(const IPTree& tree, const ObjectIndex& objects,
     : knn_(tree, objects, options) {}
 
 std::vector<ObjectResult> RangeQuery::Range(const IndoorPoint& q,
-                                            double radius) {
-  return knn_.WithinRange(q, radius);
+                                            double radius,
+                                            SearchStats* stats) const {
+  return knn_.WithinRange(q, radius, stats);
 }
 
 }  // namespace viptree

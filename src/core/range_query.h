@@ -15,7 +15,8 @@ class RangeQuery {
              const DistanceQueryOptions& options = {});
 
   // Objects with dist(q, o) <= radius, ascending by distance.
-  std::vector<ObjectResult> Range(const IndoorPoint& q, double radius);
+  std::vector<ObjectResult> Range(const IndoorPoint& q, double radius,
+                                  SearchStats* stats = nullptr) const;
 
  private:
   KnnQuery knn_;

@@ -1,0 +1,261 @@
+#include "engine/query_engine.h"
+
+#include <algorithm>
+#include <atomic>
+#include <thread>
+#include <utility>
+
+#include "common/check.h"
+
+namespace viptree {
+namespace engine {
+
+const char* QueryTypeName(QueryType type) {
+  switch (type) {
+    case QueryType::kDistance:
+      return "distance";
+    case QueryType::kPath:
+      return "path";
+    case QueryType::kKnn:
+      return "knn";
+    case QueryType::kRange:
+      return "range";
+    case QueryType::kBooleanKnn:
+      return "boolean-knn";
+  }
+  return "?";
+}
+
+Query Query::Distance(const IndoorPoint& s, const IndoorPoint& t) {
+  Query q;
+  q.type = QueryType::kDistance;
+  q.source = s;
+  q.target = t;
+  return q;
+}
+
+Query Query::Path(const IndoorPoint& s, const IndoorPoint& t) {
+  Query q;
+  q.type = QueryType::kPath;
+  q.source = s;
+  q.target = t;
+  return q;
+}
+
+Query Query::Knn(const IndoorPoint& q_point, size_t k) {
+  Query q;
+  q.type = QueryType::kKnn;
+  q.source = q_point;
+  q.k = k;
+  return q;
+}
+
+Query Query::Range(const IndoorPoint& q_point, double radius) {
+  Query q;
+  q.type = QueryType::kRange;
+  q.source = q_point;
+  q.radius = radius;
+  return q;
+}
+
+Query Query::BooleanKnn(const IndoorPoint& q_point, size_t k,
+                        std::vector<std::string> keywords) {
+  Query q;
+  q.type = QueryType::kBooleanKnn;
+  q.source = q_point;
+  q.k = k;
+  q.keywords = std::move(keywords);
+  return q;
+}
+
+// The per-thread bundle of core query engines. Shares the engine's indexes
+// (read-only); owns all the mutable Dijkstra scratch.
+struct QueryEngine::Worker {
+  VIPDistanceQuery distance;
+  VIPPathQuery path;
+  KnnQuery knn;
+
+  explicit Worker(const QueryEngine& engine)
+      : distance(engine.tree_, engine.query_options_),
+        path(engine.tree_, engine.query_options_),
+        knn(engine.tree_.base(), *engine.objects_, engine.query_options_) {}
+};
+
+namespace {
+
+// Node matrices a VIP distance/path query consults (§3.1): the source and
+// target extended matrices plus the LCA matrix joining them, or just the
+// shared leaf for a same-leaf query. Two array lookups — cheap enough to
+// run per query without skewing latency.
+size_t MatricesConsulted(const IPTree& tree, PartitionId s, PartitionId t) {
+  return tree.LeafOfPartition(s) == tree.LeafOfPartition(t) ? 1 : 3;
+}
+
+}  // namespace
+
+QueryEngine::QueryEngine(const Venue& venue, const D2DGraph& graph,
+                         std::vector<IndoorPoint> objects,
+                         EngineOptions options)
+    : venue_(venue),
+      query_options_(options.query),
+      tree_(VIPTree::Build(venue, graph, options.tree)) {
+  objects_.emplace(tree_.base(), std::move(objects));
+  if (!options.object_keywords.empty()) {
+    keyword_index_.emplace(tree_.base(), *objects_, options.object_keywords);
+  }
+  RebuildWorker();
+}
+
+QueryEngine::~QueryEngine() = default;
+
+void QueryEngine::SetObjects(
+    std::vector<IndoorPoint> objects,
+    std::vector<std::vector<std::string>> object_keywords) {
+  keyword_index_.reset();
+  objects_.emplace(tree_.base(), std::move(objects));
+  if (!object_keywords.empty()) {
+    keyword_index_.emplace(tree_.base(), *objects_, object_keywords);
+  }
+  RebuildWorker();
+}
+
+void QueryEngine::RebuildWorker() {
+  main_worker_ = std::make_unique<Worker>(*this);
+}
+
+uint64_t QueryEngine::IndexMemoryBytes() const {
+  uint64_t bytes = tree_.MemoryBytes() + objects_->MemoryBytes();
+  if (keyword_index_.has_value()) bytes += keyword_index_->MemoryBytes();
+  return bytes;
+}
+
+Result QueryEngine::Execute(const Query& query, const Worker& worker) const {
+  Result result;
+  result.type = query.type;
+  SearchStats search_stats;
+  const Timer timer;
+  switch (query.type) {
+    case QueryType::kDistance:
+      result.distance = worker.distance.Distance(query.source, query.target);
+      break;
+    case QueryType::kPath: {
+      IndoorPath path = worker.path.Path(query.source, query.target);
+      result.distance = path.distance;
+      result.doors = std::move(path.doors);
+      break;
+    }
+    case QueryType::kKnn:
+      result.objects = worker.knn.Knn(query.source, query.k, &search_stats);
+      break;
+    case QueryType::kRange:
+      result.objects =
+          worker.knn.WithinRange(query.source, query.radius, &search_stats);
+      break;
+    case QueryType::kBooleanKnn:
+      VIPTREE_CHECK_MSG(keyword_index_.has_value(),
+                        "engine was built without object keywords; "
+                        "kBooleanKnn queries need EngineOptions::"
+                        "object_keywords or SetObjects(..., keywords)");
+      result.objects = keyword_index_->BooleanKnn(
+          query.source, query.k, query.keywords, worker.knn, &search_stats);
+      break;
+  }
+  result.latency_micros = timer.ElapsedMicros();
+  // Bookkeeping stays outside the timed region.
+  if (query.type == QueryType::kDistance || query.type == QueryType::kPath) {
+    result.visited_nodes = MatricesConsulted(
+        tree_.base(), query.source.partition, query.target.partition);
+  } else {
+    result.visited_nodes = search_stats.nodes_visited;
+  }
+  return result;
+}
+
+Result QueryEngine::Run(const Query& query) const {
+  return Execute(query, *main_worker_);
+}
+
+std::vector<Result> QueryEngine::RunSequential(
+    Span<const Query> queries) const {
+  std::vector<Result> results;
+  results.reserve(queries.size());
+  for (const Query& q : queries) results.push_back(Run(q));
+  return results;
+}
+
+BatchResult QueryEngine::RunBatch(Span<const Query> queries,
+                                  const BatchOptions& options) const {
+  const size_t n = queries.size();
+  size_t threads = options.num_threads != 0
+                       ? options.num_threads
+                       : std::max<size_t>(1, std::thread::hardware_concurrency());
+  threads = std::min(threads, std::max<size_t>(1, n));
+
+  BatchResult out;
+  out.results.resize(n);
+  const Timer wall;
+
+  // RunBatch never touches the resident worker, so concurrent RunBatch
+  // calls on one engine are safe: every participating thread (including
+  // the calling one) brings its own Worker, and workers are cheap relative
+  // to any batch worth batching.
+  if (threads <= 1) {
+    const Worker worker(*this);
+    for (size_t i = 0; i < n; ++i) {
+      out.results[i] = Execute(queries[i], worker);
+    }
+  } else {
+    const size_t shard = std::max<size_t>(1, options.shard_size);
+    std::atomic<size_t> cursor{0};
+    auto drain = [&](const Worker& worker) {
+      for (;;) {
+        const size_t begin = cursor.fetch_add(shard);
+        if (begin >= n) break;
+        const size_t end = std::min(n, begin + shard);
+        for (size_t i = begin; i < end; ++i) {
+          // Disjoint slots: no synchronization needed on the result array.
+          out.results[i] = Execute(queries[i], worker);
+        }
+      }
+    };
+    std::vector<std::thread> pool;
+    pool.reserve(threads - 1);
+    for (size_t t = 1; t < threads; ++t) {
+      pool.emplace_back([this, &drain] {
+        const Worker worker(*this);
+        drain(worker);
+      });
+    }
+    // The calling thread participates instead of idling on join.
+    {
+      const Worker worker(*this);
+      drain(worker);
+    }
+    for (std::thread& t : pool) t.join();
+  }
+
+  out.stats = Aggregate(out.results, wall.ElapsedMillis(), threads);
+  return out;
+}
+
+BatchStats QueryEngine::Aggregate(const std::vector<Result>& results,
+                                  double wall_millis, size_t num_threads) {
+  BatchStats stats;
+  stats.num_queries = results.size();
+  stats.num_threads = num_threads;
+  stats.wall_millis = wall_millis;
+  if (wall_millis > 0.0) {
+    stats.queries_per_second = results.size() / (wall_millis / 1000.0);
+  }
+  std::vector<double> latencies;
+  latencies.reserve(results.size());
+  for (const Result& r : results) {
+    latencies.push_back(r.latency_micros);
+    stats.visited_nodes += r.visited_nodes;
+  }
+  stats.latency_micros = Summarize(latencies);
+  return stats;
+}
+
+}  // namespace engine
+}  // namespace viptree

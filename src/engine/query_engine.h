@@ -1,0 +1,181 @@
+// The serving layer over the paper's indexes: a façade that owns one built
+// VIP-Tree plus its object/keyword indexes and answers every query type of
+// §3 (shortest distance, shortest path, kNN, range, boolean spatial
+// keyword) through a single typed Query/Result API.
+//
+// Concurrency model. The indexes are immutable after construction; all the
+// per-query mutable state lives in small per-thread Worker bundles (the
+// core query engines with their Dijkstra scratch — see the thread-safety
+// contract in core/distance_query.h). RunBatch fans a batch across a pool
+// of std::thread workers that pull fixed-size shards of the query array
+// from an atomic cursor and write results into disjoint slots, so the whole
+// batch path is lock-free and the shared index is only ever read through
+// const methods — the property the compiler now checks.
+//
+// Every Result carries its own latency and visited-node counters;
+// RunBatch aggregates them into a BatchStats (common/stats Summary), the
+// FESTIval-style "uniform query façade that also collects statistics".
+
+#ifndef VIPTREE_ENGINE_QUERY_ENGINE_H_
+#define VIPTREE_ENGINE_QUERY_ENGINE_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/span.h"
+#include "common/stats.h"
+#include "core/keyword_query.h"
+#include "core/knn_query.h"
+#include "core/object_index.h"
+#include "core/path_query.h"
+#include "core/vip_tree.h"
+
+namespace viptree {
+namespace engine {
+
+enum class QueryType : uint8_t {
+  kDistance,    // §3.1: shortest indoor distance s -> t
+  kPath,        // §3.2/§3.3: distance plus full door sequence
+  kKnn,         // §3.4 Algorithm 5: k nearest indexed objects
+  kRange,       // §3.4: all objects within a network radius
+  kBooleanKnn,  // §1.3: k nearest objects holding all query keywords
+};
+
+const char* QueryTypeName(QueryType type);
+
+// One typed query. Build through the factory helpers; unused fields keep
+// their defaults and are ignored by the engine.
+struct Query {
+  QueryType type = QueryType::kDistance;
+  IndoorPoint source;
+  IndoorPoint target;                 // kDistance / kPath
+  size_t k = 1;                       // kKnn / kBooleanKnn
+  double radius = 0.0;                // kRange
+  std::vector<std::string> keywords;  // kBooleanKnn
+
+  static Query Distance(const IndoorPoint& s, const IndoorPoint& t);
+  static Query Path(const IndoorPoint& s, const IndoorPoint& t);
+  static Query Knn(const IndoorPoint& q, size_t k);
+  static Query Range(const IndoorPoint& q, double radius);
+  static Query BooleanKnn(const IndoorPoint& q, size_t k,
+                          std::vector<std::string> keywords);
+};
+
+struct Result {
+  QueryType type = QueryType::kDistance;
+  // kDistance / kPath: the shortest network distance (kInfDistance when
+  // unreachable). Unused for object queries.
+  double distance = kInfDistance;
+  // kPath only: the door sequence (empty when the route stays inside one
+  // partition).
+  std::vector<DoorId> doors;
+  // kKnn / kRange / kBooleanKnn: matching objects, ascending by distance.
+  std::vector<ObjectResult> objects;
+
+  // Per-query statistics.
+  double latency_micros = 0.0;
+  // Tree nodes examined: node matrices consulted for distance/path queries
+  // (1 same-leaf, 3 cross-leaf: source + target extended matrices plus the
+  // LCA), heap pops of Algorithm 5 for object queries.
+  size_t visited_nodes = 0;
+};
+
+struct BatchOptions {
+  // Worker threads; 0 means std::thread::hardware_concurrency(). 1 runs on
+  // the calling thread with no pool.
+  size_t num_threads = 1;
+  // Queries per shard of the work queue. Small enough to balance skewed
+  // workloads, large enough to keep the atomic cursor off the hot path.
+  size_t shard_size = 32;
+};
+
+struct BatchStats {
+  size_t num_queries = 0;
+  size_t num_threads = 1;
+  double wall_millis = 0.0;
+  double queries_per_second = 0.0;
+  Summary latency_micros;        // distribution of per-query latencies
+  uint64_t visited_nodes = 0;    // summed across the batch
+};
+
+struct BatchResult {
+  // results[i] answers queries[i].
+  std::vector<Result> results;
+  BatchStats stats;
+};
+
+struct EngineOptions {
+  IPTreeOptions tree;
+  DistanceQueryOptions query;
+  // When non-empty, must align with the object set; enables kBooleanKnn.
+  std::vector<std::vector<std::string>> object_keywords;
+};
+
+// Owns the index stack for one venue. The venue and graph must outlive the
+// engine; everything else (VIP-Tree, object index, keyword index) is built
+// and owned here.
+class QueryEngine {
+ public:
+  QueryEngine(const Venue& venue, const D2DGraph& graph,
+              std::vector<IndoorPoint> objects, EngineOptions options = {});
+  ~QueryEngine();
+
+  QueryEngine(const QueryEngine&) = delete;
+  QueryEngine& operator=(const QueryEngine&) = delete;
+
+  const Venue& venue() const { return venue_; }
+  const VIPTree& tree() const { return tree_; }
+  const ObjectIndex& objects() const { return *objects_; }
+  bool has_keywords() const { return keyword_index_.has_value(); }
+
+  // Replaces the object set (and keyword lists) without rebuilding the
+  // tree. Must not run concurrently with queries.
+  void SetObjects(std::vector<IndoorPoint> objects,
+                  std::vector<std::vector<std::string>> object_keywords = {});
+
+  // Combined footprint of the owned indexes.
+  uint64_t IndexMemoryBytes() const;
+
+  // Answers one query on the engine's resident worker. Const but not
+  // re-entrant: serialize Run/RunSequential calls, or use RunBatch for
+  // concurrency.
+  Result Run(const Query& query) const;
+
+  // The batch on the calling thread, in order (the single-threaded
+  // reference RunBatch is compared against).
+  std::vector<Result> RunSequential(Span<const Query> queries) const;
+
+  // Fans the batch across a worker pool over the shared read-only index.
+  // results[i] always answers queries[i], independent of scheduling. Every
+  // participating thread uses its own Worker (never the resident one), so
+  // concurrent RunBatch calls on one engine are safe.
+  BatchResult RunBatch(Span<const Query> queries,
+                       const BatchOptions& options = {}) const;
+
+  // Folds per-query stats into a batch summary (exposed for callers that
+  // time their own loops around Run).
+  static BatchStats Aggregate(const std::vector<Result>& results,
+                              double wall_millis, size_t num_threads);
+
+ private:
+  struct Worker;
+
+  Result Execute(const Query& query, const Worker& worker) const;
+  void RebuildWorker();
+
+  const Venue& venue_;
+  DistanceQueryOptions query_options_;
+  VIPTree tree_;
+  std::optional<ObjectIndex> objects_;
+  std::optional<KeywordIndex> keyword_index_;
+  // Resident worker backing Run / RunSequential (RunBatch threads build
+  // their own).
+  std::unique_ptr<Worker> main_worker_;
+};
+
+}  // namespace engine
+}  // namespace viptree
+
+#endif  // VIPTREE_ENGINE_QUERY_ENGINE_H_

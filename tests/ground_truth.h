@@ -1,6 +1,7 @@
 // Brute-force reference implementations used by property tests: exact
 // point-to-point distances via multi-source Dijkstra on the D2D graph,
-// brute-force kNN / range, and door-path validation.
+// brute-force kNN / range, door-path validation, and the randomized
+// synthetic venues the differential / invariant sweeps run against.
 
 #ifndef VIPTREE_TESTS_GROUND_TRUTH_H_
 #define VIPTREE_TESTS_GROUND_TRUTH_H_
@@ -8,9 +9,12 @@
 #include <algorithm>
 #include <vector>
 
+#include "common/rng.h"
 #include "graph/d2d_graph.h"
 #include "graph/dijkstra.h"
 #include "model/venue.h"
+#include "synth/building_generator.h"
+#include "synth/campus_generator.h"
 
 namespace viptree {
 namespace testing {
@@ -48,11 +52,65 @@ inline std::vector<BruteResult> BruteAllObjectDistances(
   for (ObjectId o = 0; o < static_cast<ObjectId>(objects.size()); ++o) {
     out.push_back({o, BruteDistance(venue, graph, q, objects[o])});
   }
+  // Ties break on the lower object id so the order is deterministic.
   std::sort(out.begin(), out.end(),
             [](const BruteResult& a, const BruteResult& b) {
-              return a.distance < b.distance;
+              return a.distance != b.distance ? a.distance < b.distance
+                                              : a.object < b.object;
             });
   return out;
+}
+
+// The k nearest objects by brute force (ascending by distance; ties keep
+// the lower object id).
+inline std::vector<BruteResult> BruteKnn(
+    const Venue& venue, const D2DGraph& graph, const IndoorPoint& q,
+    const std::vector<IndoorPoint>& objects, size_t k) {
+  std::vector<BruteResult> all =
+      BruteAllObjectDistances(venue, graph, q, objects);
+  if (all.size() > k) all.resize(k);
+  return all;
+}
+
+// All objects within `radius`, ascending by distance.
+inline std::vector<BruteResult> BruteRange(
+    const Venue& venue, const D2DGraph& graph, const IndoorPoint& q,
+    const std::vector<IndoorPoint>& objects, double radius) {
+  std::vector<BruteResult> all =
+      BruteAllObjectDistances(venue, graph, q, objects);
+  all.erase(std::remove_if(all.begin(), all.end(),
+                           [radius](const BruteResult& r) {
+                             return r.distance > radius;
+                           }),
+            all.end());
+  return all;
+}
+
+// A randomized small venue for differential testing: the shape parameters
+// (floors, rooms, corridors, verticals, door probabilities; standalone
+// building vs multi-building campus) are all drawn from `seed`, so a sweep
+// over seeds covers the irregular topologies where indoor indexes diverge.
+// Kept small enough that a full-Dijkstra ground truth stays cheap.
+inline Venue RandomSynthVenue(uint64_t seed) {
+  Rng rng(seed * 0x9E3779B97F4A7C15ull + 1);
+  if (rng.Chance(0.3)) {
+    // A 2-4 building mini-campus with outdoor walkways.
+    const int buildings = static_cast<int>(rng.UniformInt(2, 4));
+    const double room_scale = rng.UniformReal(0.05, 0.12);
+    return synth::GenerateCampus(
+        synth::MixedCampusConfig(buildings, room_scale, seed ^ 0xCA3905));
+  }
+  synth::BuildingConfig cfg;
+  cfg.floors = static_cast<int>(rng.UniformInt(1, 4));
+  cfg.rooms_per_floor = static_cast<int>(rng.UniformInt(6, 22));
+  cfg.corridors_per_floor = static_cast<int>(rng.UniformInt(1, 2));
+  cfg.staircases = static_cast<int>(rng.UniformInt(1, 2));
+  cfg.lifts = static_cast<int>(rng.UniformInt(0, 1));
+  cfg.exits = static_cast<int>(rng.UniformInt(1, 3));
+  cfg.exterior_exits = rng.Chance(0.7);
+  cfg.inter_room_door_prob = rng.UniformReal(0.0, 0.35);
+  cfg.extra_corridor_door_prob = rng.UniformReal(0.0, 0.3);
+  return synth::GenerateStandaloneBuilding(cfg, seed ^ 0xB0B);
 }
 
 // Sum of edge weights along a door path (using the cheapest parallel edge

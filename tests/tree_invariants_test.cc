@@ -1,14 +1,19 @@
 // Structural invariants of the IP-Tree across a parameterized sweep of
 // venue shapes and minimum degrees — the properties the §3 algorithms rely
 // on (access-door nesting, matrix door sets, next-hop consistency, DFS
-// interval partitioning, superior-door definition).
+// interval partitioning, superior-door definition). Two sweeps share the
+// suite: four hand-picked venue shapes, and randomized synthetic venues
+// drawn from seeds (the same generator the differential tests use).
 
 #include <gtest/gtest.h>
 
 #include <set>
+#include <string>
+#include <vector>
 
 #include "core/ip_tree.h"
 #include "graph/dijkstra.h"
+#include "ground_truth.h"
 #include "synth/building_generator.h"
 #include "synth/campus_generator.h"
 #include "synth/replicate.h"
@@ -18,17 +23,24 @@ namespace viptree {
 namespace {
 
 struct SweepParam {
-  int venue_kind;  // 0..3
+  int venue_kind;  // 0..3 fixed shapes, 4 = randomized from `seed`
   int min_degree;
+  uint64_t seed = 0;  // venue_kind 4 only
 };
 
 std::string ParamName(const ::testing::TestParamInfo<SweepParam>& info) {
+  if (info.param.venue_kind == 4) {
+    return "rand_s" + std::to_string(info.param.seed) + "_t" +
+           std::to_string(info.param.min_degree);
+  }
   return "venue" + std::to_string(info.param.venue_kind) + "_t" +
          std::to_string(info.param.min_degree);
 }
 
-Venue MakeSweepVenue(int kind) {
+Venue MakeSweepVenue(int kind, uint64_t seed) {
   switch (kind) {
+    case 4:
+      return testing::RandomSynthVenue(seed);
     case 0: {  // compact two-floor building
       synth::BuildingConfig cfg;
       cfg.floors = 2;
@@ -63,7 +75,7 @@ Venue MakeSweepVenue(int kind) {
 class TreeInvariantTest : public ::testing::TestWithParam<SweepParam> {
  protected:
   TreeInvariantTest()
-      : venue_(MakeSweepVenue(GetParam().venue_kind)),
+      : venue_(MakeSweepVenue(GetParam().venue_kind, GetParam().seed)),
         graph_(venue_),
         tree_(IPTree::Build(venue_, graph_,
                             {.min_degree = GetParam().min_degree})) {}
@@ -219,6 +231,19 @@ INSTANTIATE_TEST_SUITE_P(
                       SweepParam{1, 6}, SweepParam{2, 2}, SweepParam{2, 3},
                       SweepParam{3, 2}, SweepParam{3, 5}),
     ParamName);
+
+// Randomized sweep: every invariant above must also hold on irregular
+// generated topologies, across seeds and minimum degrees.
+std::vector<SweepParam> RandomSweepParams() {
+  std::vector<SweepParam> params;
+  for (uint64_t seed = 0; seed < 12; ++seed) {
+    params.push_back(SweepParam{4, 2 + static_cast<int>(seed % 3), seed});
+  }
+  return params;
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomSweep, TreeInvariantTest,
+                         ::testing::ValuesIn(RandomSweepParams()), ParamName);
 
 }  // namespace
 }  // namespace viptree
