@@ -1,0 +1,122 @@
+// Snapshot persistence vs full construction: builds the MC analogue venue
+// at increasing scales and compares the cost of standing up a serving
+// bundle by full index construction (the paper's Fig. 8 indexing-time axis)
+// against loading an immutable snapshot written once offline. This is the
+// reproduction-side complement of Fig. 8: the indexing time the paper
+// charges per process becomes a one-time offline cost.
+//
+//   VIPTREE_SCALE= multiplies the scale ladder (default 1.0).
+//
+// Prints build / save / load wall times, snapshot size, and the build/load
+// speedup per scale; the largest scale's speedup is the headline number
+// (expected well above 5x — loading replaces thousands of Dijkstra runs
+// with a sequential read).
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "common/stats.h"
+#include "engine/venue_bundle.h"
+#include "synth/presets.h"
+
+namespace viptree {
+namespace bench {
+namespace {
+
+namespace eng = ::viptree::engine;
+
+std::string TempSnapshotPath(int index) {
+  const char* dir = std::getenv("TMPDIR");
+  if (dir == nullptr || dir[0] == '\0') dir = "/tmp";
+  return std::string(dir) + "/viptree_bench_snapshot_" +
+         std::to_string(index) + ".vipsnap";
+}
+
+long FileBytes(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return 0;
+  std::fseek(f, 0, SEEK_END);
+  const long size = std::ftell(f);
+  std::fclose(f);
+  return size;
+}
+
+int Main() {
+  const double base =
+      EnvScaleOverride() > 0.0 ? EnvScaleOverride() : 1.0;
+  const std::vector<double> ladder = {0.25 * base, 0.5 * base, 1.0 * base};
+
+  std::printf(
+      "MC analogue venue; build = D2D graph + VIP-Tree + object index "
+      "construction,\nload = snapshot deserialization of the same state "
+      "(%zu objects each)\n\n",
+      size_t{64});
+  std::printf("%7s %10s %7s %11s %10s %11s %10s %9s\n", "scale", "parts",
+              "doors", "build ms", "save ms", "snapshot", "load ms",
+              "speedup");
+
+  double largest_speedup = 0.0;
+  for (size_t i = 0; i < ladder.size(); ++i) {
+    const double scale = ladder[i];
+    Venue venue = synth::MakeDataset(synth::Dataset::kMC, scale);
+    const size_t num_partitions = venue.NumPartitions();
+    const size_t num_doors = venue.NumDoors();
+    Rng rng(0x5EED ^ i);
+    std::vector<IndoorPoint> objects = synth::PlaceObjects(venue, 64, rng);
+
+    Timer build_timer;
+    const eng::VenueBundle bundle =
+        eng::VenueBundle::Build(std::move(venue), std::move(objects));
+    const double build_ms = build_timer.ElapsedMillis();
+
+    const std::string path = TempSnapshotPath(static_cast<int>(i));
+    Timer save_timer;
+    const io::Status status = bundle.Save(path);
+    const double save_ms = save_timer.ElapsedMillis();
+    if (!status.ok()) {
+      std::fprintf(stderr, "error: %s\n", status.error.c_str());
+      return 1;
+    }
+    const long snapshot_bytes = FileBytes(path);
+
+    // Best of three loads (first one also warms the page cache, matching
+    // the serving scenario of re-loading a hot artifact per process).
+    double load_ms = 0.0;
+    for (int rep = 0; rep < 3; ++rep) {
+      Timer load_timer;
+      std::string error;
+      const auto loaded = eng::VenueBundle::TryLoad(path, &error);
+      const double ms = load_timer.ElapsedMillis();
+      if (!loaded.has_value()) {
+        std::fprintf(stderr, "error: %s\n", error.c_str());
+        return 1;
+      }
+      load_ms = rep == 0 ? ms : std::min(load_ms, ms);
+    }
+    std::remove(path.c_str());
+
+    const double speedup = load_ms > 0.0 ? build_ms / load_ms : 0.0;
+    largest_speedup = speedup;  // ladder is ascending; keep the last
+    std::printf("%7.2f %10zu %7zu %11.1f %10.1f %11s %10.1f %8.1fx\n",
+                scale, num_partitions, num_doors, build_ms, save_ms,
+                HumanBytes(static_cast<uint64_t>(snapshot_bytes)).c_str(),
+                load_ms, speedup);
+  }
+
+  std::printf(
+      "\nat the largest scale, snapshot load is %.1fx faster than full "
+      "index construction %s\n",
+      largest_speedup,
+      largest_speedup >= 5.0 ? "(>=5x target met)" : "(below 5x target)");
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace viptree
+
+int main() { return viptree::bench::Main(); }

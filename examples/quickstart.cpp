@@ -1,14 +1,18 @@
 // Quickstart: build a small office building, stand up the QueryEngine
 // façade over a VIP-Tree, and answer the four query types of the paper
 // (shortest distance, shortest path, kNN, range) — single queries through
-// Run() and a concurrent batch through RunBatch().
+// Run() and a concurrent batch through RunBatch(). Finishes with the
+// snapshot workflow: Save() the engine's self-contained bundle, Load() it
+// back (as a serving process would), and check both answer identically.
 //
 //   ./build/quickstart
 
 #include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
 
 #include "engine/query_engine.h"
-#include "graph/d2d_graph.h"
 #include "synth/building_generator.h"
 #include "synth/objects.h"
 
@@ -22,17 +26,18 @@ int main() {
   config.rooms_per_floor = 30;
   config.staircases = 2;
   config.lifts = 1;
-  const Venue venue = synth::GenerateStandaloneBuilding(config, /*seed=*/7);
-  std::printf("venue: %zu partitions, %zu doors\n", venue.NumPartitions(),
-              venue.NumDoors());
+  Venue built_venue = synth::GenerateStandaloneBuilding(config, /*seed=*/7);
+  std::printf("venue: %zu partitions, %zu doors\n",
+              built_venue.NumPartitions(), built_venue.NumDoors());
 
-  // 2. Derive the door-to-door graph, index some objects (printers, say)
-  // and build the engine: one VIP-Tree plus an object index behind a typed
-  // query API.
-  const D2DGraph graph(venue);
+  // 2. Index some objects (printers, say) and build the engine: the engine
+  // takes ownership of the venue, derives the door-to-door graph, and owns
+  // one VIP-Tree plus an object index behind a typed query API.
   Rng rng(42);
-  const std::vector<IndoorPoint> printers = synth::PlaceObjects(venue, 8, rng);
-  const engine::QueryEngine engine(venue, graph, printers);
+  const std::vector<IndoorPoint> printers =
+      synth::PlaceObjects(built_venue, 8, rng);
+  const engine::QueryEngine engine(std::move(built_venue), printers);
+  const Venue& venue = engine.venue();
   const IPTree::Stats stats = engine.tree().base().ComputeStats();
   std::printf(
       "VIP-Tree: %zu nodes, %zu leaves, height %d, avg access doors %.2f\n",
@@ -81,5 +86,32 @@ int main() {
       result.stats.num_queries, result.stats.num_threads,
       result.stats.wall_millis, result.stats.queries_per_second,
       result.stats.latency_micros.p95);
-  return 0;
+
+  // 6. Snapshot persistence: save the whole serving state, load it back
+  // the way a fresh serving process would, and answer the same query.
+  const char* tmpdir = std::getenv("TMPDIR");
+  const std::string snapshot_path =
+      std::string(tmpdir != nullptr && tmpdir[0] != '\0' ? tmpdir : "/tmp") +
+      "/quickstart.vipsnap";
+  Timer snapshot_timer;
+  const io::Status saved = engine.Save(snapshot_path);
+  if (!saved.ok()) {
+    std::fprintf(stderr, "save failed: %s\n", saved.error.c_str());
+    return 1;
+  }
+  std::string error;
+  const std::unique_ptr<engine::QueryEngine> loaded =
+      engine::QueryEngine::TryLoad(snapshot_path, &error);
+  const double snapshot_ms = snapshot_timer.ElapsedMillis();
+  if (loaded == nullptr) {
+    std::fprintf(stderr, "load failed: %s\n", error.c_str());
+    return 1;
+  }
+  const double reload_dist =
+      loaded->Run(engine::Query::Distance(a, b)).distance;
+  std::printf(
+      "snapshot: saved + reloaded in %.1f ms, reloaded engine agrees: %s\n",
+      snapshot_ms, reload_dist == dist.distance ? "yes" : "NO");
+  std::remove(snapshot_path.c_str());
+  return reload_dist == dist.distance ? 0 : 1;
 }

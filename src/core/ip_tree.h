@@ -28,6 +28,7 @@
 #include <array>
 #include <cstdint>
 #include <optional>
+#include <string>
 #include <vector>
 
 #include "core/matrix.h"
@@ -78,9 +79,51 @@ struct IPTreeOptions {
 
 class IPTree {
  public:
+  // The (at most two) leaves containing a door, with the door's row index
+  // in each leaf's distance matrix.
+  struct DoorLeafEntry {
+    NodeId leaf = kInvalidId;
+    uint32_t row = 0;
+  };
+
+  // The complete serializable state of a built tree: the nodes (with their
+  // distance/next-hop matrices) plus every derived lookup structure, stored
+  // verbatim so a reconstructed tree answers queries bit-identically.
+  struct Parts {
+    std::vector<TreeNode> nodes;
+    NodeId root = kInvalidId;
+    size_t num_leaves = 0;
+    std::vector<NodeId> leaf_of_partition;
+    std::vector<std::array<DoorLeafEntry, 2>> door_leaves;
+    std::vector<uint8_t> is_access_door;
+    // CSR of partition -> superior doors.
+    std::vector<uint32_t> superior_offsets;
+    std::vector<DoorId> superior_doors;
+  };
+
   // Builds the tree over `venue` / `graph` (which must outlive it).
   static IPTree Build(const Venue& venue, const D2DGraph& graph,
                       const IPTreeOptions& options = {});
+
+  // Returns an error description if `parts` is structurally inconsistent
+  // with the venue/graph (sizes, id ranges, matrix shapes), std::nullopt if
+  // it passes. Semantic validity (the distances being correct) is protected
+  // by the snapshot checksums, not re-derived here.
+  static std::optional<std::string> ValidateParts(const Venue& venue,
+                                                  const Parts& parts);
+
+  // Reconstructs a tree from deserialized parts over `venue` / `graph`
+  // (which must outlive it). Aborts on malformed input (run ValidateParts
+  // first when the parts come from an untrusted file).
+  static IPTree FromParts(const Venue& venue, const D2DGraph& graph,
+                          Parts parts);
+
+  // Same, for callers that have *just* run ValidateParts themselves (the
+  // snapshot loader): skips the redundant validation pass.
+  static IPTree FromValidatedParts(const Venue& venue, const D2DGraph& graph,
+                                   Parts parts);
+
+  Parts ToParts() const;
 
   IPTree(const IPTree&) = delete;
   IPTree& operator=(const IPTree&) = delete;
@@ -100,10 +143,6 @@ class IPTree {
 
   // The (at most two) leaves containing door `d`, with the door's row index
   // in each leaf's distance matrix.
-  struct DoorLeafEntry {
-    NodeId leaf = kInvalidId;
-    uint32_t row = 0;
-  };
   Span<const DoorLeafEntry> LeavesOfDoor(DoorId d) const {
     return {door_leaves_[d].data(),
             static_cast<size_t>(door_leaves_[d][1].leaf == kInvalidId ? 1 : 2)};

@@ -1,6 +1,8 @@
 #include "core/keyword_query.h"
 
 #include <algorithm>
+#include <string>
+#include <utility>
 
 #include "common/check.h"
 
@@ -58,6 +60,97 @@ KeywordIndex::KeywordIndex(
     merged.erase(std::unique(merged.begin(), merged.end()), merged.end());
     node_keywords_[nid] = std::move(merged);
   }
+}
+
+KeywordIndex::KeywordIndex(FromPartsTag, const IPTree& tree,
+                           const ObjectIndex& objects, Parts parts)
+    : tree_(tree), objects_(objects), knn_(tree, objects) {
+  keyword_ids_.reserve(parts.keywords_by_id.size());
+  for (size_t i = 0; i < parts.keywords_by_id.size(); ++i) {
+    keyword_ids_.emplace(std::move(parts.keywords_by_id[i]),
+                         static_cast<KeywordId>(i));
+  }
+  object_keywords_ = std::move(parts.object_keywords);
+  node_keywords_ = std::move(parts.node_keywords);
+}
+
+std::optional<std::string> KeywordIndex::ValidateParts(
+    const IPTree& tree, const ObjectIndex& objects, const Parts& parts) {
+  // Duplicate dictionary strings would silently collapse in the string ->
+  // id map, making the higher id unreachable (missed keyword matches).
+  {
+    std::vector<const std::string*> words;
+    words.reserve(parts.keywords_by_id.size());
+    for (const std::string& word : parts.keywords_by_id) {
+      words.push_back(&word);
+    }
+    std::sort(words.begin(), words.end(),
+              [](const std::string* a, const std::string* b) {
+                return *a < *b;
+              });
+    for (size_t i = 1; i < words.size(); ++i) {
+      if (*words[i - 1] == *words[i]) {
+        return "keyword dictionary contains duplicate '" + *words[i] + "'";
+      }
+    }
+  }
+  if (parts.object_keywords.size() != objects.NumObjects()) {
+    return "keyword index covers " +
+           std::to_string(parts.object_keywords.size()) + " objects, not " +
+           std::to_string(objects.NumObjects());
+  }
+  if (parts.node_keywords.size() != tree.nodes().size()) {
+    return "keyword index covers " +
+           std::to_string(parts.node_keywords.size()) + " nodes, not " +
+           std::to_string(tree.nodes().size());
+  }
+  const KeywordId num_keywords =
+      static_cast<KeywordId>(parts.keywords_by_id.size());
+  auto check_lists =
+      [num_keywords](const std::vector<std::vector<KeywordId>>& lists,
+                     const char* what) -> std::optional<std::string> {
+    for (const std::vector<KeywordId>& list : lists) {
+      if (!std::is_sorted(list.begin(), list.end())) {
+        return std::string(what) + " keyword list is not sorted";
+      }
+      for (KeywordId k : list) {
+        if (k < 0 || k >= num_keywords) {
+          return std::string(what) + " keyword id out of range";
+        }
+      }
+    }
+    return std::nullopt;
+  };
+  if (auto error = check_lists(parts.object_keywords, "object")) return error;
+  if (auto error = check_lists(parts.node_keywords, "node")) return error;
+  return std::nullopt;
+}
+
+KeywordIndex KeywordIndex::FromParts(const IPTree& tree,
+                                     const ObjectIndex& objects,
+                                     Parts parts) {
+  const std::optional<std::string> error =
+      ValidateParts(tree, objects, parts);
+  VIPTREE_CHECK_MSG(!error.has_value(),
+                    error.has_value() ? error->c_str() : "");
+  return KeywordIndex(FromPartsTag{}, tree, objects, std::move(parts));
+}
+
+KeywordIndex KeywordIndex::FromValidatedParts(const IPTree& tree,
+                                              const ObjectIndex& objects,
+                                              Parts parts) {
+  return KeywordIndex(FromPartsTag{}, tree, objects, std::move(parts));
+}
+
+KeywordIndex::Parts KeywordIndex::ToParts() const {
+  Parts parts;
+  parts.keywords_by_id.resize(keyword_ids_.size());
+  for (const auto& [word, id] : keyword_ids_) {
+    parts.keywords_by_id[id] = word;
+  }
+  parts.object_keywords = object_keywords_;
+  parts.node_keywords = node_keywords_;
+  return parts;
 }
 
 bool KeywordIndex::NodeHasAll(NodeId n,

@@ -11,6 +11,8 @@
 #ifndef VIPTREE_CORE_KEYWORD_QUERY_H_
 #define VIPTREE_CORE_KEYWORD_QUERY_H_
 
+#include <cstdint>
+#include <optional>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -21,9 +23,38 @@ namespace viptree {
 
 class KeywordIndex {
  public:
+  using KeywordId = int32_t;
+
+  // The complete serializable state: the dictionary in id order plus the
+  // per-object and per-node keyword-id lists (each sorted).
+  struct Parts {
+    std::vector<std::string> keywords_by_id;
+    std::vector<std::vector<KeywordId>> object_keywords;
+    std::vector<std::vector<KeywordId>> node_keywords;
+  };
+
   // keywords[o] is object o's keyword set; must align with `objects`.
   KeywordIndex(const IPTree& tree, const ObjectIndex& objects,
                const std::vector<std::vector<std::string>>& keywords);
+
+  // Structural check of `parts` against the tree and object index.
+  static std::optional<std::string> ValidateParts(const IPTree& tree,
+                                                  const ObjectIndex& objects,
+                                                  const Parts& parts);
+
+  // Reconstructs the index from deserialized parts (the keyword tables are
+  // adopted verbatim; only the string -> id map is rebuilt). Aborts on
+  // malformed input (run ValidateParts first for untrusted files).
+  static KeywordIndex FromParts(const IPTree& tree,
+                                const ObjectIndex& objects, Parts parts);
+
+  // Same, for callers that have *just* run ValidateParts themselves (the
+  // snapshot loader): skips the redundant validation pass.
+  static KeywordIndex FromValidatedParts(const IPTree& tree,
+                                         const ObjectIndex& objects,
+                                         Parts parts);
+
+  Parts ToParts() const;
 
   // The k nearest objects whose keyword sets contain *all* query keywords.
   // Unknown keywords yield an empty result. Uses the index's own KnnQuery
@@ -46,7 +77,9 @@ class KeywordIndex {
   uint64_t MemoryBytes() const;
 
  private:
-  using KeywordId = int32_t;
+  struct FromPartsTag {};
+  KeywordIndex(FromPartsTag, const IPTree& tree, const ObjectIndex& objects,
+               Parts parts);
 
   bool NodeHasAll(NodeId n, const std::vector<KeywordId>& wanted) const;
   bool ObjectHasAll(ObjectId o, const std::vector<KeywordId>& wanted) const;

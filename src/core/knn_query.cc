@@ -165,6 +165,10 @@ std::vector<ObjectResult> KnnQuery::Search(const IndoorPoint& q, size_t k,
       heap;
   heap.emplace(0.0, tree_.root());
 
+  // Per-leaf scratch for the best distance seen per object, reused across
+  // leaf scans so the hot loop below stays allocation-free.
+  std::vector<double> leaf_best;
+
   while (!heap.empty()) {
     const auto [bound, n] = heap.top();
     heap.pop();
@@ -191,14 +195,18 @@ std::vector<ObjectResult> KnnQuery::Search(const IndoorPoint& q, size_t k,
       for (size_t i = 0; i < objs.size(); ++i) offer(objs[i], dists[i]);
       continue;
     }
+    // One contiguous distance row per access door (see ObjectIndex layout):
+    // column-outer order turns the inner loop into a sequential scan.
     const std::vector<double>& q_to_ad = ensure_ad_dist(n);
-    for (size_t i = 0; i < objs.size(); ++i) {
-      double d = kInfDistance;
-      for (size_t col = 0; col < node.access_doors.size(); ++col) {
-        d = std::min(d, q_to_ad[col] + objects_.AccessDoorToObject(n, col, i));
+    leaf_best.assign(objs.size(), kInfDistance);
+    for (size_t col = 0; col < node.access_doors.size(); ++col) {
+      const double q_to_door = q_to_ad[col];
+      const Span<const double> row = objects_.DoorDistances(n, col);
+      for (size_t i = 0; i < objs.size(); ++i) {
+        leaf_best[i] = std::min(leaf_best[i], q_to_door + row[i]);
       }
-      offer(objs[i], d);
     }
+    for (size_t i = 0; i < objs.size(); ++i) offer(objs[i], leaf_best[i]);
   }
 
   results.reserve(best.size());

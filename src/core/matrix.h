@@ -6,9 +6,11 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <utility>
 #include <vector>
 
 #include "common/check.h"
+#include "common/span.h"
 
 namespace viptree {
 
@@ -18,6 +20,12 @@ class FlatMatrix {
   FlatMatrix() = default;
   FlatMatrix(size_t rows, size_t cols, T fill = T())
       : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+  // Adopts an already-filled row-major payload (snapshot deserialization).
+  FlatMatrix(size_t rows, size_t cols, std::vector<T> data)
+      : rows_(rows), cols_(cols), data_(std::move(data)) {
+    VIPTREE_CHECK(data_.size() == rows_ * cols_);
+  }
 
   size_t rows() const { return rows_; }
   size_t cols() const { return cols_; }
@@ -31,6 +39,9 @@ class FlatMatrix {
     VIPTREE_DCHECK(r < rows_ && c < cols_);
     return data_[r * cols_ + c];
   }
+
+  // The row-major payload, for serialization.
+  Span<const T> raw() const { return data_; }
 
   uint64_t MemoryBytes() const { return data_.capacity() * sizeof(T); }
 

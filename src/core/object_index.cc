@@ -1,6 +1,7 @@
 #include "core/object_index.h"
 
 #include <algorithm>
+#include <string>
 #include <utility>
 
 #include "common/check.h"
@@ -11,22 +12,46 @@ namespace viptree {
 ObjectIndex::ObjectIndex(const IPTree& tree, std::vector<IndoorPoint> objects)
     : tree_(tree), objects_(std::move(objects)) {
   const Venue& venue = tree.venue();
-  leaf_objects_.resize(tree.nodes().size());
-  leaf_door_dists_.resize(tree.nodes().size());
+  const size_t num_nodes = tree.nodes().size();
 
+  // CSR of leaf -> objects (counting sort by leaf id; objects of one leaf
+  // keep ascending object-id order, as before).
+  std::vector<uint32_t> count(num_nodes, 0);
+  for (const IndoorPoint& obj : objects_) {
+    ++count[tree.LeafOfPartition(obj.partition)];
+  }
+  leaf_object_offsets_.assign(num_nodes + 1, 0);
+  for (size_t n = 0; n < num_nodes; ++n) {
+    leaf_object_offsets_[n + 1] = leaf_object_offsets_[n] + count[n];
+  }
+  leaf_objects_.resize(objects_.size());
+  std::vector<uint32_t> cursor(leaf_object_offsets_.begin(),
+                               leaf_object_offsets_.end() - 1);
   for (ObjectId o = 0; o < static_cast<ObjectId>(objects_.size()); ++o) {
-    const NodeId leaf = tree.LeafOfPartition(objects_[o].partition);
-    leaf_objects_[leaf].push_back(o);
+    leaf_objects_[cursor[tree.LeafOfPartition(objects_[o].partition)]++] = o;
   }
 
+  // One contiguous distance row per (leaf, access door), rows of one leaf
+  // adjacent: dist_offsets_[leaf] + col * count + i.
+  dist_offsets_.assign(num_nodes + 1, 0);
+  for (size_t n = 0; n < num_nodes; ++n) {
+    const TreeNode& node = tree.node(static_cast<NodeId>(n));
+    const uint64_t cells =
+        node.is_leaf()
+            ? static_cast<uint64_t>(node.access_doors.size()) * count[n]
+            : 0;
+    dist_offsets_[n + 1] = dist_offsets_[n] + cells;
+  }
+  door_dists_.assign(dist_offsets_.back(), kInfDistance);
+
   for (const TreeNode& node : tree.nodes()) {
-    if (!node.is_leaf() || leaf_objects_[node.id].empty()) continue;
-    const std::vector<ObjectId>& objs = leaf_objects_[node.id];
-    auto& per_door = leaf_door_dists_[node.id];
-    per_door.assign(node.access_doors.size(),
-                    std::vector<double>(objs.size(), kInfDistance));
+    if (!node.is_leaf()) continue;
+    const Span<const ObjectId> objs = ObjectsInLeaf(node.id);
+    if (objs.empty()) continue;
+    double* base = door_dists_.data() + dist_offsets_[node.id];
     for (size_t col = 0; col < node.access_doors.size(); ++col) {
       const DoorId a = node.access_doors[col];
+      double* row = base + col * objs.size();
       for (size_t i = 0; i < objs.size(); ++i) {
         const IndoorPoint& obj = objects_[objs[i]];
         double best = kInfDistance;
@@ -38,7 +63,7 @@ ObjectIndex::ObjectIndex(const IPTree& tree, std::vector<IndoorPoint> objects)
                               venue.DistanceToDoor(obj, u);
           best = std::min(best, cand);
         }
-        per_door[col][i] = best;
+        row[i] = best;
       }
     }
   }
@@ -46,10 +71,7 @@ ObjectIndex::ObjectIndex(const IPTree& tree, std::vector<IndoorPoint> objects)
   // Subtree counts via leaf DFS prefix sums.
   std::vector<uint32_t> count_at_dfs(tree.num_leaves(), 0);
   for (const TreeNode& node : tree.nodes()) {
-    if (node.is_leaf()) {
-      count_at_dfs[node.leaf_begin] =
-          static_cast<uint32_t>(leaf_objects_[node.id].size());
-    }
+    if (node.is_leaf()) count_at_dfs[node.leaf_begin] = count[node.id];
   }
   dfs_prefix_.assign(tree.num_leaves() + 1, 0);
   for (size_t i = 0; i < tree.num_leaves(); ++i) {
@@ -58,18 +80,105 @@ ObjectIndex::ObjectIndex(const IPTree& tree, std::vector<IndoorPoint> objects)
   VIPTREE_CHECK(dfs_prefix_.back() == objects_.size());
 }
 
-Span<const ObjectId> ObjectIndex::ObjectsInLeaf(NodeId leaf) const {
-  return leaf_objects_[leaf];
+ObjectIndex::ObjectIndex(FromPartsTag, const IPTree& tree, Parts parts)
+    : tree_(tree),
+      objects_(std::move(parts.objects)),
+      leaf_object_offsets_(std::move(parts.leaf_object_offsets)),
+      leaf_objects_(std::move(parts.leaf_objects)),
+      dist_offsets_(std::move(parts.dist_offsets)),
+      door_dists_(std::move(parts.door_dists)),
+      dfs_prefix_(std::move(parts.dfs_prefix)) {}
+
+std::optional<std::string> ObjectIndex::ValidateParts(const IPTree& tree,
+                                                      const Parts& parts) {
+  const size_t num_nodes = tree.nodes().size();
+  const size_t num_objects = parts.objects.size();
+  for (const IndoorPoint& obj : parts.objects) {
+    if (obj.partition < 0 ||
+        static_cast<size_t>(obj.partition) >= tree.venue().NumPartitions()) {
+      return "object in unknown partition";
+    }
+  }
+  if (parts.leaf_object_offsets.size() != num_nodes + 1 ||
+      parts.leaf_object_offsets.front() != 0 ||
+      parts.leaf_object_offsets.back() != parts.leaf_objects.size() ||
+      parts.leaf_objects.size() != num_objects) {
+    return "object-index leaf CSR is inconsistent";
+  }
+  if (parts.dist_offsets.size() != num_nodes + 1 ||
+      parts.dist_offsets.front() != 0 ||
+      parts.dist_offsets.back() != parts.door_dists.size()) {
+    return "object-index distance CSR is inconsistent";
+  }
+  for (size_t n = 0; n < num_nodes; ++n) {
+    if (parts.leaf_object_offsets[n] > parts.leaf_object_offsets[n + 1]) {
+      return "object-index leaf offsets are not monotone";
+    }
+    if (parts.dist_offsets[n] > parts.dist_offsets[n + 1]) {
+      return "object-index distance offsets are not monotone";
+    }
+    const TreeNode& node = tree.node(static_cast<NodeId>(n));
+    const uint64_t objs =
+        parts.leaf_object_offsets[n + 1] - parts.leaf_object_offsets[n];
+    const uint64_t cells = parts.dist_offsets[n + 1] - parts.dist_offsets[n];
+    if (!node.is_leaf() && objs != 0) {
+      return "object-index attaches objects to a non-leaf node";
+    }
+    const uint64_t expected =
+        node.is_leaf() ? objs * node.access_doors.size() : 0;
+    if (cells != expected) {
+      return "object-index distance row count mismatches the leaf";
+    }
+  }
+  // leaf_objects must be a permutation of all object ids: a duplicated or
+  // dropped id would silently distort every kNN/range answer.
+  std::vector<uint8_t> seen(num_objects, 0);
+  for (ObjectId o : parts.leaf_objects) {
+    if (o < 0 || static_cast<size_t>(o) >= num_objects) {
+      return "object-index references an unknown object";
+    }
+    if (seen[o] != 0) {
+      return "object-index lists object " + std::to_string(o) + " twice";
+    }
+    seen[o] = 1;
+  }
+  if (parts.dfs_prefix.size() != tree.num_leaves() + 1 ||
+      parts.dfs_prefix.front() != 0 ||
+      parts.dfs_prefix.back() != num_objects) {
+    return "object-index dfs prefix sums are inconsistent";
+  }
+  return std::nullopt;
+}
+
+ObjectIndex ObjectIndex::FromParts(const IPTree& tree, Parts parts) {
+  const std::optional<std::string> error = ValidateParts(tree, parts);
+  VIPTREE_CHECK_MSG(!error.has_value(),
+                    error.has_value() ? error->c_str() : "");
+  return ObjectIndex(FromPartsTag{}, tree, std::move(parts));
+}
+
+ObjectIndex ObjectIndex::FromValidatedParts(const IPTree& tree, Parts parts) {
+  return ObjectIndex(FromPartsTag{}, tree, std::move(parts));
+}
+
+ObjectIndex::Parts ObjectIndex::ToParts() const {
+  Parts parts;
+  parts.objects = objects_;
+  parts.leaf_object_offsets = leaf_object_offsets_;
+  parts.leaf_objects = leaf_objects_;
+  parts.dist_offsets = dist_offsets_;
+  parts.door_dists = door_dists_;
+  parts.dfs_prefix = dfs_prefix_;
+  return parts;
 }
 
 uint64_t ObjectIndex::MemoryBytes() const {
-  uint64_t bytes = objects_.capacity() * sizeof(IndoorPoint);
-  for (const auto& v : leaf_objects_) bytes += v.capacity() * sizeof(ObjectId);
-  for (const auto& per_door : leaf_door_dists_) {
-    for (const auto& v : per_door) bytes += v.capacity() * sizeof(double);
-  }
-  bytes += dfs_prefix_.capacity() * sizeof(uint32_t);
-  return bytes;
+  return objects_.capacity() * sizeof(IndoorPoint) +
+         leaf_object_offsets_.capacity() * sizeof(uint32_t) +
+         leaf_objects_.capacity() * sizeof(ObjectId) +
+         dist_offsets_.capacity() * sizeof(uint64_t) +
+         door_dists_.capacity() * sizeof(double) +
+         dfs_prefix_.capacity() * sizeof(uint32_t);
 }
 
 }  // namespace viptree

@@ -3,10 +3,19 @@
 // exact network distances from that access door to each of its objects
 // (sorted, enabling early termination), plus subtree object counts so the
 // branch-and-bound search can skip empty nodes (Alg. 5 line 10).
+//
+// Storage layout: both the per-leaf object lists and the per-(leaf, access
+// door) distance rows live in single contiguous buffers with per-node
+// offsets (CSR style). The kNN inner loop therefore scans one cache-friendly
+// row per access door, MemoryBytes() is exact, and the whole index
+// serializes as a handful of flat arrays.
 
 #ifndef VIPTREE_CORE_OBJECT_INDEX_H_
 #define VIPTREE_CORE_OBJECT_INDEX_H_
 
+#include <cstdint>
+#include <optional>
+#include <string>
 #include <vector>
 
 #include "core/ip_tree.h"
@@ -16,19 +25,59 @@ namespace viptree {
 
 class ObjectIndex {
  public:
+  // The complete serializable state (everything but the tree reference).
+  struct Parts {
+    std::vector<IndoorPoint> objects;
+    // CSR of node id -> object ids (only leaves have entries).
+    std::vector<uint32_t> leaf_object_offsets;  // nodes + 1
+    std::vector<ObjectId> leaf_objects;
+    // Contiguous [leaf][access-door column][in-leaf object] distances; one
+    // base offset per node into the flat buffer.
+    std::vector<uint64_t> dist_offsets;  // nodes + 1
+    std::vector<double> door_dists;
+    std::vector<uint32_t> dfs_prefix;  // num_leaves + 1
+  };
+
   // `objects` are indoor points; object ids are their indices.
   ObjectIndex(const IPTree& tree, std::vector<IndoorPoint> objects);
+
+  // Structural check of `parts` against the tree (sizes, id ranges, CSR
+  // consistency).
+  static std::optional<std::string> ValidateParts(const IPTree& tree,
+                                                  const Parts& parts);
+
+  // Reconstructs the index from deserialized parts without recomputing any
+  // door-to-object distance. Aborts on malformed input (run ValidateParts
+  // first when the parts come from an untrusted file).
+  static ObjectIndex FromParts(const IPTree& tree, Parts parts);
+
+  // Same, for callers that have *just* run ValidateParts themselves (the
+  // snapshot loader): skips the redundant validation pass.
+  static ObjectIndex FromValidatedParts(const IPTree& tree, Parts parts);
+
+  Parts ToParts() const;
 
   size_t NumObjects() const { return objects_.size(); }
   const IndoorPoint& object(ObjectId o) const { return objects_[o]; }
   const std::vector<IndoorPoint>& objects() const { return objects_; }
 
-  Span<const ObjectId> ObjectsInLeaf(NodeId leaf) const;
+  Span<const ObjectId> ObjectsInLeaf(NodeId leaf) const {
+    return {leaf_objects_.data() + leaf_object_offsets_[leaf],
+            leaf_objects_.data() + leaf_object_offsets_[leaf + 1]};
+  }
 
   // Exact indoor distance from access door `col` of `leaf` to object with
   // in-leaf index `i` (aligned with ObjectsInLeaf).
   double AccessDoorToObject(NodeId leaf, size_t col, size_t i) const {
-    return leaf_door_dists_[leaf][col][i];
+    return DoorDistances(leaf, col)[i];
+  }
+
+  // The contiguous distance row of access door `col` of `leaf`, aligned
+  // with ObjectsInLeaf (the kNN leaf-scan inner loop walks this span).
+  Span<const double> DoorDistances(NodeId leaf, size_t col) const {
+    const size_t count = leaf_object_offsets_[leaf + 1] -
+                         leaf_object_offsets_[leaf];
+    return {door_dists_.data() + dist_offsets_[leaf] + col * count, count};
   }
 
   // Number of objects in the subtree of `node`.
@@ -39,11 +88,17 @@ class ObjectIndex {
   uint64_t MemoryBytes() const;
 
  private:
+  // Tag keeps the parts constructor out of overload resolution for
+  // brace-initialized object lists.
+  struct FromPartsTag {};
+  ObjectIndex(FromPartsTag, const IPTree& tree, Parts parts);
+
   const IPTree& tree_;
   std::vector<IndoorPoint> objects_;
-  std::vector<std::vector<ObjectId>> leaf_objects_;  // by leaf node id
-  // leaf_door_dists_[leaf][access door col][object idx in leaf].
-  std::vector<std::vector<std::vector<double>>> leaf_door_dists_;
+  std::vector<uint32_t> leaf_object_offsets_;
+  std::vector<ObjectId> leaf_objects_;
+  std::vector<uint64_t> dist_offsets_;
+  std::vector<double> door_dists_;
   std::vector<uint32_t> dfs_prefix_;  // objects in leaves with dfs index < i
 };
 

@@ -1,6 +1,8 @@
 #include "core/vip_tree.h"
 
 #include <algorithm>
+#include <limits>
+#include <string>
 #include <utility>
 
 #include "common/check.h"
@@ -83,6 +85,77 @@ VIPTree VIPTree::Extend(IPTree base) {
   }
   (void)venue;
   return vip;
+}
+
+std::optional<std::string> VIPTree::ValidateParts(const IPTree& base,
+                                                  const Parts& parts) {
+  if (parts.ext.size() != base.nodes().size()) {
+    return "extended-matrix array has " + std::to_string(parts.ext.size()) +
+           " entries for " + std::to_string(base.nodes().size()) + " nodes";
+  }
+  for (const TreeNode& node : base.nodes()) {
+    const ExtMatrix& ext = parts.ext[node.id];
+    const std::string where = "extended matrix of node " +
+                              std::to_string(node.id);
+    if (node.is_leaf()) {
+      if (!ext.doors.empty() || !ext.dist.empty() || !ext.next_hop.empty()) {
+        return where + " must be empty for a leaf";
+      }
+      continue;
+    }
+    for (DoorId d : ext.doors) {
+      if (d < 0 || static_cast<size_t>(d) >= base.venue().NumDoors()) {
+        return where + " has an out-of-range door";
+      }
+    }
+    if (!std::is_sorted(ext.doors.begin(), ext.doors.end())) {
+      return where + " rows are not sorted";
+    }
+    if (ext.dist.rows() != ext.doors.size() ||
+        ext.dist.cols() != node.access_doors.size() ||
+        ext.next_hop.rows() != ext.dist.rows() ||
+        ext.next_hop.cols() != ext.dist.cols()) {
+      return where + " has the wrong shape";
+    }
+    // Same cell-value rules as the base matrices (see IPTree validation):
+    // next-hop entries are array indices naming an intermediate door.
+    const size_t num_doors = base.venue().NumDoors();
+    for (size_t r = 0; r < ext.dist.rows(); ++r) {
+      for (size_t c = 0; c < ext.dist.cols(); ++c) {
+        if (!(ext.dist.at(r, c) >= 0.0f) ||
+            ext.dist.at(r, c) == std::numeric_limits<float>::infinity()) {
+          return where + " has a negative, NaN or infinite distance";
+        }
+        const DoorId hop = ext.next_hop.at(r, c);
+        if (hop == kInvalidId) continue;
+        if (hop < 0 || static_cast<size_t>(hop) >= num_doors ||
+            hop == ext.doors[r] || hop == node.access_doors[c]) {
+          return where + " has an invalid next-hop entry";
+        }
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+VIPTree VIPTree::FromParts(IPTree base, Parts parts) {
+  const std::optional<std::string> error = ValidateParts(base, parts);
+  VIPTREE_CHECK_MSG(!error.has_value(),
+                    error.has_value() ? error->c_str() : "");
+  return FromValidatedParts(std::move(base), std::move(parts));
+}
+
+VIPTree VIPTree::FromValidatedParts(IPTree base, Parts parts) {
+  VIPTree vip;
+  vip.base_ = std::move(base);
+  vip.ext_ = std::move(parts.ext);
+  return vip;
+}
+
+VIPTree::Parts VIPTree::ToParts() const {
+  Parts parts;
+  parts.ext = ext_;
+  return parts;
 }
 
 Span<const DoorId> VIPTree::ExtDoors(NodeId n) const {

@@ -20,6 +20,8 @@
 #ifndef VIPTREE_CORE_VIP_TREE_H_
 #define VIPTREE_CORE_VIP_TREE_H_
 
+#include <optional>
+#include <string>
 #include <vector>
 
 #include "core/ip_tree.h"
@@ -29,6 +31,21 @@ namespace viptree {
 
 class VIPTree {
  public:
+  // One §2.2 extended matrix (rows = all doors of the node's subtree,
+  // columns = the node's access doors). Public so snapshots can serialize
+  // the materialization verbatim.
+  struct ExtMatrix {
+    std::vector<DoorId> doors;  // sorted rows
+    FlatMatrix<float> dist;
+    FlatMatrix<DoorId> next_hop;
+  };
+
+  // The serializable state on top of the base IP-Tree: one extended matrix
+  // per node id (empty for leaves, which reuse the IP leaf matrix).
+  struct Parts {
+    std::vector<ExtMatrix> ext;
+  };
+
   static VIPTree Build(const Venue& venue, const D2DGraph& graph,
                        const IPTreeOptions& options = {});
 
@@ -36,6 +53,21 @@ class VIPTree {
   // materialization (used by benchmarks that compare both trees on the
   // same base).
   static VIPTree Extend(IPTree base);
+
+  // Structural check of `parts` against an already-validated base tree.
+  static std::optional<std::string> ValidateParts(const IPTree& base,
+                                                  const Parts& parts);
+
+  // Reassembles a VIP-Tree from a reconstructed base and its deserialized
+  // materialization (no Dijkstra runs). Aborts on malformed input (run
+  // ValidateParts first when the parts come from an untrusted file).
+  static VIPTree FromParts(IPTree base, Parts parts);
+
+  // Same, for callers that have *just* run ValidateParts themselves (the
+  // snapshot loader): skips the redundant validation pass.
+  static VIPTree FromValidatedParts(IPTree base, Parts parts);
+
+  Parts ToParts() const;
 
   VIPTree(const VIPTree&) = delete;
   VIPTree& operator=(const VIPTree&) = delete;
@@ -59,12 +91,6 @@ class VIPTree {
 
  private:
   VIPTree() = default;
-
-  struct ExtMatrix {
-    std::vector<DoorId> doors;  // sorted rows
-    FlatMatrix<float> dist;
-    FlatMatrix<DoorId> next_hop;
-  };
 
   IPTree base_;
   std::vector<ExtMatrix> ext_;  // indexed by NodeId; unused for leaves

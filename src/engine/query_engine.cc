@@ -76,9 +76,10 @@ struct QueryEngine::Worker {
   KnnQuery knn;
 
   explicit Worker(const QueryEngine& engine)
-      : distance(engine.tree_, engine.query_options_),
-        path(engine.tree_, engine.query_options_),
-        knn(engine.tree_.base(), *engine.objects_, engine.query_options_) {}
+      : distance(engine.tree(), engine.bundle_.query_options()),
+        path(engine.tree(), engine.bundle_.query_options()),
+        knn(engine.tree().base(), engine.objects(),
+            engine.bundle_.query_options()) {}
 };
 
 namespace {
@@ -91,32 +92,68 @@ size_t MatricesConsulted(const IPTree& tree, PartitionId s, PartitionId t) {
   return tree.LeafOfPartition(s) == tree.LeafOfPartition(t) ? 1 : 3;
 }
 
+// Scope guard bumping the engine's in-flight batch counter, so SetObjects
+// can detect a concurrent RunBatch.
+class BatchScope {
+ public:
+  explicit BatchScope(std::atomic<int>& counter) : counter_(counter) {
+    counter_.fetch_add(1, std::memory_order_acq_rel);
+  }
+  ~BatchScope() { counter_.fetch_sub(1, std::memory_order_acq_rel); }
+  BatchScope(const BatchScope&) = delete;
+  BatchScope& operator=(const BatchScope&) = delete;
+
+ private:
+  std::atomic<int>& counter_;
+};
+
 }  // namespace
+
+QueryEngine::QueryEngine(VenueBundle bundle) : bundle_(std::move(bundle)) {
+  RebuildWorker();
+}
+
+QueryEngine::QueryEngine(Venue venue, std::vector<IndoorPoint> objects,
+                         EngineOptions options)
+    : QueryEngine(VenueBundle::Build(std::move(venue), std::move(objects),
+                                     std::move(options))) {}
 
 QueryEngine::QueryEngine(const Venue& venue, const D2DGraph& graph,
                          std::vector<IndoorPoint> objects,
                          EngineOptions options)
-    : venue_(venue),
-      query_options_(options.query),
-      tree_(VIPTree::Build(venue, graph, options.tree)) {
-  objects_.emplace(tree_.base(), std::move(objects));
-  if (!options.object_keywords.empty()) {
-    keyword_index_.emplace(tree_.base(), *objects_, options.object_keywords);
-  }
-  RebuildWorker();
-}
+    : QueryEngine(VenueBundle::BuildFrom(venue, graph, std::move(objects),
+                                         std::move(options))) {}
 
 QueryEngine::~QueryEngine() = default;
+
+io::Status QueryEngine::Save(const std::string& path) const {
+  return bundle_.Save(path);
+}
+
+QueryEngine QueryEngine::Load(const std::string& path) {
+  return QueryEngine(VenueBundle::Load(path));
+}
+
+std::unique_ptr<QueryEngine> QueryEngine::TryLoad(const std::string& path,
+                                                  std::string* error) {
+  std::optional<VenueBundle> bundle = VenueBundle::TryLoad(path, error);
+  if (!bundle.has_value()) return nullptr;
+  return std::unique_ptr<QueryEngine>(new QueryEngine(std::move(*bundle)));
+}
 
 void QueryEngine::SetObjects(
     std::vector<IndoorPoint> objects,
     std::vector<std::vector<std::string>> object_keywords) {
-  keyword_index_.reset();
-  objects_.emplace(tree_.base(), std::move(objects));
-  if (!object_keywords.empty()) {
-    keyword_index_.emplace(tree_.base(), *objects_, object_keywords);
-  }
+  VIPTREE_CHECK_MSG(active_batches_.load(std::memory_order_acquire) == 0,
+                    "QueryEngine::SetObjects called while a RunBatch is in "
+                    "flight; object replacement must be serialized against "
+                    "all queries");
+  // Mirror flag so a RunBatch entering during the swap trips its own CHECK
+  // (see the misuse-detector note in the header).
+  active_mutations_.fetch_add(1, std::memory_order_acq_rel);
+  bundle_.SetObjects(std::move(objects), std::move(object_keywords));
   RebuildWorker();
+  active_mutations_.fetch_sub(1, std::memory_order_acq_rel);
 }
 
 void QueryEngine::RebuildWorker() {
@@ -124,9 +161,7 @@ void QueryEngine::RebuildWorker() {
 }
 
 uint64_t QueryEngine::IndexMemoryBytes() const {
-  uint64_t bytes = tree_.MemoryBytes() + objects_->MemoryBytes();
-  if (keyword_index_.has_value()) bytes += keyword_index_->MemoryBytes();
-  return bytes;
+  return bundle_.IndexMemoryBytes();
 }
 
 Result QueryEngine::Execute(const Query& query, const Worker& worker) const {
@@ -152,11 +187,11 @@ Result QueryEngine::Execute(const Query& query, const Worker& worker) const {
           worker.knn.WithinRange(query.source, query.radius, &search_stats);
       break;
     case QueryType::kBooleanKnn:
-      VIPTREE_CHECK_MSG(keyword_index_.has_value(),
+      VIPTREE_CHECK_MSG(bundle_.has_keywords(),
                         "engine was built without object keywords; "
                         "kBooleanKnn queries need EngineOptions::"
                         "object_keywords or SetObjects(..., keywords)");
-      result.objects = keyword_index_->BooleanKnn(
+      result.objects = bundle_.keyword_index().BooleanKnn(
           query.source, query.k, query.keywords, worker.knn, &search_stats);
       break;
   }
@@ -164,7 +199,7 @@ Result QueryEngine::Execute(const Query& query, const Worker& worker) const {
   // Bookkeeping stays outside the timed region.
   if (query.type == QueryType::kDistance || query.type == QueryType::kPath) {
     result.visited_nodes = MatricesConsulted(
-        tree_.base(), query.source.partition, query.target.partition);
+        tree().base(), query.source.partition, query.target.partition);
   } else {
     result.visited_nodes = search_stats.nodes_visited;
   }
@@ -185,6 +220,11 @@ std::vector<Result> QueryEngine::RunSequential(
 
 BatchResult QueryEngine::RunBatch(Span<const Query> queries,
                                   const BatchOptions& options) const {
+  VIPTREE_CHECK_MSG(active_mutations_.load(std::memory_order_acquire) == 0,
+                    "QueryEngine::RunBatch started while SetObjects is "
+                    "replacing the object set; object replacement must be "
+                    "serialized against all queries");
+  const BatchScope in_flight(active_batches_);
   const size_t n = queries.size();
   size_t threads = options.num_threads != 0
                        ? options.num_threads

@@ -1,7 +1,14 @@
-// The serving layer over the paper's indexes: a façade that owns one built
-// VIP-Tree plus its object/keyword indexes and answers every query type of
+// The serving layer over the paper's indexes: a façade that owns one
+// venue's complete serving state (an engine::VenueBundle — venue, D2D
+// graph, VIP-Tree, object/keyword indexes) and answers every query type of
 // §3 (shortest distance, shortest path, kNN, range, boolean spatial
 // keyword) through a single typed Query/Result API.
+//
+// Ownership model. The engine owns its bundle outright: there is no
+// "venue must outlive the engine" contract anymore. Engines are built from
+// a moved-in venue, adopted from a pre-built bundle, or — the production
+// path — loaded from a snapshot written by Save() (build the index once
+// offline, load the immutable artifact into each serving process).
 //
 // Concurrency model. The indexes are immutable after construction; all the
 // per-query mutable state lives in small per-thread Worker bundles (the
@@ -10,7 +17,9 @@
 // of std::thread workers that pull fixed-size shards of the query array
 // from an atomic cursor and write results into disjoint slots, so the whole
 // batch path is lock-free and the shared index is only ever read through
-// const methods — the property the compiler now checks.
+// const methods — the property the compiler now checks. SetObjects is the
+// one mutating operation; it must never overlap queries, and the engine
+// CHECK-fails if it is called while any RunBatch is in flight.
 //
 // Every Result carries its own latency and visited-node counters;
 // RunBatch aggregates them into a BatchStats (common/stats Summary), the
@@ -19,6 +28,7 @@
 #ifndef VIPTREE_ENGINE_QUERY_ENGINE_H_
 #define VIPTREE_ENGINE_QUERY_ENGINE_H_
 
+#include <atomic>
 #include <memory>
 #include <optional>
 #include <string>
@@ -31,6 +41,7 @@
 #include "core/object_index.h"
 #include "core/path_query.h"
 #include "core/vip_tree.h"
+#include "engine/venue_bundle.h"
 
 namespace viptree {
 namespace engine {
@@ -106,32 +117,53 @@ struct BatchResult {
   BatchStats stats;
 };
 
-struct EngineOptions {
-  IPTreeOptions tree;
-  DistanceQueryOptions query;
-  // When non-empty, must align with the object set; enables kBooleanKnn.
-  std::vector<std::vector<std::string>> object_keywords;
-};
-
-// Owns the index stack for one venue. The venue and graph must outlive the
-// engine; everything else (VIP-Tree, object index, keyword index) is built
-// and owned here.
+// Owns the full index stack for one venue (through a VenueBundle).
 class QueryEngine {
  public:
+  // Adopts a pre-built or snapshot-loaded bundle.
+  explicit QueryEngine(VenueBundle bundle);
+
+  // Builds the bundle here, taking ownership of the venue (the D2D graph
+  // is derived from the venue geometry).
+  QueryEngine(Venue venue, std::vector<IndoorPoint> objects,
+              EngineOptions options = {});
+
+  // Builds the bundle from a venue/graph the caller keeps: both are
+  // deep-copied into the engine (VenueBundle::BuildFrom), so the engine
+  // stays self-contained — the caller's objects may die first.
   QueryEngine(const Venue& venue, const D2DGraph& graph,
               std::vector<IndoorPoint> objects, EngineOptions options = {});
+
   ~QueryEngine();
 
   QueryEngine(const QueryEngine&) = delete;
   QueryEngine& operator=(const QueryEngine&) = delete;
 
-  const Venue& venue() const { return venue_; }
-  const VIPTree& tree() const { return tree_; }
-  const ObjectIndex& objects() const { return *objects_; }
-  bool has_keywords() const { return keyword_index_.has_value(); }
+  const VenueBundle& bundle() const { return bundle_; }
+  const Venue& venue() const { return bundle_.venue(); }
+  const D2DGraph& graph() const { return bundle_.graph(); }
+  const VIPTree& tree() const { return bundle_.tree(); }
+  const ObjectIndex& objects() const { return bundle_.objects(); }
+  bool has_keywords() const { return bundle_.has_keywords(); }
+
+  // Snapshot persistence: Save writes the whole bundle in the io/snapshot.h
+  // format; Load/TryLoad stand a serving engine up from such a file without
+  // re-running index construction. Load aborts with the decode error
+  // message; TryLoad reports it to the caller instead.
+  io::Status Save(const std::string& path) const;
+  static QueryEngine Load(const std::string& path);
+  static std::unique_ptr<QueryEngine> TryLoad(const std::string& path,
+                                              std::string* error);
 
   // Replaces the object set (and keyword lists) without rebuilding the
-  // tree. Must not run concurrently with queries.
+  // tree. This is the engine's only mutation and must be externally
+  // serialized against *all* queries. As a misuse detector (not a lock —
+  // a narrow check-then-act window remains, so correctness still rests on
+  // the caller's serialization), both sides CHECK-abort when they observe
+  // an overlap: SetObjects if a RunBatch is in flight, RunBatch if a swap
+  // is underway. (Run / RunSequential share the resident worker and are
+  // not re-entrant anyway — see below — so the same single-writer
+  // discipline covers them.)
   void SetObjects(std::vector<IndoorPoint> objects,
                   std::vector<std::vector<std::string>> object_keywords = {});
 
@@ -165,14 +197,15 @@ class QueryEngine {
   Result Execute(const Query& query, const Worker& worker) const;
   void RebuildWorker();
 
-  const Venue& venue_;
-  DistanceQueryOptions query_options_;
-  VIPTree tree_;
-  std::optional<ObjectIndex> objects_;
-  std::optional<KeywordIndex> keyword_index_;
+  VenueBundle bundle_;
   // Resident worker backing Run / RunSequential (RunBatch threads build
   // their own).
   std::unique_ptr<Worker> main_worker_;
+  // Misuse detectors for the SetObjects/queries contract: RunBatch calls
+  // currently in flight (checked by SetObjects) and object swaps underway
+  // (checked by RunBatch). Best-effort observation, not mutual exclusion.
+  mutable std::atomic<int> active_batches_{0};
+  std::atomic<int> active_mutations_{0};
 };
 
 }  // namespace engine

@@ -1,0 +1,159 @@
+#include "engine/venue_bundle.h"
+
+#include <utility>
+
+#include "common/check.h"
+#include "io/snapshot.h"
+
+namespace viptree {
+namespace engine {
+
+VenueBundle VenueBundle::Assemble(std::unique_ptr<Venue> venue,
+                                  std::unique_ptr<D2DGraph> graph,
+                                  std::vector<IndoorPoint> objects,
+                                  EngineOptions options) {
+  VenueBundle bundle;
+  bundle.venue_ = std::move(venue);
+  bundle.graph_ = std::move(graph);
+  bundle.query_options_ = options.query;
+  bundle.tree_ = std::make_unique<VIPTree>(
+      VIPTree::Build(*bundle.venue_, *bundle.graph_, options.tree));
+  bundle.objects_ = std::make_unique<ObjectIndex>(bundle.tree_->base(),
+                                                  std::move(objects));
+  if (!options.object_keywords.empty()) {
+    bundle.keywords_ = std::make_unique<KeywordIndex>(
+        bundle.tree_->base(), *bundle.objects_, options.object_keywords);
+  }
+  return bundle;
+}
+
+VenueBundle VenueBundle::Build(Venue venue, std::vector<IndoorPoint> objects,
+                               EngineOptions options) {
+  auto owned_venue = std::make_unique<Venue>(std::move(venue));
+  auto graph = std::make_unique<D2DGraph>(*owned_venue);
+  return Assemble(std::move(owned_venue), std::move(graph),
+                  std::move(objects), std::move(options));
+}
+
+VenueBundle VenueBundle::Build(Venue venue, D2DGraph graph,
+                               std::vector<IndoorPoint> objects,
+                               EngineOptions options) {
+  return Assemble(std::make_unique<Venue>(std::move(venue)),
+                  std::make_unique<D2DGraph>(std::move(graph)),
+                  std::move(objects), std::move(options));
+}
+
+VenueBundle VenueBundle::BuildFrom(const Venue& venue, const D2DGraph& graph,
+                                   std::vector<IndoorPoint> objects,
+                                   EngineOptions options) {
+  return Assemble(std::make_unique<Venue>(venue.Clone()),
+                  std::make_unique<D2DGraph>(graph.Clone()),
+                  std::move(objects), std::move(options));
+}
+
+void VenueBundle::SetObjects(
+    std::vector<IndoorPoint> objects,
+    std::vector<std::vector<std::string>> object_keywords) {
+  keywords_.reset();
+  objects_ = std::make_unique<ObjectIndex>(tree_->base(), std::move(objects));
+  if (!object_keywords.empty()) {
+    keywords_ = std::make_unique<KeywordIndex>(tree_->base(), *objects_,
+                                               object_keywords);
+  }
+}
+
+uint64_t VenueBundle::IndexMemoryBytes() const {
+  uint64_t bytes = tree_->MemoryBytes() + objects_->MemoryBytes();
+  if (keywords_ != nullptr) bytes += keywords_->MemoryBytes();
+  return bytes;
+}
+
+io::Status VenueBundle::Save(const std::string& path) const {
+  io::Snapshot snapshot;
+  snapshot.venue = venue_->ToParts();
+  snapshot.graph = graph_->ToParts();
+  snapshot.tree = tree_->base().ToParts();
+  snapshot.vip = tree_->ToParts();
+  snapshot.objects = objects_->ToParts();
+  if (keywords_ != nullptr) snapshot.keywords = keywords_->ToParts();
+  snapshot.query_options = query_options_;
+  return io::WriteSnapshotFile(path, snapshot);
+}
+
+std::optional<VenueBundle> VenueBundle::TryLoad(const std::string& path,
+                                                std::string* error) {
+  auto fail = [error](std::string message) -> std::optional<VenueBundle> {
+    if (error != nullptr) *error = std::move(message);
+    return std::nullopt;
+  };
+
+  io::Snapshot snapshot;
+  const io::Status status = io::ReadSnapshotFile(path, &snapshot);
+  if (!status.ok()) return fail(status.error);
+
+  // Structural validation of every layer before assembly, bottom-up: a
+  // snapshot that fails must surface as an error the caller can report
+  // (the FromParts factories would abort instead), and each successful
+  // check feeds the FromValidatedParts fast path so nothing is validated
+  // twice on the serving-process startup path.
+  if (auto e = Venue::ValidateParts(snapshot.venue)) {
+    return fail("invalid snapshot: " + *e);
+  }
+  if (auto e = D2DGraph::ValidateParts(snapshot.graph)) {
+    return fail("invalid snapshot: " + *e);
+  }
+
+  VenueBundle bundle;
+  bundle.venue_ = std::make_unique<Venue>(
+      Venue::FromValidatedParts(std::move(snapshot.venue)));
+  bundle.graph_ = std::make_unique<D2DGraph>(
+      D2DGraph::FromValidatedParts(std::move(snapshot.graph)));
+  if (bundle.graph_->NumVertices() != bundle.venue_->NumDoors()) {
+    return fail("invalid snapshot: graph has " +
+                std::to_string(bundle.graph_->NumVertices()) +
+                " vertices for " +
+                std::to_string(bundle.venue_->NumDoors()) + " doors");
+  }
+
+  if (auto e = IPTree::ValidateParts(*bundle.venue_, snapshot.tree)) {
+    return fail("invalid snapshot: " + *e);
+  }
+  IPTree base = IPTree::FromValidatedParts(*bundle.venue_, *bundle.graph_,
+                                           std::move(snapshot.tree));
+  if (auto e = VIPTree::ValidateParts(base, snapshot.vip)) {
+    return fail("invalid snapshot: " + *e);
+  }
+  bundle.tree_ = std::make_unique<VIPTree>(
+      VIPTree::FromValidatedParts(std::move(base), std::move(snapshot.vip)));
+
+  if (auto e = ObjectIndex::ValidateParts(bundle.tree_->base(),
+                                          snapshot.objects)) {
+    return fail("invalid snapshot: " + *e);
+  }
+  bundle.objects_ =
+      std::make_unique<ObjectIndex>(ObjectIndex::FromValidatedParts(
+          bundle.tree_->base(), std::move(snapshot.objects)));
+
+  if (snapshot.keywords.has_value()) {
+    if (auto e = KeywordIndex::ValidateParts(
+            bundle.tree_->base(), *bundle.objects_, *snapshot.keywords)) {
+      return fail("invalid snapshot: " + *e);
+    }
+    bundle.keywords_ =
+        std::make_unique<KeywordIndex>(KeywordIndex::FromValidatedParts(
+            bundle.tree_->base(), *bundle.objects_,
+            std::move(*snapshot.keywords)));
+  }
+  bundle.query_options_ = snapshot.query_options;
+  return bundle;
+}
+
+VenueBundle VenueBundle::Load(const std::string& path) {
+  std::string error;
+  std::optional<VenueBundle> bundle = TryLoad(path, &error);
+  VIPTREE_CHECK_MSG(bundle.has_value(), error.c_str());
+  return std::move(*bundle);
+}
+
+}  // namespace engine
+}  // namespace viptree

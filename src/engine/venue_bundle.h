@@ -1,0 +1,111 @@
+// One venue's complete, self-contained serving state: the venue model, its
+// D2D graph, the VIP-Tree and the object/keyword indexes, all *owned* in one
+// movable unit. This replaces the historical contract where QueryEngine
+// borrowed the venue and graph from the caller ("must outlive the engine") —
+// a dangling-reference hazard the bundle removes for good.
+//
+// Bundles come from two places:
+//   * VenueBundle::Build — run full index construction (the expensive path
+//     the paper's Fig. 8 measures);
+//   * VenueBundle::Load / TryLoad — deserialize a snapshot previously
+//     written by Save, skipping construction entirely. Build once offline,
+//     load the immutable artifact into every serving process.
+//
+// All members live behind stable heap storage, so moving a bundle never
+// invalidates the internal venue/graph/tree cross-references.
+
+#ifndef VIPTREE_ENGINE_VENUE_BUNDLE_H_
+#define VIPTREE_ENGINE_VENUE_BUNDLE_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/keyword_query.h"
+#include "core/object_index.h"
+#include "core/vip_tree.h"
+#include "graph/d2d_graph.h"
+#include "io/binary_io.h"
+#include "model/venue.h"
+
+namespace viptree {
+namespace engine {
+
+struct EngineOptions {
+  IPTreeOptions tree;
+  DistanceQueryOptions query;
+  // When non-empty, must align with the object set; enables kBooleanKnn.
+  std::vector<std::vector<std::string>> object_keywords;
+};
+
+class VenueBundle {
+ public:
+  // Full index construction over a venue the bundle takes ownership of.
+  // The first overload derives the D2D graph from the venue geometry; the
+  // second adopts an explicitly weighted graph (imported venues, the
+  // paper's running example).
+  static VenueBundle Build(Venue venue, std::vector<IndoorPoint> objects,
+                           EngineOptions options = {});
+  static VenueBundle Build(Venue venue, D2DGraph graph,
+                           std::vector<IndoorPoint> objects,
+                           EngineOptions options = {});
+
+  // Like Build, but deep-copies `venue` and `graph` into the bundle — for
+  // callers that keep one venue and stand up several engines over it (the
+  // benchmark harness, the baseline comparison engines).
+  static VenueBundle BuildFrom(const Venue& venue, const D2DGraph& graph,
+                               std::vector<IndoorPoint> objects,
+                               EngineOptions options = {});
+
+  // Snapshot persistence (io/snapshot.h format). Save reports failures as a
+  // Status; TryLoad reports them as nullopt plus a human-readable message in
+  // *error (truncation, corruption, version skew, structural inconsistency);
+  // Load aborts with that message (for callers who treat the snapshot as
+  // trusted infrastructure).
+  io::Status Save(const std::string& path) const;
+  static std::optional<VenueBundle> TryLoad(const std::string& path,
+                                            std::string* error);
+  static VenueBundle Load(const std::string& path);
+
+  VenueBundle(VenueBundle&&) = default;
+  VenueBundle& operator=(VenueBundle&&) = default;
+
+  const Venue& venue() const { return *venue_; }
+  const D2DGraph& graph() const { return *graph_; }
+  const VIPTree& tree() const { return *tree_; }
+  const ObjectIndex& objects() const { return *objects_; }
+  bool has_keywords() const { return keywords_ != nullptr; }
+  const KeywordIndex& keyword_index() const { return *keywords_; }
+  const DistanceQueryOptions& query_options() const { return query_options_; }
+
+  // Replaces the object set (and keyword lists) without rebuilding the
+  // tree. Callers must serialize this with queries; QueryEngine enforces
+  // the RunBatch half of that contract.
+  void SetObjects(std::vector<IndoorPoint> objects,
+                  std::vector<std::vector<std::string>> object_keywords = {});
+
+  // Combined footprint of the owned indexes (tree + objects + keywords),
+  // excluding the venue/graph source data.
+  uint64_t IndexMemoryBytes() const;
+
+ private:
+  VenueBundle() = default;
+
+  static VenueBundle Assemble(std::unique_ptr<Venue> venue,
+                              std::unique_ptr<D2DGraph> graph,
+                              std::vector<IndoorPoint> objects,
+                              EngineOptions options);
+
+  std::unique_ptr<Venue> venue_;
+  std::unique_ptr<D2DGraph> graph_;
+  std::unique_ptr<VIPTree> tree_;
+  std::unique_ptr<ObjectIndex> objects_;
+  std::unique_ptr<KeywordIndex> keywords_;  // null when no keywords
+  DistanceQueryOptions query_options_;
+};
+
+}  // namespace engine
+}  // namespace viptree
+
+#endif  // VIPTREE_ENGINE_VENUE_BUNDLE_H_

@@ -1,9 +1,66 @@
 #include "graph/d2d_graph.h"
 
+#include <string>
+#include <utility>
+
 #include "common/check.h"
 #include "common/span.h"
 
 namespace viptree {
+
+std::optional<std::string> D2DGraph::ValidateParts(const Parts& parts) {
+  if (parts.offsets.size() != parts.num_vertices + 1) {
+    return "graph offsets array has " + std::to_string(parts.offsets.size()) +
+           " entries, expected " + std::to_string(parts.num_vertices + 1);
+  }
+  if (!parts.offsets.empty() && parts.offsets.front() != 0) {
+    return "graph offsets do not start at 0";
+  }
+  for (size_t v = 0; v < parts.num_vertices; ++v) {
+    if (parts.offsets[v] > parts.offsets[v + 1]) {
+      return "graph offsets are not monotone at vertex " + std::to_string(v);
+    }
+  }
+  if (!parts.offsets.empty() && parts.offsets.back() != parts.edges.size()) {
+    return "graph offsets cover " + std::to_string(parts.offsets.back()) +
+           " edges but " + std::to_string(parts.edges.size()) +
+           " are present";
+  }
+  for (size_t i = 0; i < parts.edges.size(); ++i) {
+    const D2DEdge& e = parts.edges[i];
+    if (e.to < 0 || static_cast<size_t>(e.to) >= parts.num_vertices) {
+      return "edge " + std::to_string(i) + " targets unknown door " +
+             std::to_string(e.to);
+    }
+    if (!(e.weight >= 0.0f)) {  // also rejects NaN
+      return "edge " + std::to_string(i) + " has negative or NaN weight";
+    }
+  }
+  return std::nullopt;
+}
+
+D2DGraph D2DGraph::FromParts(Parts parts) {
+  const std::optional<std::string> error = ValidateParts(parts);
+  VIPTREE_CHECK_MSG(!error.has_value(),
+                    error.has_value() ? error->c_str() : "");
+  return FromValidatedParts(std::move(parts));
+}
+
+D2DGraph D2DGraph::FromValidatedParts(Parts parts) {
+  D2DGraph graph;
+  graph.num_vertices_ = parts.num_vertices;
+  graph.offsets_ = std::move(parts.offsets);
+  graph.edges_ = std::move(parts.edges);
+  return graph;
+}
+
+D2DGraph::Parts D2DGraph::ToParts() const {
+  Parts parts;
+  parts.num_vertices = num_vertices_;
+  parts.offsets = offsets_;
+  parts.edges = edges_;
+  return parts;
+}
 
 D2DGraph::D2DGraph(const Venue& venue) {
   num_vertices_ = venue.NumDoors();

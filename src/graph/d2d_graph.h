@@ -15,6 +15,8 @@
 #define VIPTREE_GRAPH_D2D_GRAPH_H_
 
 #include <cstdint>
+#include <optional>
+#include <string>
 #include <vector>
 
 #include "model/venue.h"
@@ -40,6 +42,15 @@ struct ExplicitD2DEdge {
 
 class D2DGraph {
  public:
+  // The complete serializable state: the CSR arrays exactly as stored, so a
+  // reconstructed graph is bit-identical to the original (edge weights are
+  // never re-derived from geometry on load).
+  struct Parts {
+    size_t num_vertices = 0;
+    std::vector<uint64_t> offsets;  // num_vertices + 1 entries
+    std::vector<D2DEdge> edges;
+  };
+
   // Builds the D2D graph of `venue` with geometric weights. The venue must
   // outlive the graph.
   explicit D2DGraph(const Venue& venue);
@@ -47,6 +58,21 @@ class D2DGraph {
   // Builds a D2D graph from explicit undirected edges over `num_doors`
   // doors (each explicit edge produces both directions).
   D2DGraph(size_t num_doors, Span<const ExplicitD2DEdge> edges);
+
+  // Returns an error description if `parts` is not a well-formed CSR graph
+  // (offset monotonicity, edge endpoints in range), std::nullopt if it is.
+  static std::optional<std::string> ValidateParts(const Parts& parts);
+
+  // Reconstructs a graph from deserialized parts. Aborts on malformed input
+  // (run ValidateParts first when the parts come from an untrusted file).
+  static D2DGraph FromParts(Parts parts);
+
+  // Same, for callers that have *just* run ValidateParts themselves (the
+  // snapshot loader): skips the redundant validation pass.
+  static D2DGraph FromValidatedParts(Parts parts);
+
+  Parts ToParts() const;
+  D2DGraph Clone() const { return FromParts(ToParts()); }
 
   D2DGraph(const D2DGraph&) = delete;
   D2DGraph& operator=(const D2DGraph&) = delete;
@@ -79,6 +105,8 @@ class D2DGraph {
   }
 
  private:
+  D2DGraph() = default;
+
   size_t num_vertices_ = 0;
   std::vector<uint64_t> offsets_;
   std::vector<D2DEdge> edges_;

@@ -43,6 +43,9 @@ class DijkstraEngine {
 
   DijkstraEngine(const DijkstraEngine&) = delete;
   DijkstraEngine& operator=(const DijkstraEngine&) = delete;
+  // Movable so the query engines holding Dijkstra scratch can themselves be
+  // moved into owning containers (engine::VenueBundle).
+  DijkstraEngine(DijkstraEngine&&) = default;
 
   // Begins a new search from the given sources, invalidating all state from
   // the previous search.

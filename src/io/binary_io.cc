@@ -1,0 +1,103 @@
+#include "io/binary_io.h"
+
+#include <array>
+#include <cstdio>
+
+namespace viptree {
+namespace io {
+
+namespace {
+
+// Slice-by-8 tables: table[0] is the classic byte-at-a-time table; the
+// other seven let the hot loop fold 8 input bytes per iteration (roughly
+// memory-bandwidth checksumming, which matters because every snapshot
+// section is checksummed on load).
+std::array<std::array<uint32_t, 256>, 8> MakeCrcTables() {
+  std::array<std::array<uint32_t, 256>, 8> tables{};
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t c = i;
+    for (int bit = 0; bit < 8; ++bit) {
+      c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+    }
+    tables[0][i] = c;
+  }
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t c = tables[0][i];
+    for (size_t slice = 1; slice < 8; ++slice) {
+      c = tables[0][c & 0xFF] ^ (c >> 8);
+      tables[slice][i] = c;
+    }
+  }
+  return tables;
+}
+
+}  // namespace
+
+uint32_t Crc32(const void* data, size_t size, uint32_t seed) {
+  static const std::array<std::array<uint32_t, 256>, 8> tables =
+      MakeCrcTables();
+  const uint8_t* p = static_cast<const uint8_t*>(data);
+  uint32_t crc = seed ^ 0xFFFFFFFFu;
+  while (size >= 8) {
+    uint32_t lo;
+    uint32_t hi;
+    std::memcpy(&lo, p, 4);
+    std::memcpy(&hi, p + 4, 4);
+    lo = detail::ToLittle(lo) ^ crc;
+    hi = detail::ToLittle(hi);
+    crc = tables[7][lo & 0xFF] ^ tables[6][(lo >> 8) & 0xFF] ^
+          tables[5][(lo >> 16) & 0xFF] ^ tables[4][lo >> 24] ^
+          tables[3][hi & 0xFF] ^ tables[2][(hi >> 8) & 0xFF] ^
+          tables[1][(hi >> 16) & 0xFF] ^ tables[0][hi >> 24];
+    p += 8;
+    size -= 8;
+  }
+  for (size_t i = 0; i < size; ++i) {
+    crc = tables[0][(crc ^ p[i]) & 0xFF] ^ (crc >> 8);
+  }
+  return crc ^ 0xFFFFFFFFu;
+}
+
+Status WriteFileBytes(const std::string& path, Span<const uint8_t> bytes) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    return Status::Error("cannot open '" + path + "' for writing");
+  }
+  const size_t written =
+      bytes.empty() ? 0 : std::fwrite(bytes.data(), 1, bytes.size(), f);
+  const bool flushed = std::fclose(f) == 0;
+  if (written != bytes.size() || !flushed) {
+    std::remove(path.c_str());
+    return Status::Error("short write to '" + path + "' (" +
+                         std::to_string(written) + " of " +
+                         std::to_string(bytes.size()) + " bytes)");
+  }
+  return Status::Ok();
+}
+
+Status ReadFileBytes(const std::string& path, std::vector<uint8_t>* out) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    return Status::Error("cannot open '" + path + "' for reading");
+  }
+  std::fseek(f, 0, SEEK_END);
+  const long size = std::ftell(f);
+  std::fseek(f, 0, SEEK_SET);
+  if (size < 0) {
+    std::fclose(f);
+    return Status::Error("cannot determine size of '" + path + "'");
+  }
+  out->resize(static_cast<size_t>(size));
+  const size_t read =
+      out->empty() ? 0 : std::fread(out->data(), 1, out->size(), f);
+  std::fclose(f);
+  if (read != out->size()) {
+    return Status::Error("short read from '" + path + "' (" +
+                         std::to_string(read) + " of " +
+                         std::to_string(out->size()) + " bytes)");
+  }
+  return Status::Ok();
+}
+
+}  // namespace io
+}  // namespace viptree

@@ -1,0 +1,554 @@
+#include "io/snapshot.h"
+
+#include <cstring>
+#include <utility>
+
+namespace viptree {
+namespace io {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Section framing.
+// ---------------------------------------------------------------------------
+
+constexpr char kMagic[8] = {'V', 'I', 'P', 'T', 'S', 'N', 'A', 'P'};
+
+constexpr uint32_t Tag(char a, char b, char c, char d) {
+  return uint32_t(uint8_t(a)) | uint32_t(uint8_t(b)) << 8 |
+         uint32_t(uint8_t(c)) << 16 | uint32_t(uint8_t(d)) << 24;
+}
+
+constexpr uint32_t kTagVenue = Tag('V', 'E', 'N', 'U');
+constexpr uint32_t kTagGraph = Tag('G', 'R', 'P', 'H');
+constexpr uint32_t kTagTree = Tag('T', 'R', 'E', 'E');
+constexpr uint32_t kTagVip = Tag('V', 'I', 'P', 'X');
+constexpr uint32_t kTagObjects = Tag('O', 'B', 'J', 'X');
+constexpr uint32_t kTagKeywords = Tag('K', 'W', 'I', 'X');
+constexpr uint32_t kTagEngineOptions = Tag('E', 'N', 'G', 'O');
+
+std::string TagName(uint32_t tag) {
+  std::string name(4, '?');
+  for (int i = 0; i < 4; ++i) {
+    const char c = static_cast<char>((tag >> (8 * i)) & 0xFF);
+    name[i] = (c >= 0x20 && c < 0x7F) ? c : '?';
+  }
+  return name;
+}
+
+void AppendSection(Writer& out, uint32_t tag, const Writer& payload) {
+  out.U32(tag);
+  out.U64(payload.size());
+  out.U32(Crc32(payload.buffer().data(), payload.size()));
+  out.Bytes(payload.buffer().data(), payload.size());
+}
+
+// ---------------------------------------------------------------------------
+// Field helpers.
+// ---------------------------------------------------------------------------
+
+void WritePoint(Writer& w, const Point& p) {
+  w.F64(p.x);
+  w.F64(p.y);
+  w.F64(p.z);
+}
+
+Point ReadPoint(Reader& r) {
+  Point p;
+  p.x = r.F64();
+  p.y = r.F64();
+  p.z = r.F64();
+  return p;
+}
+
+void WriteI32Vec(Writer& w, const std::vector<int32_t>& v) {
+  w.U64(v.size());
+  w.I32Array(v);
+}
+
+std::vector<int32_t> ReadI32Vec(Reader& r, const char* what) {
+  const uint64_t n = r.ArraySize(4, what);
+  std::vector<int32_t> v(n);
+  r.I32Array(v.data(), n);
+  return v;
+}
+
+void WriteU32Vec(Writer& w, const std::vector<uint32_t>& v) {
+  w.U64(v.size());
+  w.U32Array(v);
+}
+
+std::vector<uint32_t> ReadU32Vec(Reader& r, const char* what) {
+  const uint64_t n = r.ArraySize(4, what);
+  std::vector<uint32_t> v(n);
+  r.U32Array(v.data(), n);
+  return v;
+}
+
+void WriteU64Vec(Writer& w, const std::vector<uint64_t>& v) {
+  w.U64(v.size());
+  w.U64Array(v);
+}
+
+std::vector<uint64_t> ReadU64Vec(Reader& r, const char* what) {
+  const uint64_t n = r.ArraySize(8, what);
+  std::vector<uint64_t> v(n);
+  r.U64Array(v.data(), n);
+  return v;
+}
+
+void WriteF64Vec(Writer& w, const std::vector<double>& v) {
+  w.U64(v.size());
+  w.F64Array(v);
+}
+
+std::vector<double> ReadF64Vec(Reader& r, const char* what) {
+  const uint64_t n = r.ArraySize(8, what);
+  std::vector<double> v(n);
+  r.F64Array(v.data(), n);
+  return v;
+}
+
+void WriteMatrixF32(Writer& w, const FlatMatrix<float>& m) {
+  w.U64(m.rows());
+  w.U64(m.cols());
+  w.F32Array(m.raw());
+}
+
+// Division-based bounds check so a corrupted rows*cols cannot overflow into
+// a bogus small allocation.
+bool MatrixShapeFits(Reader& r, uint64_t rows, uint64_t cols,
+                     size_t element_size, const char* what) {
+  if (!r.ok()) return false;
+  if (rows != 0 && cols > (r.remaining() / element_size) / rows) {
+    r.Fail(std::string("truncated: ") + what + " claims " +
+           std::to_string(rows) + "x" + std::to_string(cols) +
+           " cells but only " + std::to_string(r.remaining()) +
+           " bytes remain");
+    return false;
+  }
+  return true;
+}
+
+FlatMatrix<float> ReadMatrixF32(Reader& r, const char* what) {
+  const uint64_t rows = r.U64();
+  const uint64_t cols = r.U64();
+  if (!MatrixShapeFits(r, rows, cols, 4, what)) return {};
+  const uint64_t n = rows * cols;
+  std::vector<float> data(n);
+  r.F32Array(data.data(), n);
+  if (!r.ok()) return {};
+  return FlatMatrix<float>(rows, cols, std::move(data));
+}
+
+void WriteMatrixI32(Writer& w, const FlatMatrix<int32_t>& m) {
+  w.U64(m.rows());
+  w.U64(m.cols());
+  w.I32Array(m.raw());
+}
+
+FlatMatrix<int32_t> ReadMatrixI32(Reader& r, const char* what) {
+  const uint64_t rows = r.U64();
+  const uint64_t cols = r.U64();
+  if (!MatrixShapeFits(r, rows, cols, 4, what)) return {};
+  const uint64_t n = rows * cols;
+  std::vector<int32_t> data(n);
+  r.I32Array(data.data(), n);
+  if (!r.ok()) return {};
+  return FlatMatrix<int32_t>(rows, cols, std::move(data));
+}
+
+// ---------------------------------------------------------------------------
+// Per-section encoders/decoders.
+// ---------------------------------------------------------------------------
+
+void EncodeVenue(Writer& w, const Venue::Parts& parts) {
+  w.I32(parts.beta);
+  w.U64(parts.partitions.size());
+  for (const Partition& p : parts.partitions) {
+    w.I32(p.id);
+    w.I32(p.level);
+    w.I32(p.zone);
+    w.U8(static_cast<uint8_t>(p.use));
+    w.F64(p.cost_scale);
+    WritePoint(w, p.centroid);
+    w.String(p.name);
+  }
+  w.U64(parts.doors.size());
+  for (const Door& d : parts.doors) {
+    w.I32(d.id);
+    w.I32(d.partition_a);
+    w.I32(d.partition_b);
+    WritePoint(w, d.position);
+  }
+}
+
+void DecodeVenue(Reader& r, Venue::Parts* parts) {
+  parts->beta = r.I32();
+  const uint64_t num_partitions = r.ArraySize(41, "venue partitions");
+  parts->partitions.resize(num_partitions);
+  for (Partition& p : parts->partitions) {
+    p.id = r.I32();
+    p.level = r.I32();
+    p.zone = r.I32();
+    const uint8_t use = r.U8();
+    if (use > static_cast<uint8_t>(PartitionUse::kOther)) {
+      r.Fail("partition has unknown use tag " + std::to_string(use));
+      return;
+    }
+    p.use = static_cast<PartitionUse>(use);
+    p.cost_scale = r.F64();
+    p.centroid = ReadPoint(r);
+    p.name = r.String();
+  }
+  const uint64_t num_doors = r.ArraySize(36, "venue doors");
+  parts->doors.resize(num_doors);
+  for (Door& d : parts->doors) {
+    d.id = r.I32();
+    d.partition_a = r.I32();
+    d.partition_b = r.I32();
+    d.position = ReadPoint(r);
+  }
+}
+
+void EncodeGraph(Writer& w, const D2DGraph::Parts& parts) {
+  w.U64(parts.num_vertices);
+  WriteU64Vec(w, parts.offsets);
+  w.U64(parts.edges.size());
+  for (const D2DEdge& e : parts.edges) {
+    w.I32(e.to);
+    w.F32(e.weight);
+    w.I32(e.via);
+  }
+}
+
+void DecodeGraph(Reader& r, D2DGraph::Parts* parts) {
+  parts->num_vertices = r.U64();
+  parts->offsets = ReadU64Vec(r, "graph offsets");
+  const uint64_t num_edges = r.ArraySize(12, "graph edges");
+  parts->edges.resize(num_edges);
+  for (D2DEdge& e : parts->edges) {
+    e.to = r.I32();
+    e.weight = r.F32();
+    e.via = r.I32();
+  }
+}
+
+void EncodeTree(Writer& w, const IPTree::Parts& parts) {
+  w.U64(parts.nodes.size());
+  for (const TreeNode& node : parts.nodes) {
+    w.I32(node.id);
+    w.I32(node.parent);
+    w.I32(node.level);
+    WriteI32Vec(w, node.children);
+    WriteI32Vec(w, node.partitions);
+    WriteI32Vec(w, node.doors);
+    WriteI32Vec(w, node.access_doors);
+    WriteI32Vec(w, node.matrix_doors);
+    WriteMatrixF32(w, node.dist);
+    WriteMatrixI32(w, node.next_hop);
+    w.U32(node.leaf_begin);
+    w.U32(node.leaf_end);
+  }
+  w.I32(parts.root);
+  w.U64(parts.num_leaves);
+  WriteI32Vec(w, parts.leaf_of_partition);
+  w.U64(parts.door_leaves.size());
+  for (const auto& entries : parts.door_leaves) {
+    for (const IPTree::DoorLeafEntry& e : entries) {
+      w.I32(e.leaf);
+      w.U32(e.row);
+    }
+  }
+  w.U64(parts.is_access_door.size());
+  w.Bytes(parts.is_access_door.data(), parts.is_access_door.size());
+  WriteU32Vec(w, parts.superior_offsets);
+  WriteI32Vec(w, parts.superior_doors);
+}
+
+void DecodeTree(Reader& r, IPTree::Parts* parts) {
+  const uint64_t num_nodes = r.ArraySize(60, "tree nodes");
+  parts->nodes.resize(num_nodes);
+  for (TreeNode& node : parts->nodes) {
+    node.id = r.I32();
+    node.parent = r.I32();
+    node.level = r.I32();
+    node.children = ReadI32Vec(r, "node children");
+    node.partitions = ReadI32Vec(r, "node partitions");
+    node.doors = ReadI32Vec(r, "node doors");
+    node.access_doors = ReadI32Vec(r, "node access doors");
+    node.matrix_doors = ReadI32Vec(r, "node matrix doors");
+    node.dist = ReadMatrixF32(r, "node distance matrix");
+    node.next_hop = ReadMatrixI32(r, "node next-hop matrix");
+    node.leaf_begin = r.U32();
+    node.leaf_end = r.U32();
+    if (!r.ok()) return;
+  }
+  parts->root = r.I32();
+  parts->num_leaves = r.U64();
+  parts->leaf_of_partition = ReadI32Vec(r, "leaf_of_partition");
+  const uint64_t num_doors = r.ArraySize(16, "door_leaves");
+  parts->door_leaves.resize(num_doors);
+  for (auto& entries : parts->door_leaves) {
+    for (IPTree::DoorLeafEntry& e : entries) {
+      e.leaf = r.I32();
+      e.row = r.U32();
+    }
+  }
+  const uint64_t num_flags = r.ArraySize(1, "is_access_door");
+  parts->is_access_door.resize(num_flags);
+  const Span<const uint8_t> flags = r.Raw(num_flags);
+  if (r.ok() && num_flags != 0) {
+    std::memcpy(parts->is_access_door.data(), flags.data(), num_flags);
+  }
+  parts->superior_offsets = ReadU32Vec(r, "superior offsets");
+  parts->superior_doors = ReadI32Vec(r, "superior doors");
+}
+
+void EncodeVip(Writer& w, const VIPTree::Parts& parts) {
+  w.U64(parts.ext.size());
+  for (const VIPTree::ExtMatrix& ext : parts.ext) {
+    WriteI32Vec(w, ext.doors);
+    WriteMatrixF32(w, ext.dist);
+    WriteMatrixI32(w, ext.next_hop);
+  }
+}
+
+void DecodeVip(Reader& r, VIPTree::Parts* parts) {
+  const uint64_t num_nodes = r.ArraySize(40, "extended matrices");
+  parts->ext.resize(num_nodes);
+  for (VIPTree::ExtMatrix& ext : parts->ext) {
+    ext.doors = ReadI32Vec(r, "extended matrix doors");
+    ext.dist = ReadMatrixF32(r, "extended distance matrix");
+    ext.next_hop = ReadMatrixI32(r, "extended next-hop matrix");
+    if (!r.ok()) return;
+  }
+}
+
+void EncodeObjects(Writer& w, const ObjectIndex::Parts& parts) {
+  w.U64(parts.objects.size());
+  for (const IndoorPoint& obj : parts.objects) {
+    w.I32(obj.partition);
+    WritePoint(w, obj.position);
+  }
+  WriteU32Vec(w, parts.leaf_object_offsets);
+  WriteI32Vec(w, parts.leaf_objects);
+  WriteU64Vec(w, parts.dist_offsets);
+  WriteF64Vec(w, parts.door_dists);
+  WriteU32Vec(w, parts.dfs_prefix);
+}
+
+void DecodeObjects(Reader& r, ObjectIndex::Parts* parts) {
+  const uint64_t num_objects = r.ArraySize(28, "objects");
+  parts->objects.resize(num_objects);
+  for (IndoorPoint& obj : parts->objects) {
+    obj.partition = r.I32();
+    obj.position = ReadPoint(r);
+  }
+  parts->leaf_object_offsets = ReadU32Vec(r, "leaf object offsets");
+  parts->leaf_objects = ReadI32Vec(r, "leaf objects");
+  parts->dist_offsets = ReadU64Vec(r, "distance offsets");
+  parts->door_dists = ReadF64Vec(r, "door-object distances");
+  parts->dfs_prefix = ReadU32Vec(r, "dfs prefix sums");
+}
+
+void EncodeKeywords(Writer& w, const KeywordIndex::Parts& parts) {
+  w.U64(parts.keywords_by_id.size());
+  for (const std::string& word : parts.keywords_by_id) w.String(word);
+  w.U64(parts.object_keywords.size());
+  for (const auto& list : parts.object_keywords) WriteI32Vec(w, list);
+  w.U64(parts.node_keywords.size());
+  for (const auto& list : parts.node_keywords) WriteI32Vec(w, list);
+}
+
+void DecodeKeywords(Reader& r, KeywordIndex::Parts* parts) {
+  const uint64_t num_words = r.ArraySize(8, "keyword dictionary");
+  parts->keywords_by_id.resize(num_words);
+  for (std::string& word : parts->keywords_by_id) word = r.String();
+  const uint64_t num_objects = r.ArraySize(8, "object keyword lists");
+  parts->object_keywords.resize(num_objects);
+  for (auto& list : parts->object_keywords) {
+    list = ReadI32Vec(r, "object keyword list");
+  }
+  const uint64_t num_nodes = r.ArraySize(8, "node keyword lists");
+  parts->node_keywords.resize(num_nodes);
+  for (auto& list : parts->node_keywords) {
+    list = ReadI32Vec(r, "node keyword list");
+  }
+}
+
+void EncodeEngineOptions(Writer& w, const DistanceQueryOptions& options) {
+  w.U8(options.use_superior_doors ? 1 : 0);
+}
+
+void DecodeEngineOptions(Reader& r, DistanceQueryOptions* options) {
+  options->use_superior_doors = r.U8() != 0;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Container encode/decode.
+// ---------------------------------------------------------------------------
+
+std::vector<uint8_t> EncodeSnapshot(const Snapshot& snapshot) {
+  Writer out;
+  out.Bytes(kMagic, sizeof(kMagic));
+  out.U32(kFormatVersion);
+  out.U32(0);  // reserved
+
+  Writer section;
+  EncodeVenue(section, snapshot.venue);
+  AppendSection(out, kTagVenue, section);
+
+  section = Writer();
+  EncodeGraph(section, snapshot.graph);
+  AppendSection(out, kTagGraph, section);
+
+  section = Writer();
+  EncodeTree(section, snapshot.tree);
+  AppendSection(out, kTagTree, section);
+
+  section = Writer();
+  EncodeVip(section, snapshot.vip);
+  AppendSection(out, kTagVip, section);
+
+  section = Writer();
+  EncodeObjects(section, snapshot.objects);
+  AppendSection(out, kTagObjects, section);
+
+  if (snapshot.keywords.has_value()) {
+    section = Writer();
+    EncodeKeywords(section, *snapshot.keywords);
+    AppendSection(out, kTagKeywords, section);
+  }
+
+  section = Writer();
+  EncodeEngineOptions(section, snapshot.query_options);
+  AppendSection(out, kTagEngineOptions, section);
+
+  return out.TakeBuffer();
+}
+
+Status DecodeSnapshot(Span<const uint8_t> bytes, Snapshot* out) {
+  Reader header(bytes);
+  if (bytes.size() < sizeof(kMagic) + 8) {
+    return Status::Error("not a VIP-Tree snapshot (file too small)");
+  }
+  const Span<const uint8_t> magic = header.Raw(sizeof(kMagic));
+  if (std::memcmp(magic.data(), kMagic, sizeof(kMagic)) != 0) {
+    return Status::Error("not a VIP-Tree snapshot (bad magic)");
+  }
+  const uint32_t version = header.U32();
+  if (version != kFormatVersion) {
+    return Status::Error(
+        "unsupported snapshot format version " + std::to_string(version) +
+        " (this build reads version " + std::to_string(kFormatVersion) + ")");
+  }
+  header.U32();  // reserved
+
+  bool seen_venue = false, seen_graph = false, seen_tree = false;
+  bool seen_vip = false, seen_objects = false, seen_options = false;
+
+  while (header.ok() && header.remaining() > 0) {
+    if (header.remaining() < 16) {
+      return Status::Error("truncated section header at offset " +
+                           std::to_string(header.position()));
+    }
+    const uint32_t tag = header.U32();
+    const uint64_t size = header.U64();
+    const uint32_t crc = header.U32();
+    if (size > header.remaining()) {
+      return Status::Error("truncated: section '" + TagName(tag) +
+                           "' claims " + std::to_string(size) +
+                           " bytes but only " +
+                           std::to_string(header.remaining()) + " remain");
+    }
+    const Span<const uint8_t> payload = header.Raw(size);
+    if (Crc32(payload.data(), payload.size()) != crc) {
+      return Status::Error("checksum mismatch in section '" + TagName(tag) +
+                           "' (corrupted snapshot)");
+    }
+    Reader r(payload);
+    bool* seen = nullptr;
+    switch (tag) {
+      case kTagVenue:
+        seen = &seen_venue;
+        DecodeVenue(r, &out->venue);
+        break;
+      case kTagGraph:
+        seen = &seen_graph;
+        DecodeGraph(r, &out->graph);
+        break;
+      case kTagTree:
+        seen = &seen_tree;
+        DecodeTree(r, &out->tree);
+        break;
+      case kTagVip:
+        seen = &seen_vip;
+        DecodeVip(r, &out->vip);
+        break;
+      case kTagObjects:
+        seen = &seen_objects;
+        DecodeObjects(r, &out->objects);
+        break;
+      case kTagKeywords:
+        if (out->keywords.has_value()) {
+          return Status::Error("duplicate section 'KWIX'");
+        }
+        out->keywords.emplace();
+        DecodeKeywords(r, &*out->keywords);
+        break;
+      case kTagEngineOptions:
+        seen = &seen_options;
+        DecodeEngineOptions(r, &out->query_options);
+        break;
+      default:
+        return Status::Error("unknown section '" + TagName(tag) +
+                             "' in snapshot");
+    }
+    if (seen != nullptr) {
+      if (*seen) {
+        return Status::Error("duplicate section '" + TagName(tag) + "'");
+      }
+      *seen = true;
+    }
+    if (!r.ok()) {
+      return Status::Error("section '" + TagName(tag) + "': " + r.error());
+    }
+    if (r.remaining() != 0) {
+      return Status::Error("section '" + TagName(tag) + "' has " +
+                           std::to_string(r.remaining()) +
+                           " trailing bytes");
+    }
+  }
+
+  const struct {
+    bool seen;
+    const char* name;
+  } required[] = {{seen_venue, "VENU"}, {seen_graph, "GRPH"},
+                  {seen_tree, "TREE"},  {seen_vip, "VIPX"},
+                  {seen_objects, "OBJX"}, {seen_options, "ENGO"}};
+  for (const auto& section : required) {
+    if (!section.seen) {
+      return Status::Error(std::string("snapshot is missing section '") +
+                           section.name + "'");
+    }
+  }
+  return Status::Ok();
+}
+
+Status WriteSnapshotFile(const std::string& path, const Snapshot& snapshot) {
+  const std::vector<uint8_t> bytes = EncodeSnapshot(snapshot);
+  return WriteFileBytes(path, bytes);
+}
+
+Status ReadSnapshotFile(const std::string& path, Snapshot* out) {
+  std::vector<uint8_t> bytes;
+  Status status = ReadFileBytes(path, &bytes);
+  if (!status.ok()) return status;
+  return DecodeSnapshot(bytes, out);
+}
+
+}  // namespace io
+}  // namespace viptree

@@ -1,0 +1,77 @@
+// The VIP-Tree snapshot format: a versioned little-endian container that
+// persists one venue's complete serving state — venue, D2D graph, IP-/VIP-
+// Tree (nodes, matrices, extended matrices), object index and optional
+// keyword index — so an index built once offline can be loaded into any
+// process without re-running construction (the paper's §4/Fig. 8 point that
+// indexing time is paid separately from query time, made operational).
+//
+// Layout (all integers little-endian):
+//
+//   8 B   magic "VIPTSNAP"
+//   u32   format version (kFormatVersion)
+//   u32   reserved (0)
+//   then a sequence of sections, each:
+//     u32   tag (four ASCII chars, e.g. 'VENU')
+//     u64   payload size in bytes
+//     u32   CRC-32 of the payload
+//     ...   payload
+//
+// Sections VENU, GRPH, TREE, VIPX, OBJX and ENGO are mandatory; KWIX is
+// present only when the engine was built with object keywords. Unknown
+// sections, duplicate sections, truncation, checksum mismatches and version
+// skew are all reported as distinct, human-readable errors.
+//
+// Versioning policy: the format version is bumped on any incompatible
+// change; readers reject snapshots with a different version outright (no
+// in-place migration — snapshots are cheap to rebuild from source data,
+// so the complexity of multi-version readers is not worth the risk of
+// silently mis-decoding an index).
+
+#ifndef VIPTREE_IO_SNAPSHOT_H_
+#define VIPTREE_IO_SNAPSHOT_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/distance_query.h"
+#include "core/keyword_query.h"
+#include "core/object_index.h"
+#include "core/vip_tree.h"
+#include "graph/d2d_graph.h"
+#include "io/binary_io.h"
+#include "model/venue.h"
+
+namespace viptree {
+namespace io {
+
+inline constexpr uint32_t kFormatVersion = 1;
+
+// The fully deserialized (but not yet assembled) contents of a snapshot:
+// plain part-structs with no cross-references, ready for the FromParts
+// factories.
+struct Snapshot {
+  Venue::Parts venue;
+  D2DGraph::Parts graph;
+  IPTree::Parts tree;
+  VIPTree::Parts vip;
+  ObjectIndex::Parts objects;
+  std::optional<KeywordIndex::Parts> keywords;
+  DistanceQueryOptions query_options;
+};
+
+// In-memory encode/decode (DecodeSnapshot performs framing, checksum and
+// per-field bounds validation; structural validation against the assembled
+// venue/tree happens in the FromParts factories).
+std::vector<uint8_t> EncodeSnapshot(const Snapshot& snapshot);
+Status DecodeSnapshot(Span<const uint8_t> bytes, Snapshot* out);
+
+// File round-trip.
+Status WriteSnapshotFile(const std::string& path, const Snapshot& snapshot);
+Status ReadSnapshotFile(const std::string& path, Snapshot* out);
+
+}  // namespace io
+}  // namespace viptree
+
+#endif  // VIPTREE_IO_SNAPSHOT_H_

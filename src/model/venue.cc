@@ -1,11 +1,129 @@
 #include "model/venue.h"
 
+#include <string>
+#include <utility>
 #include <vector>
 
 #include "common/check.h"
 #include "common/span.h"
 
 namespace viptree {
+
+std::optional<std::string> Venue::ValidateModel(
+    const std::vector<Partition>& partitions,
+    const std::vector<Door>& doors) {
+  if (partitions.empty()) return "venue has no partitions";
+  const size_t num_partitions = partitions.size();
+  for (size_t p = 0; p < num_partitions; ++p) {
+    if (partitions[p].id != static_cast<PartitionId>(p)) {
+      return "partition " + std::to_string(p) + " has non-dense id " +
+             std::to_string(partitions[p].id);
+    }
+    if (partitions[p].cost_scale < 0.0) {
+      return "partition " + std::to_string(p) + " has negative cost scale";
+    }
+  }
+  std::vector<uint32_t> door_count(num_partitions, 0);
+  for (size_t i = 0; i < doors.size(); ++i) {
+    const Door& d = doors[i];
+    if (d.id != static_cast<DoorId>(i)) {
+      return "door " + std::to_string(i) + " has non-dense id " +
+             std::to_string(d.id);
+    }
+    if (d.partition_a < 0 ||
+        static_cast<size_t>(d.partition_a) >= num_partitions) {
+      return "door " + std::to_string(d.id) + " references unknown partition";
+    }
+    if (!d.is_exterior() &&
+        (d.partition_b < 0 ||
+         static_cast<size_t>(d.partition_b) >= num_partitions)) {
+      return "door " + std::to_string(d.id) + " references unknown partition";
+    }
+    if (d.partition_a == d.partition_b) {
+      return "door " + std::to_string(d.id) +
+             " connects a partition to itself";
+    }
+    ++door_count[d.partition_a];
+    if (!d.is_exterior()) ++door_count[d.partition_b];
+  }
+  for (size_t p = 0; p < num_partitions; ++p) {
+    if (door_count[p] == 0) {
+      return "partition " + std::to_string(p) + " has no door";
+    }
+  }
+
+  // Connectivity: every partition reachable from partition 0 through doors.
+  std::vector<std::vector<PartitionId>> adjacency(num_partitions);
+  for (const Door& d : doors) {
+    if (d.is_exterior()) continue;
+    adjacency[d.partition_a].push_back(d.partition_b);
+    adjacency[d.partition_b].push_back(d.partition_a);
+  }
+  std::vector<bool> seen(num_partitions, false);
+  std::vector<PartitionId> stack = {0};
+  seen[0] = true;
+  size_t reached = 1;
+  while (!stack.empty()) {
+    const PartitionId p = stack.back();
+    stack.pop_back();
+    for (PartitionId q : adjacency[p]) {
+      if (!seen[q]) {
+        seen[q] = true;
+        ++reached;
+        stack.push_back(q);
+      }
+    }
+  }
+  if (reached != num_partitions) {
+    return "venue is not connected (" + std::to_string(reached) + " of " +
+           std::to_string(num_partitions) + " partitions reachable)";
+  }
+  return std::nullopt;
+}
+
+Venue Venue::FromParts(Parts parts) {
+  const std::optional<std::string> error = ValidateParts(parts);
+  VIPTREE_CHECK_MSG(!error.has_value(),
+                    error.has_value() ? error->c_str() : "");
+  return FromValidatedParts(std::move(parts));
+}
+
+Venue Venue::FromValidatedParts(Parts parts) {
+  Venue venue;
+  venue.beta_ = parts.beta;
+  venue.partitions_ = std::move(parts.partitions);
+  venue.doors_ = std::move(parts.doors);
+  venue.RebuildDoorIndex();
+  return venue;
+}
+
+Venue::Parts Venue::ToParts() const {
+  Parts parts;
+  parts.beta = beta_;
+  parts.partitions = partitions_;
+  parts.doors = doors_;
+  return parts;
+}
+
+void Venue::RebuildDoorIndex() {
+  // Partition -> doors CSR layout (counting sort by partition).
+  const size_t num_partitions = partitions_.size();
+  partition_door_offsets_.assign(num_partitions + 1, 0);
+  for (const Door& d : doors_) {
+    ++partition_door_offsets_[d.partition_a + 1];
+    if (!d.is_exterior()) ++partition_door_offsets_[d.partition_b + 1];
+  }
+  for (size_t p = 0; p < num_partitions; ++p) {
+    partition_door_offsets_[p + 1] += partition_door_offsets_[p];
+  }
+  partition_doors_.resize(partition_door_offsets_.back());
+  std::vector<uint32_t> cursor(partition_door_offsets_.begin(),
+                               partition_door_offsets_.end() - 1);
+  for (const Door& d : doors_) {
+    partition_doors_[cursor[d.partition_a]++] = d.id;
+    if (!d.is_exterior()) partition_doors_[cursor[d.partition_b]++] = d.id;
+  }
+}
 
 Span<const DoorId> Venue::DoorsOf(PartitionId p) const {
   VIPTREE_DCHECK(p >= 0 && static_cast<size_t>(p) < partitions_.size());

@@ -16,6 +16,7 @@
 #define VIPTREE_MODEL_VENUE_H_
 
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -78,9 +79,43 @@ struct IndoorPoint {
   Point position;
 };
 
-// Immutable indoor venue. Construct through VenueBuilder.
+// Immutable indoor venue. Construct through VenueBuilder, or reconstruct a
+// previously built venue from its Parts (snapshot deserialization).
 class Venue {
  public:
+  // The complete serializable state of a venue; everything else (the
+  // partition -> door CSR index) is derived deterministically from it.
+  struct Parts {
+    int beta = 4;
+    std::vector<Partition> partitions;
+    std::vector<Door> doors;
+  };
+
+  // Returns an error description if `parts` does not describe a well-formed
+  // venue (same rules as VenueBuilder::Validate), std::nullopt if it does.
+  static std::optional<std::string> ValidateParts(const Parts& parts) {
+    return ValidateModel(parts.partitions, parts.doors);
+  }
+
+  // The same validation over borrowed vectors (what VenueBuilder::Validate
+  // calls, avoiding a deep copy of the model).
+  static std::optional<std::string> ValidateModel(
+      const std::vector<Partition>& partitions,
+      const std::vector<Door>& doors);
+
+  // Reconstructs a venue from deserialized parts. Aborts on malformed input
+  // (run ValidateParts first when the parts come from an untrusted file).
+  static Venue FromParts(Parts parts);
+
+  // Same, for callers that have *just* run ValidateParts themselves (the
+  // snapshot loader): skips the redundant validation pass.
+  static Venue FromValidatedParts(Parts parts);
+
+  // Copies of the serializable state / the whole venue. Cloning is explicit
+  // (no copy constructor) so accidental deep copies stay impossible.
+  Parts ToParts() const;
+  Venue Clone() const { return FromParts(ToParts()); }
+
   Venue(const Venue&) = delete;
   Venue& operator=(const Venue&) = delete;
   Venue(Venue&&) = default;
@@ -135,6 +170,11 @@ class Venue {
  private:
   friend class VenueBuilder;
   Venue() = default;
+
+  // Derives the partition -> doors CSR index from partitions_/doors_ (the
+  // one code path shared by VenueBuilder::Build and FromParts, so a
+  // reconstructed venue is indistinguishable from a freshly built one).
+  void RebuildDoorIndex();
 
   std::vector<Partition> partitions_;
   std::vector<Door> doors_;

@@ -54,92 +54,14 @@ Point VenueBuilder::PartitionCentroid(PartitionId p) const {
 }
 
 std::optional<std::string> VenueBuilder::Validate() const {
-  if (partitions_.empty()) return "venue has no partitions";
-  std::vector<uint32_t> door_count(partitions_.size(), 0);
-  for (const Door& d : doors_) {
-    if (d.partition_a < 0 ||
-        static_cast<size_t>(d.partition_a) >= partitions_.size()) {
-      return "door " + std::to_string(d.id) + " references unknown partition";
-    }
-    if (!d.is_exterior() &&
-        (d.partition_b < 0 ||
-         static_cast<size_t>(d.partition_b) >= partitions_.size())) {
-      return "door " + std::to_string(d.id) + " references unknown partition";
-    }
-    if (d.partition_a == d.partition_b) {
-      return "door " + std::to_string(d.id) +
-             " connects a partition to itself";
-    }
-    ++door_count[d.partition_a];
-    if (!d.is_exterior()) ++door_count[d.partition_b];
-  }
-  for (size_t p = 0; p < partitions_.size(); ++p) {
-    if (door_count[p] == 0) {
-      return "partition " + std::to_string(p) + " has no door";
-    }
-    if (partitions_[p].cost_scale < 0.0) {
-      return "partition " + std::to_string(p) + " has negative cost scale";
-    }
-  }
-
-  // Connectivity: every partition reachable from partition 0 through doors.
-  std::vector<std::vector<PartitionId>> adjacency(partitions_.size());
-  for (const Door& d : doors_) {
-    if (d.is_exterior()) continue;
-    adjacency[d.partition_a].push_back(d.partition_b);
-    adjacency[d.partition_b].push_back(d.partition_a);
-  }
-  std::vector<bool> seen(partitions_.size(), false);
-  std::vector<PartitionId> stack = {0};
-  seen[0] = true;
-  size_t reached = 1;
-  while (!stack.empty()) {
-    const PartitionId p = stack.back();
-    stack.pop_back();
-    for (PartitionId q : adjacency[p]) {
-      if (!seen[q]) {
-        seen[q] = true;
-        ++reached;
-        stack.push_back(q);
-      }
-    }
-  }
-  if (reached != partitions_.size()) {
-    return "venue is not connected (" + std::to_string(reached) + " of " +
-           std::to_string(partitions_.size()) + " partitions reachable)";
-  }
-  return std::nullopt;
+  return Venue::ValidateModel(partitions_, doors_);
 }
 
 Venue VenueBuilder::Build() && {
-  std::optional<std::string> error = Validate();
-  VIPTREE_CHECK_MSG(!error.has_value(),
-                    error.has_value() ? error->c_str() : "");
-
-  Venue venue;
-  venue.beta_ = beta_;
-  venue.partitions_ = std::move(partitions_);
-  venue.doors_ = std::move(doors_);
-
-  // Build the partition -> doors CSR layout (counting sort by partition).
-  const size_t num_partitions = venue.partitions_.size();
-  venue.partition_door_offsets_.assign(num_partitions + 1, 0);
-  for (const Door& d : venue.doors_) {
-    ++venue.partition_door_offsets_[d.partition_a + 1];
-    if (!d.is_exterior()) ++venue.partition_door_offsets_[d.partition_b + 1];
-  }
-  for (size_t p = 0; p < num_partitions; ++p) {
-    venue.partition_door_offsets_[p + 1] += venue.partition_door_offsets_[p];
-  }
-  venue.partition_doors_.resize(venue.partition_door_offsets_.back());
-  std::vector<uint32_t> cursor(venue.partition_door_offsets_.begin(),
-                               venue.partition_door_offsets_.end() - 1);
-  for (const Door& d : venue.doors_) {
-    venue.partition_doors_[cursor[d.partition_a]++] = d.id;
-    if (!d.is_exterior()) venue.partition_doors_[cursor[d.partition_b]++] = d.id;
-  }
-
-  return venue;
+  // FromParts validates (aborting on malformed input, exactly as before)
+  // and derives the CSR door index through the shared code path.
+  return Venue::FromParts(
+      Venue::Parts{beta_, std::move(partitions_), std::move(doors_)});
 }
 
 }  // namespace viptree

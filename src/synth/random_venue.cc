@@ -1,0 +1,33 @@
+#include "synth/random_venue.h"
+
+#include "common/rng.h"
+#include "synth/building_generator.h"
+#include "synth/campus_generator.h"
+
+namespace viptree {
+namespace synth {
+
+Venue RandomVenue(uint64_t seed) {
+  Rng rng(seed * 0x9E3779B97F4A7C15ull + 1);
+  if (rng.Chance(0.3)) {
+    // A 2-4 building mini-campus with outdoor walkways.
+    const int buildings = static_cast<int>(rng.UniformInt(2, 4));
+    const double room_scale = rng.UniformReal(0.05, 0.12);
+    return GenerateCampus(
+        MixedCampusConfig(buildings, room_scale, seed ^ 0xCA3905));
+  }
+  BuildingConfig cfg;
+  cfg.floors = static_cast<int>(rng.UniformInt(1, 4));
+  cfg.rooms_per_floor = static_cast<int>(rng.UniformInt(6, 22));
+  cfg.corridors_per_floor = static_cast<int>(rng.UniformInt(1, 2));
+  cfg.staircases = static_cast<int>(rng.UniformInt(1, 2));
+  cfg.lifts = static_cast<int>(rng.UniformInt(0, 1));
+  cfg.exits = static_cast<int>(rng.UniformInt(1, 3));
+  cfg.exterior_exits = rng.Chance(0.7);
+  cfg.inter_room_door_prob = rng.UniformReal(0.0, 0.35);
+  cfg.extra_corridor_door_prob = rng.UniformReal(0.0, 0.3);
+  return GenerateStandaloneBuilding(cfg, seed ^ 0xB0B);
+}
+
+}  // namespace synth
+}  // namespace viptree

@@ -1,0 +1,24 @@
+// Seeded random venue generation: the shape parameters (floors, rooms,
+// corridors, verticals, door probabilities; standalone building vs
+// multi-building campus) are all drawn from the seed, so a sweep over seeds
+// covers the irregular topologies where indoor indexes diverge. Shared by
+// the differential/snapshot test sweeps and the viptree_build CLI tool;
+// venues stay small enough that full-Dijkstra ground truth is cheap.
+
+#ifndef VIPTREE_SYNTH_RANDOM_VENUE_H_
+#define VIPTREE_SYNTH_RANDOM_VENUE_H_
+
+#include <cstdint>
+
+#include "model/venue.h"
+
+namespace viptree {
+namespace synth {
+
+// Deterministic for a given seed.
+Venue RandomVenue(uint64_t seed);
+
+}  // namespace synth
+}  // namespace viptree
+
+#endif  // VIPTREE_SYNTH_RANDOM_VENUE_H_

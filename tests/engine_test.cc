@@ -6,6 +6,7 @@
 
 #include <gtest/gtest.h>
 
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -177,6 +178,76 @@ TEST_F(EngineTest, SetObjectsSwapsTheWorkloadWithoutRebuildingTheTree) {
   EXPECT_TRUE(engine.has_keywords());
   EXPECT_EQ(engine.Run(eng::Query::BooleanKnn(q, 1, {"tag"})).objects.size(),
             1u);
+}
+
+TEST_F(EngineTest, EngineIsSelfContainedAfterConstruction) {
+  // The engine owns its bundle: the venue/graph/objects it was built from
+  // may die first, and the engine keeps serving. (Under ASan this test
+  // would catch any lingering reference into the caller's storage.)
+  std::unique_ptr<eng::QueryEngine> engine;
+  {
+    Venue venue = MakeVenue();
+    Rng rng(5);
+    std::vector<IndoorPoint> objects = synth::PlaceObjects(venue, 6, rng);
+    engine = std::make_unique<eng::QueryEngine>(std::move(venue),
+                                                std::move(objects));
+  }
+  Rng rng(13);
+  const IndoorPoint a = synth::RandomIndoorPoint(engine->venue(), rng);
+  const IndoorPoint b = synth::RandomIndoorPoint(engine->venue(), rng);
+  EXPECT_LT(engine->Run(eng::Query::Distance(a, b)).distance, kInfDistance);
+  EXPECT_EQ(engine->Run(eng::Query::Knn(a, 3)).objects.size(), 3u);
+}
+
+TEST_F(EngineTest, ObjectReplacementThroughTheBundle) {
+  // Build through an explicit VenueBundle, adopt it, and swap the object
+  // set: the bundle the engine exposes must reflect the replacement while
+  // the tree (and the venue behind it) stays the same instance.
+  eng::VenueBundle bundle =
+      eng::VenueBundle::BuildFrom(venue_, graph_, /*objects=*/{});
+  EXPECT_EQ(bundle.objects().NumObjects(), 0u);
+  eng::QueryEngine engine(std::move(bundle));
+
+  const Venue* venue_before = &engine.venue();
+  const VIPTree* tree_before = &engine.tree();
+  Rng rng(23);
+  const std::vector<IndoorPoint> objects =
+      synth::PlaceObjects(engine.venue(), 5, rng);
+  engine.SetObjects(objects, {{"a"}, {"b"}, {"a"}, {"b"}, {"a"}});
+
+  EXPECT_EQ(&engine.venue(), venue_before);
+  EXPECT_EQ(&engine.tree(), tree_before);
+  EXPECT_EQ(engine.bundle().objects().NumObjects(), 5u);
+  EXPECT_TRUE(engine.bundle().has_keywords());
+
+  const IndoorPoint q = objects[0];
+  const auto nearest = engine.Run(eng::Query::Knn(q, 1)).objects;
+  ASSERT_EQ(nearest.size(), 1u);
+  EXPECT_EQ(nearest[0].object, 0);
+  EXPECT_NEAR(nearest[0].distance, 0.0, 1e-9);
+
+  // Replacement also drops the keyword index when none is supplied.
+  engine.SetObjects(objects);
+  EXPECT_FALSE(engine.has_keywords());
+}
+
+TEST_F(EngineTest, SetObjectsBetweenBatchesIsWellDefined) {
+  // The documented contract: SetObjects must never overlap RunBatch (the
+  // engine CHECK-aborts on that misuse — an in-flight batch counter guards
+  // it). The well-defined sequence batch -> swap -> batch must keep
+  // working, with the second batch seeing exactly the new object set.
+  eng::QueryEngine engine = MakeEngine(6);
+  Rng rng(41);
+  const IndoorPoint a = synth::RandomIndoorPoint(venue_, rng);
+  const std::vector<eng::Query> batch{eng::Query::Knn(a, 100)};
+
+  const eng::BatchResult before = engine.RunBatch(batch, {/*threads=*/2});
+  ASSERT_EQ(before.results[0].objects.size(), 6u);
+
+  engine.SetObjects({a});
+  const eng::BatchResult after = engine.RunBatch(batch, {/*threads=*/2});
+  ASSERT_EQ(after.results[0].objects.size(), 1u);
+  EXPECT_NEAR(after.results[0].objects[0].distance, 0.0, 1e-9);
 }
 
 TEST_F(EngineTest, QueryTypeNames) {

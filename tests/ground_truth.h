@@ -13,8 +13,7 @@
 #include "graph/d2d_graph.h"
 #include "graph/dijkstra.h"
 #include "model/venue.h"
-#include "synth/building_generator.h"
-#include "synth/campus_generator.h"
+#include "synth/random_venue.h"
 
 namespace viptree {
 namespace testing {
@@ -86,31 +85,11 @@ inline std::vector<BruteResult> BruteRange(
   return all;
 }
 
-// A randomized small venue for differential testing: the shape parameters
-// (floors, rooms, corridors, verticals, door probabilities; standalone
-// building vs multi-building campus) are all drawn from `seed`, so a sweep
-// over seeds covers the irregular topologies where indoor indexes diverge.
-// Kept small enough that a full-Dijkstra ground truth stays cheap.
+// A randomized small venue for differential testing (now shared with the
+// viptree_build CLI via synth::RandomVenue; kept as an alias so the test
+// sweeps read naturally).
 inline Venue RandomSynthVenue(uint64_t seed) {
-  Rng rng(seed * 0x9E3779B97F4A7C15ull + 1);
-  if (rng.Chance(0.3)) {
-    // A 2-4 building mini-campus with outdoor walkways.
-    const int buildings = static_cast<int>(rng.UniformInt(2, 4));
-    const double room_scale = rng.UniformReal(0.05, 0.12);
-    return synth::GenerateCampus(
-        synth::MixedCampusConfig(buildings, room_scale, seed ^ 0xCA3905));
-  }
-  synth::BuildingConfig cfg;
-  cfg.floors = static_cast<int>(rng.UniformInt(1, 4));
-  cfg.rooms_per_floor = static_cast<int>(rng.UniformInt(6, 22));
-  cfg.corridors_per_floor = static_cast<int>(rng.UniformInt(1, 2));
-  cfg.staircases = static_cast<int>(rng.UniformInt(1, 2));
-  cfg.lifts = static_cast<int>(rng.UniformInt(0, 1));
-  cfg.exits = static_cast<int>(rng.UniformInt(1, 3));
-  cfg.exterior_exits = rng.Chance(0.7);
-  cfg.inter_room_door_prob = rng.UniformReal(0.0, 0.35);
-  cfg.extra_corridor_door_prob = rng.UniformReal(0.0, 0.3);
-  return synth::GenerateStandaloneBuilding(cfg, seed ^ 0xB0B);
+  return synth::RandomVenue(seed);
 }
 
 // Sum of edge weights along a door path (using the cheapest parallel edge

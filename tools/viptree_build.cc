@@ -1,0 +1,180 @@
+// viptree_build: construct a VIP-Tree serving bundle offline and persist it
+// as a binary snapshot — the "build once" half of the build-once/load-
+// anywhere workflow (viptree_query is the other half).
+//
+// Venue source (pick one):
+//   --preset NAME     Table 2 analogue venue: MC, MC-2, Men, Men-2, CL, CL-2
+//                     (scaled by --scale, default 1.0)
+//   --seed N          seeded random venue (same generator as the
+//                     differential test sweeps)
+//
+// Examples:
+//   viptree_build --preset MC --scale 0.1 --objects 32 --out mc.vipsnap
+//   viptree_build --seed 7 --objects 16 --keyword-tags 4 --out rand.vipsnap
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/stats.h"
+#include "engine/venue_bundle.h"
+#include "synth/objects.h"
+#include "synth/presets.h"
+#include "synth/random_venue.h"
+
+namespace {
+
+using namespace viptree;
+
+struct Args {
+  std::string out;
+  std::string preset;
+  double scale = 1.0;
+  bool has_seed = false;
+  uint64_t seed = 0;
+  size_t objects = 32;
+  size_t keyword_tags = 0;  // 0 = no keyword index
+  int min_degree = 2;
+};
+
+void Usage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s --out PATH (--preset NAME [--scale S] | --seed N)\n"
+      "          [--objects N] [--keyword-tags K] [--min-degree T]\n"
+      "\n"
+      "Builds a VIP-Tree serving bundle and writes it as a snapshot.\n"
+      "  --preset NAME     Table 2 analogue venue (MC, MC-2, Men, Men-2,\n"
+      "                    CL, CL-2), scaled by --scale (default 1.0)\n"
+      "  --seed N          seeded random venue instead of a preset\n"
+      "  --objects N       indexed objects to place (default 32)\n"
+      "  --keyword-tags K  tag objects round-robin with K keywords\n"
+      "                    (tag-0..tag-K-1) and build the keyword index\n"
+      "  --min-degree T    Algorithm 1 minimum degree t (default 2)\n",
+      argv0);
+}
+
+bool Parse(int argc, char** argv, Args* args) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string flag = argv[i];
+    auto value = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s: missing value for %s\n", argv[0],
+                     flag.c_str());
+        return nullptr;
+      }
+      return argv[++i];
+    };
+    const char* v = nullptr;
+    if (flag == "--out") {
+      if ((v = value()) == nullptr) return false;
+      args->out = v;
+    } else if (flag == "--preset") {
+      if ((v = value()) == nullptr) return false;
+      args->preset = v;
+    } else if (flag == "--scale") {
+      if ((v = value()) == nullptr) return false;
+      args->scale = std::atof(v);
+    } else if (flag == "--seed") {
+      if ((v = value()) == nullptr) return false;
+      args->has_seed = true;
+      args->seed = std::strtoull(v, nullptr, 10);
+    } else if (flag == "--objects") {
+      if ((v = value()) == nullptr) return false;
+      args->objects = static_cast<size_t>(std::atol(v));
+    } else if (flag == "--keyword-tags") {
+      if ((v = value()) == nullptr) return false;
+      args->keyword_tags = static_cast<size_t>(std::atol(v));
+    } else if (flag == "--min-degree") {
+      if ((v = value()) == nullptr) return false;
+      args->min_degree = std::atoi(v);
+    } else if (flag == "--help" || flag == "-h") {
+      Usage(argv[0]);
+      return false;
+    } else {
+      std::fprintf(stderr, "%s: unknown flag %s\n", argv[0], flag.c_str());
+      Usage(argv[0]);
+      return false;
+    }
+  }
+  if (args->out.empty()) {
+    std::fprintf(stderr, "%s: --out is required\n", argv[0]);
+    Usage(argv[0]);
+    return false;
+  }
+  if (args->preset.empty() == !args->has_seed) {
+    std::fprintf(stderr, "%s: pass exactly one of --preset / --seed\n",
+                 argv[0]);
+    Usage(argv[0]);
+    return false;
+  }
+  if (args->scale <= 0.0) {
+    std::fprintf(stderr, "%s: --scale must be positive\n", argv[0]);
+    return false;
+  }
+  if (args->min_degree < 2) {
+    std::fprintf(stderr, "%s: --min-degree must be at least 2\n", argv[0]);
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Args args;
+  if (!Parse(argc, argv, &args)) return 1;
+
+  Timer venue_timer;
+  Venue venue = args.has_seed
+                    ? synth::RandomVenue(args.seed)
+                    : synth::MakeDataset(synth::DatasetFromName(args.preset),
+                                         args.scale);
+  std::printf("venue: %zu partitions, %zu doors (generated in %.1f ms)\n",
+              venue.NumPartitions(), venue.NumDoors(),
+              venue_timer.ElapsedMillis());
+
+  Rng rng(args.has_seed ? args.seed ^ 0x0B7EC75 : 0x0B7EC75);
+  std::vector<IndoorPoint> objects =
+      synth::PlaceObjects(venue, args.objects, rng);
+
+  engine::EngineOptions options;
+  options.tree.min_degree = args.min_degree;
+  if (args.keyword_tags > 0) {
+    options.object_keywords.resize(objects.size());
+    for (size_t i = 0; i < objects.size(); ++i) {
+      options.object_keywords[i] = {"tag-" +
+                                    std::to_string(i % args.keyword_tags)};
+    }
+  }
+
+  Timer build_timer;
+  const engine::VenueBundle bundle = engine::VenueBundle::Build(
+      std::move(venue), std::move(objects), std::move(options));
+  const double build_ms = build_timer.ElapsedMillis();
+  std::printf("index built in %.1f ms (%s in memory, %zu objects%s)\n",
+              build_ms, HumanBytes(bundle.IndexMemoryBytes()).c_str(),
+              bundle.objects().NumObjects(),
+              bundle.has_keywords() ? ", keyword index" : "");
+
+  Timer save_timer;
+  const io::Status status = bundle.Save(args.out);
+  if (!status.ok()) {
+    std::fprintf(stderr, "error: %s\n", status.error.c_str());
+    return 1;
+  }
+  std::FILE* f = std::fopen(args.out.c_str(), "rb");
+  long snapshot_bytes = 0;
+  if (f != nullptr) {
+    std::fseek(f, 0, SEEK_END);
+    snapshot_bytes = std::ftell(f);
+    std::fclose(f);
+  }
+  std::printf("snapshot written to %s in %.1f ms (%s)\n", args.out.c_str(),
+              save_timer.ElapsedMillis(),
+              HumanBytes(static_cast<uint64_t>(snapshot_bytes)).c_str());
+  return 0;
+}

@@ -1,0 +1,181 @@
+// viptree_query: load a snapshot written by viptree_build and serve a batch
+// of randomly generated queries against it, printing the BatchStats the
+// engine collects — the "load anywhere" half of the build-once/load-
+// anywhere workflow. Load failures (truncation, corruption, version skew)
+// are reported with the decoder's message and a non-zero exit.
+//
+// Example:
+//   viptree_query --snapshot mc.vipsnap --queries 1000 --threads 4
+
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/stats.h"
+#include "engine/query_engine.h"
+#include "synth/objects.h"
+
+namespace {
+
+using namespace viptree;
+namespace eng = viptree::engine;
+
+struct Args {
+  std::string snapshot;
+  size_t queries = 500;
+  size_t threads = 1;
+  uint64_t seed = 0xC0FFEE;
+  std::string mix = "mixed";  // mixed | distance | path | knn | range
+};
+
+void Usage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s --snapshot PATH [--queries N] [--threads T] [--seed S]\n"
+      "          [--mix mixed|distance|path|knn|range]\n"
+      "\n"
+      "Loads a VIP-Tree snapshot and runs a random query batch against it.\n"
+      "The mixed workload is 40%% distance, 20%% path, 20%% kNN, 10%%\n"
+      "range and 10%% boolean keyword kNN (keyword queries fall back to\n"
+      "kNN when the snapshot has no keyword index).\n",
+      argv0);
+}
+
+bool Parse(int argc, char** argv, Args* args) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string flag = argv[i];
+    auto value = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s: missing value for %s\n", argv[0],
+                     flag.c_str());
+        return nullptr;
+      }
+      return argv[++i];
+    };
+    const char* v = nullptr;
+    if (flag == "--snapshot") {
+      if ((v = value()) == nullptr) return false;
+      args->snapshot = v;
+    } else if (flag == "--queries") {
+      if ((v = value()) == nullptr) return false;
+      args->queries = static_cast<size_t>(std::atol(v));
+    } else if (flag == "--threads") {
+      if ((v = value()) == nullptr) return false;
+      args->threads = static_cast<size_t>(std::atol(v));
+    } else if (flag == "--seed") {
+      if ((v = value()) == nullptr) return false;
+      args->seed = std::strtoull(v, nullptr, 10);
+    } else if (flag == "--mix") {
+      if ((v = value()) == nullptr) return false;
+      args->mix = v;
+    } else if (flag == "--help" || flag == "-h") {
+      Usage(argv[0]);
+      return false;
+    } else {
+      std::fprintf(stderr, "%s: unknown flag %s\n", argv[0], flag.c_str());
+      Usage(argv[0]);
+      return false;
+    }
+  }
+  if (args->snapshot.empty()) {
+    std::fprintf(stderr, "%s: --snapshot is required\n", argv[0]);
+    Usage(argv[0]);
+    return false;
+  }
+  if (args->mix != "mixed" && args->mix != "distance" && args->mix != "path" &&
+      args->mix != "knn" && args->mix != "range") {
+    std::fprintf(stderr, "%s: unknown --mix '%s'\n", argv[0],
+                 args->mix.c_str());
+    return false;
+  }
+  return true;
+}
+
+std::vector<eng::Query> MakeWorkload(const eng::QueryEngine& engine,
+                                     const Args& args) {
+  const Venue& venue = engine.venue();
+  Rng rng(args.seed);
+  std::vector<eng::Query> queries;
+  queries.reserve(args.queries);
+  for (size_t i = 0; i < args.queries; ++i) {
+    const IndoorPoint a = synth::RandomIndoorPoint(venue, rng);
+    const IndoorPoint b = synth::RandomIndoorPoint(venue, rng);
+    if (args.mix == "distance") {
+      queries.push_back(eng::Query::Distance(a, b));
+    } else if (args.mix == "path") {
+      queries.push_back(eng::Query::Path(a, b));
+    } else if (args.mix == "knn") {
+      queries.push_back(eng::Query::Knn(a, 5));
+    } else if (args.mix == "range") {
+      queries.push_back(eng::Query::Range(a, 100.0));
+    } else {
+      switch (i % 10) {
+        case 0: case 1: case 2: case 3:
+          queries.push_back(eng::Query::Distance(a, b));
+          break;
+        case 4: case 5:
+          queries.push_back(eng::Query::Path(a, b));
+          break;
+        case 6: case 7:
+          queries.push_back(eng::Query::Knn(a, 5));
+          break;
+        case 8:
+          queries.push_back(eng::Query::Range(a, 100.0));
+          break;
+        default:
+          if (engine.has_keywords()) {
+            queries.push_back(eng::Query::BooleanKnn(a, 3, {"tag-0"}));
+          } else {
+            queries.push_back(eng::Query::Knn(a, 3));
+          }
+          break;
+      }
+    }
+  }
+  return queries;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Args args;
+  if (!Parse(argc, argv, &args)) return 1;
+
+  Timer load_timer;
+  std::string error;
+  const std::unique_ptr<eng::QueryEngine> engine =
+      eng::QueryEngine::TryLoad(args.snapshot, &error);
+  if (engine == nullptr) {
+    std::fprintf(stderr, "error: %s\n", error.c_str());
+    return 1;
+  }
+  std::printf(
+      "snapshot loaded in %.1f ms: %zu partitions, %zu doors, %zu objects, "
+      "%s index%s\n",
+      load_timer.ElapsedMillis(), engine->venue().NumPartitions(),
+      engine->venue().NumDoors(), engine->objects().NumObjects(),
+      HumanBytes(engine->IndexMemoryBytes()).c_str(),
+      engine->has_keywords() ? " (with keywords)" : "");
+
+  const std::vector<eng::Query> queries = MakeWorkload(*engine, args);
+  eng::BatchOptions batch;
+  batch.num_threads = args.threads;
+  const eng::BatchResult run = engine->RunBatch(queries, batch);
+
+  const eng::BatchStats& stats = run.stats;
+  std::printf("batch: %zu %s queries on %zu thread(s)\n", stats.num_queries,
+              args.mix.c_str(), stats.num_threads);
+  std::printf("  wall          %10.2f ms\n", stats.wall_millis);
+  std::printf("  throughput    %10.0f queries/s\n",
+              stats.queries_per_second);
+  std::printf("  latency p50   %10.2f us\n", stats.latency_micros.p50);
+  std::printf("  latency p95   %10.2f us\n", stats.latency_micros.p95);
+  std::printf("  latency p99   %10.2f us\n", stats.latency_micros.p99);
+  std::printf("  latency max   %10.2f us\n", stats.latency_micros.max);
+  std::printf("  visited nodes %10llu\n",
+              static_cast<unsigned long long>(stats.visited_nodes));
+  return 0;
+}
