@@ -830,15 +830,15 @@ uint64_t GTree::MemoryBytes() const {
   uint64_t bytes = 0;
   for (const GNode& n : nodes_) {
     bytes += sizeof(GNode);
-    bytes += n.children.capacity() * sizeof(NodeId);
-    bytes += n.vertices.capacity() * sizeof(DoorId);
-    bytes += n.borders.capacity() * sizeof(DoorId);
-    bytes += n.matrix_doors.capacity() * sizeof(DoorId);
+    bytes += n.children.size() * sizeof(NodeId);
+    bytes += n.vertices.size() * sizeof(DoorId);
+    bytes += n.borders.size() * sizeof(DoorId);
+    bytes += n.matrix_doors.size() * sizeof(DoorId);
     bytes += n.dist.MemoryBytes();
     bytes += n.next_hop.MemoryBytes();
   }
-  bytes += leaf_of_door_.capacity() * sizeof(NodeId);
-  bytes += is_border_.capacity();
+  bytes += leaf_of_door_.size() * sizeof(NodeId);
+  bytes += is_border_.size();
   return bytes;
 }
 

@@ -1,0 +1,170 @@
+// Storage<T>: the backing buffer of every flat index array — either an
+// *owning* buffer (a std::vector, the result of index construction or a
+// copying snapshot decode) or a *view* into an immutable arena (a
+// memory-mapped snapshot file, io/mmap_arena.h). Query code reads both
+// forms through the same const interface, so the whole read path is
+// agnostic to whether an index was built in-process or mapped from disk.
+//
+// Mutation rules: the small mutating surface (assign/resize/append/
+// operator[] non-const) exists for index *builders* and is only legal on
+// owning storage — views are immutable by construction (the arena is mapped
+// read-only). Misuse is caught by VIPTREE_DCHECK in debug builds and by the
+// read-only mapping at runtime.
+//
+// Lifetime rules: a view does NOT keep its arena alive. Whoever creates
+// views into an arena (the snapshot decoder) must guarantee the arena
+// outlives every index built from them — engine::VenueBundle does this by
+// holding a shared_ptr to the arena alongside the indexes.
+//
+// Copying a Storage always deep-copies into an owning buffer (views do not
+// silently alias on copy); moving transfers the buffer or the view as-is.
+
+#ifndef VIPTREE_COMMON_STORAGE_H_
+#define VIPTREE_COMMON_STORAGE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "common/check.h"
+#include "common/span.h"
+
+namespace viptree {
+
+template <typename T>
+class Storage {
+ public:
+  Storage() = default;
+
+  // Owning: adopts the vector (implicit, so builder code can assign the
+  // vectors it constructs straight into index members).
+  Storage(std::vector<T> values)  // NOLINT(google-explicit-constructor)
+      : owned_(std::move(values)),
+        data_(owned_.data()),
+        size_(owned_.size()),
+        owning_(true) {}
+
+  // Non-owning view into an immutable arena the caller keeps alive.
+  static Storage View(Span<const T> bytes) {
+    Storage s;
+    s.data_ = bytes.data();
+    s.size_ = bytes.size();
+    s.owning_ = false;
+    return s;
+  }
+
+  // Deep copy: the result always owns its buffer.
+  Storage(const Storage& other)
+      : owned_(other.begin(), other.end()),
+        data_(owned_.data()),
+        size_(owned_.size()),
+        owning_(true) {}
+  Storage& operator=(const Storage& other) {
+    if (this != &other) *this = Storage(other);
+    return *this;
+  }
+
+  Storage(Storage&& other) noexcept
+      : owned_(std::move(other.owned_)),
+        data_(other.data_),
+        size_(other.size_),
+        owning_(other.owning_) {
+    other.Reset();
+  }
+  Storage& operator=(Storage&& other) noexcept {
+    if (this != &other) {
+      owned_ = std::move(other.owned_);
+      data_ = other.data_;
+      size_ = other.size_;
+      owning_ = other.owning_;
+      other.Reset();
+    }
+    return *this;
+  }
+
+  bool owning() const { return owning_; }
+  const T* data() const { return data_; }
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  const T* begin() const { return data_; }
+  const T* end() const { return data_ + size_; }
+
+  const T& operator[](size_t i) const {
+    VIPTREE_DCHECK(i < size_);
+    return data_[i];
+  }
+  const T& front() const { return (*this)[0]; }
+  const T& back() const { return (*this)[size_ - 1]; }
+
+  // (Span's contiguous-container constructor also accepts a Storage
+  // directly, via data()/size().)
+  Span<const T> span() const { return {data_, size_}; }
+
+  // Logical footprint: the bytes addressable through this storage. For an
+  // owning buffer these are private heap bytes; for a view they are
+  // file-backed pages of the arena, resident only once touched.
+  uint64_t MemoryBytes() const { return uint64_t{size_} * sizeof(T); }
+
+  // --- Owning-only mutation, for index builders. -------------------------
+
+  T* mutable_data() {
+    VIPTREE_DCHECK(owning_);
+    return owned_.data();
+  }
+  T& operator[](size_t i) {
+    VIPTREE_DCHECK(owning_ && i < size_);
+    return owned_[i];
+  }
+
+  void assign(size_t count, const T& value) {
+    Adopt([&] { owned_.assign(count, value); });
+  }
+  template <typename It>
+  void assign(It first, It last) {
+    Adopt([&] { owned_.assign(first, last); });
+  }
+  void resize(size_t count, const T& value = T()) {
+    VIPTREE_DCHECK(owning_);
+    Adopt([&] { owned_.resize(count, value); });
+  }
+  void reserve(size_t count) {
+    VIPTREE_DCHECK(owning_);
+    owned_.reserve(count);
+  }
+  void push_back(const T& value) {
+    VIPTREE_DCHECK(owning_);
+    Adopt([&] { owned_.push_back(value); });
+  }
+  template <typename It>
+  void append(It first, It last) {
+    VIPTREE_DCHECK(owning_);
+    Adopt([&] { owned_.insert(owned_.end(), first, last); });
+  }
+
+ private:
+  template <typename Fn>
+  void Adopt(Fn&& mutate) {
+    mutate();
+    data_ = owned_.data();
+    size_ = owned_.size();
+    owning_ = true;
+  }
+
+  void Reset() {
+    owned_.clear();
+    data_ = nullptr;
+    size_ = 0;
+    owning_ = true;
+  }
+
+  std::vector<T> owned_;
+  const T* data_ = nullptr;
+  size_t size_ = 0;
+  bool owning_ = true;
+};
+
+}  // namespace viptree
+
+#endif  // VIPTREE_COMMON_STORAGE_H_

@@ -18,11 +18,12 @@ IPTree IPTree::Build(const Venue& venue, const D2DGraph& graph,
 
 namespace {
 
-// Structural check of one node's door lists and matrix shapes.
+// Structural check of one node's door lists and matrix shapes; `full` adds
+// the per-cell matrix sweep (see IPTree::ValidationLevel).
 std::optional<std::string> ValidateNode(const TreeNode& node,
                                         size_t num_nodes, size_t num_doors,
                                         size_t num_partitions,
-                                        size_t num_leaves) {
+                                        size_t num_leaves, bool full) {
   const std::string where = "tree node " + std::to_string(node.id);
   auto door_in_range = [num_doors](DoorId d) {
     return d >= 0 && static_cast<size_t>(d) < num_doors;
@@ -64,6 +65,7 @@ std::optional<std::string> ValidateNode(const TreeNode& node,
   if (node.next_hop.rows() != rows || node.next_hop.cols() != cols) {
     return where + " has a next-hop matrix of the wrong shape";
   }
+  if (!full) return std::nullopt;
   // Cell values are load-bearing: next-hop entries are used as array
   // indices by path expansion and must name an *intermediate* door
   // (distinct from both endpoints); distances must be finite and
@@ -92,7 +94,8 @@ std::optional<std::string> ValidateNode(const TreeNode& node,
 }  // namespace
 
 std::optional<std::string> IPTree::ValidateParts(const Venue& venue,
-                                                 const Parts& parts) {
+                                                 const Parts& parts,
+                                                 ValidationLevel level) {
   const size_t num_nodes = parts.nodes.size();
   const size_t num_doors = venue.NumDoors();
   const size_t num_partitions = venue.NumPartitions();
@@ -109,7 +112,7 @@ std::optional<std::string> IPTree::ValidateParts(const Venue& venue,
     }
     const std::optional<std::string> error = ValidateNode(
         parts.nodes[i], num_nodes, num_doors, num_partitions,
-        parts.num_leaves);
+        parts.num_leaves, level == ValidationLevel::kFull);
     if (error.has_value()) return error;
   }
   // Parent links must form a single tree rooted at `root`: exactly one node
@@ -286,23 +289,25 @@ IPTree::Stats IPTree::ComputeStats() const {
   return stats;
 }
 
+// size()-based (not capacity()-based) throughout: the reported footprint is
+// what the index addresses, never transient allocator slack.
 uint64_t IPTree::MemoryBytes() const {
   uint64_t bytes = 0;
   for (const TreeNode& n : nodes_) {
     bytes += sizeof(TreeNode);
-    bytes += n.children.capacity() * sizeof(NodeId);
-    bytes += n.partitions.capacity() * sizeof(PartitionId);
-    bytes += n.doors.capacity() * sizeof(DoorId);
-    bytes += n.access_doors.capacity() * sizeof(DoorId);
-    bytes += n.matrix_doors.capacity() * sizeof(DoorId);
+    bytes += n.children.size() * sizeof(NodeId);
+    bytes += n.partitions.size() * sizeof(PartitionId);
+    bytes += n.doors.size() * sizeof(DoorId);
+    bytes += n.access_doors.size() * sizeof(DoorId);
+    bytes += n.matrix_doors.size() * sizeof(DoorId);
     bytes += n.dist.MemoryBytes();
     bytes += n.next_hop.MemoryBytes();
   }
-  bytes += leaf_of_partition_.capacity() * sizeof(NodeId);
-  bytes += door_leaves_.capacity() * sizeof(std::array<DoorLeafEntry, 2>);
-  bytes += is_access_door_.capacity();
-  bytes += superior_offsets_.capacity() * sizeof(uint32_t);
-  bytes += superior_doors_.capacity() * sizeof(DoorId);
+  bytes += leaf_of_partition_.MemoryBytes();
+  bytes += door_leaves_.MemoryBytes();
+  bytes += is_access_door_.MemoryBytes();
+  bytes += superior_offsets_.MemoryBytes();
+  bytes += superior_doors_.MemoryBytes();
   return bytes;
 }
 

@@ -35,6 +35,7 @@
 #include "graph/d2d_graph.h"
 #include "model/venue.h"
 #include "common/span.h"
+#include "common/storage.h"
 
 namespace viptree {
 
@@ -85,32 +86,45 @@ class IPTree {
     NodeId leaf = kInvalidId;
     uint32_t row = 0;
   };
+  using DoorLeafPair = std::array<DoorLeafEntry, 2>;
+  // Persisted as raw bytes in format-v2 snapshots (aliased out of the
+  // mapped file), so the layout must stay padding-free.
+  static_assert(sizeof(DoorLeafPair) == 16,
+                "DoorLeafPair must stay a packed 16 bytes");
 
   // The complete serializable state of a built tree: the nodes (with their
   // distance/next-hop matrices) plus every derived lookup structure, stored
-  // verbatim so a reconstructed tree answers queries bit-identically.
+  // verbatim so a reconstructed tree answers queries bit-identically. The
+  // flat lookup arrays are Storage, so a zero-copy snapshot load can hand
+  // in arena views.
   struct Parts {
     std::vector<TreeNode> nodes;
     NodeId root = kInvalidId;
     size_t num_leaves = 0;
-    std::vector<NodeId> leaf_of_partition;
-    std::vector<std::array<DoorLeafEntry, 2>> door_leaves;
-    std::vector<uint8_t> is_access_door;
+    Storage<NodeId> leaf_of_partition;
+    Storage<DoorLeafPair> door_leaves;
+    Storage<uint8_t> is_access_door;
     // CSR of partition -> superior doors.
-    std::vector<uint32_t> superior_offsets;
-    std::vector<DoorId> superior_doors;
+    Storage<uint32_t> superior_offsets;
+    Storage<DoorId> superior_doors;
   };
 
   // Builds the tree over `venue` / `graph` (which must outlive it).
   static IPTree Build(const Venue& venue, const D2DGraph& graph,
                       const IPTreeOptions& options = {});
 
+  // See viptree::ValidationLevel (model/types.h): kStructure skips only
+  // the per-cell matrix sweep (distances finite, next-hop entries in
+  // range).
+  using ValidationLevel = viptree::ValidationLevel;
+
   // Returns an error description if `parts` is structurally inconsistent
   // with the venue/graph (sizes, id ranges, matrix shapes), std::nullopt if
   // it passes. Semantic validity (the distances being correct) is protected
   // by the snapshot checksums, not re-derived here.
-  static std::optional<std::string> ValidateParts(const Venue& venue,
-                                                  const Parts& parts);
+  static std::optional<std::string> ValidateParts(
+      const Venue& venue, const Parts& parts,
+      ValidationLevel level = ValidationLevel::kFull);
 
   // Reconstructs a tree from deserialized parts over `venue` / `graph`
   // (which must outlive it). Aborts on malformed input (run ValidateParts
@@ -205,12 +219,12 @@ class IPTree {
   std::vector<TreeNode> nodes_;
   NodeId root_ = kInvalidId;
   size_t num_leaves_ = 0;
-  std::vector<NodeId> leaf_of_partition_;
-  std::vector<std::array<DoorLeafEntry, 2>> door_leaves_;
-  std::vector<uint8_t> is_access_door_;
+  Storage<NodeId> leaf_of_partition_;
+  Storage<DoorLeafPair> door_leaves_;
+  Storage<uint8_t> is_access_door_;
   // CSR of partition -> superior doors.
-  std::vector<uint32_t> superior_offsets_;
-  std::vector<DoorId> superior_doors_;
+  Storage<uint32_t> superior_offsets_;
+  Storage<DoorId> superior_doors_;
 };
 
 }  // namespace viptree

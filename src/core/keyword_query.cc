@@ -200,13 +200,13 @@ std::vector<ObjectResult> KeywordIndex::BooleanKnn(
 uint64_t KeywordIndex::MemoryBytes() const {
   uint64_t bytes = 0;
   for (const auto& v : object_keywords_) {
-    bytes += v.capacity() * sizeof(KeywordId);
+    bytes += v.size() * sizeof(KeywordId);
   }
   for (const auto& v : node_keywords_) {
-    bytes += v.capacity() * sizeof(KeywordId);
+    bytes += v.size() * sizeof(KeywordId);
   }
   for (const auto& [word, id] : keyword_ids_) {
-    bytes += word.capacity() + sizeof(KeywordId);
+    bytes += word.size() + sizeof(KeywordId);
   }
   return bytes;
 }

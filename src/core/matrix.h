@@ -1,5 +1,8 @@
 // Dense row-major matrix used for the distance / next-hop matrices of tree
-// nodes (§2.1.1).
+// nodes (§2.1.1). The payload lives in a Storage<T>: owning when the matrix
+// was computed in-process, a view into an immutable arena when it was
+// memory-mapped from a snapshot (common/storage.h); mutation through at()
+// is only legal on owning matrices (index construction).
 
 #ifndef VIPTREE_CORE_MATRIX_H_
 #define VIPTREE_CORE_MATRIX_H_
@@ -11,6 +14,7 @@
 
 #include "common/check.h"
 #include "common/span.h"
+#include "common/storage.h"
 
 namespace viptree {
 
@@ -19,10 +23,14 @@ class FlatMatrix {
  public:
   FlatMatrix() = default;
   FlatMatrix(size_t rows, size_t cols, T fill = T())
-      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+      : rows_(rows), cols_(cols), data_(std::vector<T>(rows * cols, fill)) {}
 
-  // Adopts an already-filled row-major payload (snapshot deserialization).
+  // Adopts an already-filled row-major payload: an owning vector (copying
+  // snapshot deserialization) or any Storage, including an arena view
+  // (zero-copy snapshot load).
   FlatMatrix(size_t rows, size_t cols, std::vector<T> data)
+      : FlatMatrix(rows, cols, Storage<T>(std::move(data))) {}
+  FlatMatrix(size_t rows, size_t cols, Storage<T> data)
       : rows_(rows), cols_(cols), data_(std::move(data)) {
     VIPTREE_CHECK(data_.size() == rows_ * cols_);
   }
@@ -31,9 +39,10 @@ class FlatMatrix {
   size_t cols() const { return cols_; }
   bool empty() const { return data_.empty(); }
 
+  // Owning matrices only (index construction).
   T& at(size_t r, size_t c) {
     VIPTREE_DCHECK(r < rows_ && c < cols_);
-    return data_[r * cols_ + c];
+    return data_.mutable_data()[r * cols_ + c];
   }
   const T& at(size_t r, size_t c) const {
     VIPTREE_DCHECK(r < rows_ && c < cols_);
@@ -41,14 +50,14 @@ class FlatMatrix {
   }
 
   // The row-major payload, for serialization.
-  Span<const T> raw() const { return data_; }
+  Span<const T> raw() const { return data_.span(); }
 
-  uint64_t MemoryBytes() const { return data_.capacity() * sizeof(T); }
+  uint64_t MemoryBytes() const { return data_.MemoryBytes(); }
 
  private:
   size_t rows_ = 0;
   size_t cols_ = 0;
-  std::vector<T> data_;
+  Storage<T> data_;
 };
 
 }  // namespace viptree

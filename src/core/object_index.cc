@@ -48,7 +48,7 @@ ObjectIndex::ObjectIndex(const IPTree& tree, std::vector<IndoorPoint> objects)
     if (!node.is_leaf()) continue;
     const Span<const ObjectId> objs = ObjectsInLeaf(node.id);
     if (objs.empty()) continue;
-    double* base = door_dists_.data() + dist_offsets_[node.id];
+    double* base = door_dists_.mutable_data() + dist_offsets_[node.id];
     for (size_t col = 0; col < node.access_doors.size(); ++col) {
       const DoorId a = node.access_doors[col];
       double* row = base + col * objs.size();
@@ -173,12 +173,10 @@ ObjectIndex::Parts ObjectIndex::ToParts() const {
 }
 
 uint64_t ObjectIndex::MemoryBytes() const {
-  return objects_.capacity() * sizeof(IndoorPoint) +
-         leaf_object_offsets_.capacity() * sizeof(uint32_t) +
-         leaf_objects_.capacity() * sizeof(ObjectId) +
-         dist_offsets_.capacity() * sizeof(uint64_t) +
-         door_dists_.capacity() * sizeof(double) +
-         dfs_prefix_.capacity() * sizeof(uint32_t);
+  return objects_.size() * sizeof(IndoorPoint) +
+         leaf_object_offsets_.MemoryBytes() + leaf_objects_.MemoryBytes() +
+         dist_offsets_.MemoryBytes() + door_dists_.MemoryBytes() +
+         dfs_prefix_.MemoryBytes();
 }
 
 }  // namespace viptree

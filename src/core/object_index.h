@@ -20,22 +20,26 @@
 
 #include "core/ip_tree.h"
 #include "common/span.h"
+#include "common/storage.h"
 
 namespace viptree {
 
 class ObjectIndex {
  public:
   // The complete serializable state (everything but the tree reference).
+  // The flat CSR buffers are Storage, so a zero-copy snapshot load can hand
+  // in arena views; the object list itself stays an owned vector (it is
+  // small and IndoorPoint carries padding, so it is field-encoded).
   struct Parts {
     std::vector<IndoorPoint> objects;
     // CSR of node id -> object ids (only leaves have entries).
-    std::vector<uint32_t> leaf_object_offsets;  // nodes + 1
-    std::vector<ObjectId> leaf_objects;
+    Storage<uint32_t> leaf_object_offsets;  // nodes + 1
+    Storage<ObjectId> leaf_objects;
     // Contiguous [leaf][access-door column][in-leaf object] distances; one
     // base offset per node into the flat buffer.
-    std::vector<uint64_t> dist_offsets;  // nodes + 1
-    std::vector<double> door_dists;
-    std::vector<uint32_t> dfs_prefix;  // num_leaves + 1
+    Storage<uint64_t> dist_offsets;  // nodes + 1
+    Storage<double> door_dists;
+    Storage<uint32_t> dfs_prefix;  // num_leaves + 1
   };
 
   // `objects` are indoor points; object ids are their indices.
@@ -95,11 +99,11 @@ class ObjectIndex {
 
   const IPTree& tree_;
   std::vector<IndoorPoint> objects_;
-  std::vector<uint32_t> leaf_object_offsets_;
-  std::vector<ObjectId> leaf_objects_;
-  std::vector<uint64_t> dist_offsets_;
-  std::vector<double> door_dists_;
-  std::vector<uint32_t> dfs_prefix_;  // objects in leaves with dfs index < i
+  Storage<uint32_t> leaf_object_offsets_;
+  Storage<ObjectId> leaf_objects_;
+  Storage<uint64_t> dist_offsets_;
+  Storage<double> door_dists_;
+  Storage<uint32_t> dfs_prefix_;  // objects in leaves with dfs index < i
 };
 
 }  // namespace viptree

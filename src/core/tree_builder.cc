@@ -491,8 +491,7 @@ void TreeBuilder::BuildLeafMatricesAndSuperiorDoors() {
   }
   tree_.superior_doors_.reserve(tree_.superior_offsets_.back());
   for (size_t p = 0; p < venue_.NumPartitions(); ++p) {
-    tree_.superior_doors_.insert(tree_.superior_doors_.end(),
-                                 superior[p].begin(), superior[p].end());
+    tree_.superior_doors_.append(superior[p].begin(), superior[p].end());
   }
 }
 

@@ -35,13 +35,17 @@ VIPTree VIPTree::Extend(IPTree base) {
   for (const TreeNode& node : tree.nodes()) {
     if (node.is_leaf()) continue;  // the IP leaf matrix already has the shape
     ExtMatrix& ext = vip.ext_[node.id];
+    std::vector<DoorId> subtree_doors;
     for (uint32_t li = node.leaf_begin; li < node.leaf_end; ++li) {
       const TreeNode& leaf = tree.node(leaf_at_index[li]);
-      ext.doors.insert(ext.doors.end(), leaf.doors.begin(), leaf.doors.end());
+      subtree_doors.insert(subtree_doors.end(), leaf.doors.begin(),
+                           leaf.doors.end());
     }
-    std::sort(ext.doors.begin(), ext.doors.end());
-    ext.doors.erase(std::unique(ext.doors.begin(), ext.doors.end()),
-                    ext.doors.end());
+    std::sort(subtree_doors.begin(), subtree_doors.end());
+    subtree_doors.erase(
+        std::unique(subtree_doors.begin(), subtree_doors.end()),
+        subtree_doors.end());
+    ext.doors = std::move(subtree_doors);
 
     ext.dist = FlatMatrix<float>(ext.doors.size(), node.access_doors.size(),
                                  0.0f);
@@ -88,7 +92,8 @@ VIPTree VIPTree::Extend(IPTree base) {
 }
 
 std::optional<std::string> VIPTree::ValidateParts(const IPTree& base,
-                                                  const Parts& parts) {
+                                                  const Parts& parts,
+                                                  IPTree::ValidationLevel level) {
   if (parts.ext.size() != base.nodes().size()) {
     return "extended-matrix array has " + std::to_string(parts.ext.size()) +
            " entries for " + std::to_string(base.nodes().size()) + " nodes";
@@ -117,6 +122,7 @@ std::optional<std::string> VIPTree::ValidateParts(const IPTree& base,
         ext.next_hop.cols() != ext.dist.cols()) {
       return where + " has the wrong shape";
     }
+    if (level != IPTree::ValidationLevel::kFull) continue;
     // Same cell-value rules as the base matrices (see IPTree validation):
     // next-hop entries are array indices naming an intermediate door.
     const size_t num_doors = base.venue().NumDoors();
@@ -187,7 +193,7 @@ DoorId VIPTree::ExtNextHop(NodeId n, DoorId d, size_t col) const {
 uint64_t VIPTree::MemoryBytes() const {
   uint64_t bytes = base_.MemoryBytes();
   for (const ExtMatrix& e : ext_) {
-    bytes += e.doors.capacity() * sizeof(DoorId);
+    bytes += e.doors.MemoryBytes();
     bytes += e.dist.MemoryBytes();
     bytes += e.next_hop.MemoryBytes();
   }

@@ -26,6 +26,7 @@
 
 #include "core/ip_tree.h"
 #include "common/span.h"
+#include "common/storage.h"
 
 namespace viptree {
 
@@ -33,9 +34,10 @@ class VIPTree {
  public:
   // One §2.2 extended matrix (rows = all doors of the node's subtree,
   // columns = the node's access doors). Public so snapshots can serialize
-  // the materialization verbatim.
+  // the materialization verbatim. All three buffers are Storage-backed, so
+  // a zero-copy snapshot load can alias them into the mapped arena.
   struct ExtMatrix {
-    std::vector<DoorId> doors;  // sorted rows
+    Storage<DoorId> doors;  // sorted rows
     FlatMatrix<float> dist;
     FlatMatrix<DoorId> next_hop;
   };
@@ -55,8 +57,11 @@ class VIPTree {
   static VIPTree Extend(IPTree base);
 
   // Structural check of `parts` against an already-validated base tree.
-  static std::optional<std::string> ValidateParts(const IPTree& base,
-                                                  const Parts& parts);
+  // The level has the same meaning as IPTree::ValidateParts: kStructure
+  // skips only the per-cell matrix sweep.
+  static std::optional<std::string> ValidateParts(
+      const IPTree& base, const Parts& parts,
+      IPTree::ValidationLevel level = IPTree::ValidationLevel::kFull);
 
   // Reassembles a VIP-Tree from a reconstructed base and its deserialized
   // materialization (no Dijkstra runs). Aborts on malformed input (run

@@ -76,10 +76,10 @@ struct QueryEngine::Worker {
   KnnQuery knn;
 
   explicit Worker(const QueryEngine& engine)
-      : distance(engine.tree(), engine.bundle_.query_options()),
-        path(engine.tree(), engine.bundle_.query_options()),
+      : distance(engine.tree(), engine.bundle_->query_options()),
+        path(engine.tree(), engine.bundle_->query_options()),
         knn(engine.tree().base(), engine.objects(),
-            engine.bundle_.query_options()) {}
+            engine.bundle_->query_options()) {}
 };
 
 namespace {
@@ -109,7 +109,17 @@ class BatchScope {
 
 }  // namespace
 
-QueryEngine::QueryEngine(VenueBundle bundle) : bundle_(std::move(bundle)) {
+QueryEngine::QueryEngine(VenueBundle bundle) {
+  auto owned = std::make_shared<VenueBundle>(std::move(bundle));
+  mutable_bundle_ = owned.get();
+  bundle_ = std::move(owned);
+  RebuildWorker();
+}
+
+QueryEngine::QueryEngine(std::shared_ptr<const VenueBundle> bundle)
+    : bundle_(std::move(bundle)) {
+  VIPTREE_CHECK_MSG(bundle_ != nullptr,
+                    "QueryEngine constructed over a null bundle");
   RebuildWorker();
 }
 
@@ -127,7 +137,7 @@ QueryEngine::QueryEngine(const Venue& venue, const D2DGraph& graph,
 QueryEngine::~QueryEngine() = default;
 
 io::Status QueryEngine::Save(const std::string& path) const {
-  return bundle_.Save(path);
+  return bundle_->Save(path);
 }
 
 QueryEngine QueryEngine::Load(const std::string& path) {
@@ -144,6 +154,9 @@ std::unique_ptr<QueryEngine> QueryEngine::TryLoad(const std::string& path,
 void QueryEngine::SetObjects(
     std::vector<IndoorPoint> objects,
     std::vector<std::vector<std::string>> object_keywords) {
+  VIPTREE_CHECK_MSG(mutable_bundle_ != nullptr,
+                    "QueryEngine::SetObjects called on an engine serving a "
+                    "shared registry bundle; rebuild the snapshot instead");
   VIPTREE_CHECK_MSG(active_batches_.load(std::memory_order_acquire) == 0,
                     "QueryEngine::SetObjects called while a RunBatch is in "
                     "flight; object replacement must be serialized against "
@@ -151,7 +164,7 @@ void QueryEngine::SetObjects(
   // Mirror flag so a RunBatch entering during the swap trips its own CHECK
   // (see the misuse-detector note in the header).
   active_mutations_.fetch_add(1, std::memory_order_acq_rel);
-  bundle_.SetObjects(std::move(objects), std::move(object_keywords));
+  mutable_bundle_->SetObjects(std::move(objects), std::move(object_keywords));
   RebuildWorker();
   active_mutations_.fetch_sub(1, std::memory_order_acq_rel);
 }
@@ -161,7 +174,7 @@ void QueryEngine::RebuildWorker() {
 }
 
 uint64_t QueryEngine::IndexMemoryBytes() const {
-  return bundle_.IndexMemoryBytes();
+  return bundle_->IndexMemoryBytes();
 }
 
 Result QueryEngine::Execute(const Query& query, const Worker& worker) const {
@@ -187,11 +200,11 @@ Result QueryEngine::Execute(const Query& query, const Worker& worker) const {
           worker.knn.WithinRange(query.source, query.radius, &search_stats);
       break;
     case QueryType::kBooleanKnn:
-      VIPTREE_CHECK_MSG(bundle_.has_keywords(),
+      VIPTREE_CHECK_MSG(bundle_->has_keywords(),
                         "engine was built without object keywords; "
                         "kBooleanKnn queries need EngineOptions::"
                         "object_keywords or SetObjects(..., keywords)");
-      result.objects = bundle_.keyword_index().BooleanKnn(
+      result.objects = bundle_->keyword_index().BooleanKnn(
           query.source, query.k, query.keywords, worker.knn, &search_stats);
       break;
   }

@@ -123,6 +123,13 @@ class QueryEngine {
   // Adopts a pre-built or snapshot-loaded bundle.
   explicit QueryEngine(VenueBundle bundle);
 
+  // Serves over a *shared immutable* bundle — the VenueRegistry path, where
+  // one process holds many venues and several engines may serve the same
+  // bundle concurrently (the read path is const). SetObjects is unavailable
+  // on such an engine (it would mutate state other engines share) and
+  // CHECK-aborts.
+  explicit QueryEngine(std::shared_ptr<const VenueBundle> bundle);
+
   // Builds the bundle here, taking ownership of the venue (the D2D graph
   // is derived from the venue geometry).
   QueryEngine(Venue venue, std::vector<IndoorPoint> objects,
@@ -139,12 +146,12 @@ class QueryEngine {
   QueryEngine(const QueryEngine&) = delete;
   QueryEngine& operator=(const QueryEngine&) = delete;
 
-  const VenueBundle& bundle() const { return bundle_; }
-  const Venue& venue() const { return bundle_.venue(); }
-  const D2DGraph& graph() const { return bundle_.graph(); }
-  const VIPTree& tree() const { return bundle_.tree(); }
-  const ObjectIndex& objects() const { return bundle_.objects(); }
-  bool has_keywords() const { return bundle_.has_keywords(); }
+  const VenueBundle& bundle() const { return *bundle_; }
+  const Venue& venue() const { return bundle_->venue(); }
+  const D2DGraph& graph() const { return bundle_->graph(); }
+  const VIPTree& tree() const { return bundle_->tree(); }
+  const ObjectIndex& objects() const { return bundle_->objects(); }
+  bool has_keywords() const { return bundle_->has_keywords(); }
 
   // Snapshot persistence: Save writes the whole bundle in the io/snapshot.h
   // format; Load/TryLoad stand a serving engine up from such a file without
@@ -157,7 +164,8 @@ class QueryEngine {
 
   // Replaces the object set (and keyword lists) without rebuilding the
   // tree. This is the engine's only mutation and must be externally
-  // serialized against *all* queries. As a misuse detector (not a lock —
+  // serialized against *all* queries; it CHECK-aborts on an engine serving
+  // a shared bundle (registry path). As a misuse detector (not a lock —
   // a narrow check-then-act window remains, so correctness still rests on
   // the caller's serialization), both sides CHECK-abort when they observe
   // an overlap: SetObjects if a RunBatch is in flight, RunBatch if a swap
@@ -197,7 +205,12 @@ class QueryEngine {
   Result Execute(const Query& query, const Worker& worker) const;
   void RebuildWorker();
 
-  VenueBundle bundle_;
+  // The served state. `bundle_` is what every read goes through;
+  // `mutable_bundle_` aliases the same object when this engine owns it
+  // outright (and may therefore SetObjects), and is null for an engine
+  // serving a shared registry bundle.
+  std::shared_ptr<const VenueBundle> bundle_;
+  VenueBundle* mutable_bundle_ = nullptr;
   // Resident worker backing Run / RunSequential (RunBatch threads build
   // their own).
   std::unique_ptr<Worker> main_worker_;

@@ -68,7 +68,8 @@ uint64_t VenueBundle::IndexMemoryBytes() const {
   return bytes;
 }
 
-io::Status VenueBundle::Save(const std::string& path) const {
+io::Status VenueBundle::Save(const std::string& path,
+                             const io::SnapshotWriteOptions& options) const {
   io::Snapshot snapshot;
   snapshot.venue = venue_->ToParts();
   snapshot.graph = graph_->ToParts();
@@ -77,19 +78,46 @@ io::Status VenueBundle::Save(const std::string& path) const {
   snapshot.objects = objects_->ToParts();
   if (keywords_ != nullptr) snapshot.keywords = keywords_->ToParts();
   snapshot.query_options = query_options_;
-  return io::WriteSnapshotFile(path, snapshot);
+  return io::WriteSnapshotFile(path, snapshot, options);
 }
 
 std::optional<VenueBundle> VenueBundle::TryLoad(const std::string& path,
-                                                std::string* error) {
+                                                std::string* error,
+                                                const LoadOptions& options) {
   auto fail = [error](std::string message) -> std::optional<VenueBundle> {
     if (error != nullptr) *error = std::move(message);
     return std::nullopt;
   };
 
+  // Map (or read) the file into an arena, then decode. For a v2 snapshot
+  // the decoder hands out views into the arena (zero-copy) and the bundle
+  // keeps the arena alive; a v1 snapshot decodes into owned buffers and
+  // the arena is dropped at the end of this function.
+  auto arena = std::make_shared<io::MmapArena>();
+  {
+    const io::Status status =
+        io::MmapArena::Map(path, arena.get(), options.use_mmap);
+    if (!status.ok()) return fail(status.error);
+  }
+  io::SnapshotReadOptions read_options;
+  read_options.verify_checksums = options.verify_checksums;
+  read_options.allow_alias = true;
   io::Snapshot snapshot;
-  const io::Status status = io::ReadSnapshotFile(path, &snapshot);
-  if (!status.ok()) return fail(status.error);
+  {
+    const io::Status status =
+        io::DecodeSnapshot(arena->bytes(), &snapshot, read_options);
+    if (!status.ok()) return fail(status.error);
+  }
+
+  // v1 snapshots keep their historical full validation; v2 snapshots run
+  // the cheap structural level by default (deep_validate opts back in) —
+  // the CRCs already reject corruption, and the per-cell sweep would fault
+  // in every page of the mapped index.
+  const IPTree::ValidationLevel level =
+      (snapshot.format_version == io::kLegacyFormatVersion ||
+       options.deep_validate)
+          ? IPTree::ValidationLevel::kFull
+          : IPTree::ValidationLevel::kStructure;
 
   // Structural validation of every layer before assembly, bottom-up: a
   // snapshot that fails must surface as an error the caller can report
@@ -99,7 +127,7 @@ std::optional<VenueBundle> VenueBundle::TryLoad(const std::string& path,
   if (auto e = Venue::ValidateParts(snapshot.venue)) {
     return fail("invalid snapshot: " + *e);
   }
-  if (auto e = D2DGraph::ValidateParts(snapshot.graph)) {
+  if (auto e = D2DGraph::ValidateParts(snapshot.graph, level)) {
     return fail("invalid snapshot: " + *e);
   }
 
@@ -115,12 +143,12 @@ std::optional<VenueBundle> VenueBundle::TryLoad(const std::string& path,
                 std::to_string(bundle.venue_->NumDoors()) + " doors");
   }
 
-  if (auto e = IPTree::ValidateParts(*bundle.venue_, snapshot.tree)) {
+  if (auto e = IPTree::ValidateParts(*bundle.venue_, snapshot.tree, level)) {
     return fail("invalid snapshot: " + *e);
   }
   IPTree base = IPTree::FromValidatedParts(*bundle.venue_, *bundle.graph_,
                                            std::move(snapshot.tree));
-  if (auto e = VIPTree::ValidateParts(base, snapshot.vip)) {
+  if (auto e = VIPTree::ValidateParts(base, snapshot.vip, level)) {
     return fail("invalid snapshot: " + *e);
   }
   bundle.tree_ = std::make_unique<VIPTree>(
@@ -145,12 +173,17 @@ std::optional<VenueBundle> VenueBundle::TryLoad(const std::string& path,
             std::move(*snapshot.keywords)));
   }
   bundle.query_options_ = snapshot.query_options;
+  // A zero-copy decode left views into the arena inside the indexes; the
+  // bundle must then keep the arena alive. A copying decode (v1 snapshot,
+  // exotic host) owns everything, so the arena can be released here.
+  if (snapshot.aliased) bundle.arena_ = std::move(arena);
   return bundle;
 }
 
-VenueBundle VenueBundle::Load(const std::string& path) {
+VenueBundle VenueBundle::Load(const std::string& path,
+                              const LoadOptions& options) {
   std::string error;
-  std::optional<VenueBundle> bundle = TryLoad(path, &error);
+  std::optional<VenueBundle> bundle = TryLoad(path, &error, options);
   VIPTREE_CHECK_MSG(bundle.has_value(), error.c_str());
   return std::move(*bundle);
 }

@@ -11,6 +11,14 @@
 //     written by Save, skipping construction entirely. Build once offline,
 //     load the immutable artifact into every serving process.
 //
+// Snapshot loads come in two flavours. A format-v2 snapshot is memory-
+// mapped (io/mmap_arena.h) and the index buffers alias the mapped file —
+// zero-copy, so standing up a venue costs O(resident-pages) instead of a
+// private copy of the whole index; the bundle keeps the arena alive for as
+// long as any index aliases it. Format-v1 snapshots (and hosts where
+// aliasing is impossible) take the copying path: every buffer is
+// deserialized into owned memory, exactly as before.
+//
 // All members live behind stable heap storage, so moving a bundle never
 // invalidates the internal venue/graph/tree cross-references.
 
@@ -27,6 +35,8 @@
 #include "core/vip_tree.h"
 #include "graph/d2d_graph.h"
 #include "io/binary_io.h"
+#include "io/mmap_arena.h"
+#include "io/snapshot.h"
 #include "model/venue.h"
 
 namespace viptree {
@@ -39,8 +49,31 @@ struct EngineOptions {
   std::vector<std::vector<std::string>> object_keywords;
 };
 
+// Knobs of the snapshot load path (namespace-scope so it can appear in
+// default arguments of VenueBundle's own members).
+struct SnapshotLoadOptions {
+  // Map the file instead of reading it (v2 snapshots only; v1 always
+  // copies). Benchmarks force this off to measure the copying path.
+  bool use_mmap = true;
+  // Verify every section's CRC-32 before decoding. Costs one sequential
+  // pass over the file; turn off only for snapshots whose integrity is
+  // guaranteed elsewhere.
+  bool verify_checksums = true;
+  // Run the per-cell matrix/edge validation sweep on v2 snapshots (v1
+  // loads always run it, preserving their historical behaviour). Off by
+  // default: the checksums already reject accidental corruption, and the
+  // sweep would fault in every page of the mapped index. The default
+  // therefore trusts the *producer*: a crafted v2 file with consistent
+  // CRCs but out-of-range next-hop/edge cells would only be caught at
+  // query time. Set this when loading snapshots from producers you do not
+  // control.
+  bool deep_validate = false;
+};
+
 class VenueBundle {
  public:
+  using LoadOptions = SnapshotLoadOptions;
+
   // Full index construction over a venue the bundle takes ownership of.
   // The first overload derives the D2D graph from the venue geometry; the
   // second adopts an explicitly weighted graph (imported venues, the
@@ -58,15 +91,19 @@ class VenueBundle {
                                std::vector<IndoorPoint> objects,
                                EngineOptions options = {});
 
-  // Snapshot persistence (io/snapshot.h format). Save reports failures as a
-  // Status; TryLoad reports them as nullopt plus a human-readable message in
-  // *error (truncation, corruption, version skew, structural inconsistency);
-  // Load aborts with that message (for callers who treat the snapshot as
+  // Snapshot persistence (io/snapshot.h format; Save writes format v2
+  // unless told otherwise). Save reports failures as a Status; TryLoad
+  // reports them as nullopt plus a human-readable message in *error
+  // (truncation, corruption, version skew, structural inconsistency); Load
+  // aborts with that message (for callers who treat the snapshot as
   // trusted infrastructure).
-  io::Status Save(const std::string& path) const;
+  io::Status Save(const std::string& path,
+                  const io::SnapshotWriteOptions& options = {}) const;
   static std::optional<VenueBundle> TryLoad(const std::string& path,
-                                            std::string* error);
-  static VenueBundle Load(const std::string& path);
+                                            std::string* error,
+                                            const LoadOptions& options = {});
+  static VenueBundle Load(const std::string& path,
+                          const LoadOptions& options = {});
 
   VenueBundle(VenueBundle&&) = default;
   VenueBundle& operator=(VenueBundle&&) = default;
@@ -79,14 +116,20 @@ class VenueBundle {
   const KeywordIndex& keyword_index() const { return *keywords_; }
   const DistanceQueryOptions& query_options() const { return query_options_; }
 
+  // True when the indexes alias a mapped (or heap-read) snapshot arena
+  // instead of owning private copies — i.e. the zero-copy load path ran.
+  bool zero_copy() const { return arena_ != nullptr; }
+
   // Replaces the object set (and keyword lists) without rebuilding the
   // tree. Callers must serialize this with queries; QueryEngine enforces
   // the RunBatch half of that contract.
   void SetObjects(std::vector<IndoorPoint> objects,
                   std::vector<std::vector<std::string>> object_keywords = {});
 
-  // Combined footprint of the owned indexes (tree + objects + keywords),
-  // excluding the venue/graph source data.
+  // Combined logical footprint of the owned indexes (tree + objects +
+  // keywords), excluding the venue/graph source data. For a zero-copy
+  // bundle most of these bytes are file-backed arena pages, resident only
+  // once touched.
   uint64_t IndexMemoryBytes() const;
 
  private:
@@ -97,6 +140,9 @@ class VenueBundle {
                               std::vector<IndoorPoint> objects,
                               EngineOptions options);
 
+  // The snapshot arena the indexes may alias. Declared first so it is
+  // destroyed last — after every index that may hold views into it.
+  std::shared_ptr<io::MmapArena> arena_;
   std::unique_ptr<Venue> venue_;
   std::unique_ptr<D2DGraph> graph_;
   std::unique_ptr<VIPTree> tree_;

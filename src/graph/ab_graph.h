@@ -35,8 +35,8 @@ class ABGraph {
   }
 
   uint64_t MemoryBytes() const {
-    return offsets_.capacity() * sizeof(uint32_t) +
-           edges_.capacity() * sizeof(ABEdge);
+    return offsets_.size() * sizeof(uint32_t) +
+           edges_.size() * sizeof(ABEdge);
   }
 
  private:

@@ -8,7 +8,8 @@
 
 namespace viptree {
 
-std::optional<std::string> D2DGraph::ValidateParts(const Parts& parts) {
+std::optional<std::string> D2DGraph::ValidateParts(const Parts& parts,
+                                                   ValidationLevel level) {
   if (parts.offsets.size() != parts.num_vertices + 1) {
     return "graph offsets array has " + std::to_string(parts.offsets.size()) +
            " entries, expected " + std::to_string(parts.num_vertices + 1);
@@ -26,6 +27,7 @@ std::optional<std::string> D2DGraph::ValidateParts(const Parts& parts) {
            " edges but " + std::to_string(parts.edges.size()) +
            " are present";
   }
+  if (level != ValidationLevel::kFull) return std::nullopt;
   for (size_t i = 0; i < parts.edges.size(); ++i) {
     const D2DEdge& e = parts.edges[i];
     if (e.to < 0 || static_cast<size_t>(e.to) >= parts.num_vertices) {

@@ -21,6 +21,7 @@
 
 #include "model/venue.h"
 #include "common/span.h"
+#include "common/storage.h"
 
 namespace viptree {
 
@@ -29,6 +30,10 @@ struct D2DEdge {
   float weight = 0.0f;
   PartitionId via = kInvalidId;  // the partition this edge walks through
 };
+
+// Edges are persisted as raw bytes in format-v2 snapshots and aliased
+// straight out of the mapped file, so the layout must stay padding-free.
+static_assert(sizeof(D2DEdge) == 12, "D2DEdge must stay a packed 12 bytes");
 
 // An explicitly weighted door-to-door connection, for building a D2D graph
 // whose weights are not derived from geometry (imported venues, the paper's
@@ -44,11 +49,12 @@ class D2DGraph {
  public:
   // The complete serializable state: the CSR arrays exactly as stored, so a
   // reconstructed graph is bit-identical to the original (edge weights are
-  // never re-derived from geometry on load).
+  // never re-derived from geometry on load). The buffers are Storage, so a
+  // zero-copy snapshot load can hand in arena views.
   struct Parts {
     size_t num_vertices = 0;
-    std::vector<uint64_t> offsets;  // num_vertices + 1 entries
-    std::vector<D2DEdge> edges;
+    Storage<uint64_t> offsets;  // num_vertices + 1 entries
+    Storage<D2DEdge> edges;
   };
 
   // Builds the D2D graph of `venue` with geometric weights. The venue must
@@ -59,9 +65,12 @@ class D2DGraph {
   // doors (each explicit edge produces both directions).
   D2DGraph(size_t num_doors, Span<const ExplicitD2DEdge> edges);
 
-  // Returns an error description if `parts` is not a well-formed CSR graph
-  // (offset monotonicity, edge endpoints in range), std::nullopt if it is.
-  static std::optional<std::string> ValidateParts(const Parts& parts);
+  // Returns an error description if `parts` is not a well-formed CSR graph,
+  // std::nullopt if it is. kStructure checks the offsets array (size,
+  // monotonicity, coverage); kFull additionally sweeps every edge (target
+  // in range, weight non-negative) — see viptree::ValidationLevel.
+  static std::optional<std::string> ValidateParts(
+      const Parts& parts, ValidationLevel level = ValidationLevel::kFull);
 
   // Reconstructs a graph from deserialized parts. Aborts on malformed input
   // (run ValidateParts first when the parts come from an untrusted file).
@@ -100,16 +109,15 @@ class D2DGraph {
   }
 
   uint64_t MemoryBytes() const {
-    return offsets_.capacity() * sizeof(uint32_t) +
-           edges_.capacity() * sizeof(D2DEdge);
+    return offsets_.MemoryBytes() + edges_.MemoryBytes();
   }
 
  private:
   D2DGraph() = default;
 
   size_t num_vertices_ = 0;
-  std::vector<uint64_t> offsets_;
-  std::vector<D2DEdge> edges_;
+  Storage<uint64_t> offsets_;
+  Storage<D2DEdge> edges_;
 };
 
 }  // namespace viptree

@@ -2,11 +2,24 @@
 
 #include <array>
 #include <cstdio>
+#include <string>
+
+#if !defined(_WIN32)
+#include <unistd.h>
+#endif
 
 namespace viptree {
 namespace io {
 
 namespace {
+
+long ProcessId() {
+#if defined(_WIN32)
+  return 0;  // best effort; the unique-scratch property is POSIX-only
+#else
+  return static_cast<long>(::getpid());
+#endif
+}
 
 // Slice-by-8 tables: table[0] is the classic byte-at-a-time table; the
 // other seven let the hot loop fold 8 input bytes per iteration (roughly
@@ -59,18 +72,38 @@ uint32_t Crc32(const void* data, size_t size, uint32_t seed) {
 }
 
 Status WriteFileBytes(const std::string& path, Span<const uint8_t> bytes) {
-  std::FILE* f = std::fopen(path.c_str(), "wb");
+  // Write to a sibling temp file and rename(2) it into place. Rename is
+  // atomic on POSIX, so readers never observe a half-written file — and,
+  // crucial for zero-copy serving, rewriting an existing snapshot replaces
+  // the directory entry while live mmap()s keep the *old* inode: a
+  // rebuild can never SIGBUS a process still serving the previous
+  // artifact out of a lazy mapping. The temp name carries the pid so
+  // concurrent writers to one path never share (and truncate) each
+  // other's scratch file; last rename wins with a complete artifact.
+  const std::string temp = path + ".tmp." + std::to_string(ProcessId());
+  std::FILE* f = std::fopen(temp.c_str(), "wb");
   if (f == nullptr) {
-    return Status::Error("cannot open '" + path + "' for writing");
+    return Status::Error("cannot open '" + temp + "' for writing");
   }
   const size_t written =
       bytes.empty() ? 0 : std::fwrite(bytes.data(), 1, bytes.size(), f);
   const bool flushed = std::fclose(f) == 0;
   if (written != bytes.size() || !flushed) {
-    std::remove(path.c_str());
-    return Status::Error("short write to '" + path + "' (" +
+    std::remove(temp.c_str());
+    return Status::Error("short write to '" + temp + "' (" +
                          std::to_string(written) + " of " +
                          std::to_string(bytes.size()) + " bytes)");
+  }
+#if defined(_WIN32)
+  // Windows rename() refuses to replace an existing destination; drop the
+  // old file first (non-atomic, but Windows also has no mmap zero-copy
+  // path that could be serving the old inode).
+  std::remove(path.c_str());
+#endif
+  if (std::rename(temp.c_str(), path.c_str()) != 0) {
+    std::remove(temp.c_str());
+    return Status::Error("cannot move '" + temp + "' into place at '" +
+                         path + "'");
   }
   return Status::Ok();
 }

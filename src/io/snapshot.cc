@@ -3,13 +3,16 @@
 #include <cstring>
 #include <utility>
 
+#include "common/check.h"
+#include "common/storage.h"
+
 namespace viptree {
 namespace io {
 
 namespace {
 
 // ---------------------------------------------------------------------------
-// Section framing.
+// Section tags (shared by both format versions).
 // ---------------------------------------------------------------------------
 
 constexpr char kMagic[8] = {'V', 'I', 'P', 'T', 'S', 'N', 'A', 'P'};
@@ -36,15 +39,8 @@ std::string TagName(uint32_t tag) {
   return name;
 }
 
-void AppendSection(Writer& out, uint32_t tag, const Writer& payload) {
-  out.U32(tag);
-  out.U64(payload.size());
-  out.U32(Crc32(payload.buffer().data(), payload.size()));
-  out.Bytes(payload.buffer().data(), payload.size());
-}
-
 // ---------------------------------------------------------------------------
-// Field helpers.
+// Field helpers (shared).
 // ---------------------------------------------------------------------------
 
 void WritePoint(Writer& w, const Point& p) {
@@ -61,7 +57,28 @@ Point ReadPoint(Reader& r) {
   return p;
 }
 
-void WriteI32Vec(Writer& w, const std::vector<int32_t>& v) {
+// Division-based bounds check so a corrupted rows*cols cannot overflow into
+// a bogus small allocation.
+bool MatrixShapeFits(Reader& r, uint64_t rows, uint64_t cols,
+                     size_t element_size, const char* what) {
+  if (!r.ok()) return false;
+  if (rows != 0 && cols > (r.remaining() / element_size) / rows) {
+    r.Fail(std::string("truncated: ") + what + " claims " +
+           std::to_string(rows) + "x" + std::to_string(cols) +
+           " cells but only " + std::to_string(r.remaining()) +
+           " bytes remain");
+    return false;
+  }
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// Format v1: unaligned field-by-field encoding, always decoded by copying.
+// The byte layout is kept exactly as PR 3 wrote it so pre-v2 snapshots keep
+// loading bit-identically.
+// ---------------------------------------------------------------------------
+
+void WriteI32Vec(Writer& w, Span<const int32_t> v) {
   w.U64(v.size());
   w.I32Array(v);
 }
@@ -73,7 +90,7 @@ std::vector<int32_t> ReadI32Vec(Reader& r, const char* what) {
   return v;
 }
 
-void WriteU32Vec(Writer& w, const std::vector<uint32_t>& v) {
+void WriteU32Vec(Writer& w, Span<const uint32_t> v) {
   w.U64(v.size());
   w.U32Array(v);
 }
@@ -85,7 +102,7 @@ std::vector<uint32_t> ReadU32Vec(Reader& r, const char* what) {
   return v;
 }
 
-void WriteU64Vec(Writer& w, const std::vector<uint64_t>& v) {
+void WriteU64Vec(Writer& w, Span<const uint64_t> v) {
   w.U64(v.size());
   w.U64Array(v);
 }
@@ -97,7 +114,7 @@ std::vector<uint64_t> ReadU64Vec(Reader& r, const char* what) {
   return v;
 }
 
-void WriteF64Vec(Writer& w, const std::vector<double>& v) {
+void WriteF64Vec(Writer& w, Span<const double> v) {
   w.U64(v.size());
   w.F64Array(v);
 }
@@ -113,21 +130,6 @@ void WriteMatrixF32(Writer& w, const FlatMatrix<float>& m) {
   w.U64(m.rows());
   w.U64(m.cols());
   w.F32Array(m.raw());
-}
-
-// Division-based bounds check so a corrupted rows*cols cannot overflow into
-// a bogus small allocation.
-bool MatrixShapeFits(Reader& r, uint64_t rows, uint64_t cols,
-                     size_t element_size, const char* what) {
-  if (!r.ok()) return false;
-  if (rows != 0 && cols > (r.remaining() / element_size) / rows) {
-    r.Fail(std::string("truncated: ") + what + " claims " +
-           std::to_string(rows) + "x" + std::to_string(cols) +
-           " cells but only " + std::to_string(r.remaining()) +
-           " bytes remain");
-    return false;
-  }
-  return true;
 }
 
 FlatMatrix<float> ReadMatrixF32(Reader& r, const char* what) {
@@ -158,9 +160,7 @@ FlatMatrix<int32_t> ReadMatrixI32(Reader& r, const char* what) {
   return FlatMatrix<int32_t>(rows, cols, std::move(data));
 }
 
-// ---------------------------------------------------------------------------
-// Per-section encoders/decoders.
-// ---------------------------------------------------------------------------
+// --- v1 per-section encoders/decoders. -------------------------------------
 
 void EncodeVenue(Writer& w, const Venue::Parts& parts) {
   w.I32(parts.beta);
@@ -211,7 +211,7 @@ void DecodeVenue(Reader& r, Venue::Parts* parts) {
   }
 }
 
-void EncodeGraph(Writer& w, const D2DGraph::Parts& parts) {
+void EncodeGraphV1(Writer& w, const D2DGraph::Parts& parts) {
   w.U64(parts.num_vertices);
   WriteU64Vec(w, parts.offsets);
   w.U64(parts.edges.size());
@@ -222,19 +222,20 @@ void EncodeGraph(Writer& w, const D2DGraph::Parts& parts) {
   }
 }
 
-void DecodeGraph(Reader& r, D2DGraph::Parts* parts) {
+void DecodeGraphV1(Reader& r, D2DGraph::Parts* parts) {
   parts->num_vertices = r.U64();
   parts->offsets = ReadU64Vec(r, "graph offsets");
   const uint64_t num_edges = r.ArraySize(12, "graph edges");
-  parts->edges.resize(num_edges);
-  for (D2DEdge& e : parts->edges) {
+  std::vector<D2DEdge> edges(num_edges);
+  for (D2DEdge& e : edges) {
     e.to = r.I32();
     e.weight = r.F32();
     e.via = r.I32();
   }
+  parts->edges = std::move(edges);
 }
 
-void EncodeTree(Writer& w, const IPTree::Parts& parts) {
+void EncodeTreeV1(Writer& w, const IPTree::Parts& parts) {
   w.U64(parts.nodes.size());
   for (const TreeNode& node : parts.nodes) {
     w.I32(node.id);
@@ -266,7 +267,7 @@ void EncodeTree(Writer& w, const IPTree::Parts& parts) {
   WriteI32Vec(w, parts.superior_doors);
 }
 
-void DecodeTree(Reader& r, IPTree::Parts* parts) {
+void DecodeTreeV1(Reader& r, IPTree::Parts* parts) {
   const uint64_t num_nodes = r.ArraySize(60, "tree nodes");
   parts->nodes.resize(num_nodes);
   for (TreeNode& node : parts->nodes) {
@@ -288,24 +289,26 @@ void DecodeTree(Reader& r, IPTree::Parts* parts) {
   parts->num_leaves = r.U64();
   parts->leaf_of_partition = ReadI32Vec(r, "leaf_of_partition");
   const uint64_t num_doors = r.ArraySize(16, "door_leaves");
-  parts->door_leaves.resize(num_doors);
-  for (auto& entries : parts->door_leaves) {
+  std::vector<IPTree::DoorLeafPair> door_leaves(num_doors);
+  for (auto& entries : door_leaves) {
     for (IPTree::DoorLeafEntry& e : entries) {
       e.leaf = r.I32();
       e.row = r.U32();
     }
   }
+  parts->door_leaves = std::move(door_leaves);
   const uint64_t num_flags = r.ArraySize(1, "is_access_door");
-  parts->is_access_door.resize(num_flags);
+  std::vector<uint8_t> is_access_door(num_flags);
   const Span<const uint8_t> flags = r.Raw(num_flags);
   if (r.ok() && num_flags != 0) {
-    std::memcpy(parts->is_access_door.data(), flags.data(), num_flags);
+    std::memcpy(is_access_door.data(), flags.data(), num_flags);
   }
+  parts->is_access_door = std::move(is_access_door);
   parts->superior_offsets = ReadU32Vec(r, "superior offsets");
   parts->superior_doors = ReadI32Vec(r, "superior doors");
 }
 
-void EncodeVip(Writer& w, const VIPTree::Parts& parts) {
+void EncodeVipV1(Writer& w, const VIPTree::Parts& parts) {
   w.U64(parts.ext.size());
   for (const VIPTree::ExtMatrix& ext : parts.ext) {
     WriteI32Vec(w, ext.doors);
@@ -314,7 +317,7 @@ void EncodeVip(Writer& w, const VIPTree::Parts& parts) {
   }
 }
 
-void DecodeVip(Reader& r, VIPTree::Parts* parts) {
+void DecodeVipV1(Reader& r, VIPTree::Parts* parts) {
   const uint64_t num_nodes = r.ArraySize(40, "extended matrices");
   parts->ext.resize(num_nodes);
   for (VIPTree::ExtMatrix& ext : parts->ext) {
@@ -325,12 +328,25 @@ void DecodeVip(Reader& r, VIPTree::Parts* parts) {
   }
 }
 
-void EncodeObjects(Writer& w, const ObjectIndex::Parts& parts) {
-  w.U64(parts.objects.size());
-  for (const IndoorPoint& obj : parts.objects) {
+void EncodeObjectList(Writer& w, const std::vector<IndoorPoint>& objects) {
+  w.U64(objects.size());
+  for (const IndoorPoint& obj : objects) {
     w.I32(obj.partition);
     WritePoint(w, obj.position);
   }
+}
+
+void DecodeObjectList(Reader& r, std::vector<IndoorPoint>* objects) {
+  const uint64_t num_objects = r.ArraySize(28, "objects");
+  objects->resize(num_objects);
+  for (IndoorPoint& obj : *objects) {
+    obj.partition = r.I32();
+    obj.position = ReadPoint(r);
+  }
+}
+
+void EncodeObjectsV1(Writer& w, const ObjectIndex::Parts& parts) {
+  EncodeObjectList(w, parts.objects);
   WriteU32Vec(w, parts.leaf_object_offsets);
   WriteI32Vec(w, parts.leaf_objects);
   WriteU64Vec(w, parts.dist_offsets);
@@ -338,13 +354,8 @@ void EncodeObjects(Writer& w, const ObjectIndex::Parts& parts) {
   WriteU32Vec(w, parts.dfs_prefix);
 }
 
-void DecodeObjects(Reader& r, ObjectIndex::Parts* parts) {
-  const uint64_t num_objects = r.ArraySize(28, "objects");
-  parts->objects.resize(num_objects);
-  for (IndoorPoint& obj : parts->objects) {
-    obj.partition = r.I32();
-    obj.position = ReadPoint(r);
-  }
+void DecodeObjectsV1(Reader& r, ObjectIndex::Parts* parts) {
+  DecodeObjectList(r, &parts->objects);
   parts->leaf_object_offsets = ReadU32Vec(r, "leaf object offsets");
   parts->leaf_objects = ReadI32Vec(r, "leaf objects");
   parts->dist_offsets = ReadU64Vec(r, "distance offsets");
@@ -385,70 +396,376 @@ void DecodeEngineOptions(Reader& r, DistanceQueryOptions* options) {
   options->use_superior_doors = r.U8() != 0;
 }
 
-}  // namespace
-
 // ---------------------------------------------------------------------------
-// Container encode/decode.
+// Format v2: 8-aligned bulk arrays that can be aliased into the file.
 // ---------------------------------------------------------------------------
 
-std::vector<uint8_t> EncodeSnapshot(const Snapshot& snapshot) {
+void PadTo8(Writer& w) {
+  while (w.size() % 8 != 0) w.U8(0);
+}
+
+// Per-element fallbacks, used only on big-endian hosts (and for the v2
+// copy path there): the byte layout they produce is identical to the raw
+// little-endian struct bytes.
+void EncodeElement(Writer& w, uint8_t v) { w.U8(v); }
+void EncodeElement(Writer& w, uint32_t v) { w.U32(v); }
+void EncodeElement(Writer& w, int32_t v) { w.I32(v); }
+void EncodeElement(Writer& w, uint64_t v) { w.U64(v); }
+void EncodeElement(Writer& w, float v) { w.F32(v); }
+void EncodeElement(Writer& w, double v) { w.F64(v); }
+void EncodeElement(Writer& w, const D2DEdge& e) {
+  w.I32(e.to);
+  w.F32(e.weight);
+  w.I32(e.via);
+}
+void EncodeElement(Writer& w, const IPTree::DoorLeafPair& pair) {
+  for (const IPTree::DoorLeafEntry& e : pair) {
+    w.I32(e.leaf);
+    w.U32(e.row);
+  }
+}
+
+void DecodeElement(Reader& r, uint8_t* v) { *v = r.U8(); }
+void DecodeElement(Reader& r, uint32_t* v) { *v = r.U32(); }
+void DecodeElement(Reader& r, int32_t* v) { *v = r.I32(); }
+void DecodeElement(Reader& r, uint64_t* v) { *v = r.U64(); }
+void DecodeElement(Reader& r, float* v) { *v = r.F32(); }
+void DecodeElement(Reader& r, double* v) { *v = r.F64(); }
+void DecodeElement(Reader& r, D2DEdge* e) {
+  e->to = r.I32();
+  e->weight = r.F32();
+  e->via = r.I32();
+}
+void DecodeElement(Reader& r, IPTree::DoorLeafPair* pair) {
+  for (IPTree::DoorLeafEntry& e : *pair) {
+    e.leaf = r.I32();
+    e.row = r.U32();
+  }
+}
+
+// Raw element bytes, padded to an 8-aligned position relative to the
+// payload start (== relative to the file, since payload offsets are
+// 8-aligned).
+template <typename T>
+void WriteRawElems(Writer& w, Span<const T> v) {
+  static_assert(std::is_trivially_copyable<T>::value, "raw array element");
+  PadTo8(w);
+  if (detail::kHostIsLittleEndian) {
+    w.Bytes(v.data(), v.size() * sizeof(T));
+  } else {
+    for (const T& x : v) EncodeElement(w, x);
+  }
+}
+
+template <typename T>
+void WriteAlignedArray(Writer& w, Span<const T> v) {
+  w.U64(v.size());
+  WriteRawElems(w, v);
+}
+
+// Decodes v2 payloads; hands out views into the payload when aliasing is
+// possible (little-endian host, suitably aligned pointer), owning copies
+// otherwise. Records whether any view was handed out.
+class SectionReader {
+ public:
+  SectionReader(Span<const uint8_t> payload, bool allow_alias, bool* aliased)
+      : r_(payload), allow_alias_(allow_alias), aliased_(aliased) {}
+
+  Reader& r() { return r_; }
+
+  template <typename T>
+  Storage<T> Array(const char* what) {
+    const uint64_t n = r_.ArraySize(sizeof(T), what);
+    return RawElems<T>(n, what);
+  }
+
+  // Reads an array whose element count was decoded earlier (the split
+  // hot-metadata / cold-blob layout of the TREE and VIPX sections).
+  template <typename T>
+  Storage<T> ShapedArray(uint64_t n, const char* what) {
+    if (!r_.ok()) return {};
+    if (n > r_.remaining() / sizeof(T)) {
+      r_.Fail(std::string("truncated: ") + what + " claims " +
+              std::to_string(n) + " elements but only " +
+              std::to_string(r_.remaining()) + " bytes remain");
+      return {};
+    }
+    return RawElems<T>(n, what);
+  }
+
+  template <typename T>
+  FlatMatrix<T> ShapedMatrix(uint64_t rows, uint64_t cols, const char* what) {
+    if (!MatrixShapeFits(r_, rows, cols, sizeof(T), what)) return {};
+    Storage<T> data = RawElems<T>(rows * cols, what);
+    if (!r_.ok()) return {};
+    return FlatMatrix<T>(rows, cols, std::move(data));
+  }
+
+ private:
+  template <typename T>
+  Storage<T> RawElems(uint64_t n, const char* what) {
+    SkipPad();
+    const size_t start = r_.position();
+    const Span<const uint8_t> raw = r_.Raw(n * sizeof(T));
+    if (!r_.ok()) return {};
+    if (detail::kHostIsLittleEndian && allow_alias_ &&
+        reinterpret_cast<uintptr_t>(raw.data()) % alignof(T) == 0) {
+      *aliased_ = true;
+      return Storage<T>::View(
+          {reinterpret_cast<const T*>(raw.data()), static_cast<size_t>(n)});
+    }
+    std::vector<T> v(n);
+    if (detail::kHostIsLittleEndian) {
+      if (n != 0) std::memcpy(v.data(), raw.data(), n * sizeof(T));
+    } else {
+      Reader elems(raw);
+      for (T& x : v) DecodeElement(elems, &x);
+      if (!elems.ok()) {
+        r_.Fail(std::string("malformed ") + what + " at offset " +
+                std::to_string(start));
+        return {};
+      }
+    }
+    return Storage<T>(std::move(v));
+  }
+
+  void SkipPad() {
+    const size_t pad = (8 - r_.position() % 8) % 8;
+    if (pad != 0) r_.Raw(pad);
+  }
+
+  Reader r_;
+  bool allow_alias_;
+  bool* aliased_;
+};
+
+// --- v2 per-section encoders/decoders (VENU / KWIX / ENGO reuse the
+// field-wise v1 codecs — they hold no bulk arrays worth aliasing). ---------
+
+void EncodeGraphV2(Writer& w, const D2DGraph::Parts& parts) {
+  w.U64(parts.num_vertices);
+  WriteAlignedArray<uint64_t>(w, parts.offsets);
+  WriteAlignedArray<D2DEdge>(w, parts.edges);
+}
+
+void DecodeGraphV2(SectionReader& s, D2DGraph::Parts* parts) {
+  parts->num_vertices = s.r().U64();
+  parts->offsets = s.Array<uint64_t>("graph offsets");
+  parts->edges = s.Array<D2DEdge>("graph edges");
+}
+
+// Layout note: the TREE and VIPX sections segregate hot bytes from cold
+// bytes. Everything the decoder must *read* (node scalars, the small
+// per-node door lists it copies into TreeNode vectors, matrix shapes)
+// comes first; the matrix payloads — the bulk of the snapshot, aliased
+// and never read at load time — sit in one contiguous blob at the end of
+// the section. Interleaving them per node would drag the cold matrix
+// pages into memory alongside the hot metadata that shares their 4 KiB
+// pages, destroying the O(touched-pages) property of the mmap load.
+
+void EncodeTreeV2(Writer& w, const IPTree::Parts& parts) {
+  w.U64(parts.nodes.size());
+  for (const TreeNode& node : parts.nodes) {
+    w.I32(node.id);
+    w.I32(node.parent);
+    w.I32(node.level);
+    w.U32(node.leaf_begin);
+    w.U32(node.leaf_end);
+    WriteAlignedArray<int32_t>(w, node.children);
+    WriteAlignedArray<int32_t>(w, node.partitions);
+    WriteAlignedArray<int32_t>(w, node.doors);
+    WriteAlignedArray<int32_t>(w, node.access_doors);
+    WriteAlignedArray<int32_t>(w, node.matrix_doors);
+    w.U64(node.dist.rows());
+    w.U64(node.dist.cols());
+    w.U64(node.next_hop.rows());
+    w.U64(node.next_hop.cols());
+  }
+  w.I32(parts.root);
+  w.U64(parts.num_leaves);
+  WriteAlignedArray<int32_t>(w, parts.leaf_of_partition);
+  WriteAlignedArray<IPTree::DoorLeafPair>(w, parts.door_leaves);
+  WriteAlignedArray<uint8_t>(w, parts.is_access_door);
+  WriteAlignedArray<uint32_t>(w, parts.superior_offsets);
+  WriteAlignedArray<int32_t>(w, parts.superior_doors);
+  // Cold matrix blob.
+  for (const TreeNode& node : parts.nodes) {
+    WriteRawElems<float>(w, node.dist.raw());
+    WriteRawElems<int32_t>(w, node.next_hop.raw());
+  }
+}
+
+std::vector<int32_t> ToVector(Storage<int32_t> s) {
+  return std::vector<int32_t>(s.begin(), s.end());
+}
+
+void DecodeTreeV2(SectionReader& s, IPTree::Parts* parts) {
+  Reader& r = s.r();
+  const uint64_t num_nodes = r.ArraySize(60, "tree nodes");
+  parts->nodes.resize(num_nodes);
+  std::vector<std::array<uint64_t, 4>> shapes(num_nodes);
+  for (uint64_t i = 0; i < num_nodes; ++i) {
+    TreeNode& node = parts->nodes[i];
+    node.id = r.I32();
+    node.parent = r.I32();
+    node.level = r.I32();
+    node.leaf_begin = r.U32();
+    node.leaf_end = r.U32();
+    // The per-node door lists stay owned vectors in TreeNode (they are
+    // small and heavily iterated); only the matrices alias the arena.
+    node.children = ToVector(s.Array<int32_t>("node children"));
+    node.partitions = ToVector(s.Array<int32_t>("node partitions"));
+    node.doors = ToVector(s.Array<int32_t>("node doors"));
+    node.access_doors = ToVector(s.Array<int32_t>("node access doors"));
+    node.matrix_doors = ToVector(s.Array<int32_t>("node matrix doors"));
+    shapes[i] = {r.U64(), r.U64(), r.U64(), r.U64()};
+    if (!r.ok()) return;
+  }
+  parts->root = r.I32();
+  parts->num_leaves = r.U64();
+  parts->leaf_of_partition = s.Array<int32_t>("leaf_of_partition");
+  parts->door_leaves = s.Array<IPTree::DoorLeafPair>("door_leaves");
+  parts->is_access_door = s.Array<uint8_t>("is_access_door");
+  parts->superior_offsets = s.Array<uint32_t>("superior offsets");
+  parts->superior_doors = s.Array<int32_t>("superior doors");
+  for (uint64_t i = 0; i < num_nodes; ++i) {
+    parts->nodes[i].dist =
+        s.ShapedMatrix<float>(shapes[i][0], shapes[i][1],
+                              "node distance matrix");
+    parts->nodes[i].next_hop = s.ShapedMatrix<int32_t>(
+        shapes[i][2], shapes[i][3], "node next-hop matrix");
+    if (!r.ok()) return;
+  }
+}
+
+void EncodeVipV2(Writer& w, const VIPTree::Parts& parts) {
+  w.U64(parts.ext.size());
+  for (const VIPTree::ExtMatrix& ext : parts.ext) {
+    w.U64(ext.doors.size());
+    w.U64(ext.dist.rows());
+    w.U64(ext.dist.cols());
+    w.U64(ext.next_hop.rows());
+    w.U64(ext.next_hop.cols());
+  }
+  // Cold blob: the row-door lists and matrices, all aliased on load.
+  for (const VIPTree::ExtMatrix& ext : parts.ext) {
+    WriteRawElems<int32_t>(w, ext.doors.span());
+    WriteRawElems<float>(w, ext.dist.raw());
+    WriteRawElems<int32_t>(w, ext.next_hop.raw());
+  }
+}
+
+void DecodeVipV2(SectionReader& s, VIPTree::Parts* parts) {
+  Reader& r = s.r();
+  const uint64_t num_nodes = r.ArraySize(40, "extended matrices");
+  parts->ext.resize(num_nodes);
+  std::vector<std::array<uint64_t, 5>> shapes(num_nodes);
+  for (uint64_t i = 0; i < num_nodes; ++i) {
+    shapes[i] = {r.U64(), r.U64(), r.U64(), r.U64(), r.U64()};
+  }
+  for (uint64_t i = 0; i < num_nodes; ++i) {
+    VIPTree::ExtMatrix& ext = parts->ext[i];
+    ext.doors = s.ShapedArray<int32_t>(shapes[i][0], "extended matrix doors");
+    ext.dist = s.ShapedMatrix<float>(shapes[i][1], shapes[i][2],
+                                     "extended distance matrix");
+    ext.next_hop = s.ShapedMatrix<int32_t>(shapes[i][3], shapes[i][4],
+                                           "extended next-hop matrix");
+    if (!r.ok()) return;
+  }
+}
+
+void EncodeObjectsV2(Writer& w, const ObjectIndex::Parts& parts) {
+  EncodeObjectList(w, parts.objects);
+  WriteAlignedArray<uint32_t>(w, parts.leaf_object_offsets);
+  WriteAlignedArray<int32_t>(w, parts.leaf_objects);
+  WriteAlignedArray<uint64_t>(w, parts.dist_offsets);
+  WriteAlignedArray<double>(w, parts.door_dists);
+  WriteAlignedArray<uint32_t>(w, parts.dfs_prefix);
+}
+
+void DecodeObjectsV2(SectionReader& s, ObjectIndex::Parts* parts) {
+  DecodeObjectList(s.r(), &parts->objects);
+  parts->leaf_object_offsets = s.Array<uint32_t>("leaf object offsets");
+  parts->leaf_objects = s.Array<int32_t>("leaf objects");
+  parts->dist_offsets = s.Array<uint64_t>("distance offsets");
+  parts->door_dists = s.Array<double>("door-object distances");
+  parts->dfs_prefix = s.Array<uint32_t>("dfs prefix sums");
+}
+
+// ---------------------------------------------------------------------------
+// v1 container.
+// ---------------------------------------------------------------------------
+
+void AppendSectionV1(Writer& out, uint32_t tag, const Writer& payload) {
+  out.U32(tag);
+  out.U64(payload.size());
+  out.U32(Crc32(payload.buffer().data(), payload.size()));
+  out.Bytes(payload.buffer().data(), payload.size());
+}
+
+std::vector<uint8_t> EncodeSnapshotV1(const Snapshot& snapshot) {
   Writer out;
   out.Bytes(kMagic, sizeof(kMagic));
-  out.U32(kFormatVersion);
+  out.U32(kLegacyFormatVersion);
   out.U32(0);  // reserved
 
   Writer section;
   EncodeVenue(section, snapshot.venue);
-  AppendSection(out, kTagVenue, section);
+  AppendSectionV1(out, kTagVenue, section);
 
   section = Writer();
-  EncodeGraph(section, snapshot.graph);
-  AppendSection(out, kTagGraph, section);
+  EncodeGraphV1(section, snapshot.graph);
+  AppendSectionV1(out, kTagGraph, section);
 
   section = Writer();
-  EncodeTree(section, snapshot.tree);
-  AppendSection(out, kTagTree, section);
+  EncodeTreeV1(section, snapshot.tree);
+  AppendSectionV1(out, kTagTree, section);
 
   section = Writer();
-  EncodeVip(section, snapshot.vip);
-  AppendSection(out, kTagVip, section);
+  EncodeVipV1(section, snapshot.vip);
+  AppendSectionV1(out, kTagVip, section);
 
   section = Writer();
-  EncodeObjects(section, snapshot.objects);
-  AppendSection(out, kTagObjects, section);
+  EncodeObjectsV1(section, snapshot.objects);
+  AppendSectionV1(out, kTagObjects, section);
 
   if (snapshot.keywords.has_value()) {
     section = Writer();
     EncodeKeywords(section, *snapshot.keywords);
-    AppendSection(out, kTagKeywords, section);
+    AppendSectionV1(out, kTagKeywords, section);
   }
 
   section = Writer();
   EncodeEngineOptions(section, snapshot.query_options);
-  AppendSection(out, kTagEngineOptions, section);
+  AppendSectionV1(out, kTagEngineOptions, section);
 
   return out.TakeBuffer();
 }
 
-Status DecodeSnapshot(Span<const uint8_t> bytes, Snapshot* out) {
-  Reader header(bytes);
-  if (bytes.size() < sizeof(kMagic) + 8) {
-    return Status::Error("not a VIP-Tree snapshot (file too small)");
-  }
-  const Span<const uint8_t> magic = header.Raw(sizeof(kMagic));
-  if (std::memcmp(magic.data(), kMagic, sizeof(kMagic)) != 0) {
-    return Status::Error("not a VIP-Tree snapshot (bad magic)");
-  }
-  const uint32_t version = header.U32();
-  if (version != kFormatVersion) {
-    return Status::Error(
-        "unsupported snapshot format version " + std::to_string(version) +
-        " (this build reads version " + std::to_string(kFormatVersion) + ")");
-  }
-  header.U32();  // reserved
+struct SeenSections {
+  bool venue = false, graph = false, tree = false;
+  bool vip = false, objects = false, options = false;
 
-  bool seen_venue = false, seen_graph = false, seen_tree = false;
-  bool seen_vip = false, seen_objects = false, seen_options = false;
+  Status CheckComplete() const {
+    const struct {
+      bool seen;
+      const char* name;
+    } required[] = {{venue, "VENU"},     {graph, "GRPH"}, {tree, "TREE"},
+                    {vip, "VIPX"},       {objects, "OBJX"},
+                    {options, "ENGO"}};
+    for (const auto& section : required) {
+      if (!section.seen) {
+        return Status::Error(std::string("snapshot is missing section '") +
+                             section.name + "'");
+      }
+    }
+    return Status::Ok();
+  }
+};
+
+Status DecodeSnapshotV1(Reader& header, Snapshot* out) {
+  header.U32();  // reserved
+  SeenSections seen;
 
   while (header.ok() && header.remaining() > 0) {
     if (header.remaining() < 16) {
@@ -470,27 +787,27 @@ Status DecodeSnapshot(Span<const uint8_t> bytes, Snapshot* out) {
                            "' (corrupted snapshot)");
     }
     Reader r(payload);
-    bool* seen = nullptr;
+    bool* seen_flag = nullptr;
     switch (tag) {
       case kTagVenue:
-        seen = &seen_venue;
+        seen_flag = &seen.venue;
         DecodeVenue(r, &out->venue);
         break;
       case kTagGraph:
-        seen = &seen_graph;
-        DecodeGraph(r, &out->graph);
+        seen_flag = &seen.graph;
+        DecodeGraphV1(r, &out->graph);
         break;
       case kTagTree:
-        seen = &seen_tree;
-        DecodeTree(r, &out->tree);
+        seen_flag = &seen.tree;
+        DecodeTreeV1(r, &out->tree);
         break;
       case kTagVip:
-        seen = &seen_vip;
-        DecodeVip(r, &out->vip);
+        seen_flag = &seen.vip;
+        DecodeVipV1(r, &out->vip);
         break;
       case kTagObjects:
-        seen = &seen_objects;
-        DecodeObjects(r, &out->objects);
+        seen_flag = &seen.objects;
+        DecodeObjectsV1(r, &out->objects);
         break;
       case kTagKeywords:
         if (out->keywords.has_value()) {
@@ -500,18 +817,18 @@ Status DecodeSnapshot(Span<const uint8_t> bytes, Snapshot* out) {
         DecodeKeywords(r, &*out->keywords);
         break;
       case kTagEngineOptions:
-        seen = &seen_options;
+        seen_flag = &seen.options;
         DecodeEngineOptions(r, &out->query_options);
         break;
       default:
         return Status::Error("unknown section '" + TagName(tag) +
                              "' in snapshot");
     }
-    if (seen != nullptr) {
-      if (*seen) {
+    if (seen_flag != nullptr) {
+      if (*seen_flag) {
         return Status::Error("duplicate section '" + TagName(tag) + "'");
       }
-      *seen = true;
+      *seen_flag = true;
     }
     if (!r.ok()) {
       return Status::Error("section '" + TagName(tag) + "': " + r.error());
@@ -523,23 +840,207 @@ Status DecodeSnapshot(Span<const uint8_t> bytes, Snapshot* out) {
     }
   }
 
-  const struct {
-    bool seen;
-    const char* name;
-  } required[] = {{seen_venue, "VENU"}, {seen_graph, "GRPH"},
-                  {seen_tree, "TREE"},  {seen_vip, "VIPX"},
-                  {seen_objects, "OBJX"}, {seen_options, "ENGO"}};
-  for (const auto& section : required) {
-    if (!section.seen) {
-      return Status::Error(std::string("snapshot is missing section '") +
-                           section.name + "'");
-    }
-  }
-  return Status::Ok();
+  return seen.CheckComplete();
 }
 
-Status WriteSnapshotFile(const std::string& path, const Snapshot& snapshot) {
-  const std::vector<uint8_t> bytes = EncodeSnapshot(snapshot);
+// ---------------------------------------------------------------------------
+// v2 container.
+// ---------------------------------------------------------------------------
+
+constexpr size_t kV2HeaderBytes = 16;   // magic + version + section count
+constexpr size_t kV2TocEntryBytes = 24;  // tag + crc + offset + size
+// Far above the 7 defined sections; a larger count means a damaged header.
+constexpr uint32_t kV2MaxSections = 64;
+
+std::vector<uint8_t> EncodeSnapshotV2(const Snapshot& snapshot) {
+  struct Section {
+    uint32_t tag;
+    Writer payload;
+  };
+  std::vector<Section> sections;
+  const auto add = [&sections](uint32_t tag) -> Writer& {
+    sections.push_back(Section{tag, Writer()});
+    return sections.back().payload;
+  };
+
+  EncodeVenue(add(kTagVenue), snapshot.venue);
+  EncodeGraphV2(add(kTagGraph), snapshot.graph);
+  EncodeTreeV2(add(kTagTree), snapshot.tree);
+  EncodeVipV2(add(kTagVip), snapshot.vip);
+  EncodeObjectsV2(add(kTagObjects), snapshot.objects);
+  if (snapshot.keywords.has_value()) {
+    EncodeKeywords(add(kTagKeywords), *snapshot.keywords);
+  }
+  EncodeEngineOptions(add(kTagEngineOptions), snapshot.query_options);
+
+  // Pad every payload to a multiple of 8 so the sequentially packed
+  // payload offsets all stay 8-aligned (the pad is part of the payload and
+  // therefore CRC-covered).
+  for (Section& s : sections) PadTo8(s.payload);
+
+  Writer out;
+  out.Bytes(kMagic, sizeof(kMagic));
+  out.U32(kFormatVersion);
+  out.U32(static_cast<uint32_t>(sections.size()));
+  uint64_t offset = kV2HeaderBytes + kV2TocEntryBytes * sections.size();
+  VIPTREE_CHECK(offset % 8 == 0);
+  for (const Section& s : sections) {
+    out.U32(s.tag);
+    out.U32(Crc32(s.payload.buffer().data(), s.payload.size()));
+    out.U64(offset);
+    out.U64(s.payload.size());
+    offset += s.payload.size();
+  }
+  for (const Section& s : sections) {
+    out.Bytes(s.payload.buffer().data(), s.payload.size());
+  }
+  return out.TakeBuffer();
+}
+
+Status DecodeSnapshotV2(Span<const uint8_t> bytes, Reader& header,
+                        Snapshot* out, const SnapshotReadOptions& options) {
+  const uint32_t num_sections = header.U32();
+  if (num_sections > kV2MaxSections) {
+    return Status::Error("implausible section count " +
+                         std::to_string(num_sections) +
+                         " (corrupted snapshot header)");
+  }
+  const size_t toc_end =
+      kV2HeaderBytes + kV2TocEntryBytes * size_t{num_sections};
+  if (bytes.size() < toc_end) {
+    return Status::Error(
+        "file truncated below the TOC (" + std::to_string(bytes.size()) +
+        " bytes, TOC needs " + std::to_string(toc_end) + ")");
+  }
+
+  SeenSections seen;
+  for (uint32_t i = 0; i < num_sections; ++i) {
+    const uint32_t tag = header.U32();
+    const uint32_t crc = header.U32();
+    const uint64_t offset = header.U64();
+    const uint64_t size = header.U64();
+    const std::string name = TagName(tag);
+    if (offset % 8 != 0) {
+      return Status::Error("misaligned section offset " +
+                           std::to_string(offset) + " for '" + name + "'");
+    }
+    if (offset < toc_end || offset > bytes.size() ||
+        size > bytes.size() - offset) {
+      return Status::Error("truncated: section '" + name + "' claims bytes [" +
+                           std::to_string(offset) + ", " +
+                           std::to_string(offset + size) + ") of a " +
+                           std::to_string(bytes.size()) + "-byte file");
+    }
+    const Span<const uint8_t> payload{bytes.data() + offset,
+                                      static_cast<size_t>(size)};
+    if (options.verify_checksums &&
+        Crc32(payload.data(), payload.size()) != crc) {
+      return Status::Error("checksum mismatch in section '" + name +
+                           "' (corrupted snapshot)");
+    }
+
+    SectionReader s(payload, options.allow_alias, &out->aliased);
+    bool* seen_flag = nullptr;
+    switch (tag) {
+      case kTagVenue:
+        seen_flag = &seen.venue;
+        DecodeVenue(s.r(), &out->venue);
+        break;
+      case kTagGraph:
+        seen_flag = &seen.graph;
+        DecodeGraphV2(s, &out->graph);
+        break;
+      case kTagTree:
+        seen_flag = &seen.tree;
+        DecodeTreeV2(s, &out->tree);
+        break;
+      case kTagVip:
+        seen_flag = &seen.vip;
+        DecodeVipV2(s, &out->vip);
+        break;
+      case kTagObjects:
+        seen_flag = &seen.objects;
+        DecodeObjectsV2(s, &out->objects);
+        break;
+      case kTagKeywords:
+        if (out->keywords.has_value()) {
+          return Status::Error("duplicate section 'KWIX'");
+        }
+        out->keywords.emplace();
+        DecodeKeywords(s.r(), &*out->keywords);
+        break;
+      case kTagEngineOptions:
+        seen_flag = &seen.options;
+        DecodeEngineOptions(s.r(), &out->query_options);
+        break;
+      default:
+        return Status::Error("unknown section '" + name + "' in snapshot");
+    }
+    if (seen_flag != nullptr) {
+      if (*seen_flag) {
+        return Status::Error("duplicate section '" + name + "'");
+      }
+      *seen_flag = true;
+    }
+    if (!s.r().ok()) {
+      return Status::Error("section '" + name + "': " + s.r().error());
+    }
+    // Up to 7 bytes of CRC-covered end padding are part of the format;
+    // anything more is a framing error.
+    if (s.r().remaining() >= 8) {
+      return Status::Error("section '" + name + "' has " +
+                           std::to_string(s.r().remaining()) +
+                           " trailing bytes");
+    }
+  }
+
+  return seen.CheckComplete();
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Container encode/decode.
+// ---------------------------------------------------------------------------
+
+std::vector<uint8_t> EncodeSnapshot(const Snapshot& snapshot,
+                                    const SnapshotWriteOptions& options) {
+  VIPTREE_CHECK_MSG(options.version == kFormatVersion ||
+                        options.version == kLegacyFormatVersion,
+                    "unsupported snapshot write version");
+  return options.version == kLegacyFormatVersion
+             ? EncodeSnapshotV1(snapshot)
+             : EncodeSnapshotV2(snapshot);
+}
+
+Status DecodeSnapshot(Span<const uint8_t> bytes, Snapshot* out,
+                      const SnapshotReadOptions& options) {
+  Reader header(bytes);
+  if (bytes.size() < sizeof(kMagic) + 8) {
+    return Status::Error("not a VIP-Tree snapshot (file too small)");
+  }
+  const Span<const uint8_t> magic = header.Raw(sizeof(kMagic));
+  if (std::memcmp(magic.data(), kMagic, sizeof(kMagic)) != 0) {
+    return Status::Error("not a VIP-Tree snapshot (bad magic)");
+  }
+  const uint32_t version = header.U32();
+  out->format_version = version;
+  out->aliased = false;
+  if (version == kLegacyFormatVersion) {
+    return DecodeSnapshotV1(header, out);
+  }
+  if (version == kFormatVersion) {
+    return DecodeSnapshotV2(bytes, header, out, options);
+  }
+  return Status::Error(
+      "unsupported snapshot format version " + std::to_string(version) +
+      " (this build reads versions " + std::to_string(kLegacyFormatVersion) +
+      " and " + std::to_string(kFormatVersion) + ")");
+}
+
+Status WriteSnapshotFile(const std::string& path, const Snapshot& snapshot,
+                         const SnapshotWriteOptions& options) {
+  const std::vector<uint8_t> bytes = EncodeSnapshot(snapshot, options);
   return WriteFileBytes(path, bytes);
 }
 

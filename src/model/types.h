@@ -20,6 +20,15 @@ inline constexpr int32_t kInvalidId = -1;
 
 inline constexpr double kInfDistance = std::numeric_limits<double>::infinity();
 
+// How much of a deserialized Parts struct the ValidateParts factories
+// re-check. kStructure covers everything used as an array index outside
+// the bulk payloads (sizes, id ranges, shapes, CSR monotonicity) in time
+// proportional to the small lookup structures; kFull additionally sweeps
+// every bulk cell (matrix entries, graph edges) — the right level for a
+// file whose checksums were not verified, but it touches every page of a
+// mapped snapshot.
+enum class ValidationLevel { kStructure, kFull };
+
 // A point in the three-dimensional indoor coordinate system of §4.1: x and y
 // are planar coordinates in metres, z is the height in metres (floor number
 // times floor height, so inter-floor movement has a real cost).

@@ -186,11 +186,11 @@ bool Venue::IsConnected() const {
 
 uint64_t Venue::MemoryBytes() const {
   uint64_t bytes = 0;
-  bytes += partitions_.capacity() * sizeof(Partition);
-  for (const Partition& p : partitions_) bytes += p.name.capacity();
-  bytes += doors_.capacity() * sizeof(Door);
-  bytes += partition_door_offsets_.capacity() * sizeof(uint32_t);
-  bytes += partition_doors_.capacity() * sizeof(DoorId);
+  bytes += partitions_.size() * sizeof(Partition);
+  for (const Partition& p : partitions_) bytes += p.name.size();
+  bytes += doors_.size() * sizeof(Door);
+  bytes += partition_door_offsets_.size() * sizeof(uint32_t);
+  bytes += partition_doors_.size() * sizeof(DoorId);
   return bytes;
 }
 

@@ -162,24 +162,24 @@ class SnapshotRejectionTest : public ::testing::Test {
     bytes_ = nullptr;
   }
 
-  // Writes `bytes` to a temp file and expects TryLoad to fail with a
-  // message containing `expect_substring`.
-  void ExpectRejected(const std::vector<uint8_t>& bytes,
-                      const std::string& expect_substring) {
-    const std::string path = TempPath("damaged");
-    ASSERT_TRUE(io::WriteFileBytes(path, bytes).ok());
-    std::string error;
-    const std::optional<eng::VenueBundle> loaded =
-        eng::VenueBundle::TryLoad(path, &error);
-    std::remove(path.c_str());
-    EXPECT_FALSE(loaded.has_value());
-    EXPECT_FALSE(error.empty());
-    EXPECT_NE(error.find(expect_substring), std::string::npos)
-        << "error was: " << error;
-  }
-
   static std::vector<uint8_t>* bytes_;
 };
+
+// Writes `bytes` to a temp file and expects TryLoad to fail with a message
+// containing `expect_substring`.
+void ExpectRejected(const std::vector<uint8_t>& bytes,
+                    const std::string& expect_substring) {
+  const std::string path = TempPath("damaged");
+  ASSERT_TRUE(io::WriteFileBytes(path, bytes).ok());
+  std::string error;
+  const std::optional<eng::VenueBundle> loaded =
+      eng::VenueBundle::TryLoad(path, &error);
+  std::remove(path.c_str());
+  EXPECT_FALSE(loaded.has_value());
+  EXPECT_FALSE(error.empty());
+  EXPECT_NE(error.find(expect_substring), std::string::npos)
+      << "error was: " << error;
+}
 
 std::vector<uint8_t>* SnapshotRejectionTest::bytes_ = nullptr;
 
@@ -265,25 +265,163 @@ TEST_F(SnapshotRejectionTest, CorruptByteSweepIsAlwaysCleanlyRejected) {
   }
 }
 
-TEST_F(SnapshotRejectionTest, MissingSectionIsRejected) {
-  // Rebuild the file without its final section (ENGO): header + all
-  // sections but the last one.
-  const std::vector<uint8_t>& bytes = *bytes_;
-  // Walk the section frames to find the last section's start.
-  size_t pos = 16;  // magic + version + reserved
-  size_t last_start = pos;
-  while (pos + 16 <= bytes.size()) {
-    last_start = pos;
-    uint64_t size = 0;
-    for (int i = 0; i < 8; ++i) {
-      size |= uint64_t{bytes[pos + 4 + i]} << (8 * i);
-    }
-    pos += 16 + size;
+// --- v2 TOC manipulation helpers (header: 8 B magic, u32 version, u32
+// section count; 24-byte TOC entries: u32 tag, u32 crc, u64 offset,
+// u64 size). -----------------------------------------------------------------
+
+uint32_t ReadU32At(const std::vector<uint8_t>& bytes, size_t at) {
+  uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v |= uint32_t{bytes[at + i]} << (8 * i);
+  return v;
+}
+
+void WriteU64At(std::vector<uint8_t>* bytes, size_t at, uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    (*bytes)[at + i] = static_cast<uint8_t>((v >> (8 * i)) & 0xFF);
   }
-  ASSERT_EQ(pos, bytes.size());
-  std::vector<uint8_t> shorter(bytes.begin(),
-                               bytes.begin() + static_cast<long>(last_start));
-  ExpectRejected(shorter, "missing section 'ENGO'");
+}
+
+uint64_t ReadU64At(const std::vector<uint8_t>& bytes, size_t at) {
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= uint64_t{bytes[at + i]} << (8 * i);
+  return v;
+}
+
+TEST_F(SnapshotRejectionTest, MissingSectionIsRejected) {
+  // Decrement the section count so the decoder never sees the final TOC
+  // entry (ENGO). Its entry and payload become unreferenced bytes, which
+  // the TOC-based decoder legitimately ignores — the missing-section check
+  // must fire. (Erasing the entry outright would shift every payload and
+  // trip the CRC check first.)
+  std::vector<uint8_t> bytes = *bytes_;
+  const uint32_t count = ReadU32At(bytes, 12);
+  ASSERT_GE(count, 2u);
+  bytes[12] = static_cast<uint8_t>(count - 1);
+  ExpectRejected(bytes, "missing section 'ENGO'");
+}
+
+TEST_F(SnapshotRejectionTest, MisalignedSectionOffsetIsRejected) {
+  // Nudge the second section's offset off the 8-byte grid; the decoder
+  // must refuse before attempting to alias anything at that address.
+  std::vector<uint8_t> bytes = *bytes_;
+  const size_t offset_at = 16 + 24 + 8;  // entry 1, offset field
+  WriteU64At(&bytes, offset_at, ReadU64At(bytes, offset_at) + 4);
+  ExpectRejected(bytes, "misaligned section offset");
+}
+
+TEST_F(SnapshotRejectionTest, SectionBeyondFileIsRejected) {
+  // An offset pointing (aligned) past the end of the file.
+  std::vector<uint8_t> bytes = *bytes_;
+  const size_t offset_at = 16 + 24 + 8;
+  WriteU64At(&bytes, offset_at, (bytes.size() + 1024) & ~uint64_t{7});
+  ExpectRejected(bytes, "truncated");
+}
+
+TEST_F(SnapshotRejectionTest, TruncationBelowTheTocIsRejected) {
+  // Keep the magic/version/count but none of the TOC entries.
+  std::vector<uint8_t> bytes(bytes_->begin(), bytes_->begin() + 20);
+  ExpectRejected(bytes, "truncated below the TOC");
+}
+
+TEST_F(SnapshotRejectionTest, UnreadableFileIsRejected) {
+  // A directory is the portable "exists but cannot be read as a file"
+  // case (the tests may run as root, where permission bits do not bite).
+  std::string error;
+  EXPECT_FALSE(eng::VenueBundle::TryLoad("/tmp", &error).has_value());
+  EXPECT_NE(error.find("directory"), std::string::npos) << error;
+}
+
+TEST_F(SnapshotRejectionTest, ImplausibleSectionCountIsRejected) {
+  std::vector<uint8_t> bytes = *bytes_;
+  bytes[12] = 0xFF;
+  bytes[13] = 0xFF;
+  ExpectRejected(bytes, "section count");
+}
+
+// ---------------------------------------------------------------------------
+// Format-v1 compatibility: snapshots written in the legacy layout must keep
+// loading through the copying path, and damaged v1 files must still be
+// rejected cleanly.
+// ---------------------------------------------------------------------------
+
+TEST(SnapshotV1CompatTest, V1SnapshotLoadsViaTheCopyingPath) {
+  Venue venue = synth::RandomVenue(11);
+  Rng rng(5);
+  std::vector<IndoorPoint> objects = synth::PlaceObjects(venue, 6, rng);
+  const eng::VenueBundle bundle =
+      eng::VenueBundle::Build(std::move(venue), std::move(objects));
+
+  const std::string path = TempPath("v1");
+  io::SnapshotWriteOptions v1;
+  v1.version = io::kLegacyFormatVersion;
+  ASSERT_TRUE(bundle.Save(path, v1).ok());
+
+  std::string error;
+  const std::optional<eng::VenueBundle> loaded =
+      eng::VenueBundle::TryLoad(path, &error);
+  ASSERT_TRUE(loaded.has_value()) << error;
+  // v1 decodes into owned buffers: no arena is retained.
+  EXPECT_FALSE(loaded->zero_copy());
+  EXPECT_EQ(loaded->venue().NumDoors(), bundle.venue().NumDoors());
+
+  // Re-saving the loaded bundle produces a v2 snapshot (the upgrade path),
+  // which loads zero-copy.
+  const std::string path2 = TempPath("v1_to_v2");
+  ASSERT_TRUE(loaded->Save(path2).ok());
+  const std::optional<eng::VenueBundle> upgraded =
+      eng::VenueBundle::TryLoad(path2, &error);
+  std::remove(path2.c_str());
+  ASSERT_TRUE(upgraded.has_value()) << error;
+  EXPECT_TRUE(upgraded->zero_copy());
+  std::remove(path.c_str());
+}
+
+TEST(SnapshotV1CompatTest, DamagedV1SnapshotIsRejected) {
+  Venue venue = synth::RandomVenue(11);
+  const eng::VenueBundle bundle =
+      eng::VenueBundle::Build(std::move(venue), /*objects=*/{});
+  const std::string path = TempPath("v1_damage");
+  io::SnapshotWriteOptions v1;
+  v1.version = io::kLegacyFormatVersion;
+  ASSERT_TRUE(bundle.Save(path, v1).ok());
+  std::vector<uint8_t> bytes;
+  ASSERT_TRUE(io::ReadFileBytes(path, &bytes).ok());
+  std::remove(path.c_str());
+
+  bytes[bytes.size() / 2] ^= 0x10;
+  ExpectRejected(bytes, "checksum mismatch");
+  bytes[bytes.size() / 2] ^= 0x10;  // restore
+  std::vector<uint8_t> truncated(bytes.begin(),
+                                 bytes.begin() + static_cast<long>(
+                                                     bytes.size() * 2 / 3));
+  const std::string tpath = TempPath("v1_trunc");
+  ASSERT_TRUE(io::WriteFileBytes(tpath, truncated).ok());
+  std::string error;
+  EXPECT_FALSE(eng::VenueBundle::TryLoad(tpath, &error).has_value());
+  EXPECT_FALSE(error.empty());
+  std::remove(tpath.c_str());
+}
+
+TEST_F(SnapshotRejectionTest, DefaultSaveLoadsZeroCopy) {
+  const std::string path = TempPath("zero_copy");
+  ASSERT_TRUE(io::WriteFileBytes(path, *bytes_).ok());
+  std::string error;
+  const std::optional<eng::VenueBundle> loaded =
+      eng::VenueBundle::TryLoad(path, &error);
+  std::remove(path.c_str());
+  ASSERT_TRUE(loaded.has_value()) << error;
+  EXPECT_TRUE(loaded->zero_copy());
+
+  // Forcing the copying read path must still work (and still zero-copy the
+  // *decode* — the arena is just heap-backed instead of mapped).
+  const std::string path2 = TempPath("no_mmap");
+  ASSERT_TRUE(io::WriteFileBytes(path2, *bytes_).ok());
+  eng::VenueBundle::LoadOptions no_mmap;
+  no_mmap.use_mmap = false;
+  const std::optional<eng::VenueBundle> heap_loaded =
+      eng::VenueBundle::TryLoad(path2, &error, no_mmap);
+  std::remove(path2.c_str());
+  ASSERT_TRUE(heap_loaded.has_value()) << error;
 }
 
 }  // namespace

@@ -1,0 +1,126 @@
+// Unit tests for the Storage<T> owning/view abstraction and the
+// Storage-backed FlatMatrix — the buffer layer every index array now sits
+// on (the zero-copy snapshot load hands out views into a mapped arena
+// through exactly these types).
+
+#include "common/storage.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "core/matrix.h"
+
+namespace viptree {
+namespace {
+
+TEST(StorageTest, DefaultIsEmptyAndOwning) {
+  Storage<int32_t> s;
+  EXPECT_TRUE(s.owning());
+  EXPECT_TRUE(s.empty());
+  EXPECT_EQ(s.size(), 0u);
+  EXPECT_EQ(s.MemoryBytes(), 0u);
+}
+
+TEST(StorageTest, AdoptsVectorAndReads) {
+  Storage<int32_t> s(std::vector<int32_t>{3, 1, 4, 1, 5});
+  EXPECT_TRUE(s.owning());
+  ASSERT_EQ(s.size(), 5u);
+  EXPECT_EQ(s[0], 3);
+  EXPECT_EQ(s.front(), 3);
+  EXPECT_EQ(s.back(), 5);
+  EXPECT_EQ(s.MemoryBytes(), 5 * sizeof(int32_t));
+  int32_t sum = 0;
+  for (int32_t v : s) sum += v;
+  EXPECT_EQ(sum, 14);
+}
+
+TEST(StorageTest, ViewAliasesWithoutOwning) {
+  const std::vector<uint64_t> arena = {7, 8, 9};
+  // Views are immutable: all access must go through the const interface
+  // (non-const operator[] is the owning-only builder path).
+  const Storage<uint64_t> view = Storage<uint64_t>::View(arena);
+  EXPECT_FALSE(view.owning());
+  EXPECT_EQ(view.data(), arena.data());  // aliases, no copy
+  EXPECT_EQ(view.size(), 3u);
+  EXPECT_EQ(view[2], 9u);
+  // Logical bytes are reported for views too (they are file-backed pages
+  // in the real arena case, but still addressable through the index).
+  EXPECT_EQ(view.MemoryBytes(), 3 * sizeof(uint64_t));
+}
+
+TEST(StorageTest, CopyIsAlwaysDeep) {
+  const std::vector<int32_t> arena = {1, 2, 3};
+  Storage<int32_t> view = Storage<int32_t>::View(arena);
+  Storage<int32_t> copy = view;
+  EXPECT_TRUE(copy.owning());
+  EXPECT_NE(copy.data(), arena.data());
+  EXPECT_EQ(copy.size(), 3u);
+  EXPECT_EQ(copy[1], 2);
+
+  Storage<int32_t> owned(std::vector<int32_t>{5, 6});
+  Storage<int32_t> copy2 = owned;
+  EXPECT_NE(copy2.data(), owned.data());
+  EXPECT_EQ(copy2[1], 6);
+}
+
+TEST(StorageTest, MovePreservesBufferAndClearsSource) {
+  Storage<int32_t> a(std::vector<int32_t>{10, 20});
+  const int32_t* data = a.data();
+  Storage<int32_t> b = std::move(a);
+  EXPECT_EQ(b.data(), data);  // vector move keeps the heap block
+  EXPECT_EQ(b.size(), 2u);
+  EXPECT_EQ(a.size(), 0u);  // NOLINT(bugprone-use-after-move) — spec'd reset
+}
+
+TEST(StorageTest, BuilderMutationOnOwningStorage) {
+  Storage<uint32_t> s;
+  s.assign(4, 0u);
+  s[1] = 7;
+  s[3] = 9;
+  EXPECT_EQ(s.size(), 4u);
+  EXPECT_EQ(s[0], 0u);
+  EXPECT_EQ(s[1], 7u);
+  s.push_back(11);
+  EXPECT_EQ(s.back(), 11u);
+  const std::vector<uint32_t> more = {1, 2};
+  s.append(more.begin(), more.end());
+  EXPECT_EQ(s.size(), 7u);
+  EXPECT_EQ(s.back(), 2u);
+  s.resize(2);
+  EXPECT_EQ(s.size(), 2u);
+}
+
+TEST(StorageTest, SpanConversion) {
+  Storage<int32_t> s(std::vector<int32_t>{1, 2, 3});
+  Span<const int32_t> span = s;
+  EXPECT_EQ(span.data(), s.data());
+  EXPECT_EQ(span.size(), 3u);
+}
+
+TEST(FlatMatrixTest, MemoryBytesReportsSizeNotCapacity) {
+  // The historical bug: a capacity()-based report over-counted allocator
+  // slack. 3x4 floats must report exactly 48 bytes.
+  FlatMatrix<float> m(3, 4, 1.0f);
+  EXPECT_EQ(m.MemoryBytes(), 3 * 4 * sizeof(float));
+
+  std::vector<int32_t> payload(6, -1);
+  payload.reserve(1000);  // force capacity >> size before adoption
+  FlatMatrix<int32_t> adopted(2, 3, std::move(payload));
+  EXPECT_EQ(adopted.MemoryBytes(), 6 * sizeof(int32_t));
+}
+
+TEST(FlatMatrixTest, ViewBackedMatrixReadsInPlace) {
+  const std::vector<float> arena = {0, 1, 2, 3, 4, 5};
+  // Const access only: the non-const at() is the owning-only builder path.
+  const FlatMatrix<float> m(2, 3, Storage<float>::View(arena));
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  EXPECT_EQ(m.at(1, 2), 5.0f);
+  EXPECT_EQ(m.raw().data(), arena.data());
+}
+
+}  // namespace
+}  // namespace viptree

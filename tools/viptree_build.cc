@@ -11,6 +11,13 @@
 // Examples:
 //   viptree_build --preset MC --scale 0.1 --objects 32 --out mc.vipsnap
 //   viptree_build --seed 7 --objects 16 --keyword-tags 4 --out rand.vipsnap
+//   viptree_build --preset MC --out fleet/mc.vipsnap
+//       --registry fleet/registry.txt --venue-id mc-hq
+//
+// With --registry, the snapshot is additionally registered in (or updated
+// within) the given manifest under --venue-id (derived from the preset/seed
+// when omitted), ready for multi-venue serving via engine::VenueRegistry /
+// `viptree_query --registry ... --venue ...`.
 
 #include <cstdio>
 #include <cstdlib>
@@ -21,6 +28,7 @@
 #include "common/rng.h"
 #include "common/stats.h"
 #include "engine/venue_bundle.h"
+#include "engine/venue_registry.h"
 #include "synth/objects.h"
 #include "synth/presets.h"
 #include "synth/random_venue.h"
@@ -38,6 +46,9 @@ struct Args {
   size_t objects = 32;
   size_t keyword_tags = 0;  // 0 = no keyword index
   int min_degree = 2;
+  uint32_t format_version = io::kFormatVersion;
+  std::string registry;   // manifest path; empty = no registration
+  std::string venue_id;   // id for the manifest entry
 };
 
 void Usage(const char* argv0) {
@@ -45,15 +56,22 @@ void Usage(const char* argv0) {
       stderr,
       "usage: %s --out PATH (--preset NAME [--scale S] | --seed N)\n"
       "          [--objects N] [--keyword-tags K] [--min-degree T]\n"
+      "          [--format-version V] [--registry MANIFEST [--venue-id ID]]\n"
       "\n"
       "Builds a VIP-Tree serving bundle and writes it as a snapshot.\n"
-      "  --preset NAME     Table 2 analogue venue (MC, MC-2, Men, Men-2,\n"
-      "                    CL, CL-2), scaled by --scale (default 1.0)\n"
-      "  --seed N          seeded random venue instead of a preset\n"
-      "  --objects N       indexed objects to place (default 32)\n"
-      "  --keyword-tags K  tag objects round-robin with K keywords\n"
-      "                    (tag-0..tag-K-1) and build the keyword index\n"
-      "  --min-degree T    Algorithm 1 minimum degree t (default 2)\n",
+      "  --preset NAME       Table 2 analogue venue (MC, MC-2, Men, Men-2,\n"
+      "                      CL, CL-2), scaled by --scale (default 1.0)\n"
+      "  --seed N            seeded random venue instead of a preset\n"
+      "  --objects N         indexed objects to place (default 32)\n"
+      "  --keyword-tags K    tag objects round-robin with K keywords\n"
+      "                      (tag-0..tag-K-1) and build the keyword index\n"
+      "  --min-degree T      Algorithm 1 minimum degree t (default 2)\n"
+      "  --format-version V  snapshot format: 2 (zero-copy mmap load,\n"
+      "                      default) or 1 (legacy copying load)\n"
+      "  --registry MANIFEST register the snapshot in this manifest for\n"
+      "                      multi-venue serving (created if missing)\n"
+      "  --venue-id ID       manifest id (default: derived from the\n"
+      "                      preset/seed)\n",
       argv0);
 }
 
@@ -91,6 +109,15 @@ bool Parse(int argc, char** argv, Args* args) {
     } else if (flag == "--min-degree") {
       if ((v = value()) == nullptr) return false;
       args->min_degree = std::atoi(v);
+    } else if (flag == "--format-version") {
+      if ((v = value()) == nullptr) return false;
+      args->format_version = static_cast<uint32_t>(std::atol(v));
+    } else if (flag == "--registry") {
+      if ((v = value()) == nullptr) return false;
+      args->registry = v;
+    } else if (flag == "--venue-id") {
+      if ((v = value()) == nullptr) return false;
+      args->venue_id = v;
     } else if (flag == "--help" || flag == "-h") {
       Usage(argv[0]);
       return false;
@@ -118,6 +145,20 @@ bool Parse(int argc, char** argv, Args* args) {
   if (args->min_degree < 2) {
     std::fprintf(stderr, "%s: --min-degree must be at least 2\n", argv[0]);
     return false;
+  }
+  if (args->format_version != io::kFormatVersion &&
+      args->format_version != io::kLegacyFormatVersion) {
+    std::fprintf(stderr, "%s: --format-version must be 1 or 2\n", argv[0]);
+    return false;
+  }
+  if (!args->venue_id.empty() && args->registry.empty()) {
+    std::fprintf(stderr, "%s: --venue-id needs --registry\n", argv[0]);
+    return false;
+  }
+  if (!args->registry.empty() && args->venue_id.empty()) {
+    args->venue_id = args->has_seed
+                         ? "seed-" + std::to_string(args->seed)
+                         : args->preset;
   }
   return true;
 }
@@ -161,7 +202,9 @@ int main(int argc, char** argv) {
               bundle.has_keywords() ? ", keyword index" : "");
 
   Timer save_timer;
-  const io::Status status = bundle.Save(args.out);
+  io::SnapshotWriteOptions write_options;
+  write_options.version = args.format_version;
+  const io::Status status = bundle.Save(args.out, write_options);
   if (!status.ok()) {
     std::fprintf(stderr, "error: %s\n", status.error.c_str());
     return 1;
@@ -173,8 +216,25 @@ int main(int argc, char** argv) {
     snapshot_bytes = std::ftell(f);
     std::fclose(f);
   }
-  std::printf("snapshot written to %s in %.1f ms (%s)\n", args.out.c_str(),
-              save_timer.ElapsedMillis(),
-              HumanBytes(static_cast<uint64_t>(snapshot_bytes)).c_str());
+  std::printf("snapshot written to %s in %.1f ms (%s, format v%u)\n",
+              args.out.c_str(), save_timer.ElapsedMillis(),
+              HumanBytes(static_cast<uint64_t>(snapshot_bytes)).c_str(),
+              args.format_version);
+
+  if (!args.registry.empty()) {
+    // The registry resolves relative snapshot paths against the manifest's
+    // directory (so a registry directory relocates wholesale): store the
+    // path manifest-relative when the snapshot lives under that directory,
+    // absolute otherwise.
+    const io::Status upsert = engine::VenueRegistry::UpsertManifestEntry(
+        args.registry, args.venue_id,
+        engine::VenueRegistry::ManifestRelativePath(args.registry, args.out));
+    if (!upsert.ok()) {
+      std::fprintf(stderr, "error: %s\n", upsert.error.c_str());
+      return 1;
+    }
+    std::printf("registered as '%s' in %s\n", args.venue_id.c_str(),
+                args.registry.c_str());
+  }
   return 0;
 }

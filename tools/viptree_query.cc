@@ -4,8 +4,10 @@
 // anywhere workflow. Load failures (truncation, corruption, version skew)
 // are reported with the decoder's message and a non-zero exit.
 //
-// Example:
+// Examples:
 //   viptree_query --snapshot mc.vipsnap --queries 1000 --threads 4
+//   viptree_query --registry fleet/registry.txt --venue mc-hq --queries 500
+//   viptree_query --registry fleet/registry.txt --list-venues
 
 #include <cstdio>
 #include <cstdlib>
@@ -16,6 +18,7 @@
 #include "common/rng.h"
 #include "common/stats.h"
 #include "engine/query_engine.h"
+#include "engine/venue_registry.h"
 #include "synth/objects.h"
 
 namespace {
@@ -25,6 +28,9 @@ namespace eng = viptree::engine;
 
 struct Args {
   std::string snapshot;
+  std::string registry;  // manifest path (alternative to --snapshot)
+  std::string venue;     // venue id within the registry
+  bool list_venues = false;
   size_t queries = 500;
   size_t threads = 1;
   uint64_t seed = 0xC0FFEE;
@@ -34,14 +40,18 @@ struct Args {
 void Usage(const char* argv0) {
   std::fprintf(
       stderr,
-      "usage: %s --snapshot PATH [--queries N] [--threads T] [--seed S]\n"
+      "usage: %s (--snapshot PATH | --registry MANIFEST --venue ID)\n"
+      "          [--queries N] [--threads T] [--seed S]\n"
       "          [--mix mixed|distance|path|knn|range]\n"
+      "       %s --registry MANIFEST --list-venues\n"
       "\n"
-      "Loads a VIP-Tree snapshot and runs a random query batch against it.\n"
+      "Loads a VIP-Tree snapshot — directly, or by venue id through a\n"
+      "multi-venue registry manifest (zero-copy mmap for v2 snapshots) —\n"
+      "and runs a random query batch against it.\n"
       "The mixed workload is 40%% distance, 20%% path, 20%% kNN, 10%%\n"
       "range and 10%% boolean keyword kNN (keyword queries fall back to\n"
       "kNN when the snapshot has no keyword index).\n",
-      argv0);
+      argv0, argv0);
 }
 
 bool Parse(int argc, char** argv, Args* args) {
@@ -59,6 +69,14 @@ bool Parse(int argc, char** argv, Args* args) {
     if (flag == "--snapshot") {
       if ((v = value()) == nullptr) return false;
       args->snapshot = v;
+    } else if (flag == "--registry") {
+      if ((v = value()) == nullptr) return false;
+      args->registry = v;
+    } else if (flag == "--venue") {
+      if ((v = value()) == nullptr) return false;
+      args->venue = v;
+    } else if (flag == "--list-venues") {
+      args->list_venues = true;
     } else if (flag == "--queries") {
       if ((v = value()) == nullptr) return false;
       args->queries = static_cast<size_t>(std::atol(v));
@@ -80,9 +98,20 @@ bool Parse(int argc, char** argv, Args* args) {
       return false;
     }
   }
-  if (args->snapshot.empty()) {
-    std::fprintf(stderr, "%s: --snapshot is required\n", argv[0]);
+  if (args->list_venues) {
+    if (args->registry.empty()) {
+      std::fprintf(stderr, "%s: --list-venues needs --registry\n", argv[0]);
+      return false;
+    }
+  } else if (args->snapshot.empty() == args->registry.empty()) {
+    std::fprintf(stderr,
+                 "%s: pass exactly one of --snapshot / --registry\n",
+                 argv[0]);
     Usage(argv[0]);
+    return false;
+  } else if (!args->registry.empty() && args->venue.empty()) {
+    std::fprintf(stderr, "%s: --registry needs --venue (or --list-venues)\n",
+                 argv[0]);
     return false;
   }
   if (args->mix != "mixed" && args->mix != "distance" && args->mix != "path" &&
@@ -144,19 +173,50 @@ int main(int argc, char** argv) {
   Args args;
   if (!Parse(argc, argv, &args)) return 1;
 
-  Timer load_timer;
   std::string error;
-  const std::unique_ptr<eng::QueryEngine> engine =
-      eng::QueryEngine::TryLoad(args.snapshot, &error);
-  if (engine == nullptr) {
-    std::fprintf(stderr, "error: %s\n", error.c_str());
-    return 1;
+  std::optional<eng::VenueRegistry> registry;
+  if (!args.registry.empty()) {
+    registry = eng::VenueRegistry::Open(args.registry, &error);
+    if (!registry.has_value()) {
+      std::fprintf(stderr, "error: %s\n", error.c_str());
+      return 1;
+    }
+    if (args.list_venues) {
+      std::printf("%zu venue(s) in %s:\n", registry->NumVenues(),
+                  args.registry.c_str());
+      for (const std::string& id : registry->VenueIds()) {
+        std::printf("  %s\n", id.c_str());
+      }
+      return 0;
+    }
+  }
+
+  Timer load_timer;
+  std::unique_ptr<eng::QueryEngine> engine;
+  bool zero_copy = false;
+  if (registry.has_value()) {
+    const std::shared_ptr<const eng::VenueBundle> bundle =
+        registry->Acquire(args.venue, &error);
+    if (bundle == nullptr) {
+      std::fprintf(stderr, "error: %s\n", error.c_str());
+      return 1;
+    }
+    zero_copy = bundle->zero_copy();
+    engine = std::make_unique<eng::QueryEngine>(bundle);
+  } else {
+    engine = eng::QueryEngine::TryLoad(args.snapshot, &error);
+    if (engine == nullptr) {
+      std::fprintf(stderr, "error: %s\n", error.c_str());
+      return 1;
+    }
+    zero_copy = engine->bundle().zero_copy();
   }
   std::printf(
-      "snapshot loaded in %.1f ms: %zu partitions, %zu doors, %zu objects, "
-      "%s index%s\n",
-      load_timer.ElapsedMillis(), engine->venue().NumPartitions(),
-      engine->venue().NumDoors(), engine->objects().NumObjects(),
+      "snapshot loaded in %.1f ms (%s): %zu partitions, %zu doors, "
+      "%zu objects, %s index%s\n",
+      load_timer.ElapsedMillis(), zero_copy ? "zero-copy mmap" : "copied",
+      engine->venue().NumPartitions(), engine->venue().NumDoors(),
+      engine->objects().NumObjects(),
       HumanBytes(engine->IndexMemoryBytes()).c_str(),
       engine->has_keywords() ? " (with keywords)" : "");
 
