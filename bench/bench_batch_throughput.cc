@@ -23,40 +23,6 @@ namespace {
 
 namespace eng = ::viptree::engine;
 
-std::vector<eng::Query> MixedWorkload(synth::Dataset dataset, size_t n) {
-  const Venue& venue = GetDataset(dataset).venue;
-  Rng rng(0xBA7C4);
-  std::vector<eng::Query> queries;
-  queries.reserve(n);
-  for (size_t i = 0; i < n; ++i) {
-    const IndoorPoint a = synth::RandomIndoorPoint(venue, rng);
-    const IndoorPoint b = synth::RandomIndoorPoint(venue, rng);
-    switch (i % 10) {
-      case 0:
-      case 1:
-      case 2:
-      case 3:
-        queries.push_back(eng::Query::Distance(a, b));
-        break;
-      case 4:
-      case 5:
-        queries.push_back(eng::Query::Path(a, b));
-        break;
-      case 6:
-      case 7:
-        queries.push_back(eng::Query::Knn(a, 5));
-        break;
-      case 8:
-        queries.push_back(eng::Query::Range(a, 100.0));
-        break;
-      default:
-        queries.push_back(eng::Query::BooleanKnn(a, 3, {"atm"}));
-        break;
-    }
-  }
-  return queries;
-}
-
 int Main() {
   const synth::Dataset dataset = synth::Dataset::kMen2;
   DatasetBundle& bundle = GetDataset(dataset);
@@ -82,8 +48,8 @@ int Main() {
               build_timer.ElapsedMillis(),
               HumanBytes(engine.IndexMemoryBytes()).c_str());
 
-  const std::vector<eng::Query> queries =
-      MixedWorkload(dataset, NumQueries() * 8);
+  const std::vector<eng::Query> queries = MixedEngineWorkload(
+      bundle.venue, 0xBA7C4, NumQueries() * 8, /*keywords=*/true);
   std::printf("workload: %zu mixed queries (40%% SD, 20%% SP, 20%% kNN, "
               "10%% range, 10%% boolean kNN)\n\n",
               queries.size());

@@ -21,6 +21,7 @@
 #include "baselines/dist_matrix.h"
 #include "baselines/engines.h"
 #include "common/rng.h"
+#include "engine/query_engine.h"
 #include "graph/d2d_graph.h"
 #include "synth/objects.h"
 #include "synth/presets.h"
@@ -127,6 +128,49 @@ inline std::vector<IndoorPoint> Objects(synth::Dataset dataset,
                                         size_t count) {
   Rng rng(0xD00D ^ static_cast<uint64_t>(dataset) ^ (count << 8));
   return synth::PlaceObjects(GetDataset(dataset).venue, count, rng);
+}
+
+// The serving-layer mixed workload: 40% distance, 20% path, 20% kNN, 10%
+// range, 10% boolean keyword (falling back to kNN when the engine has no
+// keyword index). One generator shared by bench_batch_throughput and
+// bench_service_throughput, so their throughput numbers stay comparable.
+inline std::vector<engine::Query> MixedEngineWorkload(const Venue& venue,
+                                                      uint64_t seed, size_t n,
+                                                      bool keywords) {
+  Rng rng(seed);
+  std::vector<engine::Query> queries;
+  queries.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    const IndoorPoint a = synth::RandomIndoorPoint(venue, rng);
+    const IndoorPoint b = synth::RandomIndoorPoint(venue, rng);
+    switch (i % 10) {
+      case 0:
+      case 1:
+      case 2:
+      case 3:
+        queries.push_back(engine::Query::Distance(a, b));
+        break;
+      case 4:
+      case 5:
+        queries.push_back(engine::Query::Path(a, b));
+        break;
+      case 6:
+      case 7:
+        queries.push_back(engine::Query::Knn(a, 5));
+        break;
+      case 8:
+        queries.push_back(engine::Query::Range(a, 100.0));
+        break;
+      default:
+        if (keywords) {
+          queries.push_back(engine::Query::BooleanKnn(a, 3, {"atm"}));
+        } else {
+          queries.push_back(engine::Query::Knn(a, 3));
+        }
+        break;
+    }
+  }
+  return queries;
 }
 
 inline const std::vector<synth::Dataset>& AllBenchDatasets() {

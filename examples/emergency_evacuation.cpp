@@ -1,16 +1,19 @@
 // Emergency evacuation: "in an emergency, an indoor LBS can guide people to
 // the nearby exit doors" (§1.1). Builds a tower, picks occupants on random
-// floors, and routes each of them to their nearest building exit — the
-// (occupant, exit) distance matrix is evaluated as one RunBatch over the
-// engine's worker pool, then each occupant gets a full door path. Compares
+// floors, and routes each of them to their nearest building exit. The
+// (occupant, exit) distance matrix is streamed through the async
+// engine::Service front-end — every distance request is a Submit whose
+// callback fills one slot of the matrix as workers complete them — and
+// each occupant's full door path comes back through a Ticket. Compares
 // against a plain Dijkstra expansion (the DistAw approach).
 
 #include <algorithm>
 #include <cstdio>
+#include <memory>
 
 #include "baselines/dist_aware.h"
 #include "common/stats.h"
-#include "engine/query_engine.h"
+#include "engine/service.h"
 #include "graph/d2d_graph.h"
 #include "synth/building_generator.h"
 #include "synth/objects.h"
@@ -27,11 +30,20 @@ int main() {
   config.exits = 4;
   const Venue venue = synth::GenerateStandaloneBuilding(config, /*seed=*/99);
   const D2DGraph graph(venue);
-  const engine::QueryEngine engine(venue, graph, /*objects=*/{});
+
+  // The serving front-end: resident workers over the shared bundle, fed
+  // one Submit per (occupant, exit) pair.
+  const auto bundle = std::make_shared<const engine::VenueBundle>(
+      engine::VenueBundle::BuildFrom(venue, graph, /*objects=*/{}));
+  engine::ServiceOptions service_options;
+  service_options.num_threads = 4;
+  service_options.queue_capacity = 4096;
+  engine::Service service(bundle, service_options);
+  service.Start();
 
   // Exits are the exterior doors of the venue = the access doors of the
   // tree root (exactly the paper's d1/d7/d20 situation in Fig. 1).
-  const IPTree& tree = engine.tree().base();
+  const IPTree& tree = bundle->tree().base();
   const std::vector<DoorId>& exits = tree.node(tree.root()).access_doors;
   std::printf("tower has %zu exits\n", exits.size());
 
@@ -45,44 +57,62 @@ int main() {
                                       venue.door(exit).position});
   }
 
-  // One batch holds every (occupant, exit) distance query; the engine fans
-  // it across 4 threads over the shared read-only index.
-  std::vector<engine::Query> batch;
-  batch.reserve(occupants.size() * exit_points.size());
-  for (const IndoorPoint& person : occupants) {
-    for (const IndoorPoint& exit_point : exit_points) {
-      batch.push_back(engine::Query::Distance(person, exit_point));
+  // Stream the whole (occupant, exit) matrix through the service: the tag
+  // encodes the slot, each callback writes its own disjoint cell (Drain's
+  // synchronization publishes them to this thread), so no lock is needed.
+  const size_t num_exits = exit_points.size();
+  std::vector<double> distances(occupants.size() * num_exits, kInfDistance);
+  Timer timer;
+  for (size_t i = 0; i < occupants.size(); ++i) {
+    for (size_t e = 0; e < num_exits; ++e) {
+      engine::Request request;
+      request.query = engine::Query::Distance(occupants[i], exit_points[e]);
+      request.tag = i * num_exits + e;
+      service.Submit(std::move(request),
+                     [&distances](const engine::Response& response) {
+                       if (response.ok()) {
+                         distances[response.tag] = response.result.distance;
+                       }
+                     });
     }
   }
-  Timer timer;
-  engine::BatchOptions batch_options;
-  batch_options.num_threads = 4;
-  const engine::BatchResult distances = engine.RunBatch(batch, batch_options);
+  service.Drain();
 
-  // Pick each occupant's nearest exit and recover the full door path.
+  // Pick each occupant's nearest exit and recover the full door path —
+  // ticket futures this time, one per occupant.
+  std::vector<engine::Ticket> paths;
+  paths.reserve(occupants.size());
   double total = 0.0;
-  size_t total_doors = 0;
   for (size_t i = 0; i < occupants.size(); ++i) {
     double best = kInfDistance;
     size_t best_exit = 0;
-    for (size_t e = 0; e < exit_points.size(); ++e) {
-      const double d = distances.results[i * exit_points.size() + e].distance;
+    for (size_t e = 0; e < num_exits; ++e) {
+      const double d = distances[i * num_exits + e];
       if (d < best) {
         best = d;
         best_exit = e;
       }
     }
-    const engine::Result path = engine.Run(
-        engine::Query::Path(occupants[i], exit_points[best_exit]));
     total += best;
-    total_doors += path.doors.size();
+    engine::Request request;
+    request.query =
+        engine::Query::Path(occupants[i], exit_points[best_exit]);
+    paths.push_back(service.Submit(std::move(request)));
+  }
+  size_t total_doors = 0;
+  for (engine::Ticket& ticket : paths) {
+    const engine::Response& response = ticket.Wait();
+    if (response.ok()) total_doors += response.result.doors.size();
   }
   const double vip_ms = timer.ElapsedMillis();
+  const engine::ServiceStats stats = service.Stats();
   std::printf(
-      "VIP engine: routed %zu occupants in %.2f ms (batch %.0f queries/s; "
-      "avg escape %.1f m, avg %zu doors)\n",
-      occupants.size(), vip_ms, distances.stats.queries_per_second,
-      total / occupants.size(), total_doors / occupants.size());
+      "VIP service: routed %zu occupants in %.2f ms (%zu requests, "
+      "p99 %.1f us; avg escape %.1f m, avg %zu doors)\n",
+      occupants.size(), vip_ms, stats.num_queries,
+      stats.latency_micros.p99, total / occupants.size(),
+      total_doors / occupants.size());
+  service.Stop();
 
   // The same routing with Dijkstra expansion per occupant.
   DistAwareModel dijkstra_router(venue, graph);

@@ -2,10 +2,11 @@
 
 #include <algorithm>
 #include <atomic>
-#include <thread>
 #include <utility>
+#include <vector>
 
 #include "common/check.h"
+#include "engine/service.h"
 
 namespace viptree {
 namespace engine {
@@ -239,52 +240,45 @@ BatchResult QueryEngine::RunBatch(Span<const Query> queries,
                     "serialized against all queries");
   const BatchScope in_flight(active_batches_);
   const size_t n = queries.size();
-  size_t threads = options.num_threads != 0
-                       ? options.num_threads
-                       : std::max<size_t>(1, std::thread::hardware_concurrency());
+  size_t threads = ResolveThreadCount(options.num_threads);
   threads = std::min(threads, std::max<size_t>(1, n));
 
   BatchResult out;
   out.results.resize(n);
   const Timer wall;
 
-  // RunBatch never touches the resident worker, so concurrent RunBatch
-  // calls on one engine are safe: every participating thread (including
-  // the calling one) brings its own Worker, and workers are cheap relative
-  // to any batch worth batching.
-  if (threads <= 1) {
-    const Worker worker(*this);
+  // Compatibility shim over the async front-end (engine/service.h): a
+  // transient single-venue Service with `threads` workers answers the
+  // whole batch. Each Service worker builds its own QueryEngine over the
+  // shared bundle, so this never touches the resident worker and
+  // concurrent RunBatch calls on one engine stay safe, exactly as before.
+  if (n > 0) {
+    ServiceOptions service_options;
+    service_options.num_threads = threads;
+    service_options.queue_capacity = n;  // nothing is ever rejected
+    Service service(bundle_, service_options);
+    std::vector<Request> requests;
+    requests.reserve(n);
     for (size_t i = 0; i < n; ++i) {
-      out.results[i] = Execute(queries[i], worker);
+      Request request;
+      request.query = queries[i];
+      request.tag = i;
+      requests.push_back(std::move(request));
     }
-  } else {
-    const size_t shard = std::max<size_t>(1, options.shard_size);
-    std::atomic<size_t> cursor{0};
-    auto drain = [&](const Worker& worker) {
-      for (;;) {
-        const size_t begin = cursor.fetch_add(shard);
-        if (begin >= n) break;
-        const size_t end = std::min(n, begin + shard);
-        for (size_t i = begin; i < end; ++i) {
-          // Disjoint slots: no synchronization needed on the result array.
-          out.results[i] = Execute(queries[i], worker);
-        }
-      }
-    };
-    std::vector<std::thread> pool;
-    pool.reserve(threads - 1);
-    for (size_t t = 1; t < threads; ++t) {
-      pool.emplace_back([this, &drain] {
-        const Worker worker(*this);
-        drain(worker);
-      });
+    std::vector<Ticket> tickets = service.SubmitBatch(std::move(requests));
+    service.Start();
+    service.Drain();
+    for (size_t i = 0; i < n; ++i) {
+      Response response = tickets[i].Take();
+      VIPTREE_CHECK_MSG(response.ok(),
+                        ("batch query " + std::to_string(i) + " failed (" +
+                         std::string(RequestStatusName(response.status)) +
+                         "): " + response.error)
+                            .c_str());
+      // results[i] answers queries[i], independent of which worker ran it.
+      out.results[i] = std::move(response.result);
     }
-    // The calling thread participates instead of idling on join.
-    {
-      const Worker worker(*this);
-      drain(worker);
-    }
-    for (std::thread& t : pool) t.join();
+    service.Stop();
   }
 
   out.stats = Aggregate(out.results, wall.ElapsedMillis(), threads);

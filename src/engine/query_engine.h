@@ -13,12 +13,13 @@
 // Concurrency model. The indexes are immutable after construction; all the
 // per-query mutable state lives in small per-thread Worker bundles (the
 // core query engines with their Dijkstra scratch — see the thread-safety
-// contract in core/distance_query.h). RunBatch fans a batch across a pool
-// of std::thread workers that pull fixed-size shards of the query array
-// from an atomic cursor and write results into disjoint slots, so the whole
-// batch path is lock-free and the shared index is only ever read through
-// const methods — the property the compiler now checks. SetObjects is the
-// one mutating operation; it must never overlap queries, and the engine
+// contract in core/distance_query.h). RunBatch is a compatibility shim
+// over the async serving front-end (engine/service.h): it stands up a
+// transient single-venue Service whose resident workers answer the batch,
+// then folds the responses back into the original results[i]-answers-
+// queries[i] contract. The shared index is only ever read through const
+// methods — the property the compiler checks. SetObjects is the one
+// mutating operation; it must never overlap queries, and the engine
 // CHECK-fails if it is called while any RunBatch is in flight.
 //
 // Every Result carries its own latency and visited-node counters;
@@ -94,11 +95,15 @@ struct Result {
 };
 
 struct BatchOptions {
-  // Worker threads; 0 means std::thread::hardware_concurrency(). 1 runs on
-  // the calling thread with no pool.
+  // Worker threads. 0 means std::thread::hardware_concurrency(), clamped
+  // to at least 1 — hardware_concurrency() is allowed to return 0, and
+  // 1-core CI hosts must still run the batch (engine::ResolveThreadCount
+  // is the single implementation of this rule, shared with Service).
+  // Thread count is additionally clamped to the batch size.
   size_t num_threads = 1;
-  // Queries per shard of the work queue. Small enough to balance skewed
-  // workloads, large enough to keep the atomic cursor off the hot path.
+  // Historical knob of the pre-Service sharded scheduler. The service
+  // queue schedules per request, so this no longer affects execution; it
+  // is kept so existing callers compile (results never depended on it).
   size_t shard_size = 32;
 };
 
@@ -187,10 +192,11 @@ class QueryEngine {
   // reference RunBatch is compared against).
   std::vector<Result> RunSequential(Span<const Query> queries) const;
 
-  // Fans the batch across a worker pool over the shared read-only index.
+  // Fans the batch across a worker pool over the shared read-only index —
+  // a compatibility shim over a transient single-venue engine::Service.
   // results[i] always answers queries[i], independent of scheduling. Every
-  // participating thread uses its own Worker (never the resident one), so
-  // concurrent RunBatch calls on one engine are safe.
+  // service worker builds its own engine state (never the resident
+  // worker), so concurrent RunBatch calls on one engine are safe.
   BatchResult RunBatch(Span<const Query> queries,
                        const BatchOptions& options = {}) const;
 

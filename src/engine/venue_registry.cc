@@ -113,7 +113,8 @@ class ManifestLock {
 
 std::optional<VenueRegistry> VenueRegistry::Open(
     const std::string& manifest_path, std::string* error,
-    const VenueBundle::LoadOptions& load_options) {
+    const VenueBundle::LoadOptions& load_options,
+    const RegistryOptions& options) {
   auto fail = [error](std::string message) -> std::optional<VenueRegistry> {
     if (error != nullptr) *error = std::move(message);
     return std::nullopt;
@@ -125,6 +126,7 @@ std::optional<VenueRegistry> VenueRegistry::Open(
 
   VenueRegistry registry;
   registry.load_options_ = load_options;
+  registry.options_ = options;
   const std::string dir = DirOf(manifest_path);
   for (size_t i = 0; i < lines.size(); ++i) {
     const std::string line = Trim(lines[i]);
@@ -144,7 +146,9 @@ std::optional<VenueRegistry> VenueRegistry::Open(
       return fail("registry manifest lists venue '" + id + "' twice");
     }
     registry.ids_.push_back(id);
-    registry.entries_[id] = Entry{Resolve(dir, path), nullptr};
+    Entry entry;
+    entry.snapshot_path = Resolve(dir, path);
+    registry.entries_[id] = std::move(entry);
   }
   return registry;
 }
@@ -220,34 +224,78 @@ std::shared_ptr<const VenueBundle> VenueRegistry::Acquire(
     return std::shared_ptr<const VenueBundle>();
   };
 
-  // The lock covers the whole load: simple, and a second Acquire of the
-  // same venue waits for the first instead of mapping the snapshot twice.
-  // Zero-copy loads are cheap enough (no index copy) that holding the lock
-  // across one is acceptable for a fleet registry; a per-entry lock is the
-  // obvious refinement if contended loads ever matter.
-  std::lock_guard<std::mutex> lock(*mu_);
-  auto it = entries_.find(venue_id);
-  if (it == entries_.end()) {
-    return fail("venue '" + venue_id + "' is not in the registry");
-  }
-  if (it->second.bundle == nullptr) {
-    std::string load_error;
-    std::optional<VenueBundle> bundle =
-        VenueBundle::TryLoad(it->second.snapshot_path, &load_error,
-                             load_options_);
-    if (!bundle.has_value()) {
-      return fail("venue '" + venue_id + "': " + load_error);
+  // Fast path: registry-wide lock for the map lookup only. The map is
+  // never erased from, so `it` stays valid after unlocking.
+  std::shared_ptr<std::mutex> load_mu;
+  std::map<std::string, Entry>::iterator it;
+  {
+    std::lock_guard<std::mutex> lock(*mu_);
+    it = entries_.find(venue_id);
+    if (it == entries_.end()) {
+      return fail("venue '" + venue_id + "' is not in the registry");
     }
-    it->second.bundle =
-        std::make_shared<const VenueBundle>(std::move(*bundle));
+    if (it->second.bundle != nullptr) {
+      it->second.last_use = ++use_tick_;
+      return it->second.bundle;
+    }
+    load_mu = it->second.load_mu;
   }
+
+  // Slow path: load under the *entry's* lock, so a slow load of this
+  // venue never blocks Acquire of any other venue, while a second Acquire
+  // of the same venue waits here instead of mapping the snapshot twice.
+  std::lock_guard<std::mutex> load_lock(*load_mu);
+  {
+    std::lock_guard<std::mutex> lock(*mu_);
+    if (it->second.bundle != nullptr) {  // loaded while we waited
+      it->second.last_use = ++use_tick_;
+      return it->second.bundle;
+    }
+  }
+  std::string load_error;
+  std::optional<VenueBundle> bundle = VenueBundle::TryLoad(
+      it->second.snapshot_path, &load_error, load_options_);
+  if (!bundle.has_value()) {
+    return fail("venue '" + venue_id + "': " + load_error);
+  }
+  std::lock_guard<std::mutex> lock(*mu_);
+  it->second.bundle = std::make_shared<const VenueBundle>(std::move(*bundle));
+  it->second.last_use = ++use_tick_;
+  EnforceResidencyCapLocked();
   return it->second.bundle;
+}
+
+void VenueRegistry::EnforceResidencyCapLocked() {
+  if (options_.max_resident_venues == 0) return;
+  for (;;) {
+    size_t resident = 0;
+    std::map<std::string, Entry>::iterator lru = entries_.end();
+    for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+      if (it->second.bundle == nullptr) continue;
+      ++resident;
+      if (lru == entries_.end() ||
+          it->second.last_use < lru->second.last_use) {
+        lru = it;
+      }
+    }
+    if (resident <= options_.max_resident_venues) return;
+    // The entry just touched carries the highest tick, so the victim is
+    // always some *other* resident bundle (unless it is the only one, in
+    // which case the count already satisfies any cap >= 1).
+    lru->second.bundle.reset();
+  }
 }
 
 void VenueRegistry::Evict(const std::string& venue_id) {
   std::lock_guard<std::mutex> lock(*mu_);
   auto it = entries_.find(venue_id);
   if (it != entries_.end()) it->second.bundle.reset();
+}
+
+bool VenueRegistry::IsResident(const std::string& venue_id) const {
+  std::lock_guard<std::mutex> lock(*mu_);
+  auto it = entries_.find(venue_id);
+  return it != entries_.end() && it->second.bundle != nullptr;
 }
 
 size_t VenueRegistry::NumResident() const {

@@ -1051,5 +1051,110 @@ Status ReadSnapshotFile(const std::string& path, Snapshot* out) {
   return DecodeSnapshot(bytes, out);
 }
 
+Status VerifySnapshotFile(const std::string& path,
+                          SnapshotVerifyReport* report) {
+  std::vector<uint8_t> bytes;
+  Status status = ReadFileBytes(path, &bytes);
+  if (!status.ok()) return status;
+
+  if (bytes.size() < sizeof(kMagic) + 8) {
+    return Status::Error("not a VIP-Tree snapshot (file too small)");
+  }
+  Reader header(bytes);
+  const Span<const uint8_t> magic = header.Raw(sizeof(kMagic));
+  if (std::memcmp(magic.data(), kMagic, sizeof(kMagic)) != 0) {
+    return Status::Error("not a VIP-Tree snapshot (bad magic)");
+  }
+  const uint32_t version = header.U32();
+  if (version != kFormatVersion && version != kLegacyFormatVersion) {
+    return Status::Error(
+        "unsupported snapshot format version " + std::to_string(version) +
+        " (this build reads versions " +
+        std::to_string(kLegacyFormatVersion) + " and " +
+        std::to_string(kFormatVersion) + ")");
+  }
+  if (report != nullptr) {
+    report->format_version = version;
+    report->file_bytes = bytes.size();
+    report->sections.clear();
+  }
+
+  // Walk the framing only — section boundaries and stored CRCs — and
+  // recompute each payload checksum; nothing is decoded. This reproduces
+  // exactly the per-section validation verify_checksums=true would run at
+  // load time, made a one-time install step instead.
+  std::string first_mismatch;
+  const auto check = [&](uint32_t tag, uint32_t crc,
+                         Span<const uint8_t> payload) {
+    const bool ok = Crc32(payload.data(), payload.size()) == crc;
+    if (!ok && first_mismatch.empty()) {
+      first_mismatch = "checksum mismatch in section '" + TagName(tag) +
+                       "' (corrupted snapshot)";
+    }
+    if (report != nullptr) {
+      report->sections.push_back(
+          SnapshotSectionCheck{TagName(tag), payload.size(), crc, ok});
+    }
+  };
+
+  if (version == kLegacyFormatVersion) {
+    header.U32();  // reserved
+    while (header.ok() && header.remaining() > 0) {
+      if (header.remaining() < 16) {
+        return Status::Error("truncated section header at offset " +
+                             std::to_string(header.position()));
+      }
+      const uint32_t tag = header.U32();
+      const uint64_t size = header.U64();
+      const uint32_t crc = header.U32();
+      if (size > header.remaining()) {
+        return Status::Error("truncated: section '" + TagName(tag) +
+                             "' claims " + std::to_string(size) +
+                             " bytes but only " +
+                             std::to_string(header.remaining()) + " remain");
+      }
+      check(tag, crc, header.Raw(size));
+    }
+  } else {
+    const uint32_t num_sections = header.U32();
+    if (num_sections > kV2MaxSections) {
+      return Status::Error("implausible section count " +
+                           std::to_string(num_sections) +
+                           " (corrupted snapshot header)");
+    }
+    const size_t toc_end =
+        kV2HeaderBytes + kV2TocEntryBytes * size_t{num_sections};
+    if (bytes.size() < toc_end) {
+      return Status::Error(
+          "file truncated below the TOC (" + std::to_string(bytes.size()) +
+          " bytes, TOC needs " + std::to_string(toc_end) + ")");
+    }
+    for (uint32_t i = 0; i < num_sections; ++i) {
+      const uint32_t tag = header.U32();
+      const uint32_t crc = header.U32();
+      const uint64_t offset = header.U64();
+      const uint64_t size = header.U64();
+      if (offset % 8 != 0) {
+        return Status::Error("misaligned section offset " +
+                             std::to_string(offset) + " for '" +
+                             TagName(tag) + "'");
+      }
+      if (offset < toc_end || offset > bytes.size() ||
+          size > bytes.size() - offset) {
+        return Status::Error("truncated: section '" + TagName(tag) +
+                             "' claims bytes [" + std::to_string(offset) +
+                             ", " + std::to_string(offset + size) + ") of a " +
+                             std::to_string(bytes.size()) + "-byte file");
+      }
+      check(tag, crc,
+            Span<const uint8_t>{bytes.data() + offset,
+                                static_cast<size_t>(size)});
+    }
+  }
+
+  if (!first_mismatch.empty()) return Status::Error(first_mismatch);
+  return Status::Ok();
+}
+
 }  // namespace io
 }  // namespace viptree

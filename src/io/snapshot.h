@@ -120,6 +120,31 @@ Status WriteSnapshotFile(const std::string& path, const Snapshot& snapshot,
                          const SnapshotWriteOptions& options = {});
 Status ReadSnapshotFile(const std::string& path, Snapshot* out);
 
+// Install-time integrity check: one section of VerifySnapshotFile's
+// per-section verdict.
+struct SnapshotSectionCheck {
+  std::string name;    // four-char section tag, e.g. "VENU"
+  uint64_t bytes = 0;  // payload size
+  uint32_t crc = 0;    // CRC-32 stored in the file
+  bool ok = false;     // recomputed CRC matches
+};
+
+struct SnapshotVerifyReport {
+  uint32_t format_version = 0;
+  uint64_t file_bytes = 0;
+  std::vector<SnapshotSectionCheck> sections;
+};
+
+// Re-checks every section's CRC-32 against its payload bytes without
+// decoding anything — the `viptree_build --verify` path that makes the
+// trusted load mode (verify_checksums = false, the fast fleet
+// configuration bench_mmap_load measures) safe to run: verify each
+// artifact once at install time, skip the per-load pass forever after.
+// Returns an error on an unreadable/malformed file or any CRC mismatch;
+// `report` (optional) is filled with whatever was checked either way.
+Status VerifySnapshotFile(const std::string& path,
+                          SnapshotVerifyReport* report = nullptr);
+
 }  // namespace io
 }  // namespace viptree
 

@@ -6,8 +6,10 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "graph/d2d_graph.h"
@@ -135,6 +137,32 @@ TEST_F(EngineTest, EmptyAndTinyBatches) {
   const eng::BatchResult single = engine.RunBatch(one, {/*num_threads=*/16});
   ASSERT_EQ(single.results.size(), 1u);
   EXPECT_EQ(single.stats.num_threads, 1u);
+}
+
+TEST_F(EngineTest, ZeroThreadsMeansHardwareConcurrencyClampedToOne) {
+  // BatchOptions::num_threads == 0 resolves to hardware_concurrency(),
+  // clamped to >= 1 — the documented contract, which must hold even on
+  // hosts where hardware_concurrency() reports 0 or 1 (single-core CI).
+  const eng::QueryEngine engine = MakeEngine(5);
+  Rng rng(17);
+  std::vector<eng::Query> batch;
+  for (int i = 0; i < 8; ++i) {
+    batch.push_back(eng::Query::Distance(
+        synth::RandomIndoorPoint(venue_, rng),
+        synth::RandomIndoorPoint(venue_, rng)));
+  }
+  const std::vector<eng::Result> reference = engine.RunSequential(batch);
+
+  const eng::BatchResult run = engine.RunBatch(batch, {/*num_threads=*/0});
+  const size_t expected_threads = std::min(
+      batch.size(),
+      std::max<size_t>(1, std::thread::hardware_concurrency()));
+  EXPECT_EQ(run.stats.num_threads, expected_threads);
+  EXPECT_GE(run.stats.num_threads, 1u);
+  ASSERT_EQ(run.results.size(), reference.size());
+  for (size_t i = 0; i < reference.size(); ++i) {
+    EXPECT_EQ(run.results[i].distance, reference[i].distance) << "i=" << i;
+  }
 }
 
 TEST_F(EngineTest, AggregateStatsAreConsistent) {

@@ -402,6 +402,81 @@ TEST(SnapshotV1CompatTest, DamagedV1SnapshotIsRejected) {
   std::remove(tpath.c_str());
 }
 
+// ---------------------------------------------------------------------------
+// Install-time checksum verification (`viptree_build --verify`): every
+// section CRC re-checked without decoding, per-section report.
+// ---------------------------------------------------------------------------
+
+TEST_F(SnapshotRejectionTest, VerifySnapshotFileChecksEverySection) {
+  const std::string path = TempPath("verify_ok");
+  ASSERT_TRUE(io::WriteFileBytes(path, *bytes_).ok());
+  io::SnapshotVerifyReport report;
+  const io::Status status = io::VerifySnapshotFile(path, &report);
+  std::remove(path.c_str());
+  EXPECT_TRUE(status.ok()) << status.error;
+  EXPECT_EQ(report.format_version, io::kFormatVersion);
+  EXPECT_EQ(report.file_bytes, bytes_->size());
+  // VENU/GRPH/TREE/VIPX/OBJX/ENGO plus KWIX (the fixture has keywords).
+  EXPECT_EQ(report.sections.size(), 7u);
+  for (const io::SnapshotSectionCheck& section : report.sections) {
+    EXPECT_TRUE(section.ok) << section.name;
+    EXPECT_GT(section.bytes, 0u) << section.name;
+  }
+}
+
+TEST_F(SnapshotRejectionTest, VerifySnapshotFileFlagsCorruptedSections) {
+  // One payload byte flipped: verification fails naming the section, and
+  // the report shows exactly one damaged section among intact ones.
+  std::vector<uint8_t> bytes = *bytes_;
+  bytes[bytes.size() / 2] ^= 0x40;
+  const std::string path = TempPath("verify_bad");
+  ASSERT_TRUE(io::WriteFileBytes(path, bytes).ok());
+  io::SnapshotVerifyReport report;
+  const io::Status status = io::VerifySnapshotFile(path, &report);
+  std::remove(path.c_str());
+  EXPECT_FALSE(status.ok());
+  EXPECT_NE(status.error.find("checksum mismatch"), std::string::npos)
+      << status.error;
+  size_t damaged = 0;
+  for (const io::SnapshotSectionCheck& section : report.sections) {
+    if (!section.ok) ++damaged;
+  }
+  EXPECT_EQ(damaged, 1u);
+
+  // Missing and truncated files are clean errors, not crashes.
+  EXPECT_FALSE(io::VerifySnapshotFile(TempPath("verify_missing")).ok());
+  std::vector<uint8_t> truncated(bytes_->begin(), bytes_->begin() + 40);
+  const std::string tpath = TempPath("verify_trunc");
+  ASSERT_TRUE(io::WriteFileBytes(tpath, truncated).ok());
+  EXPECT_FALSE(io::VerifySnapshotFile(tpath).ok());
+  std::remove(tpath.c_str());
+}
+
+TEST(SnapshotV1CompatTest, VerifySnapshotFileHandlesV1) {
+  Venue venue = synth::RandomVenue(11);
+  const eng::VenueBundle bundle =
+      eng::VenueBundle::Build(std::move(venue), /*objects=*/{});
+  const std::string path = TempPath("verify_v1");
+  io::SnapshotWriteOptions v1;
+  v1.version = io::kLegacyFormatVersion;
+  ASSERT_TRUE(bundle.Save(path, v1).ok());
+
+  io::SnapshotVerifyReport report;
+  EXPECT_TRUE(io::VerifySnapshotFile(path, &report).ok());
+  EXPECT_EQ(report.format_version, io::kLegacyFormatVersion);
+  EXPECT_EQ(report.sections.size(), 6u);  // no keywords in this fixture
+
+  std::vector<uint8_t> bytes;
+  ASSERT_TRUE(io::ReadFileBytes(path, &bytes).ok());
+  bytes[bytes.size() / 2] ^= 0x10;
+  ASSERT_TRUE(io::WriteFileBytes(path, bytes).ok());
+  const io::Status status = io::VerifySnapshotFile(path, &report);
+  std::remove(path.c_str());
+  EXPECT_FALSE(status.ok());
+  EXPECT_NE(status.error.find("checksum mismatch"), std::string::npos)
+      << status.error;
+}
+
 TEST_F(SnapshotRejectionTest, DefaultSaveLoadsZeroCopy) {
   const std::string path = TempPath("zero_copy");
   ASSERT_TRUE(io::WriteFileBytes(path, *bytes_).ok());

@@ -12,6 +12,7 @@
 #include <cstdio>
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "engine/query_engine.h"
@@ -34,8 +35,8 @@ class RegistryTest : public ::testing::Test {
                            std::to_string(::getpid()));
     ::mkdir(dir_->c_str(), 0755);
 
-    // Two venues, one with keywords, registered under relative paths.
-    for (const uint64_t seed : {uint64_t{3}, uint64_t{8}}) {
+    // Three venues, one with keywords, registered under relative paths.
+    for (const uint64_t seed : {uint64_t{3}, uint64_t{8}, uint64_t{11}}) {
       Venue venue = synth::RandomVenue(seed);
       Rng rng(seed);
       std::vector<IndoorPoint> objects = synth::PlaceObjects(venue, 6, rng);
@@ -52,7 +53,8 @@ class RegistryTest : public ::testing::Test {
   }
 
   static void TearDownTestSuite() {
-    for (const char* name : {"venue-3.vipsnap", "venue-8.vipsnap"}) {
+    for (const char* name :
+         {"venue-3.vipsnap", "venue-8.vipsnap", "venue-11.vipsnap"}) {
       std::remove((*dir_ + "/" + name).c_str());
     }
     std::remove(Manifest().c_str());
@@ -73,17 +75,21 @@ TEST_F(RegistryTest, OpensManifestAndListsVenues) {
   std::optional<eng::VenueRegistry> registry =
       eng::VenueRegistry::Open(Manifest(), &error);
   ASSERT_TRUE(registry.has_value()) << error;
-  EXPECT_EQ(registry->NumVenues(), 2u);
+  EXPECT_EQ(registry->NumVenues(), 3u);
   EXPECT_TRUE(registry->Contains("venue-3"));
   EXPECT_TRUE(registry->Contains("venue-8"));
+  EXPECT_TRUE(registry->Contains("venue-11"));
   EXPECT_FALSE(registry->Contains("venue-404"));
   const std::vector<std::string> ids = registry->VenueIds();
-  ASSERT_EQ(ids.size(), 2u);
+  ASSERT_EQ(ids.size(), 3u);
   EXPECT_EQ(ids[0], "venue-3");
   EXPECT_EQ(ids[1], "venue-8");
+  EXPECT_EQ(ids[2], "venue-11");
   // Nothing is loaded until Acquire.
   EXPECT_EQ(registry->NumResident(), 0u);
   EXPECT_EQ(registry->ResidentIndexBytes(), 0u);
+  EXPECT_FALSE(registry->IsResident("venue-3"));
+  EXPECT_FALSE(registry->IsResident("venue-404"));
 }
 
 TEST_F(RegistryTest, AcquireLoadsLazilyAndShares) {
@@ -132,6 +138,85 @@ TEST_F(RegistryTest, EvictionDropsTheCacheButNotOutstandingRefs) {
   ASSERT_NE(fresh, nullptr) << error;
   EXPECT_NE(fresh.get(), held.get());
   registry->Evict("venue-404");  // unknown id: no-op
+}
+
+TEST_F(RegistryTest, LruEvictionCapsResidentVenues) {
+  std::string error;
+  eng::RegistryOptions options;
+  options.max_resident_venues = 2;
+  std::optional<eng::VenueRegistry> registry = eng::VenueRegistry::Open(
+      Manifest(), &error, eng::VenueBundle::LoadOptions{}, options);
+  ASSERT_TRUE(registry.has_value()) << error;
+
+  const std::shared_ptr<const eng::VenueBundle> a =
+      registry->Acquire("venue-3", &error);
+  ASSERT_NE(a, nullptr) << error;
+  const std::shared_ptr<const eng::VenueBundle> b =
+      registry->Acquire("venue-8", &error);
+  ASSERT_NE(b, nullptr) << error;
+  EXPECT_EQ(registry->NumResident(), 2u);
+
+  // Touch venue-3 so venue-8 becomes the least recently acquired; loading
+  // the third venue must evict venue-8, not venue-3.
+  ASSERT_NE(registry->Acquire("venue-3", &error), nullptr);
+  const std::shared_ptr<const eng::VenueBundle> c =
+      registry->Acquire("venue-11", &error);
+  ASSERT_NE(c, nullptr) << error;
+  EXPECT_EQ(registry->NumResident(), 2u);
+  EXPECT_TRUE(registry->IsResident("venue-3"));
+  EXPECT_FALSE(registry->IsResident("venue-8"));
+  EXPECT_TRUE(registry->IsResident("venue-11"));
+
+  // The evicted bundle stays fully usable for existing holders, and a
+  // re-Acquire reloads it — displacing the new LRU victim (venue-3).
+  EXPECT_GT(b->venue().NumDoors(), 0u);
+  const std::shared_ptr<const eng::VenueBundle> b2 =
+      registry->Acquire("venue-8", &error);
+  ASSERT_NE(b2, nullptr) << error;
+  EXPECT_NE(b2.get(), b.get());
+  EXPECT_EQ(registry->NumResident(), 2u);
+  EXPECT_FALSE(registry->IsResident("venue-3"));
+  EXPECT_TRUE(registry->IsResident("venue-8"));
+  EXPECT_TRUE(registry->IsResident("venue-11"));
+}
+
+TEST_F(RegistryTest, ConcurrentAcquiresShareOneLoadPerVenue) {
+  std::string error;
+  std::optional<eng::VenueRegistry> registry =
+      eng::VenueRegistry::Open(Manifest(), &error);
+  ASSERT_TRUE(registry.has_value()) << error;
+
+  // Hammer all three venues from several threads at once: every thread
+  // must observe the same bundle instance per venue (per-entry locking
+  // collapses concurrent first-touch loads into one), and loads of
+  // different venues proceed independently.
+  const std::vector<std::string> ids = registry->VenueIds();
+  std::vector<std::vector<std::shared_ptr<const eng::VenueBundle>>> seen(6);
+  std::vector<std::thread> threads;
+  for (size_t t = 0; t < seen.size(); ++t) {
+    threads.emplace_back([&, t] {
+      for (int round = 0; round < 4; ++round) {
+        for (const std::string& id : ids) {
+          std::string thread_error;
+          seen[t].push_back(registry->Acquire(id, &thread_error));
+        }
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+
+  EXPECT_EQ(registry->NumResident(), ids.size());
+  for (size_t v = 0; v < ids.size(); ++v) {
+    const std::shared_ptr<const eng::VenueBundle> reference =
+        registry->Acquire(ids[v], &error);
+    ASSERT_NE(reference, nullptr) << error;
+    for (const auto& per_thread : seen) {
+      for (size_t i = v; i < per_thread.size(); i += ids.size()) {
+        ASSERT_NE(per_thread[i], nullptr);
+        EXPECT_EQ(per_thread[i].get(), reference.get());
+      }
+    }
+  }
 }
 
 TEST_F(RegistryTest, RegistryBundleAnswersIdenticallyToDirectLoad) {

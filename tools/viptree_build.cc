@@ -38,6 +38,7 @@ namespace {
 using namespace viptree;
 
 struct Args {
+  std::string verify;  // snapshot to integrity-check instead of building
   std::string out;
   std::string preset;
   double scale = 1.0;
@@ -57,8 +58,13 @@ void Usage(const char* argv0) {
       "usage: %s --out PATH (--preset NAME [--scale S] | --seed N)\n"
       "          [--objects N] [--keyword-tags K] [--min-degree T]\n"
       "          [--format-version V] [--registry MANIFEST [--venue-id ID]]\n"
+      "       %s --verify SNAPSHOT\n"
       "\n"
       "Builds a VIP-Tree serving bundle and writes it as a snapshot.\n"
+      "  --verify SNAPSHOT   re-check every section CRC of an existing\n"
+      "                      snapshot and print a verdict (install-time\n"
+      "                      integrity check: fleets that pass it can load\n"
+      "                      with checksum verification off)\n"
       "  --preset NAME       Table 2 analogue venue (MC, MC-2, Men, Men-2,\n"
       "                      CL, CL-2), scaled by --scale (default 1.0)\n"
       "  --seed N            seeded random venue instead of a preset\n"
@@ -72,7 +78,7 @@ void Usage(const char* argv0) {
       "                      multi-venue serving (created if missing)\n"
       "  --venue-id ID       manifest id (default: derived from the\n"
       "                      preset/seed)\n",
-      argv0);
+      argv0, argv0);
 }
 
 bool Parse(int argc, char** argv, Args* args) {
@@ -87,7 +93,10 @@ bool Parse(int argc, char** argv, Args* args) {
       return argv[++i];
     };
     const char* v = nullptr;
-    if (flag == "--out") {
+    if (flag == "--verify") {
+      if ((v = value()) == nullptr) return false;
+      args->verify = v;
+    } else if (flag == "--out") {
       if ((v = value()) == nullptr) return false;
       args->out = v;
     } else if (flag == "--preset") {
@@ -127,6 +136,7 @@ bool Parse(int argc, char** argv, Args* args) {
       return false;
     }
   }
+  if (!args->verify.empty()) return true;  // verify mode needs nothing else
   if (args->out.empty()) {
     std::fprintf(stderr, "%s: --out is required\n", argv[0]);
     Usage(argv[0]);
@@ -163,11 +173,37 @@ bool Parse(int argc, char** argv, Args* args) {
   return true;
 }
 
+// Install-time checksum sweep: every section CRC re-checked, per-section
+// verdict printed. Exit 0 only when all sections pass — the gate a fleet
+// runs before serving the artifact through the trusted (CRC-off) loader.
+int VerifyMain(const std::string& path) {
+  io::SnapshotVerifyReport report;
+  const io::Status status = io::VerifySnapshotFile(path, &report);
+  if (report.format_version != 0) {
+    std::printf("verifying %s (format v%u, %s)\n", path.c_str(),
+                report.format_version, HumanBytes(report.file_bytes).c_str());
+    for (const io::SnapshotSectionCheck& section : report.sections) {
+      std::printf("  %-4s  %12llu bytes  crc 0x%08X  %s\n",
+                  section.name.c_str(),
+                  static_cast<unsigned long long>(section.bytes), section.crc,
+                  section.ok ? "ok" : "MISMATCH");
+    }
+  }
+  if (!status.ok()) {
+    std::printf("verify: FAILED — %s\n", status.error.c_str());
+    return 1;
+  }
+  std::printf("verify: OK — %zu/%zu sections passed\n",
+              report.sections.size(), report.sections.size());
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   Args args;
   if (!Parse(argc, argv, &args)) return 1;
+  if (!args.verify.empty()) return VerifyMain(args.verify);
 
   Timer venue_timer;
   Venue venue = args.has_seed

@@ -1,23 +1,50 @@
-// viptree_query: load a snapshot written by viptree_build and serve a batch
-// of randomly generated queries against it, printing the BatchStats the
-// engine collects — the "load anywhere" half of the build-once/load-
-// anywhere workflow. Load failures (truncation, corruption, version skew)
-// are reported with the decoder's message and a non-zero exit.
+// viptree_query: load a snapshot written by viptree_build and serve queries
+// against it — the "load anywhere" half of the build-once/load-anywhere
+// workflow. Load failures (truncation, corruption, version skew) are
+// reported with the decoder's message and a non-zero exit.
+//
+// Three modes:
+//   * batch (default): generate a random workload and run it through
+//     QueryEngine::RunBatch, printing the BatchStats;
+//   * --serve: read queries one per line from stdin (or --input FILE) and
+//     submit each through the async engine::Service front-end — resident
+//     workers, multi-venue routing, optional per-request deadlines;
+//   * --emit-workload: print the random workload in the --serve text
+//     format instead of running it, so `viptree_query --emit-workload |
+//     viptree_query --serve` pipes a reproducible request stream.
+//
+// Serve-mode line format (blank lines and '#' comments ignored; the
+// leading <venue> column exists only in --registry mode):
+//
+//   [<venue>] distance <p> <x> <y> <z>  <p> <x> <y> <z>
+//   [<venue>] path     <p> <x> <y> <z>  <p> <x> <y> <z>
+//   [<venue>] knn      <p> <x> <y> <z>  <k>
+//   [<venue>] range    <p> <x> <y> <z>  <radius>
+//   [<venue>] bknn     <p> <x> <y> <z>  <k> <kw1[,kw2,...] | ->
 //
 // Examples:
 //   viptree_query --snapshot mc.vipsnap --queries 1000 --threads 4
 //   viptree_query --registry fleet/registry.txt --venue mc-hq --queries 500
 //   viptree_query --registry fleet/registry.txt --list-venues
+//   viptree_query --registry fleet/registry.txt --venue mc-hq
+//       --queries 100 --emit-workload > w.txt
+//   viptree_query --registry fleet/registry.txt --serve --threads 4
+//       --deadline-ms 50 --input w.txt
 
 #include <cstdio>
 #include <cstdlib>
+#include <deque>
+#include <fstream>
+#include <iostream>
 #include <memory>
+#include <sstream>
 #include <string>
 #include <vector>
 
 #include "common/rng.h"
 #include "common/stats.h"
 #include "engine/query_engine.h"
+#include "engine/service.h"
 #include "engine/venue_registry.h"
 #include "synth/objects.h"
 
@@ -31,6 +58,11 @@ struct Args {
   std::string registry;  // manifest path (alternative to --snapshot)
   std::string venue;     // venue id within the registry
   bool list_venues = false;
+  bool serve = false;
+  bool emit_workload = false;
+  std::string input;          // --serve source; empty = stdin
+  double deadline_ms = 0.0;   // --serve per-request budget; 0 = none
+  size_t queue_capacity = 1024;
   size_t queries = 500;
   size_t threads = 1;
   uint64_t seed = 0xC0FFEE;
@@ -42,16 +74,22 @@ void Usage(const char* argv0) {
       stderr,
       "usage: %s (--snapshot PATH | --registry MANIFEST --venue ID)\n"
       "          [--queries N] [--threads T] [--seed S]\n"
-      "          [--mix mixed|distance|path|knn|range]\n"
+      "          [--mix mixed|distance|path|knn|range] [--emit-workload]\n"
+      "       %s (--snapshot PATH | --registry MANIFEST) --serve\n"
+      "          [--input FILE] [--threads T] [--deadline-ms D]\n"
+      "          [--queue-capacity C]\n"
       "       %s --registry MANIFEST --list-venues\n"
       "\n"
       "Loads a VIP-Tree snapshot — directly, or by venue id through a\n"
       "multi-venue registry manifest (zero-copy mmap for v2 snapshots) —\n"
-      "and runs a random query batch against it.\n"
-      "The mixed workload is 40%% distance, 20%% path, 20%% kNN, 10%%\n"
-      "range and 10%% boolean keyword kNN (keyword queries fall back to\n"
-      "kNN when the snapshot has no keyword index).\n",
-      argv0, argv0);
+      "and runs a random query batch against it; --serve instead reads\n"
+      "queries line-by-line and submits them through the async\n"
+      "engine::Service front-end (--emit-workload prints the random\n"
+      "workload in that line format). The mixed workload is 40%%\n"
+      "distance, 20%% path, 20%% kNN, 10%% range and 10%% boolean\n"
+      "keyword kNN (keyword queries fall back to kNN when the snapshot\n"
+      "has no keyword index).\n",
+      argv0, argv0, argv0);
 }
 
 bool Parse(int argc, char** argv, Args* args) {
@@ -77,6 +115,19 @@ bool Parse(int argc, char** argv, Args* args) {
       args->venue = v;
     } else if (flag == "--list-venues") {
       args->list_venues = true;
+    } else if (flag == "--serve") {
+      args->serve = true;
+    } else if (flag == "--emit-workload") {
+      args->emit_workload = true;
+    } else if (flag == "--input") {
+      if ((v = value()) == nullptr) return false;
+      args->input = v;
+    } else if (flag == "--deadline-ms") {
+      if ((v = value()) == nullptr) return false;
+      args->deadline_ms = std::atof(v);
+    } else if (flag == "--queue-capacity") {
+      if ((v = value()) == nullptr) return false;
+      args->queue_capacity = static_cast<size_t>(std::atol(v));
     } else if (flag == "--queries") {
       if ((v = value()) == nullptr) return false;
       args->queries = static_cast<size_t>(std::atol(v));
@@ -103,14 +154,24 @@ bool Parse(int argc, char** argv, Args* args) {
       std::fprintf(stderr, "%s: --list-venues needs --registry\n", argv[0]);
       return false;
     }
-  } else if (args->snapshot.empty() == args->registry.empty()) {
+    return true;
+  }
+  if (args->snapshot.empty() == args->registry.empty()) {
     std::fprintf(stderr,
                  "%s: pass exactly one of --snapshot / --registry\n",
                  argv[0]);
     Usage(argv[0]);
     return false;
-  } else if (!args->registry.empty() && args->venue.empty()) {
+  }
+  // --serve routes per line, so it does not need --venue; the batch and
+  // emit-workload modes generate a per-venue workload and do.
+  if (!args->serve && !args->registry.empty() && args->venue.empty()) {
     std::fprintf(stderr, "%s: --registry needs --venue (or --list-venues)\n",
+                 argv[0]);
+    return false;
+  }
+  if (args->serve && args->emit_workload) {
+    std::fprintf(stderr, "%s: --serve and --emit-workload are exclusive\n",
                  argv[0]);
     return false;
   }
@@ -167,6 +228,244 @@ std::vector<eng::Query> MakeWorkload(const eng::QueryEngine& engine,
   return queries;
 }
 
+// ---------------------------------------------------------------------------
+// Serve-mode text protocol.
+// ---------------------------------------------------------------------------
+
+void PrintPoint(const IndoorPoint& p) {
+  std::printf("%d %.17g %.17g %.17g", p.partition, p.position.x,
+              p.position.y, p.position.z);
+}
+
+// Emits `queries` in the --serve line format; `venue` prefixes every line
+// in registry mode ("" = single-venue lines).
+void EmitWorkload(const std::vector<eng::Query>& queries,
+                  const std::string& venue) {
+  for (const eng::Query& q : queries) {
+    if (!venue.empty()) std::printf("%s ", venue.c_str());
+    switch (q.type) {
+      case eng::QueryType::kDistance:
+      case eng::QueryType::kPath:
+        std::printf("%s ", q.type == eng::QueryType::kDistance ? "distance"
+                                                               : "path");
+        PrintPoint(q.source);
+        std::printf(" ");
+        PrintPoint(q.target);
+        std::printf("\n");
+        break;
+      case eng::QueryType::kKnn:
+        std::printf("knn ");
+        PrintPoint(q.source);
+        std::printf(" %zu\n", q.k);
+        break;
+      case eng::QueryType::kRange:
+        std::printf("range ");
+        PrintPoint(q.source);
+        std::printf(" %.17g\n", q.radius);
+        break;
+      case eng::QueryType::kBooleanKnn: {
+        std::printf("bknn ");
+        PrintPoint(q.source);
+        std::string joined;
+        for (const std::string& kw : q.keywords) {
+          if (!joined.empty()) joined += ',';
+          joined += kw;
+        }
+        // "-" = no keywords, so the emit -> serve roundtrip parses even
+        // for an empty keyword list.
+        std::printf(" %zu %s\n", q.k, joined.empty() ? "-" : joined.c_str());
+        break;
+      }
+    }
+  }
+}
+
+bool ParsePoint(std::istringstream& in, IndoorPoint* point) {
+  return static_cast<bool>(in >> point->partition >> point->position.x >>
+                           point->position.y >> point->position.z);
+}
+
+// Parses one workload line into (venue, query). `with_venue` matches the
+// registry/single-venue column rule above.
+bool ParseQueryLine(const std::string& line, bool with_venue,
+                    std::string* venue, eng::Query* query,
+                    std::string* error) {
+  std::istringstream in(line);
+  if (with_venue && !(in >> *venue)) {
+    *error = "missing venue id";
+    return false;
+  }
+  std::string type;
+  if (!(in >> type)) {
+    *error = "missing query type";
+    return false;
+  }
+  IndoorPoint a;
+  if (!ParsePoint(in, &a)) {
+    *error = "malformed query point";
+    return false;
+  }
+  if (type == "distance" || type == "path") {
+    IndoorPoint b;
+    if (!ParsePoint(in, &b)) {
+      *error = "malformed target point";
+      return false;
+    }
+    *query = type == "distance" ? eng::Query::Distance(a, b)
+                                : eng::Query::Path(a, b);
+  } else if (type == "knn") {
+    size_t k = 0;
+    if (!(in >> k)) {
+      *error = "malformed k";
+      return false;
+    }
+    *query = eng::Query::Knn(a, k);
+  } else if (type == "range") {
+    double radius = 0.0;
+    if (!(in >> radius)) {
+      *error = "malformed radius";
+      return false;
+    }
+    *query = eng::Query::Range(a, radius);
+  } else if (type == "bknn") {
+    size_t k = 0;
+    std::string keywords;
+    if (!(in >> k >> keywords)) {
+      *error = "malformed k/keywords";
+      return false;
+    }
+    std::vector<std::string> list;
+    if (keywords != "-") {  // "-" marks an empty keyword list
+      std::istringstream kw(keywords);
+      std::string token;
+      while (std::getline(kw, token, ',')) {
+        if (!token.empty()) list.push_back(token);
+      }
+    }
+    *query = eng::Query::BooleanKnn(a, k, std::move(list));
+  } else {
+    *error = "unknown query type '" + type + "'";
+    return false;
+  }
+  return true;
+}
+
+// The --serve loop: submit every line through the service, drain, report.
+int ServeMain(const Args& args, std::optional<eng::VenueRegistry> registry) {
+  eng::ServiceOptions options;
+  options.num_threads = args.threads;
+  options.queue_capacity = args.queue_capacity;
+
+  std::unique_ptr<eng::Service> service;
+  const bool with_venue = registry.has_value();
+  std::string error;
+  if (with_venue) {
+    service =
+        std::make_unique<eng::Service>(std::move(*registry), options);
+  } else {
+    std::optional<eng::VenueBundle> bundle =
+        eng::VenueBundle::TryLoad(args.snapshot, &error);
+    if (!bundle.has_value()) {
+      std::fprintf(stderr, "error: %s\n", error.c_str());
+      return 1;
+    }
+    service = std::make_unique<eng::Service>(
+        std::make_shared<const eng::VenueBundle>(std::move(*bundle)),
+        options);
+  }
+  service->Start();
+
+  std::ifstream file;
+  if (!args.input.empty()) {
+    file.open(args.input);
+    if (!file) {
+      std::fprintf(stderr, "error: cannot open workload file '%s'\n",
+                   args.input.c_str());
+      return 1;
+    }
+  }
+  std::istream& in = args.input.empty() ? std::cin : file;
+
+  const Timer wall;
+  size_t submitted = 0;
+  size_t malformed = 0;
+  size_t line_number = 0;
+  // Backpressure: cap requests outstanding (queued + in-flight) below the
+  // service's queue capacity by waiting on the oldest ticket before
+  // submitting past the window — a fast producer blocks here instead of
+  // overflowing the bounded queue into rejections.
+  std::deque<eng::Ticket> window;
+  const size_t max_outstanding = std::max<size_t>(1, args.queue_capacity);
+  std::string line;
+  while (std::getline(in, line)) {
+    ++line_number;
+    const size_t start = line.find_first_not_of(" \t\r");
+    if (start == std::string::npos || line[start] == '#') continue;
+    eng::Request request;
+    if (!ParseQueryLine(line, with_venue, &request.venue_id, &request.query,
+                        &error)) {
+      std::fprintf(stderr, "warning: skipping line %zu: %s\n", line_number,
+                   error.c_str());
+      ++malformed;
+      continue;
+    }
+    request.tag = submitted;
+    if (args.deadline_ms > 0.0) {
+      request.deadline = eng::DeadlineAfterMillis(args.deadline_ms);
+    }
+    if (window.size() >= max_outstanding) {
+      window.front().Wait();
+      window.pop_front();
+    }
+    window.push_back(service->Submit(std::move(request)));
+    ++submitted;
+  }
+  service->Drain();
+  const double wall_ms = wall.ElapsedMillis();
+
+  const eng::ServiceStats stats = service->Stats();
+  std::printf(
+      "served %zu queries (%llu ok, %llu expired, %llu rejected, "
+      "%llu failed) in %.2f ms on %zu worker(s)\n",
+      submitted, static_cast<unsigned long long>(stats.num_queries),
+      static_cast<unsigned long long>(stats.expired),
+      static_cast<unsigned long long>(stats.rejected),
+      static_cast<unsigned long long>(stats.failed), wall_ms,
+      stats.num_threads);
+  if (wall_ms > 0.0) {
+    std::printf("  throughput    %10.0f queries/s\n",
+                submitted / (wall_ms / 1000.0));
+  }
+  std::printf("  queue p50     %10.2f us\n", stats.queue_micros.p50);
+  std::printf("  queue p99     %10.2f us\n", stats.queue_micros.p99);
+  std::printf("  latency p50   %10.2f us\n", stats.latency_micros.p50);
+  std::printf("  latency p99   %10.2f us\n", stats.latency_micros.p99);
+  for (const auto& [venue_id, counters] : stats.per_venue) {
+    std::printf("  venue %-12s %llu ok, %llu expired, %llu failed\n",
+                venue_id.empty() ? "(default)" : venue_id.c_str(),
+                static_cast<unsigned long long>(counters.completed),
+                static_cast<unsigned long long>(counters.expired),
+                static_cast<unsigned long long>(counters.failed));
+  }
+  service->Stop();
+  // Exit status mirrors request outcomes so scripts can gate on it:
+  // malformed input, venue failures and queue rejections are errors;
+  // deadline expiry is the shedding the caller asked for and is not.
+  if (malformed > 0) {
+    std::fprintf(stderr, "error: %zu malformed workload line(s)\n",
+                 malformed);
+    return 1;
+  }
+  if (stats.failed > 0 || stats.rejected > 0) {
+    std::fprintf(stderr,
+                 "error: %llu request(s) failed, %llu rejected\n",
+                 static_cast<unsigned long long>(stats.failed),
+                 static_cast<unsigned long long>(stats.rejected));
+    return 1;
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -191,6 +490,8 @@ int main(int argc, char** argv) {
     }
   }
 
+  if (args.serve) return ServeMain(args, std::move(registry));
+
   Timer load_timer;
   std::unique_ptr<eng::QueryEngine> engine;
   bool zero_copy = false;
@@ -211,6 +512,14 @@ int main(int argc, char** argv) {
     }
     zero_copy = engine->bundle().zero_copy();
   }
+
+  if (args.emit_workload) {
+    // Registry-mode lines carry the venue column --serve expects.
+    EmitWorkload(MakeWorkload(*engine, args),
+                 registry.has_value() ? args.venue : std::string());
+    return 0;
+  }
+
   std::printf(
       "snapshot loaded in %.1f ms (%s): %zu partitions, %zu doors, "
       "%zu objects, %s index%s\n",
