@@ -177,22 +177,30 @@ std::vector<ObjectResult> KeywordIndex::BooleanKnn(
   return BooleanKnn(q, k, query, knn_, nullptr);
 }
 
-std::vector<ObjectResult> KeywordIndex::BooleanKnn(
-    const IndoorPoint& q, size_t k, const std::vector<std::string>& query,
-    const KnnQuery& knn, SearchStats* stats) const {
+std::optional<std::vector<KeywordIndex::KeywordId>>
+KeywordIndex::ResolveKeywords(const std::vector<std::string>& query) const {
   std::vector<KeywordId> wanted;
   for (const std::string& word : query) {
     const auto it = keyword_ids_.find(word);
-    if (it == keyword_ids_.end()) return {};  // keyword matches no object
+    if (it == keyword_ids_.end()) return std::nullopt;
     wanted.push_back(it->second);
   }
   std::sort(wanted.begin(), wanted.end());
   wanted.erase(std::unique(wanted.begin(), wanted.end()), wanted.end());
+  return wanted;
+}
+
+std::vector<ObjectResult> KeywordIndex::BooleanKnn(
+    const IndoorPoint& q, size_t k, const std::vector<std::string>& query,
+    const KnnQuery& knn, SearchStats* stats) const {
+  const std::optional<std::vector<KeywordId>> wanted =
+      ResolveKeywords(query);
+  if (!wanted.has_value()) return {};  // some keyword matches no object
 
   KnnQuery::Filters filters;
-  filters.node = [this, &wanted](NodeId n) { return NodeHasAll(n, wanted); };
+  filters.node = [this, &wanted](NodeId n) { return NodeHasAll(n, *wanted); };
   filters.object = [this, &wanted](ObjectId o) {
-    return ObjectHasAll(o, wanted);
+    return ObjectHasAll(o, *wanted);
   };
   return knn.KnnFiltered(q, k, filters, stats);
 }

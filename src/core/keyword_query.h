@@ -74,15 +74,25 @@ class KeywordIndex {
 
   size_t NumDistinctKeywords() const { return keyword_ids_.size(); }
 
+  // Maps query strings to sorted, deduplicated keyword ids; nullopt when
+  // any string is not in the dictionary (no indexed object can match).
+  // Exposed so external readers (the live-object snapshot query) can
+  // compose the same filters BooleanKnn uses.
+  std::optional<std::vector<KeywordId>> ResolveKeywords(
+      const std::vector<std::string>& query) const;
+
+  // The containment predicates behind BooleanKnn's pruning, on resolved
+  // ids: does node n's subtree summary / object o's keyword set contain
+  // every wanted id?
+  bool NodeHasAll(NodeId n, const std::vector<KeywordId>& wanted) const;
+  bool ObjectHasAll(ObjectId o, const std::vector<KeywordId>& wanted) const;
+
   uint64_t MemoryBytes() const;
 
  private:
   struct FromPartsTag {};
   KeywordIndex(FromPartsTag, const IPTree& tree, const ObjectIndex& objects,
                Parts parts);
-
-  bool NodeHasAll(NodeId n, const std::vector<KeywordId>& wanted) const;
-  bool ObjectHasAll(ObjectId o, const std::vector<KeywordId>& wanted) const;
 
   const IPTree& tree_;
   const ObjectIndex& objects_;

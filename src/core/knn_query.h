@@ -15,6 +15,7 @@
 #define VIPTREE_CORE_KNN_QUERY_H_
 
 #include <functional>
+#include <limits>
 #include <unordered_map>
 #include <vector>
 
@@ -63,6 +64,16 @@ class KnnQuery {
                                         const Filters& filters,
                                         SearchStats* stats = nullptr) const {
     return Search(q, k, kInfDistance, &filters, stats);
+  }
+
+  // All objects within `radius` passing the filters (the range analogue of
+  // KnnFiltered; the live-object snapshot reader excludes overlay and
+  // tombstoned ids through this).
+  std::vector<ObjectResult> RangeFiltered(const IndoorPoint& q, double radius,
+                                          const Filters& filters,
+                                          SearchStats* stats = nullptr) const {
+    return Search(q, std::numeric_limits<size_t>::max(), radius, &filters,
+                  stats);
   }
 
  private:

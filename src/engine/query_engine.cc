@@ -1,7 +1,6 @@
 #include "engine/query_engine.h"
 
 #include <algorithm>
-#include <atomic>
 #include <utility>
 #include <vector>
 
@@ -69,18 +68,33 @@ Query Query::BooleanKnn(const IndoorPoint& q_point, size_t k,
   return q;
 }
 
-// The per-thread bundle of core query engines. Shares the engine's indexes
-// (read-only); owns all the mutable Dijkstra scratch.
+// The per-thread bundle of core query engines. Shares the engine's
+// immutable indexes (read-only) plus, for object queries, the snapshot of
+// the live object set pinned on the last Refresh; owns all the mutable
+// Dijkstra scratch.
 struct QueryEngine::Worker {
   VIPDistanceQuery distance;
   VIPPathQuery path;
-  KnnQuery knn;
+  // The pinned epoch's reader. Rebuilt by Refresh only when a publish
+  // happened since the last query through this worker.
+  std::unique_ptr<SnapshotQuery> objects;
 
   explicit Worker(const QueryEngine& engine)
       : distance(engine.tree(), engine.bundle_->query_options()),
-        path(engine.tree(), engine.bundle_->query_options()),
-        knn(engine.tree().base(), engine.objects(),
-            engine.bundle_->query_options()) {}
+        path(engine.tree(), engine.bundle_->query_options()) {}
+
+  // Pins the current object snapshot: one shared_ptr atomic load per
+  // query, a SnapshotQuery rebuild only on epoch change.
+  SnapshotQuery& Refresh(const QueryEngine& engine) {
+    std::shared_ptr<const ObjectSnapshot> current =
+        engine.bundle_->live_objects().Acquire();
+    if (objects == nullptr || objects->snapshot_ptr() != current) {
+      objects = std::make_unique<SnapshotQuery>(
+          engine.tree().base(), std::move(current),
+          engine.bundle_->query_options());
+    }
+    return *objects;
+  }
 };
 
 namespace {
@@ -93,27 +107,10 @@ size_t MatricesConsulted(const IPTree& tree, PartitionId s, PartitionId t) {
   return tree.LeafOfPartition(s) == tree.LeafOfPartition(t) ? 1 : 3;
 }
 
-// Scope guard bumping the engine's in-flight batch counter, so SetObjects
-// can detect a concurrent RunBatch.
-class BatchScope {
- public:
-  explicit BatchScope(std::atomic<int>& counter) : counter_(counter) {
-    counter_.fetch_add(1, std::memory_order_acq_rel);
-  }
-  ~BatchScope() { counter_.fetch_sub(1, std::memory_order_acq_rel); }
-  BatchScope(const BatchScope&) = delete;
-  BatchScope& operator=(const BatchScope&) = delete;
-
- private:
-  std::atomic<int>& counter_;
-};
-
 }  // namespace
 
-QueryEngine::QueryEngine(VenueBundle bundle) {
-  auto owned = std::make_shared<VenueBundle>(std::move(bundle));
-  mutable_bundle_ = owned.get();
-  bundle_ = std::move(owned);
+QueryEngine::QueryEngine(VenueBundle bundle)
+    : bundle_(std::make_shared<VenueBundle>(std::move(bundle))) {
   RebuildWorker();
 }
 
@@ -155,19 +152,13 @@ std::unique_ptr<QueryEngine> QueryEngine::TryLoad(const std::string& path,
 void QueryEngine::SetObjects(
     std::vector<IndoorPoint> objects,
     std::vector<std::vector<std::string>> object_keywords) {
-  VIPTREE_CHECK_MSG(mutable_bundle_ != nullptr,
-                    "QueryEngine::SetObjects called on an engine serving a "
-                    "shared registry bundle; rebuild the snapshot instead");
-  VIPTREE_CHECK_MSG(active_batches_.load(std::memory_order_acquire) == 0,
-                    "QueryEngine::SetObjects called while a RunBatch is in "
-                    "flight; object replacement must be serialized against "
-                    "all queries");
-  // Mirror flag so a RunBatch entering during the swap trips its own CHECK
-  // (see the misuse-detector note in the header).
-  active_mutations_.fetch_add(1, std::memory_order_acq_rel);
-  mutable_bundle_->SetObjects(std::move(objects), std::move(object_keywords));
-  RebuildWorker();
-  active_mutations_.fetch_sub(1, std::memory_order_acq_rel);
+  bundle_->live_objects().SetObjects(std::move(objects),
+                                     std::move(object_keywords));
+}
+
+std::optional<std::string> QueryEngine::ApplyObjectDelta(
+    const ObjectDelta& delta) {
+  return bundle_->live_objects().ApplyDelta(delta);
 }
 
 void QueryEngine::RebuildWorker() {
@@ -178,7 +169,7 @@ uint64_t QueryEngine::IndexMemoryBytes() const {
   return bundle_->IndexMemoryBytes();
 }
 
-Result QueryEngine::Execute(const Query& query, const Worker& worker) const {
+Result QueryEngine::Execute(const Query& query, Worker& worker) const {
   Result result;
   result.type = query.type;
   SearchStats search_stats;
@@ -194,19 +185,19 @@ Result QueryEngine::Execute(const Query& query, const Worker& worker) const {
       break;
     }
     case QueryType::kKnn:
-      result.objects = worker.knn.Knn(query.source, query.k, &search_stats);
+      result.objects =
+          worker.Refresh(*this).Knn(query.source, query.k, &search_stats);
       break;
     case QueryType::kRange:
-      result.objects =
-          worker.knn.WithinRange(query.source, query.radius, &search_stats);
+      result.objects = worker.Refresh(*this).Range(query.source, query.radius,
+                                                   &search_stats);
       break;
     case QueryType::kBooleanKnn:
-      VIPTREE_CHECK_MSG(bundle_->has_keywords(),
-                        "engine was built without object keywords; "
-                        "kBooleanKnn queries need EngineOptions::"
-                        "object_keywords or SetObjects(..., keywords)");
-      result.objects = bundle_->keyword_index().BooleanKnn(
-          query.source, query.k, query.keywords, worker.knn, &search_stats);
+      // Empty (not fatal) on a snapshot without keywords: the serving
+      // layer rejects such requests up front, and the epoch the worker
+      // pins here may legitimately differ from the epoch it checked.
+      result.objects = worker.Refresh(*this).BooleanKnn(
+          query.source, query.k, query.keywords, &search_stats);
       break;
   }
   result.latency_micros = timer.ElapsedMicros();
@@ -234,11 +225,6 @@ std::vector<Result> QueryEngine::RunSequential(
 
 BatchResult QueryEngine::RunBatch(Span<const Query> queries,
                                   const BatchOptions& options) const {
-  VIPTREE_CHECK_MSG(active_mutations_.load(std::memory_order_acquire) == 0,
-                    "QueryEngine::RunBatch started while SetObjects is "
-                    "replacing the object set; object replacement must be "
-                    "serialized against all queries");
-  const BatchScope in_flight(active_batches_);
   const size_t n = queries.size();
   size_t threads = ResolveThreadCount(options.num_threads);
   threads = std::min(threads, std::max<size_t>(1, n));

@@ -10,17 +10,20 @@
 // path — loaded from a snapshot written by Save() (build the index once
 // offline, load the immutable artifact into each serving process).
 //
-// Concurrency model. The indexes are immutable after construction; all the
-// per-query mutable state lives in small per-thread Worker bundles (the
-// core query engines with their Dijkstra scratch — see the thread-safety
-// contract in core/distance_query.h). RunBatch is a compatibility shim
-// over the async serving front-end (engine/service.h): it stands up a
-// transient single-venue Service whose resident workers answer the batch,
-// then folds the responses back into the original results[i]-answers-
-// queries[i] contract. The shared index is only ever read through const
-// methods — the property the compiler checks. SetObjects is the one
-// mutating operation; it must never overlap queries, and the engine
-// CHECK-fails if it is called while any RunBatch is in flight.
+// Concurrency model. The venue/graph/tree indexes are immutable after
+// construction; the object set is *live* (core/live_objects.h): writers
+// publish immutable ObjectSnapshots through an RCU-style shared_ptr swap,
+// and every worker pins the current snapshot per query, so SetObjects /
+// ApplyObjectDelta run genuinely concurrent with queries — no overlap
+// CHECKs, no reader locks. Each query observes exactly one epoch: either
+// entirely the old object set or entirely the new one, never a mix. All
+// remaining per-query mutable state lives in small per-thread Worker
+// bundles (the core query engines with their Dijkstra scratch — see the
+// thread-safety contract in core/distance_query.h). RunBatch is a
+// compatibility shim over the async serving front-end (engine/service.h):
+// it stands up a transient single-venue Service whose resident workers
+// answer the batch, then folds the responses back into the original
+// results[i]-answers-queries[i] contract.
 //
 // Every Result carries its own latency and visited-node counters;
 // RunBatch aggregates them into a BatchStats (common/stats Summary), the
@@ -29,7 +32,6 @@
 #ifndef VIPTREE_ENGINE_QUERY_ENGINE_H_
 #define VIPTREE_ENGINE_QUERY_ENGINE_H_
 
-#include <atomic>
 #include <memory>
 #include <optional>
 #include <string>
@@ -39,6 +41,7 @@
 #include "common/stats.h"
 #include "core/keyword_query.h"
 #include "core/knn_query.h"
+#include "core/live_objects.h"
 #include "core/object_index.h"
 #include "core/path_query.h"
 #include "core/vip_tree.h"
@@ -128,11 +131,11 @@ class QueryEngine {
   // Adopts a pre-built or snapshot-loaded bundle.
   explicit QueryEngine(VenueBundle bundle);
 
-  // Serves over a *shared immutable* bundle — the VenueRegistry path, where
-  // one process holds many venues and several engines may serve the same
-  // bundle concurrently (the read path is const). SetObjects is unavailable
-  // on such an engine (it would mutate state other engines share) and
-  // CHECK-aborts.
+  // Serves over a *shared* bundle — the VenueRegistry path, where one
+  // process holds many venues and several engines serve the same bundle
+  // concurrently. Queries read pinned snapshots; object updates through
+  // any engine (SetObjects / ApplyObjectDelta) publish a new epoch that
+  // all engines over the bundle observe on their next query.
   explicit QueryEngine(std::shared_ptr<const VenueBundle> bundle);
 
   // Builds the bundle here, taking ownership of the venue (the D2D graph
@@ -168,17 +171,20 @@ class QueryEngine {
                                               std::string* error);
 
   // Replaces the object set (and keyword lists) without rebuilding the
-  // tree. This is the engine's only mutation and must be externally
-  // serialized against *all* queries; it CHECK-aborts on an engine serving
-  // a shared bundle (registry path). As a misuse detector (not a lock —
-  // a narrow check-then-act window remains, so correctness still rests on
-  // the caller's serialization), both sides CHECK-abort when they observe
-  // an overlap: SetObjects if a RunBatch is in flight, RunBatch if a swap
-  // is underway. (Run / RunSequential share the resident worker and are
-  // not re-entrant anyway — see below — so the same single-writer
-  // discipline covers them.)
+  // tree. Publishes one new epoch through the bundle's live object store;
+  // safe to call while queries (Run / RunBatch, here or through other
+  // engines over the same bundle) are in flight — in-flight queries keep
+  // the snapshot they pinned, later queries see the new set.
   void SetObjects(std::vector<IndoorPoint> objects,
                   std::vector<std::vector<std::string>> object_keywords = {});
+
+  // Applies one object delta (moves / adds / removes) and publishes one
+  // new epoch; small churn patches the hot overlay instead of rebuilding
+  // the packed index (core/live_objects.h). Returns an error message —
+  // and publishes nothing — when the delta is invalid (unknown ids,
+  // out-of-range partitions, double-removes, …). Concurrent callers are
+  // serialized internally; queries never block.
+  std::optional<std::string> ApplyObjectDelta(const ObjectDelta& delta);
 
   // Combined footprint of the owned indexes.
   uint64_t IndexMemoryBytes() const;
@@ -208,23 +214,18 @@ class QueryEngine {
  private:
   struct Worker;
 
-  Result Execute(const Query& query, const Worker& worker) const;
+  Result Execute(const Query& query, Worker& worker) const;
   void RebuildWorker();
 
-  // The served state. `bundle_` is what every read goes through;
-  // `mutable_bundle_` aliases the same object when this engine owns it
-  // outright (and may therefore SetObjects), and is null for an engine
-  // serving a shared registry bundle.
+  // The served state; every read goes through here. Object mutations go
+  // through bundle_->live_objects(), which is internally synchronized, so
+  // no separate mutable alias is needed.
   std::shared_ptr<const VenueBundle> bundle_;
-  VenueBundle* mutable_bundle_ = nullptr;
   // Resident worker backing Run / RunSequential (RunBatch threads build
-  // their own).
+  // their own). Run re-pins the worker's object snapshot per query, which
+  // is why Execute takes it non-const; Run stays const-but-not-reentrant,
+  // exactly as before.
   std::unique_ptr<Worker> main_worker_;
-  // Misuse detectors for the SetObjects/queries contract: RunBatch calls
-  // currently in flight (checked by SetObjects) and object swaps underway
-  // (checked by RunBatch). Best-effort observation, not mutual exclusion.
-  mutable std::atomic<int> active_batches_{0};
-  std::atomic<int> active_mutations_{0};
 };
 
 }  // namespace engine

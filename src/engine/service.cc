@@ -291,6 +291,7 @@ void Service::Process(
     Item item, std::map<std::string, std::unique_ptr<QueryEngine>>* engines) {
   const ServiceClock::time_point start = ServiceClock::now();
   Response response;
+  response.kind = item.request.kind;
   response.tag = item.request.tag;
   response.venue_id = item.request.venue_id;
   response.queue_micros = MicrosBetween(item.enqueued, start);
@@ -308,6 +309,11 @@ void Service::Process(
     if (engine == nullptr) {
       response.status = RequestStatus::kVenueNotFound;
       response.error = std::move(error);
+    } else if (item.request.kind == RequestKind::kUpdateObjects) {
+      // Updates route exactly like queries; the venue's LiveObjectIndex
+      // serializes concurrent updates internally and queries keep reading
+      // their pinned snapshots, so nothing here needs the queue lock.
+      RunUpdate(item.request.delta, engine, &response);
     } else if (!ValidateQuery(item.request.query, *engine, &error)) {
       // A server fails the request, never the process: unvalidated input
       // (serve-mode lines, remote clients) must not reach the engine's
@@ -320,6 +326,22 @@ void Service::Process(
     }
   }
   Finalize(item.state, std::move(response));
+}
+
+void Service::RunUpdate(const ObjectDelta& delta, QueryEngine* engine,
+                        Response* response) {
+  const Timer timer;
+  // ApplyObjectDelta validates before mutating (unknown ids, out-of-range
+  // partitions, double-removes, …): a rejected delta publishes nothing,
+  // so it maps to kInvalidRequest just like a malformed query.
+  std::optional<std::string> error = engine->ApplyObjectDelta(delta);
+  response->result.latency_micros = timer.ElapsedMicros();
+  if (error.has_value()) {
+    response->status = RequestStatus::kInvalidRequest;
+    response->error = std::move(*error);
+  } else {
+    response->status = RequestStatus::kOk;
+  }
 }
 
 bool Service::ValidateQuery(const Query& query, const QueryEngine& engine,
@@ -413,6 +435,14 @@ void Service::RecordStats(const Response& response) {
   std::lock_guard<std::mutex> lock(stats_mu_);
   switch (response.status) {
     case RequestStatus::kOk:
+      if (response.kind == RequestKind::kUpdateObjects) {
+        ++updates_;
+        ++per_venue_[response.venue_id].updated;
+        if (update_samples_.size() < kMaxStatSamples) {
+          update_samples_.push_back(response.result.latency_micros);
+        }
+        break;
+      }
       ++completed_;
       ++per_venue_[response.venue_id].completed;
       visited_nodes_ += response.result.visited_nodes;
@@ -469,6 +499,8 @@ ServiceStats Service::Stats() const {
   stats.expired = expired_;
   stats.cancelled = cancelled_;
   stats.failed = failed_;
+  stats.updates = updates_;
+  stats.update_micros = Summarize(update_samples_);
   stats.queue_micros = Summarize(queue_samples_);
   stats.per_venue = per_venue_;
   return stats;

@@ -95,24 +95,47 @@ enum class RequestStatus : uint8_t {
 
 const char* RequestStatusName(RequestStatus status);
 
-// One unit of admitted work: a typed query bound for a venue, with an
-// optional latency budget and a caller-chosen correlation tag.
+// What a Request asks the service to do.
+enum class RequestKind : uint8_t {
+  kQuery,          // answer `query`
+  kUpdateObjects,  // apply `delta` to the venue's live object set
+};
+
+// One unit of admitted work: a typed query — or an object-set update —
+// bound for a venue, with an optional latency budget and a caller-chosen
+// correlation tag. Updates ride the same queue and routing as queries;
+// they publish a new object epoch through the venue bundle's
+// LiveObjectIndex (core/live_objects.h), whose internal write mutex
+// serializes updates per venue while queries stay lock-free on their
+// pinned snapshots.
 struct Request {
+  RequestKind kind = RequestKind::kQuery;
   // Venue to route to. Empty on a single-venue service; required (and
   // resolved through the registry) on a multi-venue service.
   std::string venue_id;
-  Query query;
+  Query query;               // kQuery
+  ObjectDelta delta;         // kUpdateObjects
   RequestDeadline deadline = kNoDeadline;
   // Echoed verbatim in the Response; lets streaming callers correlate
   // out-of-order completions (e.g. an index into their own array).
   uint64_t tag = 0;
+
+  static Request Update(std::string venue, ObjectDelta object_delta) {
+    Request request;
+    request.kind = RequestKind::kUpdateObjects;
+    request.venue_id = std::move(venue);
+    request.delta = std::move(object_delta);
+    return request;
+  }
 };
 
 struct Response {
   RequestStatus status = RequestStatus::kOk;
+  RequestKind kind = RequestKind::kQuery;
   uint64_t tag = 0;
   std::string venue_id;
-  // Valid only when status == kOk.
+  // Valid only when status == kOk and kind == kQuery. For a completed
+  // update, only result.latency_micros is meaningful (the publish cost).
   Result result;
   // Human-readable detail for non-kOk statuses (load error, shutdown, …).
   std::string error;
@@ -163,9 +186,10 @@ struct ServiceOptions {
 };
 
 struct VenueCounters {
-  uint64_t completed = 0;  // answered (kOk)
+  uint64_t completed = 0;  // queries answered (kOk)
+  uint64_t updated = 0;    // object updates applied (kOk)
   uint64_t expired = 0;    // shed by deadline
-  uint64_t failed = 0;     // venue resolution failures
+  uint64_t failed = 0;     // venue resolution / validation failures
 };
 
 // BatchStats (completed-query count, execution-latency Summary, visited
@@ -178,6 +202,11 @@ struct ServiceStats : BatchStats {
   uint64_t expired = 0;
   uint64_t cancelled = 0;
   uint64_t failed = 0;
+  // Object updates applied (kOk). Updates are deliberately kept out of
+  // num_queries and latency_micros so query p50/p99 stay comparable
+  // across update rates; their publish cost is in update_micros.
+  uint64_t updates = 0;
+  Summary update_micros;
   // Distribution of Response::queue_micros over accepted requests.
   Summary queue_micros;
   std::map<std::string, VenueCounters> per_venue;
@@ -258,6 +287,10 @@ class Service {
   void Finalize(const std::shared_ptr<Ticket::State>& state,
                 Response response);
   void RecordStats(const Response& response);
+  // Executes one kUpdateObjects request on a resolved engine, filling
+  // status/error/latency into *response.
+  static void RunUpdate(const ObjectDelta& delta, QueryEngine* engine,
+                        Response* response);
 
   // Exactly one of the two is the routing target.
   std::shared_ptr<const VenueBundle> bundle_;
@@ -286,9 +319,11 @@ class Service {
   uint64_t expired_ = 0;
   uint64_t cancelled_ = 0;
   uint64_t failed_ = 0;
+  uint64_t updates_ = 0;
   uint64_t visited_nodes_ = 0;
   std::vector<double> latency_samples_;
   std::vector<double> queue_samples_;
+  std::vector<double> update_samples_;
   std::map<std::string, VenueCounters> per_venue_;
 };
 

@@ -18,12 +18,9 @@ VenueBundle VenueBundle::Assemble(std::unique_ptr<Venue> venue,
   bundle.query_options_ = options.query;
   bundle.tree_ = std::make_unique<VIPTree>(
       VIPTree::Build(*bundle.venue_, *bundle.graph_, options.tree));
-  bundle.objects_ = std::make_unique<ObjectIndex>(bundle.tree_->base(),
-                                                  std::move(objects));
-  if (!options.object_keywords.empty()) {
-    bundle.keywords_ = std::make_unique<KeywordIndex>(
-        bundle.tree_->base(), *bundle.objects_, options.object_keywords);
-  }
+  bundle.live_ = std::make_unique<LiveObjectIndex>(
+      bundle.tree_->base(), std::move(objects),
+      std::move(options.object_keywords));
   return bundle;
 }
 
@@ -54,18 +51,11 @@ VenueBundle VenueBundle::BuildFrom(const Venue& venue, const D2DGraph& graph,
 void VenueBundle::SetObjects(
     std::vector<IndoorPoint> objects,
     std::vector<std::vector<std::string>> object_keywords) {
-  keywords_.reset();
-  objects_ = std::make_unique<ObjectIndex>(tree_->base(), std::move(objects));
-  if (!object_keywords.empty()) {
-    keywords_ = std::make_unique<KeywordIndex>(tree_->base(), *objects_,
-                                               object_keywords);
-  }
+  live_->SetObjects(std::move(objects), std::move(object_keywords));
 }
 
 uint64_t VenueBundle::IndexMemoryBytes() const {
-  uint64_t bytes = tree_->MemoryBytes() + objects_->MemoryBytes();
-  if (keywords_ != nullptr) bytes += keywords_->MemoryBytes();
-  return bytes;
+  return tree_->MemoryBytes() + live_->MemoryBytes();
 }
 
 io::Status VenueBundle::Save(const std::string& path,
@@ -75,8 +65,11 @@ io::Status VenueBundle::Save(const std::string& path,
   snapshot.graph = graph_->ToParts();
   snapshot.tree = tree_->base().ToParts();
   snapshot.vip = tree_->ToParts();
-  snapshot.objects = objects_->ToParts();
-  if (keywords_ != nullptr) snapshot.keywords = keywords_->ToParts();
+  LiveObjectIndex::PackedState packed = live_->PackedParts();
+  snapshot.objects = std::move(packed.objects);
+  if (packed.keywords.has_value()) {
+    snapshot.keywords = std::move(*packed.keywords);
+  }
   snapshot.query_options = query_options_;
   return io::WriteSnapshotFile(path, snapshot, options);
 }
@@ -158,20 +151,26 @@ std::optional<VenueBundle> VenueBundle::TryLoad(const std::string& path,
                                           snapshot.objects)) {
     return fail("invalid snapshot: " + *e);
   }
-  bundle.objects_ =
-      std::make_unique<ObjectIndex>(ObjectIndex::FromValidatedParts(
+  auto object_base =
+      std::make_shared<const ObjectIndex>(ObjectIndex::FromValidatedParts(
           bundle.tree_->base(), std::move(snapshot.objects)));
 
+  std::shared_ptr<const KeywordIndex> keywords;
   if (snapshot.keywords.has_value()) {
-    if (auto e = KeywordIndex::ValidateParts(
-            bundle.tree_->base(), *bundle.objects_, *snapshot.keywords)) {
+    if (auto e = KeywordIndex::ValidateParts(bundle.tree_->base(),
+                                             *object_base,
+                                             *snapshot.keywords)) {
       return fail("invalid snapshot: " + *e);
     }
-    bundle.keywords_ =
-        std::make_unique<KeywordIndex>(KeywordIndex::FromValidatedParts(
-            bundle.tree_->base(), *bundle.objects_,
+    keywords =
+        std::make_shared<const KeywordIndex>(KeywordIndex::FromValidatedParts(
+            bundle.tree_->base(), *object_base,
             std::move(*snapshot.keywords)));
   }
+  // The loaded (possibly arena-aliased) pair becomes epoch 1 of the live
+  // object store; updates build later epochs aside in owned memory.
+  bundle.live_ = std::make_unique<LiveObjectIndex>(
+      bundle.tree_->base(), std::move(object_base), std::move(keywords));
   bundle.query_options_ = snapshot.query_options;
   // A zero-copy decode left views into the arena inside the indexes; the
   // bundle must then keep the arena alive. A copying decode (v1 snapshot,

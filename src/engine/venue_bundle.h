@@ -31,6 +31,7 @@
 #include <vector>
 
 #include "core/keyword_query.h"
+#include "core/live_objects.h"
 #include "core/object_index.h"
 #include "core/vip_tree.h"
 #include "graph/d2d_graph.h"
@@ -92,7 +93,11 @@ class VenueBundle {
                                EngineOptions options = {});
 
   // Snapshot persistence (io/snapshot.h format; Save writes format v2
-  // unless told otherwise). Save reports failures as a Status; TryLoad
+  // unless told otherwise). Save serializes the *live* object set: after
+  // updates, removed objects are dropped and the survivors get dense
+  // renumbered ids, so the on-disk format never sees overlays or
+  // tombstones (see LiveObjectIndex::PackedParts). Save reports failures
+  // as a Status; TryLoad
   // reports them as nullopt plus a human-readable message in *error
   // (truncation, corruption, version skew, structural inconsistency); Load
   // aborts with that message (for callers who treat the snapshot as
@@ -111,18 +116,31 @@ class VenueBundle {
   const Venue& venue() const { return *venue_; }
   const D2DGraph& graph() const { return *graph_; }
   const VIPTree& tree() const { return *tree_; }
-  const ObjectIndex& objects() const { return *objects_; }
-  bool has_keywords() const { return keywords_ != nullptr; }
-  const KeywordIndex& keyword_index() const { return *keywords_; }
   const DistanceQueryOptions& query_options() const { return query_options_; }
+
+  // The live (epoch-published) object store. Returned non-const from a
+  // const bundle on purpose: LiveObjectIndex is internally synchronized,
+  // so updates are legal on shared registry bundles — that is the whole
+  // serving path for object updates.
+  LiveObjectIndex& live_objects() const { return *live_; }
+
+  // Inspection views of the *current* epoch (the packed base index and
+  // its keyword index). Valid until the next publish; query paths must
+  // pin a snapshot via live_objects().Acquire() instead.
+  const ObjectIndex& objects() const { return live_->current_base(); }
+  bool has_keywords() const { return live_->has_keywords(); }
+  const KeywordIndex& keyword_index() const {
+    return live_->current_keywords();
+  }
 
   // True when the indexes alias a mapped (or heap-read) snapshot arena
   // instead of owning private copies — i.e. the zero-copy load path ran.
   bool zero_copy() const { return arena_ != nullptr; }
 
   // Replaces the object set (and keyword lists) without rebuilding the
-  // tree. Callers must serialize this with queries; QueryEngine enforces
-  // the RunBatch half of that contract.
+  // tree, publishing one new epoch. Safe to call concurrently with
+  // queries: in-flight readers keep answering against the snapshot they
+  // pinned; later queries see the new set.
   void SetObjects(std::vector<IndoorPoint> objects,
                   std::vector<std::vector<std::string>> object_keywords = {});
 
@@ -146,8 +164,7 @@ class VenueBundle {
   std::unique_ptr<Venue> venue_;
   std::unique_ptr<D2DGraph> graph_;
   std::unique_ptr<VIPTree> tree_;
-  std::unique_ptr<ObjectIndex> objects_;
-  std::unique_ptr<KeywordIndex> keywords_;  // null when no keywords
+  std::unique_ptr<LiveObjectIndex> live_;
   DistanceQueryOptions query_options_;
 };
 

@@ -1,0 +1,196 @@
+#include "engine/workload_text.h"
+
+#include <cstdio>
+#include <sstream>
+#include <utility>
+#include <vector>
+
+#include "common/check.h"
+
+namespace viptree {
+namespace engine {
+namespace workload {
+
+namespace {
+
+void AppendPoint(std::string* out, const IndoorPoint& p) {
+  char buf[128];
+  std::snprintf(buf, sizeof(buf), "%d %.17g %.17g %.17g", p.partition,
+                p.position.x, p.position.y, p.position.z);
+  *out += buf;
+}
+
+// "-" marks an empty keyword list so the emit -> parse round trip stays
+// unambiguous (a bare trailing column would be swallowed by the tokenizer).
+std::string JoinKeywords(const std::vector<std::string>& keywords) {
+  if (keywords.empty()) return "-";
+  std::string joined;
+  for (const std::string& kw : keywords) {
+    if (!joined.empty()) joined += ',';
+    joined += kw;
+  }
+  return joined;
+}
+
+std::vector<std::string> SplitKeywords(const std::string& joined) {
+  std::vector<std::string> list;
+  if (joined == "-") return list;
+  std::istringstream in(joined);
+  std::string token;
+  while (std::getline(in, token, ',')) {
+    if (!token.empty()) list.push_back(token);
+  }
+  return list;
+}
+
+bool ParsePoint(std::istringstream& in, IndoorPoint* point) {
+  return static_cast<bool>(in >> point->partition >> point->position.x >>
+                           point->position.y >> point->position.z);
+}
+
+}  // namespace
+
+std::string EmitLine(const Request& request) {
+  std::string line;
+  if (!request.venue_id.empty()) line = request.venue_id + " ";
+  if (request.kind == RequestKind::kUpdateObjects) {
+    const ObjectDelta& delta = request.delta;
+    VIPTREE_CHECK_MSG(delta.size() == 1,
+                      "the workload line grammar is one update operation "
+                      "per line; split multi-op deltas before emitting");
+    if (!delta.moves.empty()) {
+      line += "move " + std::to_string(delta.moves[0].id) + " ";
+      AppendPoint(&line, delta.moves[0].to);
+    } else if (!delta.adds.empty()) {
+      line += "add ";
+      AppendPoint(&line, delta.adds[0].at);
+      line += " " + JoinKeywords(delta.adds[0].keywords);
+    } else {
+      line += "remove " + std::to_string(delta.removes[0]);
+    }
+    return line;
+  }
+  const Query& q = request.query;
+  switch (q.type) {
+    case QueryType::kDistance:
+    case QueryType::kPath:
+      line += q.type == QueryType::kDistance ? "distance " : "path ";
+      AppendPoint(&line, q.source);
+      line += " ";
+      AppendPoint(&line, q.target);
+      break;
+    case QueryType::kKnn:
+      line += "knn ";
+      AppendPoint(&line, q.source);
+      line += " " + std::to_string(q.k);
+      break;
+    case QueryType::kRange: {
+      line += "range ";
+      AppendPoint(&line, q.source);
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), " %.17g", q.radius);
+      line += buf;
+      break;
+    }
+    case QueryType::kBooleanKnn:
+      line += "bknn ";
+      AppendPoint(&line, q.source);
+      line += " " + std::to_string(q.k) + " " + JoinKeywords(q.keywords);
+      break;
+  }
+  return line;
+}
+
+bool ParseLine(const std::string& line, bool with_venue, Request* request,
+               std::string* error) {
+  *request = Request{};
+  std::istringstream in(line);
+  if (with_venue && !(in >> request->venue_id)) {
+    *error = "missing venue id";
+    return false;
+  }
+  std::string type;
+  if (!(in >> type)) {
+    *error = "missing request type";
+    return false;
+  }
+
+  // Update lines first: their leading column is an object id, not a point.
+  if (type == "move") {
+    ObjectDelta::Move move;
+    if (!(in >> move.id) || !ParsePoint(in, &move.to)) {
+      *error = "malformed move (want: move <id> <p> <x> <y> <z>)";
+      return false;
+    }
+    request->kind = RequestKind::kUpdateObjects;
+    request->delta.moves.push_back(move);
+    return true;
+  }
+  if (type == "add") {
+    ObjectDelta::Add add;
+    std::string keywords;
+    if (!ParsePoint(in, &add.at) || !(in >> keywords)) {
+      *error = "malformed add (want: add <p> <x> <y> <z> <kw,...|->)";
+      return false;
+    }
+    add.keywords = SplitKeywords(keywords);
+    request->kind = RequestKind::kUpdateObjects;
+    request->delta.adds.push_back(std::move(add));
+    return true;
+  }
+  if (type == "remove") {
+    ObjectId id = kInvalidId;
+    if (!(in >> id)) {
+      *error = "malformed remove (want: remove <id>)";
+      return false;
+    }
+    request->kind = RequestKind::kUpdateObjects;
+    request->delta.removes.push_back(id);
+    return true;
+  }
+
+  IndoorPoint a;
+  if (!ParsePoint(in, &a)) {
+    *error = "malformed query point";
+    return false;
+  }
+  if (type == "distance" || type == "path") {
+    IndoorPoint b;
+    if (!ParsePoint(in, &b)) {
+      *error = "malformed target point";
+      return false;
+    }
+    request->query =
+        type == "distance" ? Query::Distance(a, b) : Query::Path(a, b);
+  } else if (type == "knn") {
+    size_t k = 0;
+    if (!(in >> k)) {
+      *error = "malformed k";
+      return false;
+    }
+    request->query = Query::Knn(a, k);
+  } else if (type == "range") {
+    double radius = 0.0;
+    if (!(in >> radius)) {
+      *error = "malformed radius";
+      return false;
+    }
+    request->query = Query::Range(a, radius);
+  } else if (type == "bknn") {
+    size_t k = 0;
+    std::string keywords;
+    if (!(in >> k >> keywords)) {
+      *error = "malformed k/keywords";
+      return false;
+    }
+    request->query = Query::BooleanKnn(a, k, SplitKeywords(keywords));
+  } else {
+    *error = "unknown request type '" + type + "'";
+    return false;
+  }
+  return true;
+}
+
+}  // namespace workload
+}  // namespace engine
+}  // namespace viptree

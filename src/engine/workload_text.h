@@ -1,0 +1,49 @@
+// The serve-mode text protocol: one request per line, shared by
+// `viptree_query --serve` / `--emit-workload` and the round-trip tests so
+// the emitter and the parser can never drift apart.
+//
+// Line grammar (blank lines and '#' comments are the caller's concern;
+// the leading <venue> column exists only in registry mode):
+//
+//   [<venue>] distance <p> <x> <y> <z>  <p> <x> <y> <z>
+//   [<venue>] path     <p> <x> <y> <z>  <p> <x> <y> <z>
+//   [<venue>] knn      <p> <x> <y> <z>  <k>
+//   [<venue>] range    <p> <x> <y> <z>  <radius>
+//   [<venue>] bknn     <p> <x> <y> <z>  <k> <kw1[,kw2,...] | ->
+//   [<venue>] move     <id> <p> <x> <y> <z>
+//   [<venue>] add      <p> <x> <y> <z>  <kw1[,kw2,...] | ->
+//   [<venue>] remove   <id>
+//
+// The last three are live-object updates (core/live_objects.h): each line
+// is one single-operation ObjectDelta, submitted through the service as a
+// RequestKind::kUpdateObjects request. Coordinates round-trip exactly
+// (%.17g), so an emitted workload parses back bit-identically.
+
+#ifndef VIPTREE_ENGINE_WORKLOAD_TEXT_H_
+#define VIPTREE_ENGINE_WORKLOAD_TEXT_H_
+
+#include <string>
+
+#include "engine/service.h"
+
+namespace viptree {
+namespace engine {
+namespace workload {
+
+// Formats one request as a protocol line (no trailing newline). The
+// request's venue_id becomes the leading column when non-empty. Update
+// requests must carry exactly one operation — the line grammar is one
+// operation per line (CHECKed; the emitters only build such requests).
+std::string EmitLine(const Request& request);
+
+// Parses one protocol line into *request. `with_venue` selects the
+// registry-mode grammar (leading venue column). Returns false with a
+// human-readable *error on malformed input; *request is then unspecified.
+bool ParseLine(const std::string& line, bool with_venue, Request* request,
+               std::string* error);
+
+}  // namespace workload
+}  // namespace engine
+}  // namespace viptree
+
+#endif  // VIPTREE_ENGINE_WORKLOAD_TEXT_H_

@@ -339,6 +339,124 @@ TEST_F(SnapshotRejectionTest, ImplausibleSectionCountIsRejected) {
 }
 
 // ---------------------------------------------------------------------------
+// Randomized region-targeted fuzz. The deterministic sweeps above probe
+// fixed offsets; this parses the v2 TOC of the saved snapshot and, per
+// seed, aims random bit flips and random truncations at every structural
+// region — header, TOC entries, each section payload, and the alignment
+// padding between sections. Every mutation must be handled cleanly: a
+// rejection with a human-readable error, or (for flips confined to dead
+// padding the checksums never covered) a successful load. Never a crash,
+// never an abort, never an empty error message.
+// ---------------------------------------------------------------------------
+
+struct FuzzRegion {
+  std::string name;
+  size_t begin = 0;  // inclusive
+  size_t end = 0;    // exclusive
+  bool padding = false;  // bytes no checksum covers: a flip may load fine
+};
+
+// Region map derived from the TOC (header: 8 B magic, u32 version, u32
+// section count at 12; 24-byte entries from 16: u32 tag, u32 crc,
+// u64 offset, u64 size). Bytes inside no header/TOC/section range are the
+// 8-byte-alignment padding.
+std::vector<FuzzRegion> MapRegions(const std::vector<uint8_t>& bytes) {
+  std::vector<FuzzRegion> regions;
+  regions.push_back({"header", 0, 16, false});
+  const uint32_t count = ReadU32At(bytes, 12);
+  const size_t toc_end = 16 + size_t{count} * 24;
+  regions.push_back({"toc", 16, toc_end, false});
+  std::vector<uint8_t> covered(bytes.size(), 0);
+  std::fill(covered.begin(), covered.begin() + static_cast<long>(toc_end),
+            1);
+  for (uint32_t i = 0; i < count; ++i) {
+    const size_t entry = 16 + size_t{i} * 24;
+    const size_t offset = ReadU64At(bytes, entry + 8);
+    const size_t size = ReadU64At(bytes, entry + 16);
+    std::string tag;
+    for (int c = 0; c < 4; ++c) {
+      tag += static_cast<char>(bytes[entry + c]);
+    }
+    regions.push_back({"section " + tag, offset, offset + size, false});
+    for (size_t b = offset; b < offset + size && b < covered.size(); ++b) {
+      covered[b] = 1;
+    }
+  }
+  // Whatever is left over is alignment padding.
+  size_t run_start = bytes.size();
+  for (size_t b = toc_end; b <= bytes.size(); ++b) {
+    const bool pad = b < bytes.size() && covered[b] == 0;
+    if (pad && run_start == bytes.size()) run_start = b;
+    if (!pad && run_start != bytes.size()) {
+      regions.push_back({"padding", run_start, b, true});
+      run_start = bytes.size();
+    }
+  }
+  return regions;
+}
+
+TEST_F(SnapshotRejectionTest, RandomizedRegionFuzzIsAlwaysClean) {
+  const std::vector<uint8_t>& base = *bytes_;
+  const std::vector<FuzzRegion> regions = MapRegions(base);
+  // The map must cover what the format promises: header, TOC, at least
+  // four sections — otherwise the fuzz is aiming at nothing.
+  ASSERT_GE(regions.size(), 6u);
+
+  for (uint64_t seed = 0; seed < 24; ++seed) {
+    Rng rng(seed ^ 0xF022);
+    for (const FuzzRegion& region : regions) {
+      if (region.begin >= region.end) continue;
+
+      // One random single-bit flip inside the region.
+      std::vector<uint8_t> flipped = base;
+      const size_t at =
+          region.begin + rng.UniformIndex(region.end - region.begin);
+      flipped[at] ^= static_cast<uint8_t>(1u << rng.UniformIndex(8));
+      {
+        const std::string path = TempPath("fuzz_flip");
+        ASSERT_TRUE(io::WriteFileBytes(path, flipped).ok());
+        std::string error;
+        const std::optional<eng::VenueBundle> loaded =
+            eng::VenueBundle::TryLoad(path, &error);
+        std::remove(path.c_str());
+        if (region.padding) {
+          // Dead bytes: loading may succeed, but a failure must still be
+          // clean and explained.
+          EXPECT_TRUE(loaded.has_value() || !error.empty())
+              << region.name << " flip at " << at << " seed " << seed;
+        } else {
+          EXPECT_FALSE(loaded.has_value())
+              << region.name << " flip at byte " << at << " bit accepted, "
+              << "seed " << seed;
+          EXPECT_FALSE(error.empty())
+              << region.name << " flip at " << at << " seed " << seed;
+        }
+      }
+
+      // One random truncation ending inside the region: always a clean
+      // rejection (some section loses bytes, or the header/TOC itself
+      // is cut short).
+      const size_t keep =
+          region.begin + rng.UniformIndex(region.end - region.begin);
+      if (keep >= base.size()) continue;
+      std::vector<uint8_t> truncated(base.begin(),
+                                     base.begin() + static_cast<long>(keep));
+      const std::string path = TempPath("fuzz_trunc");
+      ASSERT_TRUE(io::WriteFileBytes(path, truncated).ok());
+      std::string error;
+      const std::optional<eng::VenueBundle> loaded =
+          eng::VenueBundle::TryLoad(path, &error);
+      std::remove(path.c_str());
+      EXPECT_FALSE(loaded.has_value())
+          << region.name << " truncated to " << keep << " bytes accepted, "
+          << "seed " << seed;
+      EXPECT_FALSE(error.empty())
+          << region.name << " truncation to " << keep << " seed " << seed;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
 // Format-v1 compatibility: snapshots written in the legacy layout must keep
 // loading through the copying path, and damaged v1 files must still be
 // rejected cleanly.

@@ -322,7 +322,9 @@ TEST_F(ServiceTest, InvalidRequestsFailCleanlyInsteadOfAborting) {
 
   eng::Request huge;
   huge.query = eng::Query::Knn(IndoorPoint{1 << 20, Point{}}, 2);
-  const eng::Response& out_of_range = service.Submit(std::move(huge)).Wait();
+  // The ticket owns the response storage, so it must outlive the uses.
+  eng::Ticket huge_ticket = service.Submit(std::move(huge));
+  const eng::Response& out_of_range = huge_ticket.Wait();
   EXPECT_EQ(out_of_range.status, eng::RequestStatus::kInvalidRequest);
   EXPECT_NE(out_of_range.error.find("out of range"), std::string::npos);
 
@@ -349,7 +351,9 @@ TEST(ServiceValidationTest, KeywordQueryWithoutKeywordIndexIsRejected) {
   service.Start();
   eng::Request request;
   request.query = eng::Query::BooleanKnn(q, 2, {"cafe"});
-  const eng::Response& response = service.Submit(std::move(request)).Wait();
+  // The ticket owns the response storage, so it must outlive the uses.
+  eng::Ticket ticket = service.Submit(std::move(request));
+  const eng::Response& response = ticket.Wait();
   EXPECT_EQ(response.status, eng::RequestStatus::kInvalidRequest);
   EXPECT_NE(response.error.find("keyword"), std::string::npos);
   service.Stop();
@@ -367,6 +371,130 @@ TEST_F(ServiceTest, StatusNamesAreStable) {
                "rejected");
   EXPECT_STREQ(eng::RequestStatusName(eng::RequestStatus::kCancelled),
                "cancelled");
+}
+
+// ---------------------------------------------------------------------------
+// kUpdateObjects requests: object deltas riding the same queue, routing
+// and deadline machinery as queries, applied through the venue bundle's
+// LiveObjectIndex. These build private bundles — the shared fixture
+// bundle must stay immutable for the other lifecycle tests.
+// ---------------------------------------------------------------------------
+
+std::shared_ptr<const eng::VenueBundle> FreshBundle(uint64_t seed,
+                                                    size_t num_objects) {
+  Venue venue = testing::RandomSynthVenue(seed);
+  Rng rng(seed ^ 0xFEED);
+  std::vector<IndoorPoint> objects =
+      synth::PlaceObjects(venue, num_objects, rng);
+  return std::make_shared<const eng::VenueBundle>(
+      eng::VenueBundle::Build(std::move(venue), std::move(objects)));
+}
+
+TEST(ServiceUpdateTest, UpdatesRouteCountAndPublishEpochs) {
+  const std::shared_ptr<const eng::VenueBundle> bundle = FreshBundle(19, 6);
+  eng::Service service(bundle, {});
+  service.Start();
+
+  Rng rng(19);
+  std::vector<eng::Ticket> tickets;
+  for (int i = 0; i < 9; ++i) {
+    if (i % 3 == 2) {
+      ObjectDelta delta;
+      delta.moves.push_back(
+          {static_cast<ObjectId>(i % 6),
+           synth::RandomIndoorPoint(bundle->venue(), rng)});
+      tickets.push_back(
+          service.Submit(eng::Request::Update("", std::move(delta))));
+    } else {
+      eng::Request request;
+      request.query = eng::Query::Knn(
+          synth::RandomIndoorPoint(bundle->venue(), rng), 2);
+      tickets.push_back(service.Submit(std::move(request)));
+    }
+  }
+  service.Drain();
+
+  for (size_t i = 0; i < tickets.size(); ++i) {
+    const eng::Response& response = tickets[i].Wait();
+    ASSERT_TRUE(response.ok()) << response.error;
+    EXPECT_EQ(response.kind, i % 3 == 2 ? eng::RequestKind::kUpdateObjects
+                                        : eng::RequestKind::kQuery);
+    if (i % 3 == 2) {
+      // A completed update reports its publish cost, not query results.
+      EXPECT_TRUE(response.result.objects.empty());
+      EXPECT_GE(response.result.latency_micros, 0.0);
+    }
+  }
+
+  // Updates are counted apart from queries so query p50/p99 stay
+  // comparable across update rates.
+  const eng::ServiceStats stats = service.Stats();
+  EXPECT_EQ(stats.num_queries, 6u);
+  EXPECT_EQ(stats.updates, 3u);
+  EXPECT_EQ(stats.latency_micros.count, 6u);
+  EXPECT_EQ(stats.update_micros.count, 3u);
+  EXPECT_EQ(stats.per_venue.at("").completed, 6u);
+  EXPECT_EQ(stats.per_venue.at("").updated, 3u);
+  // Each applied update published exactly one epoch.
+  EXPECT_EQ(bundle->live_objects().epoch(), 4u);
+  service.Stop();
+}
+
+TEST(ServiceUpdateTest, InvalidDeltaFailsTheRequestNotTheProcess) {
+  const std::shared_ptr<const eng::VenueBundle> bundle = FreshBundle(23, 4);
+  eng::Service service(bundle, {});
+  service.Start();
+
+  // Unknown object id: validated by ApplyDelta, failed as a request.
+  // (The ticket owns the response storage, so it must outlive the uses.)
+  ObjectDelta bad;
+  bad.moves.push_back({42, bundle->objects().object(0)});
+  eng::Ticket bad_ticket =
+      service.Submit(eng::Request::Update("", std::move(bad)));
+  const eng::Response& failed = bad_ticket.Wait();
+  EXPECT_EQ(failed.status, eng::RequestStatus::kInvalidRequest);
+  EXPECT_FALSE(failed.error.empty());
+  EXPECT_EQ(failed.kind, eng::RequestKind::kUpdateObjects);
+  // Nothing was published.
+  EXPECT_EQ(bundle->live_objects().epoch(), 1u);
+
+  // The worker survived: a valid update and a query still complete.
+  ObjectDelta good;
+  good.moves.push_back({0, bundle->objects().object(1)});
+  EXPECT_TRUE(
+      service.Submit(eng::Request::Update("", std::move(good))).Wait().ok());
+  eng::Request query;
+  Rng rng(23);
+  query.query =
+      eng::Query::Knn(synth::RandomIndoorPoint(bundle->venue(), rng), 2);
+  EXPECT_TRUE(service.Submit(std::move(query)).Wait().ok());
+
+  const eng::ServiceStats stats = service.Stats();
+  EXPECT_EQ(stats.failed, 1u);
+  EXPECT_EQ(stats.updates, 1u);
+  EXPECT_EQ(stats.per_venue.at("").failed, 1u);
+  EXPECT_EQ(bundle->live_objects().epoch(), 2u);
+  service.Stop();
+}
+
+TEST(ServiceUpdateTest, UpdatesWithExpiredDeadlinesAreShedUnapplied) {
+  const std::shared_ptr<const eng::VenueBundle> bundle = FreshBundle(29, 4);
+  eng::Service service(bundle, {});
+  // Submit before Start so the deadline provably passes while queued.
+  ObjectDelta delta;
+  delta.moves.push_back({0, bundle->objects().object(1)});
+  eng::Request request = eng::Request::Update("", std::move(delta));
+  request.deadline = eng::ServiceClock::now() - std::chrono::milliseconds(1);
+  eng::Ticket ticket = service.Submit(std::move(request));
+  service.Start();
+  service.Drain();
+
+  EXPECT_EQ(ticket.Wait().status, eng::RequestStatus::kDeadlineExceeded);
+  // Shed means shed: the delta never reached the object store.
+  EXPECT_EQ(bundle->live_objects().epoch(), 1u);
+  EXPECT_EQ(service.Stats().updates, 0u);
+  EXPECT_EQ(service.Stats().expired, 1u);
+  service.Stop();
 }
 
 // ---------------------------------------------------------------------------
@@ -465,6 +593,85 @@ TEST(ServiceRegistryTest, RoutesAcrossVenuesWithPerVenueStats) {
   EXPECT_EQ(stats.per_venue.at("venue-404").failed, 1u);
   // The LRU cap was honoured throughout.
   EXPECT_LE(service.registry().NumResident(), 1u);
+  service.Stop();
+
+  for (const std::string& id : ids) {
+    std::remove((dir + "/" + id + ".vipsnap").c_str());
+  }
+  std::remove(manifest.c_str());
+  ::rmdir(dir.c_str());
+}
+
+TEST(ServiceRegistryTest, UpdatesRouteToTheNamedVenueOnly) {
+  const char* tmp = std::getenv("TMPDIR");
+  if (tmp == nullptr || tmp[0] == '\0') tmp = "/tmp";
+  const std::string dir = std::string(tmp) + "/viptree_service_upd_" +
+                          std::to_string(::getpid());
+  ::mkdir(dir.c_str(), 0755);
+  const std::string manifest = dir + "/registry.txt";
+
+  std::vector<std::string> ids;
+  for (const uint64_t seed : {uint64_t{31}, uint64_t{37}}) {
+    Venue venue = testing::RandomSynthVenue(seed);
+    Rng rng(seed);
+    std::vector<IndoorPoint> objects = synth::PlaceObjects(venue, 5, rng);
+    const eng::VenueBundle bundle =
+        eng::VenueBundle::Build(std::move(venue), std::move(objects));
+    const std::string id = "venue-" + std::to_string(seed);
+    ASSERT_TRUE(bundle.Save(dir + "/" + id + ".vipsnap").ok());
+    ASSERT_TRUE(eng::VenueRegistry::UpsertManifestEntry(manifest, id,
+                                                        id + ".vipsnap")
+                    .ok());
+    ids.push_back(id);
+  }
+
+  std::string error;
+  std::optional<eng::VenueRegistry> registry =
+      eng::VenueRegistry::Open(manifest, &error);
+  ASSERT_TRUE(registry.has_value()) << error;
+  eng::ServiceOptions options;
+  options.num_threads = 2;
+  eng::Service service(std::move(*registry), options);
+  service.Start();
+
+  // Three updates to venue 0, none to venue 1, one to a venue that does
+  // not exist.
+  std::vector<eng::Ticket> tickets;
+  const std::shared_ptr<const eng::VenueBundle> target =
+      service.registry().Acquire(ids[0], &error);
+  ASSERT_NE(target, nullptr) << error;
+  Rng rng(0x404);
+  for (int i = 0; i < 3; ++i) {
+    ObjectDelta delta;
+    delta.moves.push_back(
+        {static_cast<ObjectId>(i),
+         synth::RandomIndoorPoint(target->venue(), rng)});
+    tickets.push_back(
+        service.Submit(eng::Request::Update(ids[0], std::move(delta))));
+  }
+  ObjectDelta stray;
+  stray.moves.push_back({0, target->objects().object(0)});
+  eng::Ticket missing =
+      service.Submit(eng::Request::Update("venue-404", std::move(stray)));
+  service.Drain();
+
+  for (eng::Ticket& ticket : tickets) {
+    ASSERT_TRUE(ticket.Wait().ok()) << ticket.Wait().error;
+  }
+  EXPECT_EQ(missing.Wait().status, eng::RequestStatus::kVenueNotFound);
+
+  // The named venue advanced three epochs; the other stayed at 1.
+  EXPECT_EQ(target->live_objects().epoch(), 4u);
+  const std::shared_ptr<const eng::VenueBundle> untouched =
+      service.registry().Acquire(ids[1], &error);
+  ASSERT_NE(untouched, nullptr) << error;
+  EXPECT_EQ(untouched->live_objects().epoch(), 1u);
+
+  const eng::ServiceStats stats = service.Stats();
+  EXPECT_EQ(stats.updates, 3u);
+  EXPECT_EQ(stats.per_venue.at(ids[0]).updated, 3u);
+  EXPECT_EQ(stats.per_venue.count(ids[1]), 0u);
+  EXPECT_EQ(stats.per_venue.at("venue-404").failed, 1u);
   service.Stop();
 
   for (const std::string& id : ids) {

@@ -1,0 +1,195 @@
+// engine/workload_text — the serve-mode line protocol shared by
+// `viptree_query --emit-workload` and `--serve`. EmitLine and ParseLine
+// must be exact inverses for every request type (the five query kinds and
+// the three live-object update kinds), in both the single-venue and the
+// registry (leading venue column) grammars, with coordinates surviving
+// bit-identically (%.17g). Malformed input must come back as a parse
+// error with a message, never a crash.
+
+#include "engine/workload_text.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "engine/service.h"
+
+namespace viptree {
+namespace {
+
+namespace eng = ::viptree::engine;
+
+IndoorPoint AwkwardPoint(Rng& rng) {
+  // Coordinates with no short decimal representation: the round trip must
+  // survive %.17g, not be rescued by friendly inputs.
+  return IndoorPoint{static_cast<PartitionId>(rng.UniformIndex(40)),
+                     Point{rng.UniformReal(-1000.0, 1000.0) / 3.0,
+                           rng.UniformReal(-1000.0, 1000.0) / 7.0,
+                           rng.UniformReal(0.0, 30.0) / 9.0}};
+}
+
+void ExpectPointsEqual(const IndoorPoint& a, const IndoorPoint& b) {
+  EXPECT_EQ(a.partition, b.partition);
+  EXPECT_EQ(a.position.x, b.position.x);  // bit-exact, not NEAR
+  EXPECT_EQ(a.position.y, b.position.y);
+  EXPECT_EQ(a.position.z, b.position.z);
+}
+
+// Emits, parses back, and asserts the parsed request matches `request`
+// field-for-field on everything the line encodes.
+void ExpectRoundTrips(const eng::Request& request) {
+  const std::string line = eng::workload::EmitLine(request);
+  eng::Request back;
+  std::string error;
+  ASSERT_TRUE(eng::workload::ParseLine(line, !request.venue_id.empty(),
+                                       &back, &error))
+      << "line '" << line << "': " << error;
+  EXPECT_EQ(back.venue_id, request.venue_id) << line;
+  ASSERT_EQ(back.kind, request.kind) << line;
+  if (request.kind == eng::RequestKind::kUpdateObjects) {
+    ASSERT_EQ(back.delta.moves.size(), request.delta.moves.size()) << line;
+    ASSERT_EQ(back.delta.adds.size(), request.delta.adds.size()) << line;
+    ASSERT_EQ(back.delta.removes.size(), request.delta.removes.size())
+        << line;
+    for (size_t i = 0; i < request.delta.moves.size(); ++i) {
+      EXPECT_EQ(back.delta.moves[i].id, request.delta.moves[i].id) << line;
+      ExpectPointsEqual(back.delta.moves[i].to, request.delta.moves[i].to);
+    }
+    for (size_t i = 0; i < request.delta.adds.size(); ++i) {
+      ExpectPointsEqual(back.delta.adds[i].at, request.delta.adds[i].at);
+      EXPECT_EQ(back.delta.adds[i].keywords, request.delta.adds[i].keywords)
+          << line;
+    }
+    EXPECT_EQ(back.delta.removes, request.delta.removes) << line;
+    return;
+  }
+  EXPECT_EQ(back.query.type, request.query.type) << line;
+  ExpectPointsEqual(back.query.source, request.query.source);
+  switch (request.query.type) {
+    case eng::QueryType::kDistance:
+    case eng::QueryType::kPath:
+      ExpectPointsEqual(back.query.target, request.query.target);
+      break;
+    case eng::QueryType::kKnn:
+      EXPECT_EQ(back.query.k, request.query.k) << line;
+      break;
+    case eng::QueryType::kRange:
+      EXPECT_EQ(back.query.radius, request.query.radius) << line;
+      break;
+    case eng::QueryType::kBooleanKnn:
+      EXPECT_EQ(back.query.k, request.query.k) << line;
+      EXPECT_EQ(back.query.keywords, request.query.keywords) << line;
+      break;
+  }
+}
+
+TEST(WorkloadRoundTripTest, EveryRequestKindRoundTripsBitExactly) {
+  Rng rng(0x20F7);
+  // Both grammars: the single-venue lines and the registry lines with the
+  // leading venue column.
+  for (const std::string& venue : {std::string(), std::string("mc-hq")}) {
+    for (int rep = 0; rep < 10; ++rep) {
+      eng::Request request;
+      request.venue_id = venue;
+
+      request.query = eng::Query::Distance(AwkwardPoint(rng),
+                                           AwkwardPoint(rng));
+      ExpectRoundTrips(request);
+
+      request.query = eng::Query::Path(AwkwardPoint(rng), AwkwardPoint(rng));
+      ExpectRoundTrips(request);
+
+      request.query =
+          eng::Query::Knn(AwkwardPoint(rng), 1 + rng.UniformIndex(16));
+      ExpectRoundTrips(request);
+
+      request.query = eng::Query::Range(AwkwardPoint(rng),
+                                        rng.UniformReal(0.1, 500.0) / 3.0);
+      ExpectRoundTrips(request);
+
+      request.query = eng::Query::BooleanKnn(AwkwardPoint(rng), 3,
+                                             {"cafe", "level-2"});
+      ExpectRoundTrips(request);
+
+      // Empty keyword list: the "-" marker must round-trip to empty.
+      request.query = eng::Query::BooleanKnn(AwkwardPoint(rng), 2, {});
+      ExpectRoundTrips(request);
+
+      // The three update kinds, one operation per line.
+      ObjectDelta move;
+      move.moves.push_back(
+          {static_cast<ObjectId>(rng.UniformIndex(1000)),
+           AwkwardPoint(rng)});
+      ExpectRoundTrips(eng::Request::Update(venue, std::move(move)));
+
+      ObjectDelta add;
+      ObjectDelta::Add op;
+      op.at = AwkwardPoint(rng);
+      if (rep % 2 == 0) op.keywords = {"tag-0", "tag-1"};
+      add.adds.push_back(op);
+      ExpectRoundTrips(eng::Request::Update(venue, std::move(add)));
+
+      ObjectDelta remove;
+      remove.removes.push_back(
+          static_cast<ObjectId>(rng.UniformIndex(1000)));
+      ExpectRoundTrips(eng::Request::Update(venue, std::move(remove)));
+    }
+  }
+}
+
+TEST(WorkloadRoundTripTest, MalformedLinesFailWithAMessage) {
+  const bool kNoVenue = false;
+  eng::Request request;
+  for (const char* line : {
+           "",                              // empty
+           "teleport 0 1 2 3",              // unknown type
+           "knn 0 1.0 2.0",                 // point cut short
+           "knn 0 1.0 2.0 3.0",             // missing k
+           "distance 0 1 2 3",              // missing target point
+           "range 0 1 2 3",                 // missing radius
+           "bknn 0 1 2 3 4",                // missing keywords column
+           "move banana 0 1 2 3",           // id is not a number
+           "move 5 0 1 2",                  // move point cut short
+           "add 0 1.0 2.0 3.0",             // missing keywords column
+           "remove",                        // missing id
+       }) {
+    std::string error;
+    EXPECT_FALSE(eng::workload::ParseLine(line, kNoVenue, &request, &error))
+        << "accepted: '" << line << "'";
+    EXPECT_FALSE(error.empty()) << "no message for: '" << line << "'";
+  }
+
+  // With the venue column required, a bare query line is missing it.
+  std::string error;
+  EXPECT_FALSE(eng::workload::ParseLine("", /*with_venue=*/true, &request,
+                                        &error));
+  EXPECT_FALSE(error.empty());
+}
+
+TEST(WorkloadRoundTripTest, ParsedUpdatesCarryExactlyOneOperation) {
+  eng::Request request;
+  std::string error;
+  ASSERT_TRUE(eng::workload::ParseLine("move 7 0 1.5 2.5 0.0", false,
+                                       &request, &error))
+      << error;
+  EXPECT_EQ(request.kind, eng::RequestKind::kUpdateObjects);
+  EXPECT_EQ(request.delta.size(), 1u);
+
+  ASSERT_TRUE(eng::workload::ParseLine("add 3 9.25 8.5 0.0 -", false,
+                                       &request, &error))
+      << error;
+  EXPECT_EQ(request.delta.size(), 1u);
+  EXPECT_TRUE(request.delta.adds[0].keywords.empty());
+
+  ASSERT_TRUE(
+      eng::workload::ParseLine("remove 12", false, &request, &error))
+      << error;
+  EXPECT_EQ(request.delta.size(), 1u);
+  EXPECT_EQ(request.delta.removes[0], 12);
+}
+
+}  // namespace
+}  // namespace viptree

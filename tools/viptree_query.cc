@@ -13,21 +13,25 @@
 //     format instead of running it, so `viptree_query --emit-workload |
 //     viptree_query --serve` pipes a reproducible request stream.
 //
-// Serve-mode line format (blank lines and '#' comments ignored; the
-// leading <venue> column exists only in --registry mode):
+// Serve-mode line format (engine/workload_text.h is the single
+// emitter/parser; blank lines and '#' comments ignored; the leading
+// <venue> column exists only in --registry mode):
 //
 //   [<venue>] distance <p> <x> <y> <z>  <p> <x> <y> <z>
 //   [<venue>] path     <p> <x> <y> <z>  <p> <x> <y> <z>
 //   [<venue>] knn      <p> <x> <y> <z>  <k>
 //   [<venue>] range    <p> <x> <y> <z>  <radius>
 //   [<venue>] bknn     <p> <x> <y> <z>  <k> <kw1[,kw2,...] | ->
+//   [<venue>] move     <id> <p> <x> <y> <z>       (live-object updates:
+//   [<venue>] add      <p> <x> <y> <z> <kw...|->   each line publishes one
+//   [<venue>] remove   <id>                        new object epoch)
 //
 // Examples:
 //   viptree_query --snapshot mc.vipsnap --queries 1000 --threads 4
 //   viptree_query --registry fleet/registry.txt --venue mc-hq --queries 500
 //   viptree_query --registry fleet/registry.txt --list-venues
 //   viptree_query --registry fleet/registry.txt --venue mc-hq
-//       --queries 100 --emit-workload > w.txt
+//       --queries 100 --updates 10 --emit-workload > w.txt
 //   viptree_query --registry fleet/registry.txt --serve --threads 4
 //       --deadline-ms 50 --input w.txt
 
@@ -46,6 +50,7 @@
 #include "engine/query_engine.h"
 #include "engine/service.h"
 #include "engine/venue_registry.h"
+#include "engine/workload_text.h"
 #include "synth/objects.h"
 
 namespace {
@@ -64,6 +69,7 @@ struct Args {
   double deadline_ms = 0.0;   // --serve per-request budget; 0 = none
   size_t queue_capacity = 1024;
   size_t queries = 500;
+  size_t updates = 0;  // --emit-workload: update lines to interleave
   size_t threads = 1;
   uint64_t seed = 0xC0FFEE;
   std::string mix = "mixed";  // mixed | distance | path | knn | range
@@ -74,7 +80,8 @@ void Usage(const char* argv0) {
       stderr,
       "usage: %s (--snapshot PATH | --registry MANIFEST --venue ID)\n"
       "          [--queries N] [--threads T] [--seed S]\n"
-      "          [--mix mixed|distance|path|knn|range] [--emit-workload]\n"
+      "          [--mix mixed|distance|path|knn|range]\n"
+      "          [--emit-workload [--updates U]]\n"
       "       %s (--snapshot PATH | --registry MANIFEST) --serve\n"
       "          [--input FILE] [--threads T] [--deadline-ms D]\n"
       "          [--queue-capacity C]\n"
@@ -83,12 +90,13 @@ void Usage(const char* argv0) {
       "Loads a VIP-Tree snapshot — directly, or by venue id through a\n"
       "multi-venue registry manifest (zero-copy mmap for v2 snapshots) —\n"
       "and runs a random query batch against it; --serve instead reads\n"
-      "queries line-by-line and submits them through the async\n"
-      "engine::Service front-end (--emit-workload prints the random\n"
-      "workload in that line format). The mixed workload is 40%%\n"
-      "distance, 20%% path, 20%% kNN, 10%% range and 10%% boolean\n"
-      "keyword kNN (keyword queries fall back to kNN when the snapshot\n"
-      "has no keyword index).\n",
+      "requests line-by-line (queries plus move/add/remove live-object\n"
+      "update lines) and submits them through the async engine::Service\n"
+      "front-end (--emit-workload prints the random workload in that\n"
+      "line format; --updates U interleaves U update lines). The mixed\n"
+      "workload is 40%% distance, 20%% path, 20%% kNN, 10%% range and\n"
+      "10%% boolean keyword kNN (keyword queries fall back to kNN when\n"
+      "the snapshot has no keyword index).\n",
       argv0, argv0, argv0);
 }
 
@@ -131,6 +139,9 @@ bool Parse(int argc, char** argv, Args* args) {
     } else if (flag == "--queries") {
       if ((v = value()) == nullptr) return false;
       args->queries = static_cast<size_t>(std::atol(v));
+    } else if (flag == "--updates") {
+      if ((v = value()) == nullptr) return false;
+      args->updates = static_cast<size_t>(std::atol(v));
     } else if (flag == "--threads") {
       if ((v = value()) == nullptr) return false;
       args->threads = static_cast<size_t>(std::atol(v));
@@ -172,6 +183,11 @@ bool Parse(int argc, char** argv, Args* args) {
   }
   if (args->serve && args->emit_workload) {
     std::fprintf(stderr, "%s: --serve and --emit-workload are exclusive\n",
+                 argv[0]);
+    return false;
+  }
+  if (args->updates > 0 && !args->emit_workload) {
+    std::fprintf(stderr, "%s: --updates only applies to --emit-workload\n",
                  argv[0]);
     return false;
   }
@@ -229,125 +245,58 @@ std::vector<eng::Query> MakeWorkload(const eng::QueryEngine& engine,
 }
 
 // ---------------------------------------------------------------------------
-// Serve-mode text protocol.
+// Serve-mode text protocol (shared emitter/parser: engine/workload_text.h).
 // ---------------------------------------------------------------------------
 
-void PrintPoint(const IndoorPoint& p) {
-  std::printf("%d %.17g %.17g %.17g", p.partition, p.position.x,
-              p.position.y, p.position.z);
-}
-
-// Emits `queries` in the --serve line format; `venue` prefixes every line
-// in registry mode ("" = single-venue lines).
-void EmitWorkload(const std::vector<eng::Query>& queries,
-                  const std::string& venue) {
-  for (const eng::Query& q : queries) {
-    if (!venue.empty()) std::printf("%s ", venue.c_str());
-    switch (q.type) {
-      case eng::QueryType::kDistance:
-      case eng::QueryType::kPath:
-        std::printf("%s ", q.type == eng::QueryType::kDistance ? "distance"
-                                                               : "path");
-        PrintPoint(q.source);
-        std::printf(" ");
-        PrintPoint(q.target);
-        std::printf("\n");
-        break;
-      case eng::QueryType::kKnn:
-        std::printf("knn ");
-        PrintPoint(q.source);
-        std::printf(" %zu\n", q.k);
-        break;
-      case eng::QueryType::kRange:
-        std::printf("range ");
-        PrintPoint(q.source);
-        std::printf(" %.17g\n", q.radius);
-        break;
-      case eng::QueryType::kBooleanKnn: {
-        std::printf("bknn ");
-        PrintPoint(q.source);
-        std::string joined;
-        for (const std::string& kw : q.keywords) {
-          if (!joined.empty()) joined += ',';
-          joined += kw;
-        }
-        // "-" = no keywords, so the emit -> serve roundtrip parses even
-        // for an empty keyword list.
-        std::printf(" %zu %s\n", q.k, joined.empty() ? "-" : joined.c_str());
-        break;
+// The emitted request stream: `queries` in order, with `args.updates`
+// live-object update lines interleaved at an even stride. Updates are
+// moves of existing object ids (and, on keyword venues, adds) only:
+// with >1 serve worker, updates to one venue may execute out of
+// submission order, and moves/adds stay valid under any reordering —
+// removes would invalidate later moves of the same id.
+std::vector<eng::Request> MakeRequests(const eng::QueryEngine& engine,
+                                       const Args& args,
+                                       const std::string& venue) {
+  const std::vector<eng::Query> queries = MakeWorkload(engine, args);
+  Rng rng(args.seed ^ 0x0BDE17A);
+  const size_t num_objects = engine.objects().NumObjects();
+  std::vector<eng::Request> requests;
+  requests.reserve(queries.size() + args.updates);
+  const size_t stride =
+      args.updates == 0 ? queries.size() + 1
+                        : std::max<size_t>(1, queries.size() / args.updates);
+  size_t emitted_updates = 0;
+  for (size_t i = 0; i < queries.size(); ++i) {
+    eng::Request request;
+    request.venue_id = venue;
+    request.query = queries[i];
+    requests.push_back(std::move(request));
+    if (emitted_updates < args.updates && (i + 1) % stride == 0) {
+      ObjectDelta delta;
+      if (num_objects > 0 && (!engine.has_keywords() || !rng.Chance(0.3))) {
+        delta.moves.push_back(
+            {static_cast<ObjectId>(rng.UniformIndex(num_objects)),
+             synth::RandomIndoorPoint(engine.venue(), rng)});
+      } else {
+        ObjectDelta::Add add;
+        add.at = synth::RandomIndoorPoint(engine.venue(), rng);
+        if (engine.has_keywords()) add.keywords = {"tag-0"};
+        delta.adds.push_back(std::move(add));
       }
+      requests.push_back(eng::Request::Update(venue, std::move(delta)));
+      ++emitted_updates;
     }
   }
-}
-
-bool ParsePoint(std::istringstream& in, IndoorPoint* point) {
-  return static_cast<bool>(in >> point->partition >> point->position.x >>
-                           point->position.y >> point->position.z);
-}
-
-// Parses one workload line into (venue, query). `with_venue` matches the
-// registry/single-venue column rule above.
-bool ParseQueryLine(const std::string& line, bool with_venue,
-                    std::string* venue, eng::Query* query,
-                    std::string* error) {
-  std::istringstream in(line);
-  if (with_venue && !(in >> *venue)) {
-    *error = "missing venue id";
-    return false;
+  // A short query list can leave stride budget unused; top up at the end.
+  for (; emitted_updates < args.updates && num_objects > 0;
+       ++emitted_updates) {
+    ObjectDelta delta;
+    delta.moves.push_back(
+        {static_cast<ObjectId>(rng.UniformIndex(num_objects)),
+         synth::RandomIndoorPoint(engine.venue(), rng)});
+    requests.push_back(eng::Request::Update(venue, std::move(delta)));
   }
-  std::string type;
-  if (!(in >> type)) {
-    *error = "missing query type";
-    return false;
-  }
-  IndoorPoint a;
-  if (!ParsePoint(in, &a)) {
-    *error = "malformed query point";
-    return false;
-  }
-  if (type == "distance" || type == "path") {
-    IndoorPoint b;
-    if (!ParsePoint(in, &b)) {
-      *error = "malformed target point";
-      return false;
-    }
-    *query = type == "distance" ? eng::Query::Distance(a, b)
-                                : eng::Query::Path(a, b);
-  } else if (type == "knn") {
-    size_t k = 0;
-    if (!(in >> k)) {
-      *error = "malformed k";
-      return false;
-    }
-    *query = eng::Query::Knn(a, k);
-  } else if (type == "range") {
-    double radius = 0.0;
-    if (!(in >> radius)) {
-      *error = "malformed radius";
-      return false;
-    }
-    *query = eng::Query::Range(a, radius);
-  } else if (type == "bknn") {
-    size_t k = 0;
-    std::string keywords;
-    if (!(in >> k >> keywords)) {
-      *error = "malformed k/keywords";
-      return false;
-    }
-    std::vector<std::string> list;
-    if (keywords != "-") {  // "-" marks an empty keyword list
-      std::istringstream kw(keywords);
-      std::string token;
-      while (std::getline(kw, token, ',')) {
-        if (!token.empty()) list.push_back(token);
-      }
-    }
-    *query = eng::Query::BooleanKnn(a, k, std::move(list));
-  } else {
-    *error = "unknown query type '" + type + "'";
-    return false;
-  }
-  return true;
+  return requests;
 }
 
 // The --serve loop: submit every line through the service, drain, report.
@@ -402,8 +351,7 @@ int ServeMain(const Args& args, std::optional<eng::VenueRegistry> registry) {
     const size_t start = line.find_first_not_of(" \t\r");
     if (start == std::string::npos || line[start] == '#') continue;
     eng::Request request;
-    if (!ParseQueryLine(line, with_venue, &request.venue_id, &request.query,
-                        &error)) {
+    if (!eng::workload::ParseLine(line, with_venue, &request, &error)) {
       std::fprintf(stderr, "warning: skipping line %zu: %s\n", line_number,
                    error.c_str());
       ++malformed;
@@ -425,9 +373,10 @@ int ServeMain(const Args& args, std::optional<eng::VenueRegistry> registry) {
 
   const eng::ServiceStats stats = service->Stats();
   std::printf(
-      "served %zu queries (%llu ok, %llu expired, %llu rejected, "
-      "%llu failed) in %.2f ms on %zu worker(s)\n",
+      "served %zu requests (%llu ok, %llu updates, %llu expired, "
+      "%llu rejected, %llu failed) in %.2f ms on %zu worker(s)\n",
       submitted, static_cast<unsigned long long>(stats.num_queries),
+      static_cast<unsigned long long>(stats.updates),
       static_cast<unsigned long long>(stats.expired),
       static_cast<unsigned long long>(stats.rejected),
       static_cast<unsigned long long>(stats.failed), wall_ms,
@@ -440,10 +389,15 @@ int ServeMain(const Args& args, std::optional<eng::VenueRegistry> registry) {
   std::printf("  queue p99     %10.2f us\n", stats.queue_micros.p99);
   std::printf("  latency p50   %10.2f us\n", stats.latency_micros.p50);
   std::printf("  latency p99   %10.2f us\n", stats.latency_micros.p99);
+  if (stats.updates > 0) {
+    std::printf("  update p99    %10.2f us\n", stats.update_micros.p99);
+  }
   for (const auto& [venue_id, counters] : stats.per_venue) {
-    std::printf("  venue %-12s %llu ok, %llu expired, %llu failed\n",
+    std::printf("  venue %-12s %llu ok, %llu updates, %llu expired, "
+                "%llu failed\n",
                 venue_id.empty() ? "(default)" : venue_id.c_str(),
                 static_cast<unsigned long long>(counters.completed),
+                static_cast<unsigned long long>(counters.updated),
                 static_cast<unsigned long long>(counters.expired),
                 static_cast<unsigned long long>(counters.failed));
   }
@@ -515,8 +469,12 @@ int main(int argc, char** argv) {
 
   if (args.emit_workload) {
     // Registry-mode lines carry the venue column --serve expects.
-    EmitWorkload(MakeWorkload(*engine, args),
-                 registry.has_value() ? args.venue : std::string());
+    const std::string venue_column =
+        registry.has_value() ? args.venue : std::string();
+    for (const eng::Request& request :
+         MakeRequests(*engine, args, venue_column)) {
+      std::printf("%s\n", eng::workload::EmitLine(request).c_str());
+    }
     return 0;
   }
 
