@@ -22,8 +22,43 @@ NodeId ChildToward(const IPTree& tree, NodeId ancestor, NodeId leaf) {
 }  // namespace
 
 IPDistanceQuery::IPDistanceQuery(const IPTree& tree,
-                                 const DistanceQueryOptions& options)
-    : tree_(tree), options_(options), dijkstra_(tree.graph()) {}
+                                 const DistanceQueryOptions& options,
+                                 DistanceCache* cache)
+    : tree_(tree), options_(options), cache_(cache), dijkstra_(tree.graph()) {}
+
+void IPDistanceQuery::AccessDoorIndexMap(NodeId n, NodeId m,
+                                         std::vector<int32_t>& out) const {
+  if (cache_ != nullptr &&
+      cache_->LookupIndexVector(CacheKind::kIndexMap, n, m, &out)) {
+    return;
+  }
+  const TreeNode& nn = tree_.node(n);
+  const TreeNode& mn = tree_.node(m);
+  out.resize(mn.access_doors.size());
+  for (size_t i = 0; i < mn.access_doors.size(); ++i) {
+    const int idx = IPTree::IndexOf(nn.matrix_doors, mn.access_doors[i]);
+    // An access door of m (a descendant-or-self of n) must appear in n's
+    // matrix; -1 here would silently read a wrong matrix row below.
+    VIPTREE_DCHECK(idx >= 0);
+    out[i] = idx;
+  }
+  if (cache_ != nullptr) {
+    cache_->InsertIndexVector(CacheKind::kIndexMap, n, m, out);
+  }
+}
+
+void IPDistanceQuery::DoorAscent(DoorId door, NodeId target,
+                                 std::vector<double>& out) const {
+  if (cache_ != nullptr &&
+      cache_->LookupDistVector(CacheKind::kIpDoorAscent, door, target, &out)) {
+    return;
+  }
+  AscentDistances ascent = GetDistances(QuerySource::Door(door), target);
+  out = std::move(ascent.ad_dist.back());
+  if (cache_ != nullptr) {
+    cache_->InsertDistVector(CacheKind::kIpDoorAscent, door, target, out);
+  }
+}
 
 NodeId IPDistanceQuery::LeafOf(const QuerySource& source) const {
   if (source.point != nullptr) {
@@ -97,6 +132,10 @@ AscentDistances IPDistanceQuery::GetDistances(const QuerySource& source,
 
     std::vector<double> pdist(pnode.access_doors.size(), kInfDistance);
     std::vector<PathBack> pback(pnode.access_doors.size());
+    // rows: child access doors, cols: parent access doors, both positioned
+    // in the parent matrix once per level instead of per cell.
+    AccessDoorIndexMap(parent, cur, step_rows_);
+    AccessDoorIndexMap(parent, parent, step_cols_);
     for (size_t c = 0; c < pnode.access_doors.size(); ++c) {
       const DoorId a = pnode.access_doors[c];
       // "Marked" doors of Algorithm 2: already computed at the child level.
@@ -106,12 +145,10 @@ AscentDistances IPDistanceQuery::GetDistances(const QuerySource& source,
         pback[c] = out.back.back()[in_child];
         continue;
       }
-      const int col = IPTree::IndexOf(pnode.matrix_doors, a);
-      VIPTREE_DCHECK(col >= 0);
+      const int col = step_cols_[c];
       for (size_t b = 0; b < cnode.access_doors.size(); ++b) {
         const DoorId bd = cnode.access_doors[b];
-        const int row = IPTree::IndexOf(pnode.matrix_doors, bd);
-        VIPTREE_DCHECK(row >= 0);
+        const int row = step_rows_[b];
         const double cand = cdist[b] + pnode.dist.at(row, col);
         if (cand < pdist[c]) {
           pdist[c] = cand;
@@ -174,15 +211,13 @@ double IPDistanceQuery::Distance(const IndoorPoint& s,
   const TreeNode& lca_node = tree_.node(lca);
   const TreeNode& ns_node = tree_.node(ns);
   const TreeNode& nt_node = tree_.node(nt);
+  AccessDoorIndexMap(lca, ns, row_idx_);
+  AccessDoorIndexMap(lca, nt, col_idx_);
   double best = kInfDistance;
   for (size_t i = 0; i < ns_node.access_doors.size(); ++i) {
-    const int row =
-        IPTree::IndexOf(lca_node.matrix_doors, ns_node.access_doors[i]);
-    VIPTREE_DCHECK(row >= 0);
+    const int row = row_idx_[i];
     for (size_t j = 0; j < nt_node.access_doors.size(); ++j) {
-      const int col =
-          IPTree::IndexOf(lca_node.matrix_doors, nt_node.access_doors[j]);
-      VIPTREE_DCHECK(col >= 0);
+      const int col = col_idx_[j];
       const double cand = as.ad_dist.back()[i] + lca_node.dist.at(row, col) +
                           at.ad_dist.back()[j];
       best = std::min(best, cand);
@@ -193,6 +228,23 @@ double IPDistanceQuery::Distance(const IndoorPoint& s,
 
 double IPDistanceQuery::DoorDistance(DoorId s, DoorId t) const {
   if (s == t) return 0.0;
+  // The (s, t) key is kept ordered: the join sums associate differently for
+  // (t, s), so a symmetry-normalized key could differ from the direct
+  // computation in the last ulp and break cache-on/off bit-identity.
+  if (cache_ != nullptr) {
+    double cached;
+    if (cache_->LookupScalar(CacheKind::kIpDoorPair, s, t, &cached)) {
+      return cached;
+    }
+  }
+  const double d = DoorDistanceUncached(s, t);
+  if (cache_ != nullptr) {
+    cache_->InsertScalar(CacheKind::kIpDoorPair, s, t, d);
+  }
+  return d;
+}
+
+double IPDistanceQuery::DoorDistanceUncached(DoorId s, DoorId t) const {
   const auto s_leaves = tree_.LeavesOfDoor(s);
   const auto t_leaves = tree_.LeavesOfDoor(t);
   for (const auto& sl : s_leaves) {
@@ -210,21 +262,21 @@ double IPDistanceQuery::DoorDistance(DoorId s, DoorId t) const {
   const NodeId lca = tree_.Lca(ls, lt);
   const NodeId ns = ChildToward(tree_, lca, ls);
   const NodeId nt = ChildToward(tree_, lca, lt);
-  const AscentDistances as = GetDistances(QuerySource::Door(s), ns);
-  const AscentDistances at = GetDistances(QuerySource::Door(t), nt);
+  DoorAscent(s, ns, s_ascent_);
+  DoorAscent(t, nt, t_ascent_);
   const TreeNode& lca_node = tree_.node(lca);
   const TreeNode& ns_node = tree_.node(ns);
   const TreeNode& nt_node = tree_.node(nt);
+  AccessDoorIndexMap(lca, ns, row_idx_);
+  AccessDoorIndexMap(lca, nt, col_idx_);
   double best = kInfDistance;
   for (size_t i = 0; i < ns_node.access_doors.size(); ++i) {
-    const int row =
-        IPTree::IndexOf(lca_node.matrix_doors, ns_node.access_doors[i]);
+    const int row = row_idx_[i];
     for (size_t j = 0; j < nt_node.access_doors.size(); ++j) {
-      const int col =
-          IPTree::IndexOf(lca_node.matrix_doors, nt_node.access_doors[j]);
-      best = std::min(best, as.ad_dist.back()[i] +
+      const int col = col_idx_[j];
+      best = std::min(best, s_ascent_[i] +
                                 lca_node.dist.at(row, col) +
-                                at.ad_dist.back()[j]);
+                                t_ascent_[j]);
     }
   }
   return best;
@@ -235,8 +287,12 @@ double IPDistanceQuery::DoorDistance(DoorId s, DoorId t) const {
 // ---------------------------------------------------------------------------
 
 VIPDistanceQuery::VIPDistanceQuery(const VIPTree& tree,
-                                   const DistanceQueryOptions& options)
-    : vip_(tree), options_(options), ip_(tree.base(), options) {}
+                                   const DistanceQueryOptions& options,
+                                   DistanceCache* cache)
+    : vip_(tree),
+      options_(options),
+      cache_(cache),
+      ip_(tree.base(), options, cache) {}
 
 void VIPDistanceQuery::DistancesToNodeAd(const QuerySource& source,
                                          NodeId node,
@@ -289,22 +345,20 @@ double VIPDistanceQuery::Distance(const IndoorPoint& s,
   const NodeId lca = tree.Lca(ls, lt);
   const NodeId ns = ChildToward(tree, lca, ls);
   const NodeId nt = ChildToward(tree, lca, lt);
-  std::vector<double> sdist, tdist;
-  std::vector<PathBack> sback, tback;
-  DistancesToNodeAd(QuerySource::Point(s), ns, sdist, sback);
-  DistancesToNodeAd(QuerySource::Point(t), nt, tdist, tback);
+  DistancesToNodeAd(QuerySource::Point(s), ns, sdist_, sback_);
+  DistancesToNodeAd(QuerySource::Point(t), nt, tdist_, tback_);
 
   const TreeNode& lca_node = tree.node(lca);
   const TreeNode& ns_node = tree.node(ns);
   const TreeNode& nt_node = tree.node(nt);
+  AccessDoorIndexMap(lca, ns, row_idx_);
+  AccessDoorIndexMap(lca, nt, col_idx_);
   double best = kInfDistance;
   for (size_t i = 0; i < ns_node.access_doors.size(); ++i) {
-    const int row =
-        IPTree::IndexOf(lca_node.matrix_doors, ns_node.access_doors[i]);
+    const int row = row_idx_[i];
     for (size_t j = 0; j < nt_node.access_doors.size(); ++j) {
-      const int col =
-          IPTree::IndexOf(lca_node.matrix_doors, nt_node.access_doors[j]);
-      best = std::min(best, sdist[i] + lca_node.dist.at(row, col) + tdist[j]);
+      const int col = col_idx_[j];
+      best = std::min(best, sdist_[i] + lca_node.dist.at(row, col) + tdist_[j]);
     }
   }
   return best;
@@ -312,6 +366,23 @@ double VIPDistanceQuery::Distance(const IndoorPoint& s,
 
 double VIPDistanceQuery::DoorDistance(DoorId s, DoorId t) const {
   if (s == t) return 0.0;
+  // Separate kind from the IP pair cache: the VIP join reads float ExtDist
+  // cells where the IP ascent sums doubles, so the two variants' results
+  // may differ in the last ulp and must never share an entry.
+  if (cache_ != nullptr) {
+    double cached;
+    if (cache_->LookupScalar(CacheKind::kVipDoorPair, s, t, &cached)) {
+      return cached;
+    }
+  }
+  const double d = DoorDistanceUncached(s, t);
+  if (cache_ != nullptr) {
+    cache_->InsertScalar(CacheKind::kVipDoorPair, s, t, d);
+  }
+  return d;
+}
+
+double VIPDistanceQuery::DoorDistanceUncached(DoorId s, DoorId t) const {
   const IPTree& tree = vip_.base();
   const auto s_leaves = tree.LeavesOfDoor(s);
   const auto t_leaves = tree.LeavesOfDoor(t);
@@ -323,21 +394,19 @@ double VIPDistanceQuery::DoorDistance(DoorId s, DoorId t) const {
   const NodeId lca = tree.Lca(s_leaves[0].leaf, t_leaves[0].leaf);
   const NodeId ns = ChildToward(tree, lca, s_leaves[0].leaf);
   const NodeId nt = ChildToward(tree, lca, t_leaves[0].leaf);
-  std::vector<double> sdist, tdist;
-  std::vector<PathBack> sback, tback;
-  DistancesToNodeAd(QuerySource::Door(s), ns, sdist, sback);
-  DistancesToNodeAd(QuerySource::Door(t), nt, tdist, tback);
+  DistancesToNodeAd(QuerySource::Door(s), ns, sdist_, sback_);
+  DistancesToNodeAd(QuerySource::Door(t), nt, tdist_, tback_);
   const TreeNode& lca_node = tree.node(lca);
   const TreeNode& ns_node = tree.node(ns);
   const TreeNode& nt_node = tree.node(nt);
+  AccessDoorIndexMap(lca, ns, row_idx_);
+  AccessDoorIndexMap(lca, nt, col_idx_);
   double best = kInfDistance;
   for (size_t i = 0; i < ns_node.access_doors.size(); ++i) {
-    const int row =
-        IPTree::IndexOf(lca_node.matrix_doors, ns_node.access_doors[i]);
+    const int row = row_idx_[i];
     for (size_t j = 0; j < nt_node.access_doors.size(); ++j) {
-      const int col =
-          IPTree::IndexOf(lca_node.matrix_doors, nt_node.access_doors[j]);
-      best = std::min(best, sdist[i] + lca_node.dist.at(row, col) + tdist[j]);
+      const int col = col_idx_[j];
+      best = std::min(best, sdist_[i] + lca_node.dist.at(row, col) + tdist_[j]);
     }
   }
   return best;

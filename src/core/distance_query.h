@@ -22,6 +22,7 @@
 
 #include <vector>
 
+#include "core/distance_cache.h"
 #include "core/ip_tree.h"
 #include "core/vip_tree.h"
 #include "graph/dijkstra.h"
@@ -63,8 +64,15 @@ struct DistanceQueryOptions {
 
 class IPDistanceQuery {
  public:
+  // `cache` (optional, may be shared across engines — it is internally
+  // thread-safe) memoizes door-pair results, door ascent vectors and
+  // access-door index maps. It is a separate parameter rather than a
+  // DistanceQueryOptions field because the options struct is serialized
+  // into snapshots (VenueBundle::Save). Cache-on and cache-off answers are
+  // bit-identical; see core/distance_cache.h.
   explicit IPDistanceQuery(const IPTree& tree,
-                           const DistanceQueryOptions& options = {});
+                           const DistanceQueryOptions& options = {},
+                           DistanceCache* cache = nullptr);
 
   // Algorithm 3.
   double Distance(const IndoorPoint& s, const IndoorPoint& t) const;
@@ -85,23 +93,45 @@ class IPDistanceQuery {
   // The leaf a query source belongs to.
   NodeId LeafOf(const QuerySource& source) const;
 
+  // out[i] = position of node(m).access_doors[i] in node(n).matrix_doors.
+  // This is the index triple every LCA join / ascent step / kNN bound
+  // derivation recomputes with per-cell binary searches; every position is
+  // checked >= 0 (a miss would otherwise silently index row -1 of the
+  // matrix). Memoized under CacheKind::kIndexMap when a cache is attached.
+  void AccessDoorIndexMap(NodeId n, NodeId m, std::vector<int32_t>& out) const;
+
   const IPTree& tree() const { return tree_; }
+  DistanceCache* distance_cache() const { return cache_; }
 
  private:
   friend class IPPathQuery;
   friend class VIPPathQuery;
 
+  // dist(door -> each access door of `target`), i.e. the last row of
+  // GetDistances(Door(door), target); memoized under kIpDoorAscent.
+  void DoorAscent(DoorId door, NodeId target, std::vector<double>& out) const;
+  double DoorDistanceUncached(DoorId s, DoorId t) const;
+
   const IPTree& tree_;
   DistanceQueryOptions options_;
+  DistanceCache* cache_ = nullptr;
   // Per-engine scratch, never shared state: mutable so const query methods
   // stay const while reusing the arrays (see the thread-safety contract).
   mutable DijkstraEngine dijkstra_;
+  mutable std::vector<int32_t> row_idx_, col_idx_;      // LCA joins
+  mutable std::vector<int32_t> step_rows_, step_cols_;  // ascent steps
+  mutable std::vector<double> s_ascent_, t_ascent_;     // DoorDistance
 };
 
 class VIPDistanceQuery {
  public:
+  // `cache` as in IPDistanceQuery; it is also forwarded to the embedded
+  // IP fallback engine. IP and VIP door-pair results are memoized under
+  // distinct kinds (the materialized float matrices can differ from the
+  // iterative ascent in the last ulp), so one cache may safely serve both.
   explicit VIPDistanceQuery(const VIPTree& tree,
-                            const DistanceQueryOptions& options = {});
+                            const DistanceQueryOptions& options = {},
+                            DistanceCache* cache = nullptr);
 
   double Distance(const IndoorPoint& s, const IndoorPoint& t) const;
   double DoorDistance(DoorId s, DoorId t) const;
@@ -114,14 +144,27 @@ class VIPDistanceQuery {
                          std::vector<double>& dist,
                          std::vector<PathBack>& back) const;
 
+  // See IPDistanceQuery::AccessDoorIndexMap (the VIP tree shares the base
+  // IP tree's node matrices, so the map is identical).
+  void AccessDoorIndexMap(NodeId n, NodeId m, std::vector<int32_t>& out) const {
+    ip_.AccessDoorIndexMap(n, m, out);
+  }
+
   const VIPTree& tree() const { return vip_; }
+  DistanceCache* distance_cache() const { return cache_; }
 
  private:
   friend class VIPPathQuery;
 
+  double DoorDistanceUncached(DoorId s, DoorId t) const;
+
   const VIPTree& vip_;
   DistanceQueryOptions options_;
+  DistanceCache* cache_ = nullptr;
   IPDistanceQuery ip_;  // same-leaf fallback + seeding helpers
+  mutable std::vector<int32_t> row_idx_, col_idx_;
+  mutable std::vector<double> sdist_, tdist_;
+  mutable std::vector<PathBack> sback_, tback_;
 };
 
 }  // namespace viptree

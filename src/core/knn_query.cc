@@ -9,8 +9,11 @@
 namespace viptree {
 
 KnnQuery::KnnQuery(const IPTree& tree, const ObjectIndex& objects,
-                   const DistanceQueryOptions& options)
-    : tree_(tree), objects_(objects), query_(tree, options) {}
+                   const DistanceQueryOptions& options, DistanceCache* cache)
+    : tree_(tree),
+      objects_(objects),
+      query_(tree, options, cache),
+      local_dijkstra_(tree.graph()) {}
 
 std::vector<ObjectResult> KnnQuery::Knn(const IndoorPoint& q, size_t k,
                                         SearchStats* stats) const {
@@ -31,21 +34,23 @@ void KnnQuery::LocalObjectDistances(const IndoorPoint& q, NodeId leaf,
   out.assign(objs.size(), kInfDistance);
   // One multi-source Dijkstra from q covers every object of the leaf; the
   // search runs on the full D2D graph so routes leaving the leaf are exact.
-  std::vector<DijkstraSource> sources;
+  local_sources_.clear();
   for (DoorId u : venue.DoorsOf(q.partition)) {
-    sources.push_back({u, venue.DistanceToDoor(q, u)});
+    local_sources_.push_back({u, venue.DistanceToDoor(q, u)});
   }
-  DijkstraEngine engine(tree_.graph());
-  engine.Start(sources);
-  std::vector<DoorId> targets;
+  DijkstraEngine& engine = local_dijkstra_;
+  engine.Start(local_sources_);
+  local_targets_.clear();
   for (ObjectId o : objs) {
     for (DoorId d : venue.DoorsOf(objects_.object(o).partition)) {
-      targets.push_back(d);
+      local_targets_.push_back(d);
     }
   }
-  std::sort(targets.begin(), targets.end());
-  targets.erase(std::unique(targets.begin(), targets.end()), targets.end());
-  engine.RunToTargets(targets);
+  std::sort(local_targets_.begin(), local_targets_.end());
+  local_targets_.erase(
+      std::unique(local_targets_.begin(), local_targets_.end()),
+      local_targets_.end());
+  engine.RunToTargets(local_targets_);
   for (size_t i = 0; i < objs.size(); ++i) {
     const IndoorPoint& obj = objects_.object(objs[i]);
     if (obj.partition == q.partition) {
@@ -124,26 +129,30 @@ std::vector<ObjectResult> KnnQuery::Search(const IndoorPoint& q, size_t k,
 
     const std::vector<double>* source_dist = nullptr;
     const TreeNode* source_node = nullptr;
+    NodeId source_id = kInvalidId;
     const auto chain_it = chain_pos.find(parent);
     if (chain_it != chain_pos.end() && chain_it->second > 0) {
       // Parent contains q: use the sibling on q's chain (Lemma 8).
       const NodeId sibling = ascent.chain[chain_it->second - 1];
       source_dist = &ad_dist.at(sibling);
       source_node = &tree_.node(sibling);
+      source_id = sibling;
     } else {
       // Parent does not contain q: use the parent itself (Lemma 9).
       source_dist = &ad_dist.at(parent);
       source_node = &pnode;
+      source_id = parent;
     }
+    // Row/col positions in the parent matrix, resolved once per node (and
+    // memoized across queries when a cache is attached) instead of one
+    // binary search per matrix cell.
+    query_.AccessDoorIndexMap(parent, n, bound_cols_);
+    query_.AccessDoorIndexMap(parent, source_id, bound_rows_);
     std::vector<double> dist(node.access_doors.size(), kInfDistance);
     for (size_t c = 0; c < node.access_doors.size(); ++c) {
-      const int col =
-          IPTree::IndexOf(pnode.matrix_doors, node.access_doors[c]);
-      VIPTREE_DCHECK(col >= 0);
+      const int col = bound_cols_[c];
       for (size_t b = 0; b < source_node->access_doors.size(); ++b) {
-        const int row = IPTree::IndexOf(pnode.matrix_doors,
-                                        source_node->access_doors[b]);
-        VIPTREE_DCHECK(row >= 0);
+        const int row = bound_rows_[b];
         const double cand =
             (*source_dist)[b] + pnode.dist.at(row, col);
         dist[c] = std::min(dist[c], cand);

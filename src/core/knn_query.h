@@ -39,8 +39,12 @@ struct SearchStats {
 
 class KnnQuery {
  public:
+  // `cache` as in IPDistanceQuery: memoizes the access-door index maps of
+  // the Lemma 8/9 bound derivation (and everything the internal distance
+  // engine caches); nullptr disables memoization.
   KnnQuery(const IPTree& tree, const ObjectIndex& objects,
-           const DistanceQueryOptions& options = {});
+           const DistanceQueryOptions& options = {},
+           DistanceCache* cache = nullptr);
 
   // The k nearest objects to q, ascending by distance.
   std::vector<ObjectResult> Knn(const IndoorPoint& q, size_t k,
@@ -91,6 +95,13 @@ class KnnQuery {
   const IPTree& tree_;
   const ObjectIndex& objects_;
   IPDistanceQuery query_;
+  // Reused by LocalObjectDistances so the kNN hot path does not rebuild a
+  // Dijkstra engine (heap + per-door arrays) per leaf scan; mutable scratch
+  // under the one-engine-per-thread contract, like query_'s internals.
+  mutable DijkstraEngine local_dijkstra_;
+  mutable std::vector<DijkstraSource> local_sources_;
+  mutable std::vector<DoorId> local_targets_;
+  mutable std::vector<int32_t> bound_rows_, bound_cols_;  // Lemma 8/9
 };
 
 }  // namespace viptree

@@ -258,10 +258,11 @@ uint64_t LiveObjectIndex::MemoryBytes() const {
 
 SnapshotQuery::SnapshotQuery(const IPTree& tree,
                              std::shared_ptr<const ObjectSnapshot> snapshot,
-                             const DistanceQueryOptions& options)
+                             const DistanceQueryOptions& options,
+                             DistanceCache* cache)
     : snapshot_(std::move(snapshot)),
-      knn_(tree, *snapshot_->base, options),
-      exact_(tree, options) {
+      knn_(tree, *snapshot_->base, options, cache),
+      exact_(tree, options, cache) {
   VIPTREE_CHECK_MSG(snapshot_ != nullptr,
                     "SnapshotQuery over a null ObjectSnapshot");
 }

@@ -26,8 +26,11 @@ struct IndoorPath {
 
 class IPPathQuery {
  public:
+  // `cache` as in IPDistanceQuery (forwarded to the internal engine);
+  // nullptr disables memoization.
   explicit IPPathQuery(const IPTree& tree,
-                       const DistanceQueryOptions& options = {});
+                       const DistanceQueryOptions& options = {},
+                       DistanceCache* cache = nullptr);
 
   IndoorPath Path(const IndoorPoint& s, const IndoorPoint& t) const;
   IndoorPath DoorPath(DoorId s, DoorId t) const;
@@ -57,12 +60,14 @@ class IPPathQuery {
 
   const IPTree& tree_;
   IPDistanceQuery query_;
+  mutable std::vector<int32_t> row_idx_, col_idx_;  // CrossLeafPath join
 };
 
 class VIPPathQuery {
  public:
   explicit VIPPathQuery(const VIPTree& tree,
-                        const DistanceQueryOptions& options = {});
+                        const DistanceQueryOptions& options = {},
+                        DistanceCache* cache = nullptr);
 
   IndoorPath Path(const IndoorPoint& s, const IndoorPoint& t) const;
   IndoorPath DoorPath(DoorId s, DoorId t) const;
@@ -78,6 +83,7 @@ class VIPPathQuery {
   const VIPTree& vip_;
   VIPDistanceQuery query_;
   IPPathQuery ip_path_;  // leaf-level and fallback expansion
+  mutable std::vector<int32_t> row_idx_, col_idx_;
 };
 
 }  // namespace viptree

@@ -3,8 +3,9 @@
 namespace viptree {
 
 RangeQuery::RangeQuery(const IPTree& tree, const ObjectIndex& objects,
-                       const DistanceQueryOptions& options)
-    : knn_(tree, objects, options) {}
+                       const DistanceQueryOptions& options,
+                       DistanceCache* cache)
+    : knn_(tree, objects, options, cache) {}
 
 std::vector<ObjectResult> RangeQuery::Range(const IndoorPoint& q,
                                             double radius,

@@ -11,8 +11,10 @@ namespace viptree {
 
 class RangeQuery {
  public:
+  // `cache` as in KnnQuery; nullptr disables memoization.
   RangeQuery(const IPTree& tree, const ObjectIndex& objects,
-             const DistanceQueryOptions& options = {});
+             const DistanceQueryOptions& options = {},
+             DistanceCache* cache = nullptr);
 
   // Objects with dist(q, o) <= radius, ascending by distance.
   std::vector<ObjectResult> Range(const IndoorPoint& q, double radius,

@@ -80,8 +80,10 @@ struct QueryEngine::Worker {
   std::unique_ptr<SnapshotQuery> objects;
 
   explicit Worker(const QueryEngine& engine)
-      : distance(engine.tree(), engine.bundle_->query_options()),
-        path(engine.tree(), engine.bundle_->query_options()) {}
+      : distance(engine.tree(), engine.bundle_->query_options(),
+                 engine.cache_.get()),
+        path(engine.tree(), engine.bundle_->query_options(),
+             engine.cache_.get()) {}
 
   // Pins the current object snapshot: one shared_ptr atomic load per
   // query, a SnapshotQuery rebuild only on epoch change.
@@ -91,7 +93,7 @@ struct QueryEngine::Worker {
     if (objects == nullptr || objects->snapshot_ptr() != current) {
       objects = std::make_unique<SnapshotQuery>(
           engine.tree().base(), std::move(current),
-          engine.bundle_->query_options());
+          engine.bundle_->query_options(), engine.cache_.get());
     }
     return *objects;
   }
@@ -111,6 +113,7 @@ size_t MatricesConsulted(const IPTree& tree, PartitionId s, PartitionId t) {
 
 QueryEngine::QueryEngine(VenueBundle bundle)
     : bundle_(std::make_shared<VenueBundle>(std::move(bundle))) {
+  cache_ = bundle_->distance_cache();
   RebuildWorker();
 }
 
@@ -118,6 +121,7 @@ QueryEngine::QueryEngine(std::shared_ptr<const VenueBundle> bundle)
     : bundle_(std::move(bundle)) {
   VIPTREE_CHECK_MSG(bundle_ != nullptr,
                     "QueryEngine constructed over a null bundle");
+  cache_ = bundle_->distance_cache();
   RebuildWorker();
 }
 
@@ -163,6 +167,16 @@ std::optional<std::string> QueryEngine::ApplyObjectDelta(
 
 void QueryEngine::RebuildWorker() {
   main_worker_ = std::make_unique<Worker>(*this);
+}
+
+void QueryEngine::EnableDistanceCache(const DistanceCacheOptions& options) {
+  SetDistanceCache(std::make_shared<DistanceCache>(options));
+}
+
+void QueryEngine::SetDistanceCache(std::shared_ptr<DistanceCache> cache) {
+  cache_ = std::move(cache);
+  // The resident worker's core engines captured the old raw pointer.
+  RebuildWorker();
 }
 
 uint64_t QueryEngine::IndexMemoryBytes() const {
@@ -242,6 +256,9 @@ BatchResult QueryEngine::RunBatch(Span<const Query> queries,
     ServiceOptions service_options;
     service_options.num_threads = threads;
     service_options.queue_capacity = n;  // nothing is ever rejected
+    // The transient workers share this engine's cache (single venue, so
+    // the venue-local door ids cannot alias).
+    service_options.shared_cache = cache_;
     Service service(bundle_, service_options);
     std::vector<Request> requests;
     requests.reserve(n);

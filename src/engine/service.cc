@@ -103,6 +103,11 @@ Service::Service(VenueRegistry registry, ServiceOptions options)
       options_(options),
       num_threads_(ResolveThreadCount(options.num_threads)) {
   options_.queue_capacity = std::max<size_t>(1, options_.queue_capacity);
+  // A shared cache cannot span venues: door/node ids are venue-local
+  // dense integers, so one cache would alias unrelated keys. Multi-venue
+  // services get per-venue caches via ServiceOptions::cache instead.
+  VIPTREE_CHECK_MSG(options_.shared_cache == nullptr,
+                    "shared_cache is only valid on a single-venue Service");
 }
 
 Service::~Service() { Stop(); }
@@ -394,7 +399,9 @@ QueryEngine* Service::ResolveEngine(
   // served it (eviction + re-Acquire hands out a fresh bundle); comparing
   // bundle addresses also releases this worker's pin on the evicted one.
   if (slot == nullptr || &slot->bundle() != bundle.get()) {
+    std::shared_ptr<DistanceCache> cache = CacheFor(venue_id, bundle);
     slot = std::make_unique<QueryEngine>(std::move(bundle));
+    if (cache != nullptr) slot->SetDistanceCache(std::move(cache));
   }
   // Honour the registry's residency cap here too: cached engines pin their
   // bundles, so once this worker's cache outgrows the cap, drop engines
@@ -412,6 +419,28 @@ QueryEngine* Service::ResolveEngine(
     }
   }
   return engines->at(venue_id).get();
+}
+
+std::shared_ptr<DistanceCache> Service::CacheFor(
+    const std::string& venue_id,
+    const std::shared_ptr<const VenueBundle>& bundle) {
+  if (options_.shared_cache != nullptr) return options_.shared_cache;
+  if (!options_.cache.enabled) return nullptr;
+  std::lock_guard<std::mutex> lock(cache_mu_);
+  if (options_.cache_scope == ServiceOptions::CacheScope::kPerWorker) {
+    auto cache = std::make_shared<DistanceCache>(options_.cache);
+    worker_caches_.push_back(cache);
+    return cache;
+  }
+  VenueCache& entry = venue_caches_[venue_id];
+  if (entry.cache == nullptr || entry.bundle.lock() != bundle) {
+    // First touch, or the registry handed out a fresh bundle instance
+    // (eviction + reload): the snapshot file may have changed on disk, so
+    // start a clean cache rather than trust file identity.
+    entry.cache = std::make_shared<DistanceCache>(options_.cache);
+    entry.bundle = bundle;
+  }
+  return entry.cache;
 }
 
 void Service::Finalize(const std::shared_ptr<Ticket::State>& state,
@@ -503,6 +532,19 @@ ServiceStats Service::Stats() const {
   stats.update_micros = Summarize(update_samples_);
   stats.queue_micros = Summarize(queue_samples_);
   stats.per_venue = per_venue_;
+  {
+    std::lock_guard<std::mutex> cache_lock(cache_mu_);
+    if (options_.shared_cache != nullptr) {
+      stats.cache += options_.shared_cache->Counters();
+    }
+    for (const auto& [venue, entry] : venue_caches_) {
+      (void)venue;
+      stats.cache += entry.cache->Counters();
+    }
+    for (const auto& cache : worker_caches_) {
+      stats.cache += cache->Counters();
+    }
+  }
   return stats;
 }
 

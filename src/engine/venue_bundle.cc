@@ -21,7 +21,14 @@ VenueBundle VenueBundle::Assemble(std::unique_ptr<Venue> venue,
   bundle.live_ = std::make_unique<LiveObjectIndex>(
       bundle.tree_->base(), std::move(objects),
       std::move(options.object_keywords));
+  if (options.cache.enabled) {
+    bundle.cache_ = std::make_shared<DistanceCache>(options.cache);
+  }
   return bundle;
+}
+
+void VenueBundle::EnableDistanceCache(const DistanceCacheOptions& options) {
+  cache_ = std::make_shared<DistanceCache>(options);
 }
 
 VenueBundle VenueBundle::Build(Venue venue, std::vector<IndoorPoint> objects,

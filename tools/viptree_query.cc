@@ -47,6 +47,7 @@
 
 #include "common/rng.h"
 #include "common/stats.h"
+#include "core/distance_cache.h"
 #include "engine/query_engine.h"
 #include "engine/service.h"
 #include "engine/venue_registry.h"
@@ -73,6 +74,11 @@ struct Args {
   size_t threads = 1;
   uint64_t seed = 0xC0FFEE;
   std::string mix = "mixed";  // mixed | distance | path | knn | range
+  // Cross-request distance cache (core/distance_cache.h). Off by default:
+  // the cache only pays off on workloads that repeat door pairs.
+  bool cache = false;
+  CachePolicy cache_policy = CachePolicy::kLru;
+  size_t cache_capacity = DistanceCacheOptions{}.capacity;
 };
 
 void Usage(const char* argv0) {
@@ -81,10 +87,12 @@ void Usage(const char* argv0) {
       "usage: %s (--snapshot PATH | --registry MANIFEST --venue ID)\n"
       "          [--queries N] [--threads T] [--seed S]\n"
       "          [--mix mixed|distance|path|knn|range]\n"
+      "          [--cache] [--cache-policy lru|2q|s2q] [--cache-capacity N]\n"
       "          [--emit-workload [--updates U]]\n"
       "       %s (--snapshot PATH | --registry MANIFEST) --serve\n"
       "          [--input FILE] [--threads T] [--deadline-ms D]\n"
-      "          [--queue-capacity C]\n"
+      "          [--queue-capacity C] [--cache] [--cache-policy P]\n"
+      "          [--cache-capacity N]\n"
       "       %s --registry MANIFEST --list-venues\n"
       "\n"
       "Loads a VIP-Tree snapshot — directly, or by venue id through a\n"
@@ -96,7 +104,9 @@ void Usage(const char* argv0) {
       "line format; --updates U interleaves U update lines). The mixed\n"
       "workload is 40%% distance, 20%% path, 20%% kNN, 10%% range and\n"
       "10%% boolean keyword kNN (keyword queries fall back to kNN when\n"
-      "the snapshot has no keyword index).\n",
+      "the snapshot has no keyword index). --cache turns on the exact\n"
+      "cross-request door-pair distance cache (results are bit-identical\n"
+      "with and without it); --cache-policy picks the eviction policy.\n",
       argv0, argv0, argv0);
 }
 
@@ -151,6 +161,20 @@ bool Parse(int argc, char** argv, Args* args) {
     } else if (flag == "--mix") {
       if ((v = value()) == nullptr) return false;
       args->mix = v;
+    } else if (flag == "--cache") {
+      args->cache = true;
+    } else if (flag == "--cache-policy") {
+      if ((v = value()) == nullptr) return false;
+      if (!ParseCachePolicy(v, &args->cache_policy)) {
+        std::fprintf(stderr, "%s: unknown --cache-policy '%s' "
+                     "(expected lru, 2q or s2q)\n", argv[0], v);
+        return false;
+      }
+      args->cache = true;  // naming a policy implies --cache
+    } else if (flag == "--cache-capacity") {
+      if ((v = value()) == nullptr) return false;
+      args->cache_capacity = static_cast<size_t>(std::atol(v));
+      args->cache = true;
     } else if (flag == "--help" || flag == "-h") {
       Usage(argv[0]);
       return false;
@@ -198,6 +222,24 @@ bool Parse(int argc, char** argv, Args* args) {
     return false;
   }
   return true;
+}
+
+DistanceCacheOptions CacheOptionsFrom(const Args& args) {
+  DistanceCacheOptions options;
+  options.enabled = args.cache;
+  options.policy = args.cache_policy;
+  options.capacity = args.cache_capacity;
+  return options;
+}
+
+void PrintCacheStats(const CacheCounters& cache, CachePolicy policy) {
+  std::printf("  cache (%s)    %llu hits, %llu misses (%.1f%% hit rate), "
+              "%llu evictions\n",
+              CachePolicyName(policy),
+              static_cast<unsigned long long>(cache.hits),
+              static_cast<unsigned long long>(cache.misses),
+              100.0 * cache.hit_rate(),
+              static_cast<unsigned long long>(cache.evictions));
 }
 
 std::vector<eng::Query> MakeWorkload(const eng::QueryEngine& engine,
@@ -304,6 +346,7 @@ int ServeMain(const Args& args, std::optional<eng::VenueRegistry> registry) {
   eng::ServiceOptions options;
   options.num_threads = args.threads;
   options.queue_capacity = args.queue_capacity;
+  options.cache = CacheOptionsFrom(args);
 
   std::unique_ptr<eng::Service> service;
   const bool with_venue = registry.has_value();
@@ -392,6 +435,7 @@ int ServeMain(const Args& args, std::optional<eng::VenueRegistry> registry) {
   if (stats.updates > 0) {
     std::printf("  update p99    %10.2f us\n", stats.update_micros.p99);
   }
+  if (args.cache) PrintCacheStats(stats.cache, args.cache_policy);
   for (const auto& [venue_id, counters] : stats.per_venue) {
     std::printf("  venue %-12s %llu ok, %llu updates, %llu expired, "
                 "%llu failed\n",
@@ -466,6 +510,7 @@ int main(int argc, char** argv) {
     }
     zero_copy = engine->bundle().zero_copy();
   }
+  if (args.cache) engine->EnableDistanceCache(CacheOptionsFrom(args));
 
   if (args.emit_workload) {
     // Registry-mode lines carry the venue column --serve expects.
@@ -504,5 +549,8 @@ int main(int argc, char** argv) {
   std::printf("  latency max   %10.2f us\n", stats.latency_micros.max);
   std::printf("  visited nodes %10llu\n",
               static_cast<unsigned long long>(stats.visited_nodes));
+  if (args.cache) {
+    PrintCacheStats(engine->distance_cache()->Counters(), args.cache_policy);
+  }
   return 0;
 }
