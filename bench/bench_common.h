@@ -47,6 +47,8 @@ inline double ScaleFor(synth::Dataset dataset) {
     case synth::Dataset::kCL:
     case synth::Dataset::kCL2:
       return 0.12;
+    case synth::Dataset::kCity:
+      return 0.05;  // ~320 building-copies dominate cost even at small rooms
     default:
       return 1.0;
   }

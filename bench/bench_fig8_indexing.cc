@@ -2,6 +2,9 @@
 // every index across the six venues. The distance matrix is skipped beyond
 // Men-2, exactly as in the paper ("The distance matrix ... cannot be built
 // on the venues larger than Men-2").
+//
+//   VIPTREE_SCALE= shrinks or grows every venue (via bench_common's
+//   ScaleFor). Construction-only, so VIPTREE_QUERIES has no effect here.
 
 #include <benchmark/benchmark.h>
 

@@ -1,6 +1,9 @@
 // Table 2: "Indoor venues used in experiments" — prints the analogue
 // venues' #doors / #rooms / #edges next to the paper's values, and times
 // venue generation per dataset.
+//
+//   VIPTREE_SCALE= overrides every dataset's scale (via bench_common's
+//   ScaleFor). No query workload, so VIPTREE_QUERIES has no effect here.
 
 #include <benchmark/benchmark.h>
 

@@ -1,0 +1,66 @@
+// Cache-line-aligned allocation for the flat index buffers. The SIMD
+// kernels (common/kernels.h) use unaligned loads, so alignment is a
+// performance contract, not a correctness one: a 64-byte-aligned base
+// keeps every FlatMatrix row starting at a predictable cache-line phase
+// and lets hardware prefetchers stream whole lines, and it guarantees a
+// vector load never straddles more lines than it must.
+//
+// Owning Storage<T> buffers allocate through AlignedAllocator<T, 64>;
+// mmap'd snapshot views are page-aligned by the kernel (heap-fallback
+// arenas align to 64 explicitly, io/mmap_arena.cc).
+
+#ifndef VIPTREE_COMMON_ALIGNED_H_
+#define VIPTREE_COMMON_ALIGNED_H_
+
+#include <cstddef>
+#include <new>
+#include <vector>
+
+namespace viptree {
+
+// Alignment of every owning index buffer: one x86 cache line, and twice
+// the 32-byte AVX2 vector width.
+inline constexpr size_t kIndexBufferAlign = 64;
+
+template <typename T, size_t Align = kIndexBufferAlign>
+class AlignedAllocator {
+ public:
+  static_assert((Align & (Align - 1)) == 0, "alignment must be a power of 2");
+  static_assert(Align >= alignof(T), "alignment below the type's natural one");
+
+  using value_type = T;
+
+  AlignedAllocator() noexcept = default;
+  template <typename U>
+  AlignedAllocator(const AlignedAllocator<U, Align>&) noexcept {}
+
+  T* allocate(size_t n) {
+    return static_cast<T*>(
+        ::operator new(n * sizeof(T), std::align_val_t(Align)));
+  }
+  void deallocate(T* p, size_t n) noexcept {
+    ::operator delete(p, n * sizeof(T), std::align_val_t(Align));
+  }
+
+  template <typename U>
+  struct rebind {
+    using other = AlignedAllocator<U, Align>;
+  };
+
+  friend bool operator==(const AlignedAllocator&,
+                         const AlignedAllocator&) noexcept {
+    return true;
+  }
+  friend bool operator!=(const AlignedAllocator&,
+                         const AlignedAllocator&) noexcept {
+    return false;
+  }
+};
+
+// The backing container of owning Storage<T> buffers.
+template <typename T>
+using AlignedVector = std::vector<T, AlignedAllocator<T, kIndexBufferAlign>>;
+
+}  // namespace viptree
+
+#endif  // VIPTREE_COMMON_ALIGNED_H_

@@ -1,7 +1,7 @@
 // Storage<T>: the backing buffer of every flat index array — either an
-// *owning* buffer (a std::vector, the result of index construction or a
-// copying snapshot decode) or a *view* into an immutable arena (a
-// memory-mapped snapshot file, io/mmap_arena.h). Query code reads both
+// *owning* buffer (a 64-byte-aligned vector, the result of index
+// construction or a copying snapshot decode; common/aligned.h) or a *view*
+// into an immutable arena (a memory-mapped snapshot file, io/mmap_arena.h). Query code reads both
 // forms through the same const interface, so the whole read path is
 // agnostic to whether an index was built in-process or mapped from disk.
 //
@@ -27,6 +27,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/aligned.h"
 #include "common/check.h"
 #include "common/span.h"
 
@@ -37,10 +38,27 @@ class Storage {
  public:
   Storage() = default;
 
-  // Owning: adopts the vector (implicit, so builder code can assign the
-  // vectors it constructs straight into index members).
+  // Owning: copies the vector into a 64-byte-aligned buffer (implicit, so
+  // builder code can assign the vectors it constructs straight into index
+  // members). The copy is a build/load-time cost only; hot paths fill
+  // through the aligned ctor below or the mutating surface.
   Storage(std::vector<T> values)  // NOLINT(google-explicit-constructor)
+      : owned_(values.begin(), values.end()),
+        data_(owned_.data()),
+        size_(owned_.size()),
+        owning_(true) {}
+
+  // Owning: adopts an already-aligned buffer without copying.
+  Storage(AlignedVector<T> values)  // NOLINT(google-explicit-constructor)
       : owned_(std::move(values)),
+        data_(owned_.data()),
+        size_(owned_.size()),
+        owning_(true) {}
+
+  // Owning: a filled aligned buffer, allocated directly (the FlatMatrix
+  // fill constructor and other sized builder paths).
+  Storage(size_t count, const T& fill)
+      : owned_(count, fill),
         data_(owned_.data()),
         size_(owned_.size()),
         owning_(true) {}
@@ -159,7 +177,7 @@ class Storage {
     owning_ = true;
   }
 
-  std::vector<T> owned_;
+  AlignedVector<T> owned_;
   const T* data_ = nullptr;
   size_t size_ = 0;
   bool owning_ = true;

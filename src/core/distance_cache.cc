@@ -277,12 +277,20 @@ struct DistanceCache::Shard {
   std::vector<Key> evicted_scratch;
 };
 
+size_t AdaptiveCacheCapacity(size_t num_doors) {
+  const size_t want = 16 * num_doors;
+  return std::min<size_t>(1u << 20, std::max<size_t>(1u << 12, want));
+}
+
 DistanceCache::DistanceCache(const DistanceCacheOptions& options)
     : options_(options) {
   num_shards_ = RoundUpPow2(std::max<size_t>(1, std::min<size_t>(
                                                     options.shards, 256)));
-  const size_t per_shard =
-      std::max<size_t>(1, std::max<size_t>(1, options.capacity) / num_shards_);
+  // capacity 0 = the auto sentinel unresolved (no venue in scope here):
+  // fall back to the historical fixed default.
+  const size_t capacity =
+      options.capacity == 0 ? (size_t{1} << 16) : options.capacity;
+  const size_t per_shard = std::max<size_t>(1, capacity / num_shards_);
   shards_.reset(new Shard[num_shards_]);
   for (size_t i = 0; i < num_shards_; ++i) {
     shards_[i].policy = MakePolicy(options.policy, per_shard);

@@ -64,12 +64,22 @@ struct DistanceCacheOptions {
   // Owning layers (EngineOptions / ServiceOptions) create a cache only
   // when set; a constructed DistanceCache itself is always active.
   bool enabled = false;
-  // Total entries across all shards (>= 1 per shard is enforced).
-  size_t capacity = 1 << 16;
+  // Total entries across all shards (>= 1 per shard is enforced). 0 is
+  // the *auto* sentinel: layers that know the venue (VenueBundle,
+  // QueryEngine, Service) resolve it to AdaptiveCacheCapacity(venue door
+  // count) before constructing the cache; a DistanceCache built directly
+  // with 0 falls back to the historical fixed default (1 << 16).
+  size_t capacity = 0;
   // Rounded up to a power of two, clamped to [1, 256].
   size_t shards = 8;
   CachePolicy policy = CachePolicy::kLru;
 };
+
+// Capacity for the auto sentinel: ~16 entries per door — enough to hold
+// the superior-door pair working set of every zone several times over —
+// clamped to [4096, 1M] so toy venues still amortize their shards and
+// city-scale venues stay bounded.
+size_t AdaptiveCacheCapacity(size_t num_doors);
 
 // What a key memoizes (and which computation wrote it — see file comment).
 enum class CacheKind : uint8_t {

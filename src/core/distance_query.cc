@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/check.h"
+#include "common/kernels.h"
 #include "common/span.h"
 
 namespace viptree {
@@ -78,8 +79,9 @@ void IPDistanceQuery::SeedLeaf(const QuerySource& source, const TreeNode& leaf,
     // A door source reads its row of the leaf matrix directly.
     const int row = IPTree::IndexOf(leaf.doors, source.door);
     VIPTREE_DCHECK(row >= 0);
+    const Span<const float> door_row = leaf.dist.row(static_cast<size_t>(row));
     for (size_t c = 0; c < m; ++c) {
-      dist[c] = leaf.dist.at(row, c);
+      dist[c] = door_row[c];
       back[c] = PathBack{kInvalidId, -1};
     }
     return;
@@ -130,13 +132,29 @@ AscentDistances IPDistanceQuery::GetDistances(const QuerySource& source,
     const std::vector<double>& cdist = out.ad_dist.back();
     const int child_chain_idx = static_cast<int>(out.chain.size()) - 1;
 
-    std::vector<double> pdist(pnode.access_doors.size(), kInfDistance);
-    std::vector<PathBack> pback(pnode.access_doors.size());
+    const size_t nc = pnode.access_doors.size();
+    const size_t nb = cnode.access_doors.size();
+    std::vector<double> pdist(nc, kInfDistance);
+    std::vector<PathBack> pback(nc);
     // rows: child access doors, cols: parent access doors, both positioned
     // in the parent matrix once per level instead of per cell.
     AccessDoorIndexMap(parent, cur, step_rows_);
     AccessDoorIndexMap(parent, parent, step_cols_);
-    for (size_t c = 0; c < pnode.access_doors.size(); ++c) {
+    // Row-outer kernel form of the min-plus step: one gather per child
+    // door over its parent-matrix row, folded into per-column accumulators
+    // with the source door recorded on strict improvement. Ascending-b
+    // order preserves the historical column-outer loop's first-wins argmin
+    // bit-for-bit (common/kernels.h).
+    step_dist_.assign(nc, kInfDistance);
+    step_src_.assign(nc, -1);
+    for (size_t b = 0; b < nb; ++b) {
+      if (cdist[b] == kInfDistance) continue;  // inf + cell never improves
+      kernels::MinPlusGatherArgF32(
+          step_dist_.data(), step_src_.data(), static_cast<int32_t>(b),
+          pnode.dist.row(static_cast<size_t>(step_rows_[b])).data(),
+          step_cols_.data(), cdist[b], nc);
+    }
+    for (size_t c = 0; c < nc; ++c) {
       const DoorId a = pnode.access_doors[c];
       // "Marked" doors of Algorithm 2: already computed at the child level.
       const int in_child = IPTree::IndexOf(cnode.access_doors, a);
@@ -145,15 +163,10 @@ AscentDistances IPDistanceQuery::GetDistances(const QuerySource& source,
         pback[c] = out.back.back()[in_child];
         continue;
       }
-      const int col = step_cols_[c];
-      for (size_t b = 0; b < cnode.access_doors.size(); ++b) {
-        const DoorId bd = cnode.access_doors[b];
-        const int row = step_rows_[b];
-        const double cand = cdist[b] + pnode.dist.at(row, col);
-        if (cand < pdist[c]) {
-          pdist[c] = cand;
-          pback[c] = PathBack{bd, child_chain_idx};
-        }
+      pdist[c] = step_dist_[c];
+      if (step_src_[c] >= 0) {
+        pback[c] = PathBack{cnode.access_doors[step_src_[c]],
+                            child_chain_idx};
       }
     }
     out.chain.push_back(parent);
@@ -213,15 +226,17 @@ double IPDistanceQuery::Distance(const IndoorPoint& s,
   const TreeNode& nt_node = tree_.node(nt);
   AccessDoorIndexMap(lca, ns, row_idx_);
   AccessDoorIndexMap(lca, nt, col_idx_);
+  // One kernel join per source door: min over j of
+  // (s[i] + lca_cell) + t[j], keeping the historical association.
+  const std::vector<double>& sd = as.ad_dist.back();
+  const std::vector<double>& td = at.ad_dist.back();
   double best = kInfDistance;
   for (size_t i = 0; i < ns_node.access_doors.size(); ++i) {
-    const int row = row_idx_[i];
-    for (size_t j = 0; j < nt_node.access_doors.size(); ++j) {
-      const int col = col_idx_[j];
-      const double cand = as.ad_dist.back()[i] + lca_node.dist.at(row, col) +
-                          at.ad_dist.back()[j];
-      best = std::min(best, cand);
-    }
+    if (sd[i] == kInfDistance) continue;
+    const double cand = kernels::JoinMinIndexedF32(
+        sd[i], lca_node.dist.row(static_cast<size_t>(row_idx_[i])).data(),
+        col_idx_.data(), td.data(), nt_node.access_doors.size());
+    if (cand < best) best = cand;
   }
   return best;
 }
@@ -271,13 +286,12 @@ double IPDistanceQuery::DoorDistanceUncached(DoorId s, DoorId t) const {
   AccessDoorIndexMap(lca, nt, col_idx_);
   double best = kInfDistance;
   for (size_t i = 0; i < ns_node.access_doors.size(); ++i) {
-    const int row = row_idx_[i];
-    for (size_t j = 0; j < nt_node.access_doors.size(); ++j) {
-      const int col = col_idx_[j];
-      best = std::min(best, s_ascent_[i] +
-                                lca_node.dist.at(row, col) +
-                                t_ascent_[j]);
-    }
+    if (s_ascent_[i] == kInfDistance) continue;
+    const double cand = kernels::JoinMinIndexedF32(
+        s_ascent_[i],
+        lca_node.dist.row(static_cast<size_t>(row_idx_[i])).data(),
+        col_idx_.data(), t_ascent_.data(), nt_node.access_doors.size());
+    if (cand < best) best = cand;
   }
   return best;
 }
@@ -355,11 +369,12 @@ double VIPDistanceQuery::Distance(const IndoorPoint& s,
   AccessDoorIndexMap(lca, nt, col_idx_);
   double best = kInfDistance;
   for (size_t i = 0; i < ns_node.access_doors.size(); ++i) {
-    const int row = row_idx_[i];
-    for (size_t j = 0; j < nt_node.access_doors.size(); ++j) {
-      const int col = col_idx_[j];
-      best = std::min(best, sdist_[i] + lca_node.dist.at(row, col) + tdist_[j]);
-    }
+    if (sdist_[i] == kInfDistance) continue;
+    const double cand = kernels::JoinMinIndexedF32(
+        sdist_[i],
+        lca_node.dist.row(static_cast<size_t>(row_idx_[i])).data(),
+        col_idx_.data(), tdist_.data(), nt_node.access_doors.size());
+    if (cand < best) best = cand;
   }
   return best;
 }
@@ -403,11 +418,12 @@ double VIPDistanceQuery::DoorDistanceUncached(DoorId s, DoorId t) const {
   AccessDoorIndexMap(lca, nt, col_idx_);
   double best = kInfDistance;
   for (size_t i = 0; i < ns_node.access_doors.size(); ++i) {
-    const int row = row_idx_[i];
-    for (size_t j = 0; j < nt_node.access_doors.size(); ++j) {
-      const int col = col_idx_[j];
-      best = std::min(best, sdist_[i] + lca_node.dist.at(row, col) + tdist_[j]);
-    }
+    if (sdist_[i] == kInfDistance) continue;
+    const double cand = kernels::JoinMinIndexedF32(
+        sdist_[i],
+        lca_node.dist.row(static_cast<size_t>(row_idx_[i])).data(),
+        col_idx_.data(), tdist_.data(), nt_node.access_doors.size());
+    if (cand < best) best = cand;
   }
   return best;
 }

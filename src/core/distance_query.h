@@ -121,6 +121,10 @@ class IPDistanceQuery {
   mutable std::vector<int32_t> row_idx_, col_idx_;      // LCA joins
   mutable std::vector<int32_t> step_rows_, step_cols_;  // ascent steps
   mutable std::vector<double> s_ascent_, t_ascent_;     // DoorDistance
+  // Kernel accumulators of the ascent step (common/kernels.h): per-column
+  // best distance and the child door (index) that produced it.
+  mutable std::vector<double> step_dist_;
+  mutable std::vector<int32_t> step_src_;
 };
 
 class VIPDistanceQuery {

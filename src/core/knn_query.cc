@@ -4,6 +4,7 @@
 #include <queue>
 
 #include "common/check.h"
+#include "common/kernels.h"
 #include "common/span.h"
 
 namespace viptree {
@@ -91,6 +92,11 @@ std::vector<ObjectResult> KnnQuery::Search(const IndoorPoint& q, size_t k,
   }
   const NodeId q_leaf = ascent.chain[0];
 
+  // Range mode (k unbounded): every in-radius object is reported, so the
+  // kth-NN heap can never prune — collect into a flat vector and sort
+  // once at the end instead of paying O(log n) per insert.
+  const bool collect_all = k == std::numeric_limits<size_t>::max();
+
   // Results as a max-heap so dk (distance to the current kth NN) is O(1).
   auto worse = [](const ObjectResult& a, const ObjectResult& b) {
     return a.distance < b.distance;
@@ -108,7 +114,9 @@ std::vector<ObjectResult> KnnQuery::Search(const IndoorPoint& q, size_t k,
     if (stats != nullptr) ++stats->objects_considered;
     if (dist > radius) return;
     if (!object_allowed(o)) return;
-    if (best.size() < k) {
+    if (collect_all) {
+      results.push_back({o, dist});
+    } else if (best.size() < k) {
       best.push({o, dist});
     } else if (dist < best.top().distance) {
       best.pop();
@@ -148,24 +156,31 @@ std::vector<ObjectResult> KnnQuery::Search(const IndoorPoint& q, size_t k,
     // binary search per matrix cell.
     query_.AccessDoorIndexMap(parent, n, bound_cols_);
     query_.AccessDoorIndexMap(parent, source_id, bound_rows_);
-    std::vector<double> dist(node.access_doors.size(), kInfDistance);
-    for (size_t c = 0; c < node.access_doors.size(); ++c) {
-      const int col = bound_cols_[c];
-      for (size_t b = 0; b < source_node->access_doors.size(); ++b) {
-        const int row = bound_rows_[b];
-        const double cand =
-            (*source_dist)[b] + pnode.dist.at(row, col);
-        dist[c] = std::min(dist[c], cand);
+    const size_t nc = node.access_doors.size();
+    const size_t nb = source_node->access_doors.size();
+    std::vector<double> dist(nc, kInfDistance);
+    // Row-outer kernel form: one gather per source door over its parent-
+    // matrix row (common/kernels.h); same candidate per output as the
+    // historical column-outer loop, folded in the same b order.
+    for (size_t b = 0; b < nb; ++b) {
+      const double add = (*source_dist)[b];
+      if (add == kInfDistance) continue;  // inf + cell never improves
+      if (b + 1 < nb) {
+        kernels::PrefetchRead(
+            pnode.dist.row(static_cast<size_t>(bound_rows_[b + 1])).data());
       }
+      kernels::MinPlusGatherF32(
+          dist.data(),
+          pnode.dist.row(static_cast<size_t>(bound_rows_[b])).data(),
+          bound_cols_.data(), add, nc);
     }
     return ad_dist.emplace(n, std::move(dist)).first->second;
   };
 
   auto mindist = [&](NodeId n) {
     if (chain_pos.count(n) > 0) return 0.0;  // node contains q
-    double m = kInfDistance;
-    for (double d : ensure_ad_dist(n)) m = std::min(m, d);
-    return m;
+    const std::vector<double>& d = ensure_ad_dist(n);
+    return kernels::RowMin(d.data(), d.size());
   };
 
   using HeapEntry = std::pair<double, NodeId>;
@@ -174,9 +189,10 @@ std::vector<ObjectResult> KnnQuery::Search(const IndoorPoint& q, size_t k,
       heap;
   heap.emplace(0.0, tree_.root());
 
-  // Per-leaf scratch for the best distance seen per object, reused across
-  // leaf scans so the hot loop below stays allocation-free.
+  // Per-leaf scratch (best distance per object, in-radius indices), reused
+  // across leaf scans so the hot loop below stays allocation-free.
   std::vector<double> leaf_best;
+  std::vector<int32_t> in_radius;
 
   while (!heap.empty()) {
     const auto [bound, n] = heap.top();
@@ -188,6 +204,11 @@ std::vector<ObjectResult> KnnQuery::Search(const IndoorPoint& q, size_t k,
       if (node.is_leaf()) ++stats->leaves_scanned;
     }
     if (!node.is_leaf()) {
+      // Pull the child nodes (and their subtree counts) toward the cache
+      // before the mindist bound derivations walk them.
+      for (NodeId child : node.children) {
+        kernels::PrefetchRead(&tree_.node(child));
+      }
       for (NodeId child : node.children) {
         if (objects_.SubtreeCount(tree_.node(child)) == 0) continue;
         if (!node_allowed(child)) continue;
@@ -205,19 +226,44 @@ std::vector<ObjectResult> KnnQuery::Search(const IndoorPoint& q, size_t k,
       continue;
     }
     // One contiguous distance row per access door (see ObjectIndex layout):
-    // column-outer order turns the inner loop into a sequential scan.
+    // column-outer order keeps the kernel scanning sequential rows.
     const std::vector<double>& q_to_ad = ensure_ad_dist(n);
     leaf_best.assign(objs.size(), kInfDistance);
     for (size_t col = 0; col < node.access_doors.size(); ++col) {
       const double q_to_door = q_to_ad[col];
-      const Span<const double> row = objects_.DoorDistances(n, col);
-      for (size_t i = 0; i < objs.size(); ++i) {
-        leaf_best[i] = std::min(leaf_best[i], q_to_door + row[i]);
+      if (q_to_door == kInfDistance) continue;  // inf row never improves
+      if (col + 1 < node.access_doors.size()) {
+        kernels::PrefetchRead(objects_.DoorDistances(n, col + 1).data());
       }
+      kernels::MinPlusRow(leaf_best.data(),
+                          objects_.DoorDistances(n, col).data(), q_to_door,
+                          objs.size());
+    }
+    if (collect_all) {
+      // Range mode: batch-filter the leaf against the radius instead of
+      // offering objects one by one.
+      if (stats != nullptr) stats->objects_considered += objs.size();
+      in_radius.resize(objs.size());
+      const size_t hits = kernels::FilterLeq(leaf_best.data(), objs.size(),
+                                             radius, in_radius.data());
+      for (size_t h = 0; h < hits; ++h) {
+        const size_t i = static_cast<size_t>(in_radius[h]);
+        if (!object_allowed(objs[i])) continue;
+        results.push_back({objs[i], leaf_best[i]});
+      }
+      continue;
     }
     for (size_t i = 0; i < objs.size(); ++i) offer(objs[i], leaf_best[i]);
   }
 
+  if (collect_all) {
+    std::sort(results.begin(), results.end(),
+              [](const ObjectResult& a, const ObjectResult& b) {
+                return a.distance != b.distance ? a.distance < b.distance
+                                                : a.object < b.object;
+              });
+    return results;
+  }
   results.reserve(best.size());
   while (!best.empty()) {
     results.push_back(best.top());

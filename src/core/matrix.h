@@ -23,7 +23,7 @@ class FlatMatrix {
  public:
   FlatMatrix() = default;
   FlatMatrix(size_t rows, size_t cols, T fill = T())
-      : rows_(rows), cols_(cols), data_(std::vector<T>(rows * cols, fill)) {}
+      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
 
   // Adopts an already-filled row-major payload: an owning vector (copying
   // snapshot deserialization) or any Storage, including an arena view
@@ -47,6 +47,13 @@ class FlatMatrix {
   const T& at(size_t r, size_t c) const {
     VIPTREE_DCHECK(r < rows_ && c < cols_);
     return data_[r * cols_ + c];
+  }
+
+  // One row as a contiguous span — the unit the SIMD kernels consume.
+  // Replaces ad-hoc `&at(r, 0)` pointer arithmetic at query call sites.
+  Span<const T> row(size_t r) const {
+    VIPTREE_DCHECK(r < rows_);
+    return {data_.data() + r * cols_, cols_};
   }
 
   // The row-major payload, for serialization.

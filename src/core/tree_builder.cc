@@ -108,7 +108,55 @@ IPTree TreeBuilder::BuildIPTree() {
   AssignLeafIntervals();
   BuildLeafMatricesAndSuperiorDoors();
   BuildNonLeafMatrices();
+  RenumberNodesTraversalOrder();
   return std::move(tree_);
+}
+
+// Re-ids every node in pre-order DFS position (root = 0, children in
+// stored order), so the kNN branch-and-bound descent touches consecutive
+// node records — prefetches and cache lines follow the traversal instead
+// of the leaves-first construction order. Must run LAST: the earlier
+// build phases iterate leaves as ids [0, num_leaves_). The new numbering
+// persists through snapshots unchanged (nodes carry explicit ids, and
+// ValidateParts only requires density, not leaves-first).
+void TreeBuilder::RenumberNodesTraversalOrder() {
+  IPTree& t = tree_;
+  const size_t n = t.nodes_.size();
+  if (n == 0) return;
+  std::vector<NodeId> new_id(n, kInvalidId);
+  std::vector<NodeId> order;  // order[new] = old
+  order.reserve(n);
+  std::vector<NodeId> stack;
+  stack.push_back(t.root_);
+  while (!stack.empty()) {
+    const NodeId old = stack.back();
+    stack.pop_back();
+    new_id[old] = static_cast<NodeId>(order.size());
+    order.push_back(old);
+    const TreeNode& node = t.nodes_[old];
+    for (auto it = node.children.rbegin(); it != node.children.rend(); ++it) {
+      stack.push_back(*it);
+    }
+  }
+  VIPTREE_CHECK_MSG(order.size() == n, "tree must reach every node");
+  std::vector<TreeNode> renumbered(n);
+  for (size_t ni = 0; ni < n; ++ni) {
+    renumbered[ni] = std::move(t.nodes_[order[ni]]);
+    TreeNode& node = renumbered[ni];
+    node.id = static_cast<NodeId>(ni);
+    if (node.parent != kInvalidId) node.parent = new_id[node.parent];
+    for (NodeId& c : node.children) c = new_id[c];
+  }
+  t.nodes_ = std::move(renumbered);
+  t.root_ = new_id[t.root_];
+  for (size_t p = 0; p < t.leaf_of_partition_.size(); ++p) {
+    t.leaf_of_partition_[p] = new_id[t.leaf_of_partition_[p]];
+  }
+  for (size_t d = 0; d < t.door_leaves_.size(); ++d) {
+    for (IPTree::DoorLeafEntry& e : t.door_leaves_[d]) {
+      if (e.leaf != kInvalidId) e.leaf = new_id[e.leaf];
+    }
+  }
 }
 
 bool TreeBuilder::IsAccessOf(DoorId d,

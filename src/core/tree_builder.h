@@ -25,6 +25,7 @@ class TreeBuilder {
   void AssignLeafIntervals();
   void BuildLeafMatricesAndSuperiorDoors();
   void BuildNonLeafMatrices();
+  void RenumberNodesTraversalOrder();
 
   // Whether door `d` is an access door of the group identified by
   // `cluster_of_leaf` (kInvalidId group = outside).

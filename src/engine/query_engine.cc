@@ -170,7 +170,11 @@ void QueryEngine::RebuildWorker() {
 }
 
 void QueryEngine::EnableDistanceCache(const DistanceCacheOptions& options) {
-  SetDistanceCache(std::make_shared<DistanceCache>(options));
+  DistanceCacheOptions resolved = options;
+  if (resolved.capacity == 0) {
+    resolved.capacity = AdaptiveCacheCapacity(venue().NumDoors());
+  }
+  SetDistanceCache(std::make_shared<DistanceCache>(resolved));
 }
 
 void QueryEngine::SetDistanceCache(std::shared_ptr<DistanceCache> cache) {

@@ -426,9 +426,13 @@ std::shared_ptr<DistanceCache> Service::CacheFor(
     const std::shared_ptr<const VenueBundle>& bundle) {
   if (options_.shared_cache != nullptr) return options_.shared_cache;
   if (!options_.cache.enabled) return nullptr;
+  DistanceCacheOptions resolved = options_.cache;
+  if (resolved.capacity == 0) {
+    resolved.capacity = AdaptiveCacheCapacity(bundle->venue().NumDoors());
+  }
   std::lock_guard<std::mutex> lock(cache_mu_);
   if (options_.cache_scope == ServiceOptions::CacheScope::kPerWorker) {
-    auto cache = std::make_shared<DistanceCache>(options_.cache);
+    auto cache = std::make_shared<DistanceCache>(resolved);
     worker_caches_.push_back(cache);
     return cache;
   }
@@ -437,7 +441,7 @@ std::shared_ptr<DistanceCache> Service::CacheFor(
     // First touch, or the registry handed out a fresh bundle instance
     // (eviction + reload): the snapshot file may have changed on disk, so
     // start a clean cache rather than trust file identity.
-    entry.cache = std::make_shared<DistanceCache>(options_.cache);
+    entry.cache = std::make_shared<DistanceCache>(resolved);
     entry.bundle = bundle;
   }
   return entry.cache;

@@ -22,13 +22,17 @@ VenueBundle VenueBundle::Assemble(std::unique_ptr<Venue> venue,
       bundle.tree_->base(), std::move(objects),
       std::move(options.object_keywords));
   if (options.cache.enabled) {
-    bundle.cache_ = std::make_shared<DistanceCache>(options.cache);
+    bundle.EnableDistanceCache(options.cache);
   }
   return bundle;
 }
 
 void VenueBundle::EnableDistanceCache(const DistanceCacheOptions& options) {
-  cache_ = std::make_shared<DistanceCache>(options);
+  DistanceCacheOptions resolved = options;
+  if (resolved.capacity == 0) {
+    resolved.capacity = AdaptiveCacheCapacity(venue_->NumDoors());
+  }
+  cache_ = std::make_shared<DistanceCache>(resolved);
 }
 
 VenueBundle VenueBundle::Build(Venue venue, std::vector<IndoorPoint> objects,
@@ -96,7 +100,8 @@ std::optional<VenueBundle> VenueBundle::TryLoad(const std::string& path,
   auto arena = std::make_shared<io::MmapArena>();
   {
     const io::Status status =
-        io::MmapArena::Map(path, arena.get(), options.use_mmap);
+        io::MmapArena::Map(path, arena.get(), options.use_mmap,
+                           options.madvise);
     if (!status.ok()) return fail(status.error);
   }
   io::SnapshotReadOptions read_options;

@@ -77,6 +77,11 @@ struct SnapshotLoadOptions {
   // query time. Set this when loading snapshots from producers you do not
   // control.
   bool deep_validate = false;
+  // Paging hint forwarded to the snapshot mapping (io/mmap_arena.h):
+  // kRandom for point-query serving, kSequential for one-pass scans,
+  // kDontneedOnRelease to let VenueRegistry eviction return the mapped
+  // pages to the OS even while callers still hold bundle references.
+  io::MadvisePolicy madvise = io::MadvisePolicy::kNormal;
 };
 
 class VenueBundle {
@@ -144,6 +149,15 @@ class VenueBundle {
   // True when the indexes alias a mapped (or heap-read) snapshot arena
   // instead of owning private copies — i.e. the zero-copy load path ran.
   bool zero_copy() const { return arena_ != nullptr; }
+
+  // Returns the snapshot mapping's resident pages to the OS (see
+  // io::MmapArena::DropResidentPages); later queries transparently
+  // re-fault the pages they touch. Returns the bytes advised — 0 for
+  // built bundles, copying loads, and heap-backed arenas. Safe to call
+  // concurrently with queries on this bundle.
+  size_t ReleaseResidentPages() const {
+    return arena_ != nullptr ? arena_->DropResidentPages() : 0;
+  }
 
   // Replaces the object set (and keyword lists) without rebuilding the
   // tree, publishing one new epoch. Safe to call concurrently with

@@ -282,14 +282,25 @@ void VenueRegistry::EnforceResidencyCapLocked() {
     // The entry just touched carries the highest tick, so the victim is
     // always some *other* resident bundle (unless it is the only one, in
     // which case the count already satisfies any cap >= 1).
-    lru->second.bundle.reset();
+    ReleaseBundleLocked(lru->second);
   }
+}
+
+void VenueRegistry::ReleaseBundleLocked(Entry& entry) {
+  if (entry.bundle == nullptr) return;
+  // Under kDontneedOnRelease, outstanding shared_ptrs may keep the mapping
+  // alive past eviction; dropping its resident pages bounds RSS either way
+  // (the holders' next queries simply re-fault what they touch).
+  if (load_options_.madvise == io::MadvisePolicy::kDontneedOnRelease) {
+    entry.bundle->ReleaseResidentPages();
+  }
+  entry.bundle.reset();
 }
 
 void VenueRegistry::Evict(const std::string& venue_id) {
   std::lock_guard<std::mutex> lock(*mu_);
   auto it = entries_.find(venue_id);
-  if (it != entries_.end()) it->second.bundle.reset();
+  if (it != entries_.end()) ReleaseBundleLocked(it->second);
 }
 
 bool VenueRegistry::IsResident(const std::string& venue_id) const {

@@ -129,6 +129,10 @@ class VenueRegistry {
   // least-recently-used resident bundles until the cap is respected.
   void EnforceResidencyCapLocked();
 
+  // Drops an entry's cached bundle, first returning its mapped pages to
+  // the OS when the load options ask for kDontneedOnRelease.
+  void ReleaseBundleLocked(Entry& entry);
+
   VenueBundle::LoadOptions load_options_;
   RegistryOptions options_;
   std::vector<std::string> ids_;  // manifest order

@@ -3,6 +3,7 @@
 #include <cerrno>
 #include <cstring>
 #include <utility>
+#include <vector>
 
 #if defined(_WIN32)
 #define VIPTREE_HAS_MMAP 0
@@ -23,6 +24,24 @@ Status Errno(const std::string& what, const std::string& path) {
   return Status::Error(what + " '" + path + "': " + std::strerror(errno));
 }
 
+#if VIPTREE_HAS_MMAP
+// Best-effort readahead hint; a kernel that rejects the advice changes
+// performance, not correctness, so failures are deliberately ignored.
+void ApplyMapTimeAdvice(void* addr, size_t size, MadvisePolicy policy) {
+  switch (policy) {
+    case MadvisePolicy::kSequential:
+      ::posix_madvise(addr, size, POSIX_MADV_SEQUENTIAL);
+      break;
+    case MadvisePolicy::kRandom:
+      ::posix_madvise(addr, size, POSIX_MADV_RANDOM);
+      break;
+    case MadvisePolicy::kNormal:
+    case MadvisePolicy::kDontneedOnRelease:
+      break;  // default kernel readahead
+  }
+}
+#endif
+
 }  // namespace
 
 MmapArena& MmapArena::operator=(MmapArena&& other) noexcept {
@@ -31,10 +50,12 @@ MmapArena& MmapArena::operator=(MmapArena&& other) noexcept {
     data_ = other.data_;
     size_ = other.size_;
     mapped_ = other.mapped_;
+    policy_ = other.policy_;
     heap_ = std::move(other.heap_);
     other.data_ = nullptr;
     other.size_ = 0;
     other.mapped_ = false;
+    other.policy_ = MadvisePolicy::kNormal;
   }
   return *this;
 }
@@ -48,11 +69,29 @@ void MmapArena::Release() {
   data_ = nullptr;
   size_ = 0;
   mapped_ = false;
-  heap_.reset();
+  policy_ = MadvisePolicy::kNormal;
+  heap_.clear();
+  heap_.shrink_to_fit();
 }
 
-Status MmapArena::Map(const std::string& path, MmapArena* out,
-                      bool allow_mmap) {
+size_t MmapArena::DropResidentPages() const {
+#if VIPTREE_HAS_MMAP && defined(MADV_DONTNEED)
+  if (!mapped_ || data_ == nullptr || size_ == 0) return 0;
+  // Raw madvise, not posix_madvise: glibc defines POSIX_MADV_DONTNEED as a
+  // no-op, while MADV_DONTNEED actually discards the page-cache copies.
+  // On a read-only MAP_PRIVATE file mapping this is loss-free — the next
+  // access re-faults the page from the file.
+  if (::madvise(const_cast<uint8_t*>(data_), size_, MADV_DONTNEED) != 0) {
+    return 0;
+  }
+  return size_;
+#else
+  return 0;
+#endif
+}
+
+Status MmapArena::Map(const std::string& path, MmapArena* out, bool allow_mmap,
+                      MadvisePolicy policy) {
   out->Release();
 #if VIPTREE_HAS_MMAP
   const int fd = ::open(path.c_str(), O_RDONLY);
@@ -73,16 +112,18 @@ Status MmapArena::Map(const std::string& path, MmapArena* out,
     void* mapping = ::mmap(nullptr, size, PROT_READ, MAP_PRIVATE, fd, 0);
     if (mapping != MAP_FAILED) {
       ::close(fd);
+      ApplyMapTimeAdvice(mapping, size, policy);
       out->data_ = static_cast<const uint8_t*>(mapping);
       out->size_ = size;
       out->mapped_ = true;
+      out->policy_ = policy;
       return Status::Ok();
     }
     // Fall through to the heap read (e.g. a filesystem without mmap).
   }
 
-  out->heap_ = std::make_unique<uint64_t[]>((size + 7) / 8);
-  uint8_t* dst = reinterpret_cast<uint8_t*>(out->heap_.get());
+  out->heap_.resize(size);
+  uint8_t* dst = out->heap_.data();
   size_t done = 0;
   while (done < size) {
     const ssize_t n = ::read(fd, dst + done, size - done);
@@ -100,18 +141,18 @@ Status MmapArena::Map(const std::string& path, MmapArena* out,
   out->data_ = dst;
   out->size_ = done;
   out->mapped_ = false;
+  out->policy_ = policy;
   return Status::Ok();
 #else
   (void)allow_mmap;
   std::vector<uint8_t> bytes;
   Status status = ReadFileBytes(path, &bytes);
   if (!status.ok()) return status;
-  out->heap_ = std::make_unique<uint64_t[]>((bytes.size() + 7) / 8);
-  uint8_t* dst = reinterpret_cast<uint8_t*>(out->heap_.get());
-  if (!bytes.empty()) std::memcpy(dst, bytes.data(), bytes.size());
-  out->data_ = dst;
-  out->size_ = bytes.size();
+  out->heap_.assign(bytes.begin(), bytes.end());
+  out->data_ = out->heap_.data();
+  out->size_ = out->heap_.size();
   out->mapped_ = false;
+  out->policy_ = policy;
   return Status::Ok();
 #endif
 }

@@ -1,11 +1,13 @@
-// MmapArena: an immutable, 8-byte-aligned byte arena backing a zero-copy
-// snapshot load. On POSIX hosts the file is mapped read-only (MAP_PRIVATE),
-// so standing up an engine touches only the pages the decoder actually
-// reads — O(resident-pages) memory per venue, the property the multi-venue
+// MmapArena: an immutable byte arena backing a zero-copy snapshot load. On
+// POSIX hosts the file is mapped read-only (MAP_PRIVATE), so standing up an
+// engine touches only the pages the decoder actually reads —
+// O(resident-pages) memory per venue, the property the multi-venue
 // VenueRegistry relies on. Where mmap is unavailable (or fails, e.g. on a
-// filesystem without mmap support) the arena falls back to a heap buffer
-// filled by a plain read; callers cannot tell the difference except through
-// mapped().
+// filesystem without mmap support) the arena falls back to a 64-byte-
+// aligned heap buffer (common/aligned.h) filled by a plain read; callers
+// cannot tell the difference except through mapped(). Either way data() is
+// at least 64-byte aligned (page-aligned when mapped), so FlatMatrix rows
+// aliased out of the arena are SIMD-loadable in both modes.
 //
 // Lifetime: Storage<T> views created over the arena's bytes do NOT keep it
 // alive (common/storage.h); the owner of the views (engine::VenueBundle)
@@ -16,14 +18,35 @@
 
 #include <cstddef>
 #include <cstdint>
-#include <memory>
 #include <string>
 
+#include "common/aligned.h"
 #include "common/span.h"
 #include "io/binary_io.h"
 
 namespace viptree {
 namespace io {
+
+// Paging-behaviour hint for a mapped arena, applied at Map time (no effect
+// on the heap fallback, which is always fully resident):
+//   kNormal             — default kernel readahead.
+//   kSequential         — aggressive readahead, early reclaim behind the
+//                         cursor; the right hint for one-pass loads such as
+//                         checksum verification followed by decode.
+//   kRandom             — no readahead; the right hint for point-query
+//                         serving, where touching one matrix row should not
+//                         fault in its neighbours.
+//   kDontneedOnRelease  — like kNormal, but the owner (VenueRegistry
+//                         eviction) additionally calls DropResidentPages()
+//                         when the venue leaves the working set, returning
+//                         its RSS to the OS even while outstanding bundle
+//                         references keep the mapping alive.
+enum class MadvisePolicy : uint8_t {
+  kNormal = 0,
+  kSequential = 1,
+  kRandom = 2,
+  kDontneedOnRelease = 3,
+};
 
 class MmapArena {
  public:
@@ -42,11 +65,13 @@ class MmapArena {
   // Errors (missing file, directory, I/O failure) come back as a Status
   // with a human-readable message.
   static Status Map(const std::string& path, MmapArena* out,
-                    bool allow_mmap = true);
+                    bool allow_mmap = true,
+                    MadvisePolicy policy = MadvisePolicy::kNormal);
 
-  // The whole arena. data() is at least 8-byte aligned (page-aligned when
-  // mapped), which is what lets the v2 snapshot decoder alias u64/f64
-  // arrays in place.
+  // The whole arena. data() is at least 64-byte aligned (page-aligned when
+  // mapped, kIndexBufferAlign on the heap path), which lets the v2
+  // snapshot decoder alias u64/f64 arrays in place and keeps them
+  // SIMD-loadable.
   Span<const uint8_t> bytes() const { return {data_, size_}; }
   size_t size() const { return size_; }
 
@@ -54,13 +79,26 @@ class MmapArena {
   // heap fallback (fully resident).
   bool mapped() const { return mapped_; }
 
+  // The policy Map was called with (kNormal for a default-mapped arena).
+  MadvisePolicy policy() const { return policy_; }
+
+  // Returns the arena's resident file-backed pages to the OS
+  // (madvise(MADV_DONTNEED) on the read-only private mapping — later
+  // accesses transparently re-fault from the file). Returns the number of
+  // bytes advised, 0 for heap-backed arenas or hosts without madvise.
+  // Const because page residency is not logical state: the bytes read back
+  // identical. Safe to call concurrently with readers — dropped pages
+  // re-fault, they do not invalidate.
+  size_t DropResidentPages() const;
+
  private:
   void Release();
 
   const uint8_t* data_ = nullptr;
   size_t size_ = 0;
   bool mapped_ = false;
-  std::unique_ptr<uint64_t[]> heap_;  // uint64_t units => 8-byte alignment
+  MadvisePolicy policy_ = MadvisePolicy::kNormal;
+  AlignedVector<uint8_t> heap_;  // fallback buffer, 64-byte aligned
 };
 
 }  // namespace io

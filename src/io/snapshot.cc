@@ -3,6 +3,7 @@
 #include <cstring>
 #include <utility>
 
+#include "common/aligned.h"
 #include "common/check.h"
 #include "common/storage.h"
 
@@ -514,7 +515,7 @@ class SectionReader {
       return Storage<T>::View(
           {reinterpret_cast<const T*>(raw.data()), static_cast<size_t>(n)});
     }
-    std::vector<T> v(n);
+    AlignedVector<T> v(n);
     if (detail::kHostIsLittleEndian) {
       if (n != 0) std::memcpy(v.data(), raw.data(), n * sizeof(T));
     } else {

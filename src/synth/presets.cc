@@ -57,6 +57,11 @@ Venue MakeBase(Dataset dataset, double scale) {
     case Dataset::kCL2:
       return GenerateCampus(MixedCampusConfig(/*num_buildings=*/71, scale,
                                               /*seed=*/17));
+    case Dataset::kCity:
+      // City tier: a 160-building campus, doubled up by ReplicateVertically
+      // below — ~320 connected building-copies at scale 1.0.
+      return GenerateCampus(MixedCampusConfig(/*num_buildings=*/160, scale,
+                                              /*seed=*/23));
   }
   VIPTREE_CHECK(false);
   __builtin_unreachable();
@@ -64,7 +69,7 @@ Venue MakeBase(Dataset dataset, double scale) {
 
 bool IsReplica(Dataset dataset) {
   return dataset == Dataset::kMC2 || dataset == Dataset::kMen2 ||
-         dataset == Dataset::kCL2;
+         dataset == Dataset::kCL2 || dataset == Dataset::kCity;
 }
 
 }  // namespace
@@ -77,6 +82,8 @@ const std::vector<DatasetInfo>& AllDatasets() {
       {Dataset::kMen2, "Men-2", 2738, 2613, 112114},
       {Dataset::kCL, "CL", 41392, 41100, 6700272},
       {Dataset::kCL2, "CL-2", 83138, 82540, 13400884},
+      // Extrapolated (160/71 of CL, doubled), not a published Table 2 row.
+      {Dataset::kCity, "City", 373000, 372000, 60000000},
   };
   return *kInfos;
 }
@@ -110,6 +117,7 @@ Dataset DatasetFromName(const std::string& name) {
   if (lower == "men-2" || lower == "men2") return Dataset::kMen2;
   if (lower == "cl") return Dataset::kCL;
   if (lower == "cl-2" || lower == "cl2") return Dataset::kCL2;
+  if (lower == "city") return Dataset::kCity;
   VIPTREE_CHECK_MSG(false, ("unknown dataset: " + name).c_str());
   __builtin_unreachable();
 }

@@ -2,6 +2,12 @@
 // MC / MC-2 (Melbourne Central), Men / Men-2 (Menzies building),
 // CL / CL-2 (Clayton campus). See docs/ARCHITECTURE.md for the substitution
 // rationale. `scale` multiplies room counts (1.0 = paper magnitude).
+//
+// One extrapolation tier sits beyond Table 2: City — hundreds of connected
+// buildings (a doubled-up 160-building campus), roughly 4-5x CL-2, sized so
+// a ~10^6-object workload is natural at scale 1.0. It stresses the memory
+// hierarchy the way the paper's scalability discussion (§4.5) anticipates;
+// its "paper" reference counts are extrapolations, not published numbers.
 
 #ifndef VIPTREE_SYNTH_PRESETS_H_
 #define VIPTREE_SYNTH_PRESETS_H_
@@ -13,18 +19,18 @@
 namespace viptree {
 namespace synth {
 
-enum class Dataset { kMC, kMC2, kMen, kMen2, kCL, kCL2 };
+enum class Dataset { kMC, kMC2, kMen, kMen2, kCL, kCL2, kCity };
 
 struct DatasetInfo {
   Dataset dataset;
   std::string name;
-  // Table 2 reference values from the paper.
+  // Table 2 reference values from the paper (extrapolated for kCity).
   size_t paper_doors;
   size_t paper_rooms;
   size_t paper_edges;
 };
 
-// All six datasets in Table 2 order.
+// All datasets: the six Table 2 rows in paper order, then City.
 const std::vector<DatasetInfo>& AllDatasets();
 
 DatasetInfo InfoFor(Dataset dataset);
@@ -32,8 +38,8 @@ DatasetInfo InfoFor(Dataset dataset);
 // Builds the analogue venue. Deterministic for a given (dataset, scale).
 Venue MakeDataset(Dataset dataset, double scale = 1.0);
 
-// Parses "MC", "MC-2", "Men", "Men-2", "CL", "CL-2" (case-insensitive).
-// Aborts on unknown names.
+// Parses "MC", "MC-2", "Men", "Men-2", "CL", "CL-2", "City"
+// (case-insensitive). Aborts on unknown names.
 Dataset DatasetFromName(const std::string& name);
 
 }  // namespace synth

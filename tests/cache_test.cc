@@ -16,6 +16,7 @@
 #include "core/distance_query.h"
 #include "core/ip_tree.h"
 #include "core/vip_tree.h"
+#include "engine/venue_bundle.h"
 #include "graph/dijkstra.h"
 #include "ground_truth.h"
 
@@ -289,6 +290,39 @@ TEST(DistanceCacheTest, MultiLeafBoundaryDoorDistances) {
     }
     EXPECT_GT(cache.Counters().hits, 0u) << "seed " << seed;
   }
+}
+
+TEST(AdaptiveCapacityTest, ScalesWithDoorsAndClamps) {
+  EXPECT_EQ(AdaptiveCacheCapacity(0), size_t{1} << 12);      // floor
+  EXPECT_EQ(AdaptiveCacheCapacity(100), size_t{1} << 12);    // 1600 < floor
+  EXPECT_EQ(AdaptiveCacheCapacity(1000), size_t{16000});     // 16x doors
+  EXPECT_EQ(AdaptiveCacheCapacity(1 << 20), size_t{1} << 20);  // ceiling
+}
+
+TEST(AdaptiveCapacityTest, BundleResolvesAutoCapacityFromVenue) {
+  engine::EngineOptions options;
+  options.cache.enabled = true;  // capacity left at the 0 auto sentinel
+  engine::VenueBundle bundle =
+      engine::VenueBundle::Build(testing::RandomSynthVenue(7), {}, options);
+  ASSERT_NE(bundle.distance_cache(), nullptr);
+  EXPECT_EQ(bundle.distance_cache()->options().capacity,
+            AdaptiveCacheCapacity(bundle.venue().NumDoors()));
+
+  // An explicit capacity is taken verbatim.
+  DistanceCacheOptions fixed;
+  fixed.capacity = 12345;
+  bundle.EnableDistanceCache(fixed);
+  EXPECT_EQ(bundle.distance_cache()->options().capacity, 12345u);
+}
+
+TEST(AdaptiveCapacityTest, DirectConstructionWithSentinelStillWorks) {
+  // No venue in scope: the cache itself falls back to the fixed default
+  // and must stay fully functional.
+  DistanceCache cache;  // DistanceCacheOptions{} => capacity 0
+  cache.InsertScalar(CacheKind::kIpDoorPair, 1, 2, 42.0);
+  double out = 0.0;
+  EXPECT_TRUE(cache.LookupScalar(CacheKind::kIpDoorPair, 1, 2, &out));
+  EXPECT_EQ(out, 42.0);
 }
 
 }  // namespace

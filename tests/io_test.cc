@@ -9,11 +9,15 @@
 
 #include <unistd.h>
 
+#include <algorithm>
 #include <cstdio>
 #include <string>
 #include <vector>
 
+#include "common/aligned.h"
+#include "engine/query_engine.h"
 #include "engine/venue_bundle.h"
+#include "engine/venue_registry.h"
 #include "io/snapshot.h"
 #include "synth/objects.h"
 #include "synth/random_venue.h"
@@ -615,6 +619,114 @@ TEST_F(SnapshotRejectionTest, DefaultSaveLoadsZeroCopy) {
       eng::VenueBundle::TryLoad(path2, &error, no_mmap);
   std::remove(path2.c_str());
   ASSERT_TRUE(heap_loaded.has_value()) << error;
+}
+
+// ---------------------------------------------------------------------------
+// MmapArena madvise policies and page-residency control.
+// ---------------------------------------------------------------------------
+
+TEST(MmapArenaPolicyTest, EveryPolicyMapsAndReadsIdenticalBytes) {
+  const std::string path = TempPath("arena_policy");
+  std::vector<uint8_t> payload(4096 * 3 + 17);
+  for (size_t i = 0; i < payload.size(); ++i) {
+    payload[i] = static_cast<uint8_t>(i * 31 + 7);
+  }
+  ASSERT_TRUE(io::WriteFileBytes(path, payload).ok());
+  for (const io::MadvisePolicy policy :
+       {io::MadvisePolicy::kNormal, io::MadvisePolicy::kSequential,
+        io::MadvisePolicy::kRandom, io::MadvisePolicy::kDontneedOnRelease}) {
+    io::MmapArena arena;
+    ASSERT_TRUE(io::MmapArena::Map(path, &arena, true, policy).ok());
+    EXPECT_EQ(arena.policy(), policy);
+    ASSERT_EQ(arena.size(), payload.size());
+    EXPECT_TRUE(std::equal(payload.begin(), payload.end(),
+                           arena.bytes().begin()));
+  }
+  std::remove(path.c_str());
+}
+
+TEST(MmapArenaPolicyTest, DropResidentPagesKeepsBytesReadable) {
+  const std::string path = TempPath("arena_drop");
+  std::vector<uint8_t> payload(4096 * 8);
+  for (size_t i = 0; i < payload.size(); ++i) {
+    payload[i] = static_cast<uint8_t>(i ^ (i >> 8));
+  }
+  ASSERT_TRUE(io::WriteFileBytes(path, payload).ok());
+  io::MmapArena arena;
+  ASSERT_TRUE(io::MmapArena::Map(path, &arena, true,
+                                 io::MadvisePolicy::kDontneedOnRelease)
+                  .ok());
+  if (arena.mapped()) {
+    // Touch every page, drop them all, then re-read: the private read-only
+    // mapping must re-fault identical bytes from the file.
+    volatile uint8_t sink = 0;
+    for (size_t i = 0; i < arena.size(); i += 4096) sink += arena.bytes()[i];
+    (void)sink;
+    EXPECT_EQ(arena.DropResidentPages(), arena.size());
+    EXPECT_TRUE(std::equal(payload.begin(), payload.end(),
+                           arena.bytes().begin()));
+  }
+  std::remove(path.c_str());
+}
+
+TEST(MmapArenaPolicyTest, HeapFallbackIsAlignedAndDropIsANoop) {
+  const std::string path = TempPath("arena_heap");
+  const std::vector<uint8_t> payload(1000, 0xAB);
+  ASSERT_TRUE(io::WriteFileBytes(path, payload).ok());
+  io::MmapArena arena;
+  ASSERT_TRUE(io::MmapArena::Map(path, &arena, /*allow_mmap=*/false).ok());
+  EXPECT_FALSE(arena.mapped());
+  EXPECT_EQ(reinterpret_cast<uintptr_t>(arena.bytes().data()) %
+                kIndexBufferAlign,
+            0u);
+  EXPECT_EQ(arena.DropResidentPages(), 0u);  // heap arenas stay resident
+  EXPECT_TRUE(std::equal(payload.begin(), payload.end(),
+                         arena.bytes().begin()));
+  std::remove(path.c_str());
+}
+
+TEST(MmapArenaPolicyTest, RegistryEvictionDropsPagesUnderDontneedPolicy) {
+  // End-to-end: a registry configured with kDontneedOnRelease serves a
+  // venue, evicts it while a caller still holds the bundle, and the
+  // outstanding bundle keeps answering (pages re-fault on demand).
+  Venue venue = synth::RandomVenue(21);
+  Rng rng(9);
+  std::vector<IndoorPoint> objects = synth::PlaceObjects(venue, 8, rng);
+  const eng::VenueBundle built =
+      eng::VenueBundle::Build(std::move(venue), std::move(objects));
+  const std::string snap = TempPath("evict_venue") + ".snap";
+  const std::string manifest = TempPath("evict_manifest");
+  ASSERT_TRUE(built.Save(snap).ok());
+  ASSERT_TRUE(
+      eng::VenueRegistry::UpsertManifestEntry(manifest, "v", snap).ok());
+
+  eng::VenueBundle::LoadOptions load;
+  load.madvise = io::MadvisePolicy::kDontneedOnRelease;
+  std::string error;
+  std::optional<eng::VenueRegistry> registry =
+      eng::VenueRegistry::Open(manifest, &error, load);
+  ASSERT_TRUE(registry.has_value()) << error;
+
+  std::shared_ptr<const eng::VenueBundle> bundle =
+      registry->Acquire("v", &error);
+  ASSERT_NE(bundle, nullptr) << error;
+  const IndoorPoint probe = bundle->objects().object(0);
+  eng::QueryEngine engine(bundle);
+  const eng::Result before = engine.Run(eng::Query::Knn(probe, 3));
+
+  registry->Evict("v");
+  EXPECT_FALSE(registry->IsResident("v"));
+  // The held bundle must still answer identically after its pages were
+  // returned to the OS.
+  const eng::Result after = engine.Run(eng::Query::Knn(probe, 3));
+  ASSERT_EQ(after.objects.size(), before.objects.size());
+  for (size_t i = 0; i < before.objects.size(); ++i) {
+    EXPECT_EQ(after.objects[i].object, before.objects[i].object);
+    EXPECT_EQ(after.objects[i].distance, before.objects[i].distance);
+  }
+
+  std::remove(snap.c_str());
+  std::remove(manifest.c_str());
 }
 
 }  // namespace

@@ -129,10 +129,12 @@ TEST(ReplicateTest, ThreeCopies) {
 
 TEST(PresetsTest, AllDatasetsBuildAtSmallScale) {
   for (const DatasetInfo& info : AllDatasets()) {
-    const double scale =
-        (info.dataset == Dataset::kCL || info.dataset == Dataset::kCL2)
-            ? 0.05
-            : 0.2;
+    double scale = 0.2;
+    if (info.dataset == Dataset::kCL || info.dataset == Dataset::kCL2) {
+      scale = 0.05;
+    } else if (info.dataset == Dataset::kCity) {
+      scale = 0.02;  // 320 building-copies even at tiny room counts
+    }
     const Venue venue = MakeDataset(info.dataset, scale);
     EXPECT_TRUE(venue.IsConnected()) << info.name;
     EXPECT_GT(venue.NumDoors(), 0u) << info.name;

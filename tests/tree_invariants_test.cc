@@ -205,6 +205,28 @@ TEST_P(TreeInvariantTest, SuperiorDoorsContainLocalAccessDoors) {
   }
 }
 
+TEST_P(TreeInvariantTest, NodesAreNumberedInTraversalPreOrder) {
+  // The builder's final pass renumbers nodes in pre-order DFS position
+  // (children in stored order), so a branch-and-bound descent reads
+  // consecutive node records. Replay the DFS and check id == position.
+  ASSERT_EQ(tree_.root(), 0u);
+  std::vector<NodeId> stack = {tree_.root()};
+  NodeId expect = 0;
+  size_t seen = 0;
+  while (!stack.empty()) {
+    const NodeId n = stack.back();
+    stack.pop_back();
+    EXPECT_EQ(n, expect++);
+    ++seen;
+    const TreeNode& node = tree_.node(n);
+    EXPECT_EQ(node.id, n);
+    for (auto it = node.children.rbegin(); it != node.children.rend(); ++it) {
+      stack.push_back(*it);
+    }
+  }
+  EXPECT_EQ(seen, tree_.nodes().size());
+}
+
 TEST_P(TreeInvariantTest, MinDegreeRespectedBelowRoot) {
   const int t = GetParam().min_degree;
   for (const TreeNode& n : tree_.nodes()) {

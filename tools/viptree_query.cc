@@ -106,7 +106,9 @@ void Usage(const char* argv0) {
       "10%% boolean keyword kNN (keyword queries fall back to kNN when\n"
       "the snapshot has no keyword index). --cache turns on the exact\n"
       "cross-request door-pair distance cache (results are bit-identical\n"
-      "with and without it); --cache-policy picks the eviction policy.\n",
+      "with and without it); --cache-policy picks the eviction policy;\n"
+      "--cache-capacity 0 (default) sizes the cache from the venue's\n"
+      "door count.\n",
       argv0, argv0, argv0);
 }
 
