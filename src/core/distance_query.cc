@@ -1,6 +1,11 @@
 #include "core/distance_query.h"
 
 #include <algorithm>
+#include <array>
+#include <cstring>
+#include <map>
+#include <tuple>
+#include <utility>
 
 #include "common/check.h"
 #include "common/kernels.h"
@@ -209,6 +214,38 @@ double IPDistanceQuery::LocalDistance(const QuerySource& s,
   return best;
 }
 
+void IPDistanceQuery::LocalDistanceMulti(const IndoorPoint& s,
+                                         Span<const IndoorPoint> targets,
+                                         double* out) const {
+  const Venue& venue = tree_.venue();
+  // Seed exactly like the point branch of LocalDistance, once.
+  std::vector<DijkstraSource> sources;
+  for (DoorId u : venue.DoorsOf(s.partition)) {
+    sources.push_back({u, venue.DistanceToDoor(s, u)});
+  }
+  dijkstra_.Start(Span<const DijkstraSource>(sources.data(), sources.size()));
+  for (size_t k = 0; k < targets.size(); ++k) {
+    const IndoorPoint& t = targets[k];
+    double best = kInfDistance;
+    if (s.partition == t.partition) {
+      best = venue.IntraPartitionDistance(t.partition, s.position, t.position);
+    }
+    // Resume the shared search: each call extends the same deterministic
+    // pop sequence, so DistanceTo(dt) matches what a fresh run stopped at
+    // this target set would report, bit for bit. A door every per-query
+    // run would settle (reachable) is settled here too; an unreachable
+    // one is settled in neither.
+    const Span<const DoorId> target_doors = venue.DoorsOf(t.partition);
+    dijkstra_.RunToTargets(target_doors);
+    for (DoorId dt : target_doors) {
+      if (!dijkstra_.Settled(dt)) continue;
+      best = std::min(best,
+                      dijkstra_.DistanceTo(dt) + venue.DistanceToDoor(t, dt));
+    }
+    out[k] = best;
+  }
+}
+
 double IPDistanceQuery::Distance(const IndoorPoint& s,
                                  const IndoorPoint& t) const {
   const NodeId ls = tree_.LeafOfPartition(s.partition);
@@ -230,6 +267,43 @@ double IPDistanceQuery::Distance(const IndoorPoint& s,
   // (s[i] + lca_cell) + t[j], keeping the historical association.
   const std::vector<double>& sd = as.ad_dist.back();
   const std::vector<double>& td = at.ad_dist.back();
+  double best = kInfDistance;
+  for (size_t i = 0; i < ns_node.access_doors.size(); ++i) {
+    if (sd[i] == kInfDistance) continue;
+    const double cand = kernels::JoinMinIndexedF32(
+        sd[i], lca_node.dist.row(static_cast<size_t>(row_idx_[i])).data(),
+        col_idx_.data(), td.data(), nt_node.access_doors.size());
+    if (cand < best) best = cand;
+  }
+  return best;
+}
+
+double IPDistanceQuery::DistanceWithAscent(const IndoorPoint& s,
+                                           const AscentDistances& ascent,
+                                           const IndoorPoint& t) const {
+  const NodeId ls = tree_.LeafOfPartition(s.partition);
+  VIPTREE_DCHECK(!ascent.chain.empty() && ascent.chain[0] == ls);
+  const NodeId lt = tree_.LeafOfPartition(t.partition);
+  if (ls == lt) return LocalDistance(QuerySource::Point(s), t);
+
+  const NodeId lca = tree_.Lca(ls, lt);
+  const NodeId ns = ChildToward(tree_, lca, ls);
+  const NodeId nt = ChildToward(tree_, lca, lt);
+  // The ascent's row for ns is the iteration prefix GetDistances(s, ns)
+  // would have produced, so reading it here is bit-identical to Distance.
+  size_t pos = 0;
+  while (pos < ascent.chain.size() && ascent.chain[pos] != ns) ++pos;
+  VIPTREE_CHECK_MSG(pos < ascent.chain.size(),
+                    "precomputed ascent does not cover the LCA join child");
+  const std::vector<double>& sd = ascent.ad_dist[pos];
+  const AscentDistances at = GetDistances(QuerySource::Point(t), nt);
+  const std::vector<double>& td = at.ad_dist.back();
+
+  const TreeNode& lca_node = tree_.node(lca);
+  const TreeNode& ns_node = tree_.node(ns);
+  const TreeNode& nt_node = tree_.node(nt);
+  AccessDoorIndexMap(lca, ns, row_idx_);
+  AccessDoorIndexMap(lca, nt, col_idx_);
   double best = kInfDistance;
   for (size_t i = 0; i < ns_node.access_doors.size(); ++i) {
     if (sd[i] == kInfDistance) continue;
@@ -345,6 +419,211 @@ void VIPDistanceQuery::DistancesToNodeAd(const QuerySource& source,
         dist[c] = cand;
         back[c] = PathBack{u, -1};
       }
+    }
+  }
+}
+
+void VIPDistanceQuery::DistancesToNodeAdMulti(Span<const IndoorPoint> points,
+                                              NodeId node,
+                                              std::vector<double>& dist) const {
+  const IPTree& tree = vip_.base();
+  const TreeNode& n = tree.node(node);
+  const size_t m = n.access_doors.size();
+  const size_t np = points.size();
+  dist.assign(np * m, kInfDistance);
+  if (np == 0) return;
+
+  const Venue& venue = tree.venue();
+  const PartitionId partition = points[0].partition;
+  const Span<const DoorId> partition_doors = venue.DoorsOf(partition);
+  const Span<const DoorId> seeds = options_.use_superior_doors
+                                            ? tree.SuperiorDoors(partition)
+                                            : partition_doors;
+  // Local access doors first: the single-point descent assigns the direct
+  // leg before any seed-door candidate competes.
+  for (size_t c = 0; c < m; ++c) {
+    const DoorId a = n.access_doors[c];
+    if (std::find(partition_doors.begin(), partition_doors.end(), a) ==
+        partition_doors.end()) {
+      continue;
+    }
+    for (size_t k = 0; k < np; ++k) {
+      VIPTREE_DCHECK(points[k].partition == partition);
+      dist[k * m + c] = venue.DistanceToDoor(points[k], a);
+    }
+  }
+  // Seed-door loop hoisted outermost: one extended-matrix row feeds every
+  // point's accumulator row. Per (point, column) the candidate sequence —
+  // direct leg, then the seed doors in order, strict-< — matches the
+  // sequential loop, so every row is bit-identical to DistancesToNodeAd.
+  multi_adds_.resize(np);
+  for (DoorId u : seeds) {
+    const int row = vip_.ExtRowOf(node, u);
+    VIPTREE_DCHECK(row >= 0);
+    for (size_t k = 0; k < np; ++k) {
+      multi_adds_[k] = venue.DistanceToDoor(points[k], u);
+    }
+    kernels::MinPlusRowMulti(dist.data(), vip_.ExtDistRow(node, row).data(),
+                             multi_adds_.data(), np, m);
+  }
+}
+
+void VIPDistanceQuery::DistanceViaLcaMulti(const double* sdist, NodeId lca,
+                                           NodeId ns, NodeId nt,
+                                           Span<const IndoorPoint> targets,
+                                           double* out) const {
+  const IPTree& tree = vip_.base();
+  const TreeNode& lca_node = tree.node(lca);
+  const TreeNode& ns_node = tree.node(ns);
+  const TreeNode& nt_node = tree.node(nt);
+  const size_t ni = ns_node.access_doors.size();
+  const size_t nj = nt_node.access_doors.size();
+  const size_t num_targets = targets.size();
+  AccessDoorIndexMap(lca, ns, row_idx_);
+  AccessDoorIndexMap(lca, nt, col_idx_);
+
+  // Source-side fold: joined_[j] = min over finite i of sdist[i] +
+  // lca_cell(i, j), keeping the sequential join's sum association with the
+  // target addend deferred. min commutes with the monotone x -> x + td[j],
+  // so folding before the target add is bit-identical to the per-query
+  // join (common/kernels.h, JoinMinRowsMulti).
+  joined_.assign(nj, kInfDistance);
+  for (size_t i = 0; i < ni; ++i) {
+    if (sdist[i] == kInfDistance) continue;
+    kernels::MinPlusGatherF32(
+        joined_.data(),
+        lca_node.dist.row(static_cast<size_t>(row_idx_[i])).data(),
+        col_idx_.data(), sdist[i], nj);
+  }
+
+  // Per-target descents, stacked row-major for one batched reduce.
+  stacked_tdist_.assign(num_targets * nj, kInfDistance);
+  for (size_t k = 0; k < num_targets; ++k) {
+    DistancesToNodeAd(QuerySource::Point(targets[k]), nt, tdist_, tback_);
+    std::copy(tdist_.begin(), tdist_.end(),
+              stacked_tdist_.begin() + static_cast<ptrdiff_t>(k * nj));
+  }
+  for (size_t k = 0; k < num_targets; ++k) out[k] = kInfDistance;
+  kernels::JoinMinRowsMulti(joined_.data(), stacked_tdist_.data(), num_targets,
+                            nj, out);
+}
+
+void VIPDistanceQuery::DistanceMulti(Span<const IndoorPoint> sources,
+                                     Span<const IndoorPoint> targets,
+                                     double* out,
+                                     MultiDistanceStats* stats) const {
+  const size_t n = sources.size();
+  VIPTREE_DCHECK(targets.size() == n);
+  if (n == 0) return;
+  const IPTree& tree = vip_.base();
+  const PartitionId sp = sources[0].partition;
+  const NodeId ls = tree.LeafOfPartition(sp);
+
+  // Source points compared by bit pattern: equal bits => identical descent
+  // outputs, so the computation can be shared without any tolerance games.
+  using SrcBits = std::array<uint64_t, 3>;
+  const auto bits_of = [](const IndoorPoint& p) {
+    SrcBits b{};
+    static_assert(sizeof(b) == sizeof(p.position), "Point is 3 doubles");
+    std::memcpy(b.data(), &p.position, sizeof(b));
+    return b;
+  };
+
+  struct Cross {
+    size_t query;
+    NodeId lca, ns, nt;
+    SrcBits src;
+  };
+  std::vector<Cross> cross;
+  cross.reserve(n);
+  std::map<SrcBits, std::vector<size_t>> local_groups;
+  for (size_t k = 0; k < n; ++k) {
+    VIPTREE_DCHECK(sources[k].partition == sp);
+    const NodeId lt = tree.LeafOfPartition(targets[k].partition);
+    if (lt == ls) {
+      local_groups[bits_of(sources[k])].push_back(k);
+      continue;
+    }
+    const NodeId lca = tree.Lca(ls, lt);
+    cross.push_back({k, lca, ChildToward(tree, lca, ls),
+                     ChildToward(tree, lca, lt), bits_of(sources[k])});
+  }
+
+  // Same-leaf pairs dominate skewed batches (each one is a multi-source
+  // leaf Dijkstra, ~100x a cross-leaf matrix walk), so queries sharing an
+  // exact source point share one incremental Dijkstra run.
+  if (!local_groups.empty()) {
+    std::vector<IndoorPoint> local_targets;
+    std::vector<double> local_out;
+    size_t local_queries = 0;
+    for (const auto& [src, members] : local_groups) {
+      (void)src;
+      local_queries += members.size();
+      local_targets.clear();
+      for (size_t k : members) local_targets.push_back(targets[k]);
+      local_out.assign(members.size(), kInfDistance);
+      ip_.LocalDistanceMulti(
+          sources[members[0]],
+          Span<const IndoorPoint>(local_targets.data(), local_targets.size()),
+          local_out.data());
+      for (size_t j = 0; j < members.size(); ++j) {
+        out[members[j]] = local_out[j];
+      }
+    }
+    if (stats != nullptr) {
+      stats->ascents_computed += local_groups.size();
+      stats->ascents_reused += local_queries - local_groups.size();
+    }
+  }
+  if (cross.empty()) return;
+
+  // One multi-point descent per join child over its distinct source points.
+  std::map<std::pair<NodeId, SrcBits>, size_t> slot_of;
+  std::map<NodeId, std::vector<IndoorPoint>> points_of;
+  for (const Cross& c : cross) {
+    const auto key = std::make_pair(c.ns, c.src);
+    if (slot_of.count(key) != 0) continue;
+    std::vector<IndoorPoint>& pts = points_of[c.ns];
+    slot_of[key] = pts.size();
+    pts.push_back(sources[c.query]);
+  }
+  std::map<NodeId, std::vector<double>> sdist_of;
+  for (auto& [ns, pts] : points_of) {
+    DistancesToNodeAdMulti(Span<const IndoorPoint>(pts.data(), pts.size()), ns,
+                           sdist_of[ns]);
+  }
+  if (stats != nullptr) {
+    stats->ascents_computed += slot_of.size();
+    stats->ascents_reused += cross.size() - slot_of.size();
+  }
+
+  // Queries sharing (source bits, lca, ns, nt) fold the LCA join once and
+  // batch the target-side reduce.
+  std::map<std::tuple<SrcBits, NodeId, NodeId, NodeId>, std::vector<size_t>>
+      buckets;
+  for (size_t ci = 0; ci < cross.size(); ++ci) {
+    const Cross& c = cross[ci];
+    buckets[std::make_tuple(c.src, c.lca, c.ns, c.nt)].push_back(ci);
+  }
+  std::vector<IndoorPoint> bucket_targets;
+  std::vector<double> bucket_out;
+  for (const auto& [key, members] : buckets) {
+    const Cross& head = cross[members[0]];
+    const size_t m = tree.node(head.ns).access_doors.size();
+    const std::vector<double>& stack = sdist_of[head.ns];
+    const double* sdist =
+        stack.data() + slot_of[std::make_pair(head.ns, head.src)] * m;
+    bucket_targets.clear();
+    for (size_t ci : members) {
+      bucket_targets.push_back(targets[cross[ci].query]);
+    }
+    bucket_out.assign(members.size(), kInfDistance);
+    DistanceViaLcaMulti(
+        sdist, head.lca, head.ns, head.nt,
+        Span<const IndoorPoint>(bucket_targets.data(), bucket_targets.size()),
+        bucket_out.data());
+    for (size_t j = 0; j < members.size(); ++j) {
+      out[cross[members[j]].query] = bucket_out[j];
     }
   }
 }

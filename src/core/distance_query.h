@@ -62,6 +62,15 @@ struct DistanceQueryOptions {
   bool use_superior_doors = true;
 };
 
+// Ascent-sharing accounting of the coalesced entry points: how many source
+// expansions (cross-leaf descents and same-leaf Dijkstra runs) a batch
+// actually computed vs how many per-query runs it avoided. Folded into the
+// execution planner's PlanStats.
+struct MultiDistanceStats {
+  uint64_t ascents_computed = 0;
+  uint64_t ascents_reused = 0;
+};
+
 class IPDistanceQuery {
  public:
   // `cache` (optional, may be shared across engines — it is internally
@@ -82,8 +91,28 @@ class IPDistanceQuery {
   // which must be an ancestor of (or equal to) the source's leaf.
   AscentDistances GetDistances(const QuerySource& source, NodeId target) const;
 
+  // Algorithm 3 with the source ascent precomputed (typically once per
+  // source via GetDistances(Point(s), tree().root()) and reused across
+  // many targets by the execution planner). `ascent` must start at
+  // Leaf(s); the row for the LCA join child is the iteration prefix the
+  // per-query ascent would have produced, so the result is bit-identical
+  // to Distance(s, t).
+  double DistanceWithAscent(const IndoorPoint& s,
+                            const AscentDistances& ascent,
+                            const IndoorPoint& t) const;
+
   // Shared same-leaf fallback: Dijkstra on the D2D graph.
   double LocalDistance(const QuerySource& s, const IndoorPoint& t) const;
+
+  // Same-leaf distances from one source point to many targets over a
+  // single multi-source Dijkstra. The settled distance of a door depends
+  // only on the seeding (the heap pops in a deterministic order and
+  // resuming via RunToTargets extends that same sequence), so every
+  // out[k] is bit-identical to LocalDistance(Point(s), targets[k]) while
+  // the dominant cost — the graph expansion — is paid once per source
+  // instead of once per query. Every target must share the source's leaf.
+  void LocalDistanceMulti(const IndoorPoint& s, Span<const IndoorPoint> targets,
+                          double* out) const;
 
   // Seed of Algorithm 2: distances from the source to every access door of
   // the source's leaf.
@@ -148,6 +177,27 @@ class VIPDistanceQuery {
                          std::vector<double>& dist,
                          std::vector<PathBack>& back) const;
 
+  // Coalesced descent: the point-source DistancesToNodeAd for every point
+  // at once, row-major into `dist` (dist[k * |AD(node)| + c] = distance
+  // from points[k] to access door c). All points must lie in the same
+  // partition. The seed-door loop is hoisted outermost so one extended-
+  // matrix row feeds every point's accumulator row via
+  // kernels::MinPlusRowMulti; the per-(point, column) candidate sequence
+  // is that of the sequential loop, so every row is bit-identical to the
+  // per-point call.
+  void DistancesToNodeAdMulti(Span<const IndoorPoint> points, NodeId node,
+                              std::vector<double>& dist) const;
+
+  // Coalesced Algorithm 3 for queries sharing one source partition:
+  // out[k] = Distance(sources[k], targets[k]) for every k, bit-identical
+  // to the sequential calls. Source descents are computed once per
+  // distinct (source point, join child) via DistancesToNodeAdMulti;
+  // targets sharing (source point, lca, ns, nt) are answered by one
+  // source-side fold plus one batched kernels::JoinMinRowsMulti reduce.
+  void DistanceMulti(Span<const IndoorPoint> sources,
+                     Span<const IndoorPoint> targets, double* out,
+                     MultiDistanceStats* stats = nullptr) const;
+
   // See IPDistanceQuery::AccessDoorIndexMap (the VIP tree shares the base
   // IP tree's node matrices, so the map is identical).
   void AccessDoorIndexMap(NodeId n, NodeId m, std::vector<int32_t>& out) const {
@@ -162,6 +212,13 @@ class VIPDistanceQuery {
 
   double DoorDistanceUncached(DoorId s, DoorId t) const;
 
+  // Batched tail of DistanceMulti for one (shared source descent, lca,
+  // ns, nt) bucket: folds the LCA join rows over `sdist` once, stacks the
+  // per-target descents, and reduces them with one JoinMinRowsMulti.
+  void DistanceViaLcaMulti(const double* sdist, NodeId lca, NodeId ns,
+                           NodeId nt, Span<const IndoorPoint> targets,
+                           double* out) const;
+
   const VIPTree& vip_;
   DistanceQueryOptions options_;
   DistanceCache* cache_ = nullptr;
@@ -169,6 +226,8 @@ class VIPDistanceQuery {
   mutable std::vector<int32_t> row_idx_, col_idx_;
   mutable std::vector<double> sdist_, tdist_;
   mutable std::vector<PathBack> sback_, tback_;
+  // Coalesced-path scratch (DistanceMulti and helpers).
+  mutable std::vector<double> multi_adds_, joined_, stacked_tdist_;
 };
 
 }  // namespace viptree

@@ -21,6 +21,10 @@ std::vector<ObjectResult> KnnQuery::Knn(const IndoorPoint& q, size_t k,
   return Search(q, k, kInfDistance, nullptr, stats);
 }
 
+AscentDistances KnnQuery::ComputeAscent(const IndoorPoint& q) const {
+  return query_.GetDistances(QuerySource::Point(q), tree_.root());
+}
+
 std::vector<ObjectResult> KnnQuery::WithinRange(const IndoorPoint& q,
                                                 double radius,
                                                 SearchStats* stats) const {
@@ -66,10 +70,9 @@ void KnnQuery::LocalObjectDistances(const IndoorPoint& q, NodeId leaf,
   }
 }
 
-std::vector<ObjectResult> KnnQuery::Search(const IndoorPoint& q, size_t k,
-                                           double radius,
-                                           const Filters* filters,
-                                           SearchStats* stats) const {
+std::vector<ObjectResult> KnnQuery::Search(
+    const IndoorPoint& q, size_t k, double radius, const Filters* filters,
+    SearchStats* stats, const AscentDistances* precomputed) const {
   if (stats != nullptr) *stats = SearchStats{};
   std::vector<ObjectResult> results;
   if (objects_.NumObjects() == 0 || k == 0) return results;
@@ -81,9 +84,14 @@ std::vector<ObjectResult> KnnQuery::Search(const IndoorPoint& q, size_t k,
   };
 
   // Line 2 of Algorithm 5: distances from q to the access doors of every
-  // ancestor of Leaf(q).
-  const AscentDistances ascent =
-      query_.GetDistances(QuerySource::Point(q), tree_.root());
+  // ancestor of Leaf(q) — or the caller's precomputed copy of exactly
+  // that (ComputeAscent), shared across a coalesced group.
+  AscentDistances computed;
+  if (precomputed == nullptr) {
+    computed = query_.GetDistances(QuerySource::Point(q), tree_.root());
+  }
+  const AscentDistances& ascent =
+      precomputed != nullptr ? *precomputed : computed;
   std::unordered_map<NodeId, std::vector<double>> ad_dist;
   std::unordered_map<NodeId, int> chain_pos;  // nodes containing q
   for (size_t i = 0; i < ascent.chain.size(); ++i) {

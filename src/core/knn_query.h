@@ -50,6 +50,20 @@ class KnnQuery {
   std::vector<ObjectResult> Knn(const IndoorPoint& q, size_t k,
                                 SearchStats* stats = nullptr) const;
 
+  // Line 2 of Algorithm 5 on its own: the root ascent from q, reusable
+  // across several searches for the same query point (the execution
+  // planner computes it once per distinct source in a coalesced group).
+  // The ascent is a deterministic function of q alone — k never enters
+  // it — so Knn(q, k) == KnnWithAscent(q, k, ComputeAscent(q)) bit-for-bit.
+  AscentDistances ComputeAscent(const IndoorPoint& q) const;
+
+  // Knn with the root ascent precomputed via ComputeAscent(q).
+  std::vector<ObjectResult> KnnWithAscent(const IndoorPoint& q, size_t k,
+                                          const AscentDistances& ascent,
+                                          SearchStats* stats = nullptr) const {
+    return Search(q, k, kInfDistance, nullptr, stats, &ascent);
+  }
+
   // All objects within `radius` of q, ascending by distance (the range
   // query of §3.4, reached through RangeQuery for API symmetry).
   std::vector<ObjectResult> WithinRange(const IndoorPoint& q, double radius,
@@ -70,6 +84,14 @@ class KnnQuery {
     return Search(q, k, kInfDistance, &filters, stats);
   }
 
+  // KnnFiltered with the root ascent precomputed (see KnnWithAscent); the
+  // live-object snapshot reader routes coalesced kNN groups through this.
+  std::vector<ObjectResult> KnnFilteredWithAscent(
+      const IndoorPoint& q, size_t k, const Filters& filters,
+      const AscentDistances& ascent, SearchStats* stats = nullptr) const {
+    return Search(q, k, kInfDistance, &filters, stats, &ascent);
+  }
+
   // All objects within `radius` passing the filters (the range analogue of
   // KnnFiltered; the live-object snapshot reader excludes overlay and
   // tombstoned ids through this).
@@ -82,11 +104,12 @@ class KnnQuery {
 
  private:
   // Shared branch-and-bound: best-first traversal collecting either the k
-  // nearest or everything within a fixed radius.
-  std::vector<ObjectResult> Search(const IndoorPoint& q, size_t k,
-                                   double radius,
-                                   const Filters* filters = nullptr,
-                                   SearchStats* stats = nullptr) const;
+  // nearest or everything within a fixed radius. `precomputed`, when set,
+  // replaces the line-2 root ascent (must be ComputeAscent(q)'s output).
+  std::vector<ObjectResult> Search(
+      const IndoorPoint& q, size_t k, double radius,
+      const Filters* filters = nullptr, SearchStats* stats = nullptr,
+      const AscentDistances* precomputed = nullptr) const;
 
   // Exact distances from q to the objects of q's own leaf (one Dijkstra).
   void LocalObjectDistances(const IndoorPoint& q, NodeId leaf,

@@ -32,6 +32,7 @@
 #ifndef VIPTREE_CORE_LIVE_OBJECTS_H_
 #define VIPTREE_CORE_LIVE_OBJECTS_H_
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <mutex>
@@ -115,6 +116,18 @@ struct LiveObjectOptions {
   // publish. Small by design: every overlay entry costs each query one
   // exact distance evaluation.
   size_t merge_watermark = 64;
+
+  // Scale the watermark by the measured workload instead of using the
+  // fixed value: effective = clamp(merge_watermark * sqrt(updates /
+  // queries), [min_watermark, max_watermark]). Query-heavy venues merge
+  // eagerly (each overlay entry taxes every query with one exact distance
+  // evaluation); update-heavy venues batch more mutations per CSR
+  // rebuild. Counters come from Acquire() (one per read query) and
+  // ApplyDelta (one per mutation) via relaxed atomics; until both have
+  // fired the fixed watermark applies.
+  bool adaptive_watermark = false;
+  size_t min_watermark = 8;
+  size_t max_watermark = 1024;
 };
 
 // The epoch-published object store of one venue. Thread-safe: any number
@@ -180,6 +193,11 @@ class LiveObjectIndex {
   const ObjectIndex& current_base() const { return *Acquire()->base; }
   const KeywordIndex& current_keywords() const { return *Acquire()->keywords; }
 
+  // The merge threshold ApplyDelta will use next: the fixed watermark, or
+  // the query/update-ratio-scaled value under adaptive_watermark (exposed
+  // for tests and the update benchmark).
+  size_t EffectiveMergeWatermark() const;
+
   uint64_t MemoryBytes() const;
 
  private:
@@ -192,6 +210,12 @@ class LiveObjectIndex {
 
   const IPTree& tree_;
   const Options options_;
+
+  // Workload counters of the adaptive watermark. Relaxed: they only steer
+  // a heuristic, and Acquire() must stay a single uncontended load plus
+  // one relaxed increment.
+  mutable std::atomic<uint64_t> queries_seen_{0};
+  std::atomic<uint64_t> updates_seen_{0};
 
   // Writer-side canonical state, guarded by write_mu_. positions_ and
   // keyword_strings_ cover every id ever allocated (tombstones included).
@@ -233,6 +257,20 @@ class SnapshotQuery {
   // The k nearest live objects, ascending by (distance, id).
   std::vector<ObjectResult> Knn(const IndoorPoint& q, size_t k,
                                 SearchStats* stats = nullptr) const;
+
+  // The root ascent of q over the tree, shareable across several Knn
+  // calls for the same point (it depends on the tree alone, not on the
+  // snapshot's objects). Knn(q, k) == KnnWithAscent(q, k,
+  // ComputeAscent(q)) bit-for-bit; the execution planner computes one
+  // ascent per distinct source in a coalesced kNN group.
+  AscentDistances ComputeAscent(const IndoorPoint& q) const {
+    return knn_.ComputeAscent(q);
+  }
+
+  // Knn with the root ascent precomputed via ComputeAscent(q).
+  std::vector<ObjectResult> KnnWithAscent(const IndoorPoint& q, size_t k,
+                                          const AscentDistances& ascent,
+                                          SearchStats* stats = nullptr) const;
 
   // All live objects within `radius`, ascending by (distance, id).
   std::vector<ObjectResult> Range(const IndoorPoint& q, double radius,

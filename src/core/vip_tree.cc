@@ -182,6 +182,13 @@ float VIPTree::ExtDist(NodeId n, DoorId d, size_t col) const {
   return ext_[n].dist.at(row, col);
 }
 
+Span<const float> VIPTree::ExtDistRow(NodeId n, int row) const {
+  const TreeNode& node = base_.node(n);
+  VIPTREE_DCHECK(row >= 0);
+  if (node.is_leaf()) return node.dist.row(static_cast<size_t>(row));
+  return ext_[n].dist.row(static_cast<size_t>(row));
+}
+
 DoorId VIPTree::ExtNextHop(NodeId n, DoorId d, size_t col) const {
   const TreeNode& node = base_.node(n);
   const int row = ExtRowOf(n, d);

@@ -92,6 +92,11 @@ class VIPTree {
   // Row index of door `d` in node `n`'s extended matrix; -1 if absent.
   int ExtRowOf(NodeId n, DoorId d) const;
 
+  // The contiguous distance row at index `row` (from ExtRowOf) of node
+  // `n`'s extended matrix — ExtDist(n, d, c) for every column c at once.
+  // Feeds the coalesced multi-point descent (kernels::MinPlusRowMulti).
+  Span<const float> ExtDistRow(NodeId n, int row) const;
+
   uint64_t MemoryBytes() const;
 
  private:

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "common/check.h"
+#include "engine/exec_plan.h"
 #include "engine/service.h"
 
 namespace viptree {
@@ -241,6 +242,29 @@ std::vector<Result> QueryEngine::RunSequential(
   return results;
 }
 
+std::vector<Result> QueryEngine::RunCoalesced(Span<const Query> queries,
+                                              PlanStats* stats) const {
+  std::vector<Result> results(queries.size());
+  if (queries.empty()) return results;
+  Worker& worker = *main_worker_;
+  // One pinned snapshot serves every grouped kNN query; the fallback path
+  // re-pins per query like Run does (same epoch unless a concurrent
+  // publish lands mid-group, which per-query execution is equally exposed
+  // to).
+  const SnapshotQuery* objects = nullptr;
+  for (const Query& q : queries) {
+    if (q.type == QueryType::kKnn) {
+      objects = &worker.Refresh(*this);
+      break;
+    }
+  }
+  const auto fallback = [&](const Query& q) { return Execute(q, worker); };
+  const PlanStats plan =
+      ExecutePlan(queries, worker.distance, objects, fallback, results);
+  if (stats != nullptr) stats->Merge(plan);
+  return results;
+}
+
 BatchResult QueryEngine::RunBatch(Span<const Query> queries,
                                   const BatchOptions& options) const {
   const size_t n = queries.size();
@@ -263,6 +287,10 @@ BatchResult QueryEngine::RunBatch(Span<const Query> queries,
     // The transient workers share this engine's cache (single venue, so
     // the venue-local door ids cannot alias).
     service_options.shared_cache = cache_;
+    // Coalescing rides the same wiring: the whole batch is queued before
+    // Start(), so workers pull full windows and the planner groups within
+    // each pull.
+    service_options.coalesce = options.coalesce;
     Service service(bundle_, service_options);
     std::vector<Request> requests;
     requests.reserve(n);
@@ -285,7 +313,11 @@ BatchResult QueryEngine::RunBatch(Span<const Query> queries,
       // results[i] answers queries[i], independent of which worker ran it.
       out.results[i] = std::move(response.result);
     }
+    const PlanStats plan = service.Stats().plan;
     service.Stop();
+    out.stats = Aggregate(out.results, wall.ElapsedMillis(), threads);
+    out.stats.plan = plan;
+    return out;
   }
 
   out.stats = Aggregate(out.results, wall.ElapsedMillis(), threads);

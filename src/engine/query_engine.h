@@ -40,6 +40,7 @@
 #include "common/span.h"
 #include "common/stats.h"
 #include "core/keyword_query.h"
+#include "engine/exec_plan.h"
 #include "core/knn_query.h"
 #include "core/live_objects.h"
 #include "core/object_index.h"
@@ -108,6 +109,11 @@ struct BatchOptions {
   // queue schedules per request, so this no longer affects execution; it
   // is kept so existing callers compile (results never depended on it).
   size_t shard_size = 32;
+  // Execution-planner coalescing (engine/exec_plan.h): the transient
+  // service's workers pull up to `coalesce.window` queries into one group
+  // and answer it through the multi-target kernels — identical results,
+  // shared ascents. Off by default.
+  CoalesceOptions coalesce;
 };
 
 struct BatchStats {
@@ -117,6 +123,8 @@ struct BatchStats {
   double queries_per_second = 0.0;
   Summary latency_micros;        // distribution of per-query latencies
   uint64_t visited_nodes = 0;    // summed across the batch
+  // Execution-planner accounting (all zero when coalescing is off).
+  PlanStats plan;
 };
 
 struct BatchResult {
@@ -210,6 +218,16 @@ class QueryEngine {
   // The batch on the calling thread, in order (the single-threaded
   // reference RunBatch is compared against).
   std::vector<Result> RunSequential(Span<const Query> queries) const;
+
+  // Answers one group of queries on the resident worker through the
+  // execution planner (engine/exec_plan.h): distance queries sharing a
+  // source partition and kNN queries sharing a source point reuse their
+  // ascents via the multi-target kernels; everything else runs exactly as
+  // Run would. results[i] answers queries[i], bit-identical to
+  // RunSequential. Const but not re-entrant, like Run. `stats`, when
+  // non-null, has this group's planner accounting merged in.
+  std::vector<Result> RunCoalesced(Span<const Query> queries,
+                                   PlanStats* stats = nullptr) const;
 
   // Fans the batch across a worker pool over the shared read-only index —
   // a compatibility shim over a transient single-venue engine::Service.

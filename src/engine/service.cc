@@ -274,19 +274,42 @@ void Service::WorkerLoop() {
   // This worker's engines, one per venue it has served: the shared
   // immutable bundle plus this thread's private query scratch.
   std::map<std::string, std::unique_ptr<QueryEngine>> engines;
+  const size_t window = std::max<size_t>(1, options_.coalesce.window);
+  std::vector<Item> batch;
   for (;;) {
-    Item item;
+    batch.clear();
     {
       std::unique_lock<std::mutex> lock(mu_);
       queue_cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
       if (queue_.empty()) break;  // stopping_, and nothing left to do
-      item = std::move(queue_.front());
+      batch.push_back(std::move(queue_.front()));
       queue_.pop_front();
+      // Coalescing pull: extend with the contiguous run of already-queued
+      // queries for the same venue, under the same lock hold. An update
+      // (or another venue's request) ends the run, so the per-venue
+      // query/update order a sequential worker would execute is preserved
+      // exactly — queries queued before an update still see the old object
+      // epoch, queries after it the new one.
+      if (options_.coalesce.enabled &&
+          batch.front().request.kind == RequestKind::kQuery) {
+        while (batch.size() < window && !queue_.empty() &&
+               queue_.front().request.kind == RequestKind::kQuery &&
+               queue_.front().request.venue_id ==
+                   batch.front().request.venue_id) {
+          batch.push_back(std::move(queue_.front()));
+          queue_.pop_front();
+        }
+      }
     }
-    Process(std::move(item), &engines);
+    const size_t count = batch.size();
+    if (count == 1) {
+      Process(std::move(batch.front()), &engines);
+    } else {
+      ProcessGroup(std::move(batch), &engines);
+    }
     {
       std::lock_guard<std::mutex> lock(mu_);
-      --pending_;
+      pending_ -= count;
       if (pending_ == 0) drain_cv_.notify_all();
     }
   }
@@ -331,6 +354,87 @@ void Service::Process(
     }
   }
   Finalize(item.state, std::move(response));
+}
+
+void Service::ProcessGroup(
+    std::vector<Item> items,
+    std::map<std::string, std::unique_ptr<QueryEngine>>* engines) {
+  const ServiceClock::time_point start = ServiceClock::now();
+  const size_t n = items.size();
+  std::vector<Response> responses(n);
+  for (size_t i = 0; i < n; ++i) {
+    responses[i].kind = items[i].request.kind;
+    responses[i].tag = items[i].request.tag;
+    responses[i].venue_id = items[i].request.venue_id;
+    responses[i].queue_micros = MicrosBetween(items[i].enqueued, start);
+  }
+
+  // The pull guaranteed one venue, so resolve it once for the group.
+  std::string resolve_error;
+  QueryEngine* engine =
+      ResolveEngine(items.front().request.venue_id, engines, &resolve_error);
+
+  // Per-item admission keeps the single-item semantics: deadline shed at
+  // pickup (sharing one `start` — exactly the moment a sequential worker
+  // would have reached the earliest of them, and never later for the
+  // rest) and per-query validation. Only the runnable remainder is
+  // planned.
+  std::vector<size_t> runnable;
+  runnable.reserve(n);
+  std::vector<Query> queries;
+  queries.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    Response& response = responses[i];
+    if (start >= items[i].request.deadline) {
+      response.status = RequestStatus::kDeadlineExceeded;
+      response.error = "deadline passed after " +
+                       std::to_string(response.queue_micros) +
+                       " us in the queue";
+      continue;
+    }
+    if (engine == nullptr) {
+      response.status = RequestStatus::kVenueNotFound;
+      response.error = resolve_error;
+      continue;
+    }
+    std::string error;
+    if (!ValidateQuery(items[i].request.query, *engine, &error)) {
+      response.status = RequestStatus::kInvalidRequest;
+      response.error = std::move(error);
+      continue;
+    }
+    runnable.push_back(i);
+    queries.push_back(items[i].request.query);
+  }
+
+  if (!runnable.empty()) {
+    PlanStats plan;
+    std::vector<Result> results = engine->RunCoalesced(
+        Span<const Query>(queries.data(), queries.size()), &plan);
+    for (size_t j = 0; j < runnable.size(); ++j) {
+      responses[runnable[j]].result = std::move(results[j]);
+      responses[runnable[j]].status = RequestStatus::kOk;
+    }
+    if (!plan.empty()) {
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      plan_stats_.Merge(plan);
+    }
+  }
+
+  // Finalize in queue order: streaming callbacks observe the same
+  // delivery order a sequential worker would produce.
+  for (size_t i = 0; i < n; ++i) {
+    Finalize(items[i].state, std::move(responses[i]));
+  }
+}
+
+size_t Service::WaitAll(const std::vector<Ticket>& tickets) {
+  size_t ok = 0;
+  for (const Ticket& ticket : tickets) {
+    if (!ticket.valid()) continue;
+    if (ticket.Wait().ok()) ++ok;
+  }
+  return ok;
 }
 
 void Service::RunUpdate(const ObjectDelta& delta, QueryEngine* engine,
@@ -536,6 +640,7 @@ ServiceStats Service::Stats() const {
   stats.update_micros = Summarize(update_samples_);
   stats.queue_micros = Summarize(queue_samples_);
   stats.per_venue = per_venue_;
+  stats.plan = plan_stats_;
   {
     std::lock_guard<std::mutex> cache_lock(cache_mu_);
     if (options_.shared_cache != nullptr) {

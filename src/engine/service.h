@@ -206,6 +206,17 @@ struct ServiceOptions {
   // QueryEngine::RunBatch uses this to hand its own cache to the
   // transient service's workers.
   std::shared_ptr<DistanceCache> shared_cache;
+
+  // Execution-planner coalescing (engine/exec_plan.h): with
+  // coalesce.enabled a worker pulls up to coalesce.window contiguous
+  // same-venue queries from the queue front in one lock hold and answers
+  // them as one planned group. Grouping only takes already-queued work —
+  // a group never waits for more arrivals, so no request is delayed past
+  // its deadline by coalescing, and each pulled member whose deadline has
+  // already passed is still shed individually. An update request (or a
+  // request for another venue) ends the pull, so per-venue query/update
+  // ordering is exactly the sequential worker's. Off by default.
+  CoalesceOptions coalesce;
 };
 
 struct VenueCounters {
@@ -236,6 +247,8 @@ struct ServiceStats : BatchStats {
   // Distance-cache counters summed over every cache this service created
   // or was handed (all zero when caching is off).
   CacheCounters cache;
+  // BatchStats::plan (the execution planner's accounting) is inherited;
+  // it aggregates across every coalesced group any worker ran.
 };
 
 class Service {
@@ -269,6 +282,14 @@ class Service {
   // Bulk admission under one queue lock; tickets[i] answers requests[i].
   std::vector<Ticket> SubmitBatch(std::vector<Request> requests);
 
+  // Blocks until every ticket in `tickets` is terminal (invalid
+  // default-constructed tickets are skipped) and returns how many
+  // completed kOk. The per-ticket Wait order is fixed but irrelevant:
+  // every ticket is waited on regardless of outcome, so the call returns
+  // only once all listed requests are settled — the batch analogue of
+  // Ticket::Wait for callers holding a mixed bag of outcomes.
+  static size_t WaitAll(const std::vector<Ticket>& tickets);
+
   // Blocks until every accepted request has reached a terminal state and
   // its callback (if any) has returned. Requires Start() when work is
   // queued (otherwise nothing would ever drain it).
@@ -296,6 +317,13 @@ class Service {
   void WorkerLoop();
   void Process(Item item,
                std::map<std::string, std::unique_ptr<QueryEngine>>* engines);
+  // Coalesced sibling of Process: one pulled group of same-venue queries
+  // through QueryEngine::RunCoalesced. Per-item deadline shed and
+  // validation keep the single-item semantics; responses finalize in
+  // queue order.
+  void ProcessGroup(
+      std::vector<Item> items,
+      std::map<std::string, std::unique_ptr<QueryEngine>>* engines);
   // Worker-local venue resolution: pins the venue's current bundle behind
   // a per-worker QueryEngine, rebuilt if the registry re-loaded the venue
   // (eviction) since this worker last served it.
@@ -356,6 +384,7 @@ class Service {
   std::vector<double> queue_samples_;
   std::vector<double> update_samples_;
   std::map<std::string, VenueCounters> per_venue_;
+  PlanStats plan_stats_;
 
   // Distance caches handed to worker engines. Venue entries remember the
   // bundle they were built against (weakly, so a cache never pins an

@@ -1,0 +1,287 @@
+// Execution-planner differential sweep (engine/exec_plan.h): coalesced
+// execution must be bit-identical to the sequential reference across 24
+// seeded random venues — the planner only ever *shares* work (one descent
+// per distinct source, one leaf Dijkstra per same-leaf source group, one
+// search per duplicated kNN), it never changes a single answer.
+//
+// Three layers are swept:
+//   1. QueryEngine::RunBatch with BatchOptions::coalesce, single- and
+//      multi-threaded, against RunSequential;
+//   2. a one-worker coalescing Service fed queries with interleaved live
+//      object updates, against a twin engine applying the same stream
+//      sequentially (updates are group barriers, so epoch visibility must
+//      be exactly the submission order's);
+//   3. VIPDistanceQuery::DistanceMulti directly, on a same-leaf-heavy
+//      pair set, against per-pair Distance.
+//
+// The whole suite also runs under VIPTREE_FORCE_SCALAR=1 in CI (label
+// `coalesce`), pinning the kernels under the planner to the scalar twins.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/distance_query.h"
+#include "engine/exec_plan.h"
+#include "engine/query_engine.h"
+#include "engine/service.h"
+#include "ground_truth.h"
+#include "synth/objects.h"
+
+namespace viptree {
+namespace {
+
+namespace eng = ::viptree::engine;
+
+// Exact equality on every answer field: identical deterministic code on
+// identical inputs, so nothing weaker than == is acceptable. Latency is
+// attribution, not an answer, and is not compared.
+void ExpectSameResult(const eng::Result& want, const eng::Result& got,
+                      uint64_t seed, size_t i) {
+  EXPECT_EQ(want.type, got.type) << "seed " << seed << " query " << i;
+  EXPECT_EQ(want.distance, got.distance) << "seed " << seed << " query " << i;
+  EXPECT_EQ(want.doors, got.doors) << "seed " << seed << " query " << i;
+  ASSERT_EQ(want.objects.size(), got.objects.size())
+      << "seed " << seed << " query " << i;
+  for (size_t j = 0; j < want.objects.size(); ++j) {
+    EXPECT_EQ(want.objects[j].object, got.objects[j].object)
+        << "seed " << seed << " query " << i << " j=" << j;
+    EXPECT_EQ(want.objects[j].distance, got.objects[j].distance)
+        << "seed " << seed << " query " << i << " j=" << j;
+  }
+  EXPECT_EQ(want.visited_nodes, got.visited_nodes)
+      << "seed " << seed << " query " << i;
+}
+
+// Source-skewed workload over a hot pool of 3 points: the traffic shape
+// the planner exists for. Heavy on distance + kNN (the grouped types) with
+// duplicated kNN (source, k) pairs, plus path/range so the fallback lane
+// runs interleaved with groups.
+std::vector<eng::Query> SkewedQueries(const Venue& venue, size_t n,
+                                      Rng& rng) {
+  std::vector<IndoorPoint> pool;
+  for (int i = 0; i < 3; ++i) {
+    pool.push_back(synth::RandomIndoorPoint(venue, rng));
+  }
+  std::vector<eng::Query> queries;
+  queries.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    const IndoorPoint& hot = pool[rng.UniformIndex(pool.size())];
+    switch (i % 8) {
+      case 0:
+      case 1:
+      case 2:
+        queries.push_back(
+            eng::Query::Distance(hot, synth::RandomIndoorPoint(venue, rng)));
+        break;
+      case 3:
+        // Same-leaf distance: target drawn from the same hot pool, often
+        // sharing the source's leaf (always when it *is* the source).
+        queries.push_back(
+            eng::Query::Distance(hot, pool[rng.UniformIndex(pool.size())]));
+        break;
+      case 4:
+      case 5:
+      case 6:
+        queries.push_back(eng::Query::Knn(hot, 2 + rng.UniformIndex(2)));
+        break;
+      default:
+        if (rng.Chance(0.5)) {
+          queries.push_back(eng::Query::Path(
+              hot, synth::RandomIndoorPoint(venue, rng)));
+        } else {
+          queries.push_back(eng::Query::Range(hot, 90.0));
+        }
+        break;
+    }
+  }
+  return queries;
+}
+
+class CoalesceDifferentialTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(CoalesceDifferentialTest, CoalescedRunBatchMatchesSequential) {
+  const uint64_t seed = GetParam();
+  Venue venue = testing::RandomSynthVenue(seed);
+  Rng rng(seed ^ 0xC0A7E5CE);
+  std::vector<IndoorPoint> objects = synth::PlaceObjects(venue, 8, rng);
+  const eng::QueryEngine engine(std::move(venue), std::move(objects));
+
+  const std::vector<eng::Query> queries =
+      SkewedQueries(engine.venue(), 48, rng);
+  const std::vector<eng::Result> expected = engine.RunSequential(
+      Span<const eng::Query>(queries.data(), queries.size()));
+
+  for (const size_t threads : {size_t{1}, size_t{3}}) {
+    eng::BatchOptions options;
+    options.num_threads = threads;
+    options.coalesce.enabled = true;
+    options.coalesce.window = queries.size();  // whole-batch windows
+    const eng::BatchResult batch = engine.RunBatch(
+        Span<const eng::Query>(queries.data(), queries.size()), options);
+    ASSERT_EQ(batch.results.size(), expected.size());
+    for (size_t i = 0; i < expected.size(); ++i) {
+      ExpectSameResult(expected[i], batch.results[i], seed, i);
+    }
+    if (threads == 1) {
+      // One worker pulled the whole batch: on a 3-source skew the planner
+      // must actually form groups and share source expansions.
+      const eng::PlanStats& plan = batch.stats.plan;
+      EXPECT_GT(plan.groups, 0u) << "seed " << seed;
+      EXPECT_GT(plan.coalesced_queries, plan.groups) << "seed " << seed;
+      EXPECT_GT(plan.ascents_reused, 0u) << "seed " << seed;
+      uint64_t histogram_total = 0;
+      for (size_t b = 0; b < eng::PlanStats::kHistogramBuckets; ++b) {
+        histogram_total += plan.groups_by_size[b];
+      }
+      EXPECT_EQ(histogram_total, plan.groups) << "seed " << seed;
+    }
+  }
+}
+
+TEST_P(CoalesceDifferentialTest, CoalescingServiceMatchesSequentialUpdates) {
+  const uint64_t seed = GetParam();
+  // Twin bundles built from the same seeds: the service mutates its own
+  // live object store, the reference engine mutates the other.
+  const auto build = [&] {
+    Venue venue = testing::RandomSynthVenue(seed);
+    Rng rng(seed ^ 0x5EB51CE);
+    std::vector<IndoorPoint> objects = synth::PlaceObjects(venue, 8, rng);
+    return std::make_shared<const eng::VenueBundle>(eng::VenueBundle::Build(
+        std::move(venue), std::move(objects)));
+  };
+  const auto service_bundle = build();
+  const auto reference_bundle = build();
+  eng::QueryEngine reference(reference_bundle);
+
+  // The request stream: skewed queries with a live-object move every 6th
+  // slot. With one worker and coalescing on, updates must act as window
+  // barriers — every query still sees exactly the epochs the submission
+  // order implies.
+  Rng rng(seed ^ 0xB1EED);
+  const std::vector<eng::Query> queries =
+      SkewedQueries(service_bundle->venue(), 36, rng);
+  struct Step {
+    bool is_update = false;
+    eng::Query query;
+    ObjectDelta delta;
+  };
+  std::vector<Step> steps;
+  for (size_t i = 0; i < queries.size(); ++i) {
+    if (i % 6 == 5) {
+      Step update;
+      update.is_update = true;
+      update.delta.moves.push_back(
+          {static_cast<ObjectId>(rng.UniformIndex(8)),
+           synth::RandomIndoorPoint(service_bundle->venue(), rng)});
+      steps.push_back(std::move(update));
+    }
+    Step step;
+    step.query = queries[i];
+    steps.push_back(std::move(step));
+  }
+
+  std::vector<eng::Result> expected(steps.size());
+  for (size_t i = 0; i < steps.size(); ++i) {
+    if (steps[i].is_update) {
+      ASSERT_FALSE(reference.ApplyObjectDelta(steps[i].delta).has_value())
+          << "seed " << seed << " step " << i;
+    } else {
+      expected[i] = reference.Run(steps[i].query);
+    }
+  }
+
+  eng::ServiceOptions options;
+  options.num_threads = 1;  // submission order IS execution order
+  options.queue_capacity = steps.size();
+  options.coalesce.enabled = true;
+  options.coalesce.window = 8;
+  eng::Service service(service_bundle, options);
+  std::vector<eng::Ticket> tickets;
+  for (const Step& step : steps) {
+    if (step.is_update) {
+      tickets.push_back(service.Submit(eng::Request::Update("", step.delta)));
+    } else {
+      eng::Request request;
+      request.query = step.query;
+      tickets.push_back(service.Submit(std::move(request)));
+    }
+  }
+  service.Start();
+  service.Drain();
+  for (size_t i = 0; i < steps.size(); ++i) {
+    const eng::Response& response = tickets[i].Wait();
+    ASSERT_TRUE(response.ok())
+        << "seed " << seed << " step " << i << ": " << response.error;
+    if (!steps[i].is_update) {
+      ExpectSameResult(expected[i], response.result, seed, i);
+    }
+  }
+  const eng::ServiceStats stats = service.Stats();
+  EXPECT_GT(stats.plan.groups, 0u) << "seed " << seed;
+  service.Stop();
+
+  // Both stores saw the same deltas: epochs advanced in lockstep.
+  EXPECT_EQ(service_bundle->live_objects().epoch(),
+            reference_bundle->live_objects().epoch());
+}
+
+TEST_P(CoalesceDifferentialTest, DistanceMultiMatchesDistance) {
+  const uint64_t seed = GetParam();
+  Venue venue = testing::RandomSynthVenue(seed);
+  const D2DGraph graph(venue);
+  const eng::QueryEngine engine(venue, graph, {});
+  const VIPDistanceQuery query(engine.tree());
+
+  // One exact source point repeated across every pair: the strongest
+  // sharing case (one descent per join child, one leaf Dijkstra for the
+  // whole same-leaf group). Targets mix random points (mostly cross-leaf)
+  // with points near the source's leaf (same-leaf, including the
+  // intra-partition seeding branch when target == source partition).
+  Rng rng(seed ^ 0xD15C0);
+  const IndoorPoint source = synth::RandomIndoorPoint(venue, rng);
+  std::vector<IndoorPoint> sources, targets;
+  for (int i = 0; i < 16; ++i) {
+    sources.push_back(source);
+    if (i % 4 == 3) {
+      IndoorPoint near = source;
+      near.position.x += rng.UniformReal(-1.0, 1.0);
+      near.position.y += rng.UniformReal(-1.0, 1.0);
+      targets.push_back(near);
+    } else {
+      targets.push_back(synth::RandomIndoorPoint(venue, rng));
+    }
+  }
+
+  std::vector<double> expected;
+  for (size_t k = 0; k < sources.size(); ++k) {
+    expected.push_back(query.Distance(sources[k], targets[k]));
+  }
+  std::vector<double> actual(sources.size(), kInfDistance);
+  MultiDistanceStats stats;
+  query.DistanceMulti(
+      Span<const IndoorPoint>(sources.data(), sources.size()),
+      Span<const IndoorPoint>(targets.data(), targets.size()), actual.data(),
+      &stats);
+  for (size_t k = 0; k < expected.size(); ++k) {
+    EXPECT_EQ(expected[k], actual[k]) << "seed " << seed << " pair " << k;
+  }
+  // 16 pairs from one source point: expansions must have been shared.
+  EXPECT_GT(stats.ascents_computed, 0u) << "seed " << seed;
+  EXPECT_GT(stats.ascents_reused, 0u) << "seed " << seed;
+  EXPECT_EQ(stats.ascents_computed + stats.ascents_reused, sources.size())
+      << "seed " << seed;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CoalesceDifferentialTest,
+                         ::testing::Range<uint64_t>(0, 24),
+                         [](const ::testing::TestParamInfo<uint64_t>& info) {
+                           return "seed" + std::to_string(info.param);
+                         });
+
+}  // namespace
+}  // namespace viptree

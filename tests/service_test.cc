@@ -150,6 +150,38 @@ TEST_F(ServiceTest, ExpiredInQueueRequestsAreShedWithoutRunning) {
   service.Stop();
 }
 
+TEST_F(ServiceTest, WaitAllCountsOnlyOkOverMixedOutcomes) {
+  eng::Service service(Bundle(), {});
+  std::vector<eng::Ticket> tickets;
+  // Four requests doomed to expire: submitted before Start with a deadline
+  // already in the past.
+  for (const eng::Query& query : SomeQueries(4, 11)) {
+    eng::Request request;
+    request.query = query;
+    request.deadline = eng::ServiceClock::now() - std::chrono::milliseconds(1);
+    tickets.push_back(service.Submit(std::move(request)));
+  }
+  // Six that must complete.
+  for (const eng::Query& query : SomeQueries(6, 12)) {
+    eng::Request request;
+    request.query = query;
+    request.deadline = eng::DeadlineAfterMillis(60'000.0);
+    tickets.push_back(service.Submit(std::move(request)));
+  }
+  // Default-constructed (never submitted) tickets are skipped, not waited
+  // on — a batch assembled with gaps must not hang.
+  tickets.insert(tickets.begin() + 2, eng::Ticket());
+  tickets.push_back(eng::Ticket());
+
+  service.Start();
+  EXPECT_EQ(eng::Service::WaitAll(tickets), 6u);
+  // WaitAll is a barrier: every valid ticket is terminal afterwards.
+  for (const eng::Ticket& ticket : tickets) {
+    if (ticket.valid()) EXPECT_TRUE(ticket.Done());
+  }
+  service.Stop();
+}
+
 TEST_F(ServiceTest, StopCancelsQueuedAndRejectsLateSubmissions) {
   eng::Service service(Bundle(), {});
   std::vector<eng::Ticket> tickets;

@@ -79,6 +79,10 @@ struct Args {
   bool cache = false;
   CachePolicy cache_policy = CachePolicy::kLru;
   size_t cache_capacity = DistanceCacheOptions{}.capacity;
+  // Execution-planner coalescing (engine/exec_plan.h). Off by default:
+  // batch mode forwards it to RunBatch, serve mode to the Service workers.
+  bool coalesce = false;
+  size_t coalesce_window = eng::CoalesceOptions{}.window;
 };
 
 void Usage(const char* argv0) {
@@ -88,11 +92,12 @@ void Usage(const char* argv0) {
       "          [--queries N] [--threads T] [--seed S]\n"
       "          [--mix mixed|distance|path|knn|range]\n"
       "          [--cache] [--cache-policy lru|2q|s2q] [--cache-capacity N]\n"
+      "          [--coalesce] [--coalesce-window K]\n"
       "          [--emit-workload [--updates U]]\n"
       "       %s (--snapshot PATH | --registry MANIFEST) --serve\n"
       "          [--input FILE] [--threads T] [--deadline-ms D]\n"
       "          [--queue-capacity C] [--cache] [--cache-policy P]\n"
-      "          [--cache-capacity N]\n"
+      "          [--cache-capacity N] [--coalesce] [--coalesce-window K]\n"
       "       %s --registry MANIFEST --list-venues\n"
       "\n"
       "Loads a VIP-Tree snapshot — directly, or by venue id through a\n"
@@ -108,8 +113,12 @@ void Usage(const char* argv0) {
       "cross-request door-pair distance cache (results are bit-identical\n"
       "with and without it); --cache-policy picks the eviction policy;\n"
       "--cache-capacity 0 (default) sizes the cache from the venue's\n"
-      "door count.\n",
-      argv0, argv0, argv0);
+      "door count. --coalesce turns on the execution planner: workers\n"
+      "pull up to --coalesce-window K (default %zu) queued same-venue\n"
+      "queries into one group and share their source ascents through the\n"
+      "multi-target kernels — results stay bit-identical to sequential\n"
+      "execution.\n",
+      argv0, argv0, argv0, eng::CoalesceOptions{}.window);
 }
 
 bool Parse(int argc, char** argv, Args* args) {
@@ -177,6 +186,12 @@ bool Parse(int argc, char** argv, Args* args) {
       if ((v = value()) == nullptr) return false;
       args->cache_capacity = static_cast<size_t>(std::atol(v));
       args->cache = true;
+    } else if (flag == "--coalesce") {
+      args->coalesce = true;
+    } else if (flag == "--coalesce-window") {
+      if ((v = value()) == nullptr) return false;
+      args->coalesce_window = static_cast<size_t>(std::atol(v));
+      args->coalesce = true;  // naming a window implies --coalesce
     } else if (flag == "--help" || flag == "-h") {
       Usage(argv[0]);
       return false;
@@ -232,6 +247,34 @@ DistanceCacheOptions CacheOptionsFrom(const Args& args) {
   options.policy = args.cache_policy;
   options.capacity = args.cache_capacity;
   return options;
+}
+
+eng::CoalesceOptions CoalesceOptionsFrom(const Args& args) {
+  eng::CoalesceOptions options;
+  options.enabled = args.coalesce;
+  options.window = args.coalesce_window;
+  return options;
+}
+
+void PrintPlanStats(const eng::PlanStats& plan) {
+  std::printf("  coalesce      %10llu groups, %llu queries grouped, "
+              "%llu ascents computed, %llu reused\n",
+              static_cast<unsigned long long>(plan.groups),
+              static_cast<unsigned long long>(plan.coalesced_queries),
+              static_cast<unsigned long long>(plan.ascents_computed),
+              static_cast<unsigned long long>(plan.ascents_reused));
+  std::printf("  group sizes  ");
+  for (size_t b = 1; b < eng::PlanStats::kHistogramBuckets; ++b) {
+    const size_t lo = size_t{1} << b;
+    if (b + 1 < eng::PlanStats::kHistogramBuckets) {
+      std::printf(" [%zu,%zu):%llu", lo, lo * 2,
+                  static_cast<unsigned long long>(plan.groups_by_size[b]));
+    } else {
+      std::printf(" [%zu,inf):%llu", lo,
+                  static_cast<unsigned long long>(plan.groups_by_size[b]));
+    }
+  }
+  std::printf("\n");
 }
 
 void PrintCacheStats(const CacheCounters& cache, CachePolicy policy) {
@@ -349,6 +392,7 @@ int ServeMain(const Args& args, std::optional<eng::VenueRegistry> registry) {
   options.num_threads = args.threads;
   options.queue_capacity = args.queue_capacity;
   options.cache = CacheOptionsFrom(args);
+  options.coalesce = CoalesceOptionsFrom(args);
 
   std::unique_ptr<eng::Service> service;
   const bool with_venue = registry.has_value();
@@ -438,6 +482,7 @@ int ServeMain(const Args& args, std::optional<eng::VenueRegistry> registry) {
     std::printf("  update p99    %10.2f us\n", stats.update_micros.p99);
   }
   if (args.cache) PrintCacheStats(stats.cache, args.cache_policy);
+  if (args.coalesce) PrintPlanStats(stats.plan);
   for (const auto& [venue_id, counters] : stats.per_venue) {
     std::printf("  venue %-12s %llu ok, %llu updates, %llu expired, "
                 "%llu failed\n",
@@ -537,6 +582,7 @@ int main(int argc, char** argv) {
   const std::vector<eng::Query> queries = MakeWorkload(*engine, args);
   eng::BatchOptions batch;
   batch.num_threads = args.threads;
+  batch.coalesce = CoalesceOptionsFrom(args);
   const eng::BatchResult run = engine->RunBatch(queries, batch);
 
   const eng::BatchStats& stats = run.stats;
@@ -551,6 +597,7 @@ int main(int argc, char** argv) {
   std::printf("  latency max   %10.2f us\n", stats.latency_micros.max);
   std::printf("  visited nodes %10llu\n",
               static_cast<unsigned long long>(stats.visited_nodes));
+  if (args.coalesce) PrintPlanStats(stats.plan);
   if (args.cache) {
     PrintCacheStats(engine->distance_cache()->Counters(), args.cache_policy);
   }
