@@ -1,0 +1,175 @@
+#include "net/client.h"
+
+#include <errno.h>
+#include <poll.h>
+#include <sys/socket.h>
+
+#include <cstring>
+#include <utility>
+
+namespace viptree {
+namespace net {
+
+std::unique_ptr<Client> Client::Connect(const std::string& endpoint,
+                                        std::string* error,
+                                        double timeout_ms) {
+  Socket sock;
+  if (io::Status status = ConnectTcp(endpoint, timeout_ms, &sock);
+      !status.ok()) {
+    if (error != nullptr) *error = status.error;
+    return nullptr;
+  }
+  return std::unique_ptr<Client>(new Client(std::move(sock), endpoint));
+}
+
+io::Status Client::SendBytes(const std::vector<uint8_t>& bytes) {
+  size_t sent = 0;
+  while (sent < bytes.size()) {
+    const ssize_t n = ::send(sock_.fd(), bytes.data() + sent,
+                             bytes.size() - sent, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return io::Status::Error(std::string("send to ") + endpoint_ + ": " +
+                               std::strerror(errno));
+    }
+    sent += static_cast<size_t>(n);
+  }
+  return io::Status::Ok();
+}
+
+io::Status Client::Send(const WireRequest& request, uint64_t tag) {
+  return SendBytes(EncodeRequestFrame(request, tag));
+}
+
+io::Status Client::NextFrame(Frame* frame, double timeout_ms) {
+  while (true) {
+    if (std::optional<Frame> next = decoder_.Next()) {
+      *frame = std::move(*next);
+      return io::Status::Ok();
+    }
+    if (decoder_.failed()) {
+      return io::Status::Error("wire decode from " + endpoint_ + ": " +
+                               decoder_.error());
+    }
+    if (timeout_ms > 0.0) {
+      pollfd pfd{sock_.fd(), POLLIN, 0};
+      const int ready = ::poll(&pfd, 1, static_cast<int>(timeout_ms));
+      if (ready == 0) {
+        return io::Status::Error("timed out waiting for a frame from " +
+                                 endpoint_);
+      }
+      if (ready < 0 && errno != EINTR) {
+        return io::Status::Error(std::string("poll ") + endpoint_ + ": " +
+                                 std::strerror(errno));
+      }
+    }
+    uint8_t chunk[16 * 1024];
+    const ssize_t n = ::recv(sock_.fd(), chunk, sizeof(chunk), 0);
+    if (n == 0) {
+      return io::Status::Error("connection to " + endpoint_ +
+                               " closed by peer");
+    }
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return io::Status::Error(std::string("recv from ") + endpoint_ + ": " +
+                               std::strerror(errno));
+    }
+    decoder_.Feed(chunk, static_cast<size_t>(n));
+  }
+}
+
+io::Status Client::Receive(WireResponse* response, uint64_t* tag,
+                           double timeout_ms) {
+  Frame frame;
+  if (io::Status status = NextFrame(&frame, timeout_ms); !status.ok()) {
+    return status;
+  }
+  if (frame.type == FrameType::kError) {
+    io::Reader reader(
+        Span<const uint8_t>(frame.payload.data(), frame.payload.size()));
+    const std::string message = reader.String();
+    return io::Status::Error("server reported a protocol error: " +
+                             (reader.ok() ? message
+                                          : std::string("(unreadable)")));
+  }
+  if (frame.type != FrameType::kResponse) {
+    return io::Status::Error(std::string("unexpected ") +
+                             FrameTypeName(frame.type) +
+                             " frame (wanted a response)");
+  }
+  io::Reader reader(
+      Span<const uint8_t>(frame.payload.data(), frame.payload.size()));
+  std::string error;
+  if (!DecodeResponsePayload(&reader, response, &error)) {
+    return io::Status::Error("response decode: " + error);
+  }
+  if (tag != nullptr) *tag = frame.tag;
+  return io::Status::Ok();
+}
+
+io::Status Client::Call(const WireRequest& request, WireResponse* response) {
+  const uint64_t tag = next_tag_++;
+  if (io::Status status = Send(request, tag); !status.ok()) return status;
+  uint64_t reply_tag = 0;
+  if (io::Status status = Receive(response, &reply_tag); !status.ok()) {
+    return status;
+  }
+  if (reply_tag != tag) {
+    return io::Status::Error("response tag mismatch (pipelining through "
+                             "Call is not supported; use Send/Receive)");
+  }
+  return io::Status::Ok();
+}
+
+io::Status Client::Health(WireHealth* health, double timeout_ms) {
+  const uint64_t tag = next_tag_++;
+  if (io::Status status =
+          SendBytes(EncodeEmptyFrame(FrameType::kHealthProbe, tag));
+      !status.ok()) {
+    return status;
+  }
+  Frame frame;
+  if (io::Status status = NextFrame(&frame, timeout_ms); !status.ok()) {
+    return status;
+  }
+  if (frame.type != FrameType::kHealthReply) {
+    return io::Status::Error(std::string("unexpected ") +
+                             FrameTypeName(frame.type) +
+                             " frame (wanted a health reply)");
+  }
+  io::Reader reader(
+      Span<const uint8_t>(frame.payload.data(), frame.payload.size()));
+  std::string error;
+  if (!DecodeHealthPayload(&reader, health, &error)) {
+    return io::Status::Error("health decode: " + error);
+  }
+  return io::Status::Ok();
+}
+
+io::Status Client::Stats(WireStats* stats, double timeout_ms) {
+  const uint64_t tag = next_tag_++;
+  if (io::Status status =
+          SendBytes(EncodeEmptyFrame(FrameType::kStatsProbe, tag));
+      !status.ok()) {
+    return status;
+  }
+  Frame frame;
+  if (io::Status status = NextFrame(&frame, timeout_ms); !status.ok()) {
+    return status;
+  }
+  if (frame.type != FrameType::kStatsReply) {
+    return io::Status::Error(std::string("unexpected ") +
+                             FrameTypeName(frame.type) +
+                             " frame (wanted a stats reply)");
+  }
+  io::Reader reader(
+      Span<const uint8_t>(frame.payload.data(), frame.payload.size()));
+  std::string error;
+  if (!DecodeStatsPayload(&reader, stats, &error)) {
+    return io::Status::Error("stats decode: " + error);
+  }
+  return io::Status::Ok();
+}
+
+}  // namespace net
+}  // namespace viptree

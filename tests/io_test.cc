@@ -107,6 +107,67 @@ TEST(BinaryIoTest, ArraySizeGuardsAgainstGiantCounts) {
   EXPECT_NE(r.error().find("test array"), std::string::npos) << r.error();
 }
 
+TEST(BinaryIoTest, RemainingBoundsSweepAtBufferEdges) {
+  // The contract the frame decoder leans on: remaining() tracks every
+  // consuming read exactly, zero-length slices succeed anywhere (including
+  // at the very end), maximum-length slices consume everything, and any
+  // slice one past the edge fails — after which remaining() reports 0 no
+  // matter how many bytes were physically left.
+  for (const size_t size : {size_t{0}, size_t{1}, size_t{7}, size_t{64}}) {
+    std::vector<uint8_t> bytes(size);
+    for (size_t i = 0; i < size; ++i) bytes[i] = static_cast<uint8_t>(i);
+
+    // Zero-length reads at every position: no consumption, no failure.
+    for (size_t at = 0; at <= size; ++at) {
+      io::Reader r(Span<const uint8_t>(bytes.data(), bytes.size()));
+      if (at > 0) r.Raw(at);
+      ASSERT_TRUE(r.ok()) << "size " << size << " at " << at;
+      EXPECT_EQ(r.remaining(), size - at);
+      const Span<const uint8_t> empty = r.Raw(0);
+      EXPECT_TRUE(r.ok());
+      EXPECT_EQ(empty.size(), 0u);
+      EXPECT_EQ(r.remaining(), size - at) << "Raw(0) must not consume";
+    }
+
+    // Maximum-length read from every position: drains to exactly zero.
+    for (size_t at = 0; at <= size; ++at) {
+      io::Reader r(Span<const uint8_t>(bytes.data(), bytes.size()));
+      if (at > 0) r.Raw(at);
+      const Span<const uint8_t> rest = r.Raw(size - at);
+      ASSERT_TRUE(r.ok()) << "size " << size << " at " << at;
+      ASSERT_EQ(rest.size(), size - at);
+      for (size_t i = 0; i < rest.size(); ++i) {
+        EXPECT_EQ(rest[i], bytes[at + i]);
+      }
+      EXPECT_EQ(r.remaining(), 0u);
+      // One more zero-length read at the exhausted edge still succeeds...
+      r.Raw(0);
+      EXPECT_TRUE(r.ok());
+      // ...but one byte past the edge fails, and remaining() snaps to 0.
+      r.Raw(1);
+      EXPECT_FALSE(r.ok());
+      EXPECT_EQ(r.remaining(), 0u);
+    }
+
+    // One-past-the-end from every position, including a request so large
+    // it would wrap if the bound check subtracted naively.
+    for (size_t at = 0; at <= size; ++at) {
+      io::Reader r(Span<const uint8_t>(bytes.data(), bytes.size()));
+      if (at > 0) r.Raw(at);
+      const size_t left = size - at;
+      r.Raw(left + 1);
+      EXPECT_FALSE(r.ok()) << "size " << size << " at " << at;
+      EXPECT_EQ(r.remaining(), 0u) << "failed readers report nothing left";
+    }
+    {
+      io::Reader r(Span<const uint8_t>(bytes.data(), bytes.size()));
+      r.Raw(~uint64_t{0});  // must not overflow the bounds arithmetic
+      EXPECT_FALSE(r.ok());
+      EXPECT_EQ(r.remaining(), 0u);
+    }
+  }
+}
+
 TEST(BinaryIoTest, Crc32MatchesReferenceVectors) {
   // The classic IEEE 802.3 check value.
   EXPECT_EQ(io::Crc32("123456789", 9), 0xCBF43926u);

@@ -1,7 +1,7 @@
 #!/usr/bin/env bash
-# Records the standard benchmark trio — bench_distance_cache,
-# bench_city_scale, bench_coalesce — into a single machine-readable
-# BENCH_9.json at the repo root (or at $1 if given).
+# Records the standard benchmark quartet — bench_distance_cache,
+# bench_city_scale, bench_coalesce, bench_net_throughput — into a single
+# machine-readable BENCH_10.json at the repo root (or at $1 if given).
 #
 # The benches themselves are plain printf programs, so this script owns the
 # JSON: per-bench exit code, wall time, and the raw output lines verbatim,
@@ -19,9 +19,9 @@ set -euo pipefail
 
 ROOT="$(cd "$(dirname "$0")/.." && pwd)"
 BUILD="${BUILD_DIR:-$ROOT/build}"
-OUT="${1:-$ROOT/BENCH_9.json}"
+OUT="${1:-$ROOT/BENCH_10.json}"
 
-BENCHES=(bench_distance_cache bench_city_scale bench_coalesce)
+BENCHES=(bench_distance_cache bench_city_scale bench_coalesce bench_net_throughput)
 for b in "${BENCHES[@]}"; do
   if [ ! -x "$BUILD/$b" ]; then
     echo "record_bench: missing $BUILD/$b — build first:" >&2
@@ -67,11 +67,16 @@ done
 speedups=$(awk '$1 == "coalesced" { sub(/x$/, "", $NF); printf "%s%s", sep, $NF; sep=", " }' \
   "$tmpdir/bench_coalesce.out")
 
+# The headline of bench_net_throughput: serial-p50 loopback overhead of
+# the shard and router tiers over the in-process baseline.
+net_overhead=$(grep '^loopback overhead' "$tmpdir/bench_net_throughput.out" \
+  | head -1 | json_escape)
+
 git_sha=$(git -C "$ROOT" rev-parse HEAD 2>/dev/null || echo unknown)
 
 {
   printf '{\n'
-  printf '  "bench_set": 9,\n'
+  printf '  "bench_set": 10,\n'
   printf '  "generated_utc": "%s",\n' "$(date -u +%Y-%m-%dT%H:%M:%SZ)"
   printf '  "git_sha": "%s",\n' "$git_sha"
   printf '  "env": {\n'
@@ -79,6 +84,7 @@ git_sha=$(git -C "$ROOT" rev-parse HEAD 2>/dev/null || echo unknown)
   printf '    "viptree_queries": "%s"\n' "${VIPTREE_QUERIES:-default}"
   printf '  },\n'
   printf '  "coalesce_speedups": [%s],\n' "$speedups"
+  printf '  "net_loopback_overhead": "%s",\n' "$net_overhead"
   printf '  "benches": {\n'
   sep=''
   for b in "${BENCHES[@]}"; do

@@ -35,6 +35,10 @@
 //   viptree_query --registry fleet/registry.txt --serve --threads 4
 //       --deadline-ms 50 --input w.txt
 
+#include <signal.h>
+
+#include <atomic>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <deque>
@@ -52,6 +56,9 @@
 #include "engine/service.h"
 #include "engine/venue_registry.h"
 #include "engine/workload_text.h"
+#include "net/client.h"
+#include "net/shard_server.h"
+#include "net/wire.h"
 #include "synth/objects.h"
 
 namespace {
@@ -66,6 +73,8 @@ struct Args {
   bool list_venues = false;
   bool serve = false;
   bool emit_workload = false;
+  int listen_port = -1;  // --listen PORT: shard-server mode (0 = ephemeral)
+  std::string connect;   // --connect HOST:PORT: drive a remote shard/router
   std::string input;          // --serve source; empty = stdin
   double deadline_ms = 0.0;   // --serve per-request budget; 0 = none
   size_t queue_capacity = 1024;
@@ -98,7 +107,16 @@ void Usage(const char* argv0) {
       "          [--input FILE] [--threads T] [--deadline-ms D]\n"
       "          [--queue-capacity C] [--cache] [--cache-policy P]\n"
       "          [--cache-capacity N] [--coalesce] [--coalesce-window K]\n"
+      "       %s (--snapshot PATH | --registry MANIFEST) --listen PORT\n"
+      "          [--threads T] [--queue-capacity C] [--cache] [--coalesce]\n"
+      "       %s --connect HOST:PORT [--input FILE] [--deadline-ms D]\n"
       "       %s --registry MANIFEST --list-venues\n"
+      "\n"
+      "--listen runs this process as a network shard: the same Service as\n"
+      "--serve behind the binary wire protocol (SIGTERM/SIGINT drain it\n"
+      "gracefully and print the final stats). --connect reads the same\n"
+      "workload lines but sends them to a remote shard or router instead\n"
+      "of an in-process Service.\n"
       "\n"
       "Loads a VIP-Tree snapshot — directly, or by venue id through a\n"
       "multi-venue registry manifest (zero-copy mmap for v2 snapshots) —\n"
@@ -118,7 +136,7 @@ void Usage(const char* argv0) {
       "queries into one group and share their source ascents through the\n"
       "multi-target kernels — results stay bit-identical to sequential\n"
       "execution.\n",
-      argv0, argv0, argv0, eng::CoalesceOptions{}.window);
+      argv0, argv0, argv0, argv0, argv0, eng::CoalesceOptions{}.window);
 }
 
 bool Parse(int argc, char** argv, Args* args) {
@@ -148,6 +166,17 @@ bool Parse(int argc, char** argv, Args* args) {
       args->serve = true;
     } else if (flag == "--emit-workload") {
       args->emit_workload = true;
+    } else if (flag == "--listen") {
+      if ((v = value()) == nullptr) return false;
+      args->listen_port = std::atoi(v);
+      if (args->listen_port < 0 || args->listen_port > 65535) {
+        std::fprintf(stderr, "%s: --listen wants a port in [0, 65535]\n",
+                     argv[0]);
+        return false;
+      }
+    } else if (flag == "--connect") {
+      if ((v = value()) == nullptr) return false;
+      args->connect = v;
     } else if (flag == "--input") {
       if ((v = value()) == nullptr) return false;
       args->input = v;
@@ -208,6 +237,27 @@ bool Parse(int argc, char** argv, Args* args) {
     }
     return true;
   }
+  const int modes = (args->serve ? 1 : 0) + (args->emit_workload ? 1 : 0) +
+                    (args->listen_port >= 0 ? 1 : 0) +
+                    (!args->connect.empty() ? 1 : 0);
+  if (modes > 1) {
+    std::fprintf(stderr,
+                 "%s: --serve, --emit-workload, --listen and --connect are "
+                 "mutually exclusive\n",
+                 argv[0]);
+    return false;
+  }
+  if (!args->connect.empty()) {
+    // Connect mode drives a *remote* server: no local snapshot needed.
+    if (!args->snapshot.empty() || !args->registry.empty()) {
+      std::fprintf(stderr,
+                   "%s: --connect takes no --snapshot/--registry (the "
+                   "server owns the data)\n",
+                   argv[0]);
+      return false;
+    }
+    return true;
+  }
   if (args->snapshot.empty() == args->registry.empty()) {
     std::fprintf(stderr,
                  "%s: pass exactly one of --snapshot / --registry\n",
@@ -215,9 +265,10 @@ bool Parse(int argc, char** argv, Args* args) {
     Usage(argv[0]);
     return false;
   }
-  // --serve routes per line, so it does not need --venue; the batch and
-  // emit-workload modes generate a per-venue workload and do.
-  if (!args->serve && !args->registry.empty() && args->venue.empty()) {
+  // --serve and --listen route per request, so they do not need --venue;
+  // the batch and emit-workload modes generate a per-venue workload and do.
+  if (!args->serve && args->listen_port < 0 && !args->registry.empty() &&
+      args->venue.empty()) {
     std::fprintf(stderr, "%s: --registry needs --venue (or --list-venues)\n",
                  argv[0]);
     return false;
@@ -254,6 +305,34 @@ eng::CoalesceOptions CoalesceOptionsFrom(const Args& args) {
   options.enabled = args.coalesce;
   options.window = args.coalesce_window;
   return options;
+}
+
+// ---------------------------------------------------------------------------
+// Signal handling (the --serve / --listen lifecycles). SIGINT/SIGTERM ask
+// for a graceful drain: the serve loop stops reading and drains the
+// Service; the shard server runs its two-phase drain. Handlers are
+// installed without SA_RESTART so a blocked stdin read returns EINTR and
+// the serve loop gets to notice the flag. SIGPIPE is ignored process-wide:
+// a peer hanging up mid-write is a per-connection condition (EPIPE), not a
+// process killer.
+// ---------------------------------------------------------------------------
+
+std::atomic<bool> g_interrupted{false};
+net::ShardServer* g_shard = nullptr;  // set only in --listen mode
+
+void OnTerminateSignal(int) {
+  g_interrupted.store(true, std::memory_order_release);
+  // RequestDrain is async-signal-safe (atomic store + pipe write).
+  if (g_shard != nullptr) g_shard->RequestDrain();
+}
+
+void InstallDrainSignalHandlers() {
+  struct sigaction action{};
+  action.sa_handler = OnTerminateSignal;
+  sigemptyset(&action.sa_mask);
+  action.sa_flags = 0;  // no SA_RESTART: let blocked reads return EINTR
+  ::sigaction(SIGINT, &action, nullptr);
+  ::sigaction(SIGTERM, &action, nullptr);
 }
 
 void PrintPlanStats(const eng::PlanStats& plan) {
@@ -424,6 +503,10 @@ int ServeMain(const Args& args, std::optional<eng::VenueRegistry> registry) {
   }
   std::istream& in = args.input.empty() ? std::cin : file;
 
+  // SIGINT/SIGTERM stop reading input; the drain below still runs, so
+  // every request already submitted is answered and the summary prints.
+  InstallDrainSignalHandlers();
+
   const Timer wall;
   size_t submitted = 0;
   size_t malformed = 0;
@@ -435,7 +518,8 @@ int ServeMain(const Args& args, std::optional<eng::VenueRegistry> registry) {
   std::deque<eng::Ticket> window;
   const size_t max_outstanding = std::max<size_t>(1, args.queue_capacity);
   std::string line;
-  while (std::getline(in, line)) {
+  while (!g_interrupted.load(std::memory_order_acquire) &&
+         std::getline(in, line)) {
     ++line_number;
     const size_t start = line.find_first_not_of(" \t\r");
     if (start == std::string::npos || line[start] == '#') continue;
@@ -456,6 +540,11 @@ int ServeMain(const Args& args, std::optional<eng::VenueRegistry> registry) {
     }
     window.push_back(service->Submit(std::move(request)));
     ++submitted;
+  }
+  if (g_interrupted.load(std::memory_order_acquire)) {
+    std::fprintf(stderr,
+                 "signal received: draining %zu submitted request(s)\n",
+                 submitted);
   }
   service->Drain();
   const double wall_ms = wall.ElapsedMillis();
@@ -511,11 +600,218 @@ int ServeMain(const Args& args, std::optional<eng::VenueRegistry> registry) {
   return 0;
 }
 
+// The --listen loop: run this process as a network shard until a
+// SIGTERM/SIGINT drains it, then report the final service stats.
+int ListenMain(const Args& args, std::optional<eng::VenueRegistry> registry) {
+  net::ShardServerOptions options;
+  options.port = static_cast<uint16_t>(args.listen_port);
+  options.service.num_threads = args.threads;
+  options.service.queue_capacity = args.queue_capacity;
+  options.service.cache = CacheOptionsFrom(args);
+  options.service.coalesce = CoalesceOptionsFrom(args);
+
+  std::unique_ptr<net::ShardServer> server;
+  std::string error;
+  if (registry.has_value()) {
+    server = std::make_unique<net::ShardServer>(std::move(*registry),
+                                                std::move(options));
+  } else {
+    std::optional<eng::VenueBundle> bundle =
+        eng::VenueBundle::TryLoad(args.snapshot, &error);
+    if (!bundle.has_value()) {
+      std::fprintf(stderr, "error: %s\n", error.c_str());
+      return 1;
+    }
+    server = std::make_unique<net::ShardServer>(
+        std::make_shared<const eng::VenueBundle>(std::move(*bundle)),
+        std::move(options));
+  }
+  if (io::Status status = server->Start(); !status.ok()) {
+    std::fprintf(stderr, "error: %s\n", status.error.c_str());
+    return 1;
+  }
+  g_shard = server.get();
+  InstallDrainSignalHandlers();
+  // The port line is machine-read by scripts launching ephemeral shards.
+  std::printf("shard listening on 127.0.0.1:%u (%zu worker(s))\n",
+              server->port(), args.threads);
+  std::fflush(stdout);
+
+  server->Wait();  // returns once a signal-triggered drain completes
+  g_shard = nullptr;
+
+  const eng::ServiceStats stats = server->ServiceStatsNow();
+  std::printf(
+      "shard drained: %llu ok, %llu updates, %llu expired, %llu rejected, "
+      "%llu failed over %llu connection(s), %llu frame(s), "
+      "%llu protocol error(s)\n",
+      static_cast<unsigned long long>(stats.num_queries),
+      static_cast<unsigned long long>(stats.updates),
+      static_cast<unsigned long long>(stats.expired),
+      static_cast<unsigned long long>(stats.rejected),
+      static_cast<unsigned long long>(stats.failed),
+      static_cast<unsigned long long>(server->connections_accepted()),
+      static_cast<unsigned long long>(server->frames_received()),
+      static_cast<unsigned long long>(server->protocol_errors()));
+  std::printf("  latency p50   %10.2f us\n", stats.latency_micros.p50);
+  std::printf("  latency p99   %10.2f us\n", stats.latency_micros.p99);
+  return 0;
+}
+
+// Workload lines arrive in the registry (venue-column) or single-snapshot
+// (bare) format; a remote driver accepts either. The venue column is tried
+// first — its first token is a venue id, never a parsable operation — so
+// the two formats cannot be confused.
+bool ParseLineAnyFormat(const std::string& line, eng::Request* request,
+                        std::string* error) {
+  if (eng::workload::ParseLine(line, /*with_venue=*/true, request, error)) {
+    return true;
+  }
+  std::string bare_error;
+  if (eng::workload::ParseLine(line, /*with_venue=*/false, request,
+                               &bare_error)) {
+    error->clear();
+    return true;
+  }
+  return false;  // report the venue-format error (the likelier intent)
+}
+
+// The --connect loop: same workload lines as --serve, but submitted to a
+// remote shard or router through net::Client with a pipelined window.
+int ConnectMain(const Args& args) {
+  std::string error;
+  std::unique_ptr<net::Client> client = net::Client::Connect(
+      args.connect, &error);
+  if (client == nullptr) {
+    std::fprintf(stderr, "error: %s\n", error.c_str());
+    return 1;
+  }
+
+  std::ifstream file;
+  if (!args.input.empty()) {
+    file.open(args.input);
+    if (!file) {
+      std::fprintf(stderr, "error: cannot open workload file '%s'\n",
+                   args.input.c_str());
+      return 1;
+    }
+  }
+  std::istream& in = args.input.empty() ? std::cin : file;
+
+  const Timer wall;
+  size_t submitted = 0;
+  size_t malformed = 0;
+  size_t line_number = 0;
+  size_t outstanding = 0;
+  uint64_t ok = 0, updates = 0, expired = 0, rejected = 0, failed = 0;
+  // Pipelining window: enough to keep the wire and the remote queue busy,
+  // small enough never to overflow a default-capacity shard queue.
+  const size_t window =
+      std::max<size_t>(1, std::min<size_t>(args.queue_capacity, 128));
+
+  auto receive_one = [&]() -> bool {
+    net::WireResponse response;
+    uint64_t tag = 0;
+    if (io::Status status = client->Receive(&response, &tag, 30000.0);
+        !status.ok()) {
+      std::fprintf(stderr, "error: %s\n", status.error.c_str());
+      return false;
+    }
+    --outstanding;
+    switch (response.status) {
+      case eng::RequestStatus::kOk:
+        if (response.kind == eng::RequestKind::kUpdateObjects) {
+          ++updates;
+        } else {
+          ++ok;
+        }
+        break;
+      case eng::RequestStatus::kDeadlineExceeded:
+        ++expired;
+        break;
+      case eng::RequestStatus::kRejected:
+        ++rejected;
+        break;
+      default:
+        ++failed;
+        break;
+    }
+    return true;
+  };
+
+  std::string line;
+  while (std::getline(in, line)) {
+    ++line_number;
+    const size_t start = line.find_first_not_of(" \t\r");
+    if (start == std::string::npos || line[start] == '#') continue;
+    eng::Request request;
+    if (!ParseLineAnyFormat(line, &request, &error)) {
+      std::fprintf(stderr, "warning: skipping line %zu: %s\n", line_number,
+                   error.c_str());
+      ++malformed;
+      continue;
+    }
+    const net::WireRequest wire =
+        net::WireRequest::FromRequest(request, args.deadline_ms);
+    while (outstanding >= window) {
+      if (!receive_one()) return 1;
+    }
+    ++submitted;
+    if (io::Status status = client->Send(wire, submitted); !status.ok()) {
+      std::fprintf(stderr, "error: %s\n", status.error.c_str());
+      return 1;
+    }
+    ++outstanding;
+  }
+  while (outstanding > 0) {
+    if (!receive_one()) return 1;
+  }
+  const double wall_ms = wall.ElapsedMillis();
+
+  std::printf(
+      "sent %zu requests to %s (%llu ok, %llu updates, %llu expired, "
+      "%llu rejected, %llu failed) in %.2f ms\n",
+      submitted, args.connect.c_str(), static_cast<unsigned long long>(ok),
+      static_cast<unsigned long long>(updates),
+      static_cast<unsigned long long>(expired),
+      static_cast<unsigned long long>(rejected),
+      static_cast<unsigned long long>(failed), wall_ms);
+  if (wall_ms > 0.0 && submitted > 0) {
+    std::printf("  throughput    %10.0f requests/s\n",
+                submitted / (wall_ms / 1000.0));
+  }
+  net::WireStats stats;
+  if (client->Stats(&stats).ok()) {
+    std::printf("  server latency p50 %.2f us, p99 %.2f us "
+                "(%llu submitted fleet-wide)\n",
+                stats.latency_p50, stats.latency_p99,
+                static_cast<unsigned long long>(stats.submitted));
+  }
+  if (malformed > 0) {
+    std::fprintf(stderr, "error: %zu malformed workload line(s)\n",
+                 malformed);
+    return 1;
+  }
+  if (failed > 0 || rejected > 0) {
+    std::fprintf(stderr, "error: %llu request(s) failed, %llu rejected\n",
+                 static_cast<unsigned long long>(failed),
+                 static_cast<unsigned long long>(rejected));
+    return 1;
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   Args args;
   if (!Parse(argc, argv, &args)) return 1;
+
+  // A peer (or downstream pipe) hanging up mid-write is EPIPE on that
+  // descriptor, not a reason to kill the process.
+  std::signal(SIGPIPE, SIG_IGN);
+
+  if (!args.connect.empty()) return ConnectMain(args);
 
   std::string error;
   std::optional<eng::VenueRegistry> registry;
@@ -535,6 +831,7 @@ int main(int argc, char** argv) {
     }
   }
 
+  if (args.listen_port >= 0) return ListenMain(args, std::move(registry));
   if (args.serve) return ServeMain(args, std::move(registry));
 
   Timer load_timer;
